@@ -1,0 +1,31 @@
+//! # colt-bench — benchmark harness for the CoLT reproduction
+//!
+//! This crate contains only Criterion benches (see `benches/`):
+//!
+//! * `micro` — microbenchmarks of the hot structures: TLB lookup and
+//!   fill, coalescing logic, buddy allocation, compaction, page walks.
+//! * `experiments` — scaled-down versions of each paper experiment
+//!   (Table 1, Figures 7–21), so `cargo bench` exercises exactly the
+//!   code paths the `repro` binary uses to regenerate the paper's
+//!   numbers.
+//!
+//! The full-size experiments are driven by the `repro` binary in
+//! `colt-core` (`cargo run --release -p colt-core --bin repro -- all`).
+
+/// Shared helper: a small deterministic workload for benches that need a
+/// prepared address space without paying full scenario cost.
+pub fn quick_workload() -> colt_workloads::scenario::PreparedWorkload {
+    let spec = colt_workloads::spec::benchmark("Gobmk").expect("Table-1 benchmark");
+    colt_workloads::scenario::Scenario::default_linux()
+        .prepare(&spec)
+        .expect("scenario sized for the benchmark")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_workload_prepares() {
+        let w = super::quick_workload();
+        assert!(!w.footprint.is_empty());
+    }
+}

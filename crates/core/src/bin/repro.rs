@@ -1,0 +1,128 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--csv] <experiment>...
+//!
+//! experiments:
+//!   table1        Table 1   real-system MPMIs, THS on/off
+//!   fig7-9        Figures 7-9    contiguity CDFs, THS on
+//!   fig10-12      Figures 10-12  contiguity CDFs, THS off
+//!   fig13-15      Figures 13-15  contiguity CDFs, low compaction
+//!   fig16-17      Figures 16-17  contiguity under memhog load
+//!   fig18         Figure 18  % misses eliminated by CoLT-SA/FA/All
+//!   fig19         Figure 19  index left-shift sweep
+//!   fig20         Figure 20  associativity study
+//!   fig21         Figure 21  performance vs perfect TLBs
+//!   ablation      sec 7.1.3 fill-to-L2 + extra design ablations
+//!   virt          sec 7.2 expectation: CoLT under nested paging
+//!   related       sec 2.1/2.4: CoLT vs sequential TLB prefetching
+//!   ctxswitch     extension: elimination vs TLB-flush frequency
+//!   summary       scorecard: paper vs measured, in one table
+//!   grid          contiguity across all twelve sec 5.1.1 configurations
+//!   noise         seed-sensitivity of the headline averages
+//!   multiprog     extension: two benchmarks sharing one machine
+//!   all           everything above
+//! ```
+
+use colt_core::experiments::{
+    ablation, associativity, context_switch, contiguity, grid, index_shift,
+    memhog_load, miss_elimination, multiprog, noise, performance, related_work,
+    summary, table1, virtualization, ExperimentOptions, ExperimentOutput,
+};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--csv] [--bars] <experiment>...\n\
+         experiments: table1 fig7-9 fig10-12 fig13-15 fig16-17 fig18 fig19 fig20 fig21 ablation virt related ctxswitch summary grid noise multiprog all"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = ExperimentOptions::default();
+    let mut csv = false;
+    let mut bars = false;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.accesses = ExperimentOptions::quick().accesses,
+            "--accesses" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.accesses = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--bench" => {
+                let names = args.next().unwrap_or_else(|| usage());
+                opts.benchmarks =
+                    Some(names.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--csv" => csv = true,
+            "--bars" => bars = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "fig7-9", "fig10-12", "fig13-15", "fig16-17", "fig18", "fig19",
+            "fig20", "fig21", "ablation", "virt", "related", "ctxswitch", "summary", "grid", "noise", "multiprog",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for exp in &experiments {
+        let output: ExperimentOutput = match exp.as_str() {
+            "table1" => table1::run(&opts).1,
+            "fig7-9" => contiguity::run(contiguity::ContiguityConfig::ThsOn, &opts).1,
+            "fig10-12" => contiguity::run(contiguity::ContiguityConfig::ThsOff, &opts).1,
+            "fig13-15" => {
+                contiguity::run(contiguity::ContiguityConfig::LowCompaction, &opts).1
+            }
+            "fig16-17" => memhog_load::run(&opts).1,
+            "fig18" => miss_elimination::run(&opts).1,
+            "fig19" => index_shift::run(&opts).1,
+            "fig20" => associativity::run(&opts).1,
+            "fig21" => performance::run(&opts).1,
+            "ablation" => ablation::run(&opts).1,
+            "virt" => virtualization::run(&opts).1,
+            "related" => related_work::run(&opts).1,
+            "ctxswitch" => context_switch::run(&opts).1,
+            "summary" => summary::run(&opts).1,
+            "grid" => grid::run(&opts).1,
+            "noise" => noise::run(&opts).1,
+            "multiprog" => multiprog::run(&opts).1,
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                return ExitCode::from(2);
+            }
+        };
+        if csv {
+            for table in &output.tables {
+                println!("{}", table.to_csv());
+            }
+        } else {
+            println!("{}", output.render());
+            if bars {
+                for table in &output.tables {
+                    // Chart the last numeric column against row labels.
+                    for col in (1..table.width()).rev() {
+                        let items = table.numeric_column(col);
+                        if items.len() > 1 {
+                            println!("{}", colt_core::report::bar_chart(&items, 40));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

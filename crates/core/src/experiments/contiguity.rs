@@ -1,0 +1,148 @@
+//! Figures 7–15: contiguity CDFs of non-superpage pages under three
+//! kernel configurations, with per-benchmark averages in the legends.
+//!
+//! * Figures 7–9 — THS on, normal compaction (scenario 1),
+//! * Figures 10–12 — THS off, normal compaction (scenario 2),
+//! * Figures 13–15 — THS off, low compaction (scenario 3).
+//!
+//! This experiment needs no TLB simulation: it allocates each benchmark
+//! under the scenario and scans its page table, exactly like the paper's
+//! instrumented-kernel walk (§5.1.1).
+
+use super::{prepare, ExperimentOptions, ExperimentOutput};
+use crate::report::{f2, Table};
+use colt_os_mem::contiguity::PAPER_CDF_POINTS;
+use colt_workloads::scenario::Scenario;
+
+/// Which kernel configuration (and hence figure group) to reproduce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ContiguityConfig {
+    /// Figures 7–9: THS on, normal compaction.
+    ThsOn,
+    /// Figures 10–12: THS off, normal compaction.
+    ThsOff,
+    /// Figures 13–15: THS off, low compaction.
+    LowCompaction,
+}
+
+impl ContiguityConfig {
+    /// The scenario implementing this configuration.
+    pub fn scenario(self) -> Scenario {
+        match self {
+            ContiguityConfig::ThsOn => Scenario::default_linux(),
+            ContiguityConfig::ThsOff => Scenario::no_ths(),
+            ContiguityConfig::LowCompaction => Scenario::no_ths_low_compaction(),
+        }
+    }
+
+    /// The figure numbers this configuration reproduces.
+    pub fn figures(self) -> &'static str {
+        match self {
+            ContiguityConfig::ThsOn => "Figures 7-9",
+            ContiguityConfig::ThsOff => "Figures 10-12",
+            ContiguityConfig::LowCompaction => "Figures 13-15",
+        }
+    }
+
+    /// The paper's per-benchmark average for this configuration.
+    pub fn paper_average(self, paper: &colt_workloads::PaperBenchmark) -> f64 {
+        match self {
+            ContiguityConfig::ThsOn => paper.contig_ths_on,
+            ContiguityConfig::ThsOff => paper.contig_ths_off,
+            ContiguityConfig::LowCompaction => paper.contig_low_compaction,
+        }
+    }
+}
+
+/// One benchmark's contiguity distribution.
+#[derive(Clone, Debug)]
+pub struct ContiguityRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Measured average contiguity (the figure legend number).
+    pub average: f64,
+    /// Paper's legend value.
+    pub paper_average: f64,
+    /// CDF evaluated at the paper's ticks (1, 4, 16, 64, 256, 1024).
+    pub cdf: Vec<f64>,
+    /// Fraction of pages with ≥512-page contiguity (§6.1's statistic).
+    pub over_512: f64,
+}
+
+/// Runs the contiguity characterization for one kernel configuration.
+pub fn run(config: ContiguityConfig, opts: &ExperimentOptions) -> (Vec<ContiguityRow>, ExperimentOutput) {
+    let scenario = config.scenario();
+    let mut rows = Vec::new();
+    for spec in opts.selected_benchmarks() {
+        let workload = prepare(&scenario, &spec);
+        let report = workload.contiguity();
+        rows.push(ContiguityRow {
+            name: spec.name,
+            average: report.average_contiguity(),
+            paper_average: config.paper_average(spec.paper),
+            cdf: report.cdf(&PAPER_CDF_POINTS),
+            over_512: report.fraction_with_contiguity_at_least(512),
+        });
+    }
+
+    let mut headers = vec!["Benchmark", "avg", "paper avg"];
+    let tick_labels: Vec<String> =
+        PAPER_CDF_POINTS.iter().map(|p| format!("cdf@{p}")).collect();
+    headers.extend(tick_labels.iter().map(String::as_str));
+    headers.push(">=512");
+    let mut table = Table::new(
+        format!("{} ({}): contiguity CDF of non-superpage pages", config.figures(), scenario.name),
+        &headers,
+    );
+    let mut avg_sum = 0.0;
+    for r in &rows {
+        let mut cells = vec![r.name.to_string(), f2(r.average), f2(r.paper_average)];
+        cells.extend(r.cdf.iter().map(|c| f2(*c)));
+        cells.push(f2(r.over_512));
+        table.add_row(cells);
+        avg_sum += r.average;
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let paper_avg: f64 = rows.iter().map(|r| r.paper_average).sum::<f64>() / n;
+        let mut cells = vec!["Average".to_string(), f2(avg_sum / n), f2(paper_avg)];
+        cells.extend(std::iter::repeat_n("-".to_string(), PAPER_CDF_POINTS.len() + 1));
+        table.add_row(cells);
+    }
+    (rows, ExperimentOutput { id: "contiguity", tables: vec![table] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ths_on_beats_low_compaction_on_average() {
+        // The paper's macro trend: config 1 (41.2) > config 3 (15.4).
+        let opts = ExperimentOptions::quick().with_benchmarks(&["Mcf", "CactusADM", "Milc"]);
+        let (on, _) = run(ContiguityConfig::ThsOn, &opts);
+        let (low, _) = run(ContiguityConfig::LowCompaction, &opts);
+        let avg = |rows: &[ContiguityRow]| {
+            rows.iter().map(|r| r.average).sum::<f64>() / rows.len() as f64
+        };
+        assert!(
+            avg(&on) > avg(&low),
+            "THS-on avg ({:.1}) must exceed low-compaction avg ({:.1})",
+            avg(&on),
+            avg(&low)
+        );
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_terminate_at_one() {
+        let opts = ExperimentOptions::quick().with_benchmarks(&["Sjeng", "Xalancbmk"]);
+        let (rows, out) = run(ContiguityConfig::ThsOff, &opts);
+        for r in &rows {
+            for w in r.cdf.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "{}: CDF must be monotone", r.name);
+            }
+            assert!((r.cdf.last().unwrap() - 1.0).abs() < 1e-9);
+        }
+        assert!(out.render().contains("Average"));
+    }
+}

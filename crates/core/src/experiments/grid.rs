@@ -1,0 +1,78 @@
+//! The full §5.1.1 configuration grid: average contiguity for every one
+//! of the paper's twelve system configurations (THS on/off × compaction
+//! normal/low × memhog 0/25/50%).
+//!
+//! The paper measures all twelve but prints only five "due to space
+//! constraints"; this reproduction has no such constraint.
+
+use super::{prepare, ExperimentOptions, ExperimentOutput};
+use crate::metrics::mean;
+use crate::report::{f2, Table};
+use colt_workloads::scenario::Scenario;
+
+/// One configuration's cross-benchmark summary.
+#[derive(Clone, Debug)]
+pub struct GridRow {
+    /// Configuration name.
+    pub scenario: String,
+    /// Average contiguity across the selected benchmarks.
+    pub avg_contiguity: f64,
+    /// Fraction of benchmarks with average contiguity ≥ 4 (enough for
+    /// full CoLT-SA coalescing).
+    pub coalescible_share: f64,
+}
+
+/// Runs the twelve-configuration grid.
+pub fn run(opts: &ExperimentOptions) -> (Vec<GridRow>, ExperimentOutput) {
+    let mut rows = Vec::new();
+    for scenario in Scenario::all_twelve() {
+        let mut avgs = Vec::new();
+        for spec in opts.selected_benchmarks() {
+            let workload = prepare(&scenario, &spec);
+            avgs.push(workload.contiguity().average_contiguity());
+        }
+        let coalescible = avgs.iter().filter(|&&a| a >= 4.0).count() as f64
+            / avgs.len().max(1) as f64;
+        rows.push(GridRow {
+            scenario: scenario.name.clone(),
+            avg_contiguity: mean(&avgs),
+            coalescible_share: coalescible,
+        });
+    }
+
+    let mut table = Table::new(
+        "Configuration grid (sec 5.1.1): contiguity across all twelve kernel settings",
+        &["configuration", "avg contiguity", "share of benchmarks >= 4-page contiguity"],
+    );
+    for r in &rows {
+        table.add_row(vec![
+            r.scenario.clone(),
+            f2(r.avg_contiguity),
+            f2(r.coalescible_share),
+        ]);
+    }
+    (rows, ExperimentOutput { id: "grid", tables: vec![table] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_twelve_and_contiguity_exists_everywhere() {
+        let opts = ExperimentOptions::quick().with_benchmarks(&["Gobmk", "Povray"]);
+        let (rows, out) = run(&opts);
+        assert_eq!(rows.len(), 12);
+        // §6.6 conclusion 1 over the full grid: intermediate contiguity
+        // exists under every single configuration.
+        for r in &rows {
+            assert!(
+                r.avg_contiguity >= 1.0,
+                "{}: contiguity must exist ({:.2})",
+                r.scenario,
+                r.avg_contiguity
+            );
+        }
+        assert!(out.render().contains("memhog(50%)"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Experiment drivers: one module per table/figure of the paper's
+//! evaluation (see DESIGN.md §3 for the full index).
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — real-system-sized L1/L2 MPMIs, THS on/off |
+//! | [`contiguity`] | Figures 7–15 — contiguity CDFs per kernel config |
+//! | [`memhog_load`] | Figures 16–17 — contiguity under memhog load |
+//! | [`miss_elimination`] | Figure 18 — % misses eliminated by CoLT-SA/FA/All |
+//! | [`index_shift`] | Figure 19 — CoLT-SA index left-shift sweep |
+//! | [`associativity`] | Figure 20 — 4-way vs 8-way, with/without CoLT |
+//! | [`performance`] | Figure 21 — performance vs perfect TLBs |
+//! | [`ablation`] | §7.1.3 fill-to-L2 policy + extra design ablations |
+//! | [`virtualization`] | §7.2's expectation: CoLT under nested paging |
+//! | [`related_work`] | §2.1/§2.4: CoLT vs sequential TLB prefetching |
+//! | [`context_switch`] | extension: elimination vs TLB-flush frequency |
+//! | [`summary`] | scorecard: paper vs measured, in one table |
+//! | [`grid`] | all twelve §5.1.1 kernel configurations |
+//! | [`noise`] | seed-sensitivity of the headline averages |
+//! | [`multiprog`] | extension: two benchmarks sharing one machine |
+//!
+//! Every driver returns structured rows plus [`Table`]s whose columns
+//! include the paper's published values next to the measured ones, so
+//! the `repro` binary's output doubles as the EXPERIMENTS.md data source.
+
+pub mod ablation;
+pub mod associativity;
+pub mod context_switch;
+pub mod contiguity;
+pub mod grid;
+pub mod index_shift;
+pub mod memhog_load;
+pub mod miss_elimination;
+pub mod multiprog;
+pub mod noise;
+pub mod performance;
+pub mod related_work;
+pub mod summary;
+pub mod table1;
+pub mod virtualization;
+
+use crate::report::Table;
+use colt_workloads::scenario::{PreparedWorkload, Scenario};
+use colt_workloads::spec::{all_benchmarks, BenchmarkSpec};
+
+/// Options shared by all experiment drivers.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// Simulated memory references per benchmark per configuration.
+    pub accesses: u64,
+    /// Restrict to these benchmarks (None = all 14).
+    pub benchmarks: Option<Vec<String>>,
+    /// Master seed for patterns.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self { accesses: 400_000, benchmarks: None, seed: 0x5EED }
+    }
+}
+
+impl ExperimentOptions {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { accesses: 30_000, ..Self::default() }
+    }
+
+    /// Restricts the benchmark set.
+    #[must_use]
+    pub fn with_benchmarks(mut self, names: &[&str]) -> Self {
+        self.benchmarks = Some(names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// The benchmark models this run covers.
+    pub fn selected_benchmarks(&self) -> Vec<BenchmarkSpec> {
+        let specs = all_benchmarks();
+        match &self.benchmarks {
+            None => specs,
+            Some(names) => specs
+                .into_iter()
+                .filter(|s| names.iter().any(|n| n.eq_ignore_ascii_case(s.name)))
+                .collect(),
+        }
+    }
+}
+
+/// A rendered experiment: its name and one or more output tables.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Experiment identifier (e.g. "fig18").
+    pub id: &'static str,
+    /// Output tables in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl ExperimentOutput {
+    /// Renders all tables.
+    pub fn render(&self) -> String {
+        self.tables.iter().map(Table::render).collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// Prepares a workload, panicking with a helpful message on OOM (the
+/// scenarios are sized so this indicates a configuration error).
+pub(crate) fn prepare(scenario: &Scenario, spec: &BenchmarkSpec) -> PreparedWorkload {
+    scenario
+        .prepare(spec)
+        .unwrap_or_else(|e| panic!("scenario '{}' failed for {}: {e}", scenario.name, spec.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_select_benchmarks() {
+        let all = ExperimentOptions::default().selected_benchmarks();
+        assert_eq!(all.len(), 14);
+        let two = ExperimentOptions::default()
+            .with_benchmarks(&["mcf", "Bzip2"])
+            .selected_benchmarks();
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn quick_options_are_cheaper() {
+        assert!(ExperimentOptions::quick().accesses < ExperimentOptions::default().accesses);
+    }
+}

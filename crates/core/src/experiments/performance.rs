@@ -1,0 +1,130 @@
+//! Figure 21: performance improvement of CoLT-SA/FA/All against the
+//! baseline, with perfect (100%-hit) TLBs as the upper bound.
+//!
+//! Uses the paper's own interpolation method (§5.2.1): page walks are
+//! serialized on the critical path, so cycles saved on walks translate
+//! directly to runtime (see [`crate::perf`]).
+
+use super::{prepare, ExperimentOptions, ExperimentOutput};
+use crate::perf::PerfModel;
+use crate::report::{f1, Table};
+use crate::sim::{self, SimConfig, SimResult};
+use colt_tlb::config::TlbConfig;
+use colt_workloads::scenario::Scenario;
+
+/// Performance results for one benchmark.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Perfect-TLB improvement (%) over baseline.
+    pub perfect: f64,
+    /// CoLT-SA / CoLT-FA / CoLT-All improvements (%).
+    pub colt: [f64; 3],
+    /// The underlying simulation results
+    /// (baseline, SA, FA, All).
+    pub results: [SimResult; 4],
+}
+
+/// Runs the performance study.
+pub fn run(opts: &ExperimentOptions) -> (Vec<PerfRow>, ExperimentOutput) {
+    let scenario = Scenario::default_linux();
+    let model = PerfModel::default();
+    let configs = [
+        TlbConfig::baseline(),
+        TlbConfig::colt_sa(),
+        TlbConfig::colt_fa(),
+        TlbConfig::colt_all(),
+    ];
+    let mut rows = Vec::new();
+    for spec in opts.selected_benchmarks() {
+        let workload = prepare(&scenario, &spec);
+        let results: Vec<SimResult> = configs
+            .iter()
+            .map(|tlb| {
+                let cfg = SimConfig {
+                    pattern_seed: opts.seed,
+                    ..SimConfig::new(*tlb).with_accesses(opts.accesses)
+                };
+                sim::run(&workload, &cfg)
+            })
+            .collect();
+        let baseline = results[0];
+        rows.push(PerfRow {
+            name: spec.name,
+            perfect: model.perfect_improvement_pct(&baseline),
+            colt: [
+                model.improvement_pct(&baseline, &results[1]),
+                model.improvement_pct(&baseline, &results[2]),
+                model.improvement_pct(&baseline, &results[3]),
+            ],
+            results: [results[0], results[1], results[2], results[3]],
+        });
+    }
+
+    let mut table = Table::new(
+        "Figure 21: performance improvement % (paper avg: SA 12, FA 14, All 14)",
+        &["Benchmark", "Perfect", "CoLT-SA", "CoLT-FA", "CoLT-All"],
+    );
+    let mut sums = [0.0f64; 4];
+    for r in &rows {
+        let vals = [r.perfect, r.colt[0], r.colt[1], r.colt[2]];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        table.add_row(vec![
+            r.name.to_string(),
+            f1(r.perfect),
+            f1(r.colt[0]),
+            f1(r.colt[1]),
+            f1(r.colt[2]),
+        ]);
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        table.add_row(vec![
+            "Average".to_string(),
+            f1(sums[0] / n),
+            f1(sums[1] / n),
+            f1(sums[2] / n),
+            f1(sums[3] / n),
+        ]);
+    }
+    (rows, ExperimentOutput { id: "fig21", tables: vec![table] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tlb_bounds_every_colt_design() {
+        let opts = ExperimentOptions::quick().with_benchmarks(&["Astar", "Bzip2"]);
+        let (rows, _) = run(&opts);
+        for r in &rows {
+            for (i, &c) in r.colt.iter().enumerate() {
+                assert!(
+                    c <= r.perfect + 1.0,
+                    "{}: design {i} improvement {:.1}% exceeds perfect {:.1}%",
+                    r.name,
+                    c,
+                    r.perfect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_bound_benchmarks_gain_from_coalescing() {
+        let opts = ExperimentOptions::quick().with_benchmarks(&["CactusADM"]);
+        let (rows, out) = run(&opts);
+        let r = &rows[0];
+        assert!(r.perfect > 0.0, "a TLB-stressed benchmark has walk headroom");
+        assert!(
+            r.colt.iter().any(|&c| c > 0.0),
+            "at least one CoLT design must improve CactusADM, got {:?}",
+            r.colt
+        );
+        assert!(out.render().contains("Perfect"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # colt-core — the CoLT reproduction's simulation engine
+//!
+//! Ties the substrates together into the paper's experiments:
+//! [`colt_os_mem`] (buddy allocator, compaction, THS, page tables)
+//! generates the contiguity; [`colt_tlb`] implements the Baseline /
+//! CoLT-SA / CoLT-FA / CoLT-All hierarchies; [`colt_memsim`] walks page
+//! tables through the cache hierarchy; [`colt_workloads`] models the 14
+//! Table-1 benchmarks. This crate adds:
+//!
+//! * [`sim`] — the trace-driven simulation loop (§5.2.1),
+//! * [`perf`] — the paper's performance-interpolation model,
+//! * [`experiments`] — one driver per table/figure (Table 1, Figures
+//!   7–21, plus the §7.1.3 ablation and extras),
+//! * [`report`] / [`metrics`] — output formatting and comparisons.
+//!
+//! The `repro` binary regenerates any experiment:
+//! `cargo run --release -p colt-core --bin repro -- fig18`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use colt_core::sim::{self, SimConfig};
+//! use colt_tlb::config::TlbConfig;
+//! use colt_workloads::{scenario::Scenario, spec::benchmark};
+//!
+//! # fn main() -> colt_os_mem::error::MemResult<()> {
+//! let spec = benchmark("Gobmk").expect("a Table-1 benchmark");
+//! let workload = Scenario::default_linux().prepare(&spec)?;
+//! let baseline = sim::run(&workload, &SimConfig::new(TlbConfig::baseline()).with_accesses(20_000));
+//! let colt = sim::run(&workload, &SimConfig::new(TlbConfig::colt_all()).with_accesses(20_000));
+//! assert!(colt.tlb.l2_misses <= baseline.tlb.l2_misses);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod experiments;
+pub mod metrics;
+pub mod perf;
+pub mod report;
+pub mod sim;
+
+pub use experiments::{ExperimentOptions, ExperimentOutput};
+pub use perf::PerfModel;
+pub use report::Table;
+pub use sim::{SimConfig, SimResult};

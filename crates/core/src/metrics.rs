@@ -1,0 +1,122 @@
+//! Small statistics helpers shared by the experiment drivers and the
+//! `repro` binary.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean of positive values (0 for empty input).
+///
+/// # Panics
+/// Panics if any value is non-positive.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A measured number next to the paper's published value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PaperComparison {
+    /// What this reproduction measured.
+    pub measured: f64,
+    /// What the paper reports.
+    pub paper: f64,
+}
+
+impl PaperComparison {
+    /// Creates a comparison.
+    pub fn new(measured: f64, paper: f64) -> Self {
+        Self { measured, paper }
+    }
+
+    /// measured / paper, or `None` when the paper value is zero.
+    pub fn ratio(&self) -> Option<f64> {
+        (self.paper != 0.0).then(|| self.measured / self.paper)
+    }
+
+    /// True when measured and paper agree in sign and within a
+    /// multiplicative `factor` (shape reproduction, not absolute-number
+    /// matching).
+    pub fn same_shape(&self, factor: f64) -> bool {
+        match self.ratio() {
+            Some(r) => r > 0.0 && r <= factor && r >= 1.0 / factor,
+            None => self.measured == 0.0,
+        }
+    }
+}
+
+/// Spearman rank correlation between two equally long slices — used to
+/// check that measured per-benchmark orderings match the paper's.
+///
+/// # Panics
+/// Panics if lengths differ or fewer than two points are given.
+pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank correlation needs paired data");
+    assert!(a.len() >= 2, "rank correlation needs at least two points");
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("no NaN"));
+        let mut ranks = vec![0.0; xs.len()];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let n = a.len() as f64;
+    let d2: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y) * (x - y)).sum();
+    1.0 - 6.0 * d2 / (n * (n * n - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geo_mean_rejects_nonpositive() {
+        geo_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn paper_comparison_shape() {
+        let c = PaperComparison::new(30.0, 40.0);
+        assert!((c.ratio().unwrap() - 0.75).abs() < 1e-12);
+        assert!(c.same_shape(2.0));
+        assert!(!c.same_shape(1.1));
+        let z = PaperComparison::new(0.0, 0.0);
+        assert!(z.ratio().is_none());
+        assert!(z.same_shape(2.0));
+    }
+
+    #[test]
+    fn rank_correlation_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [9.0, 7.0, 5.0, 3.0];
+        assert!((rank_correlation(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((rank_correlation(&a, &down) + 1.0).abs() < 1e-12);
+    }
+}

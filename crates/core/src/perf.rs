@@ -1,0 +1,135 @@
+//! Performance interpolation model (paper §5.2.1).
+//!
+//! The paper cannot run its detailed CMP$im microarchitectural model over
+//! full OS-visible workloads, so it *interpolates*: TLB miss penalties
+//! (page walks) are serialized on the execution's critical path, so the
+//! walk cycles saved by CoLT convert directly into runtime saved. We
+//! reproduce that arithmetic: a run's cycle count is
+//!
+//! ```text
+//! cycles = instructions × base_cpi
+//!        + data_stall_cycles × data_overlap
+//!        + l2_tlb_cycles
+//!        + walk_cycles                  (fully serialized)
+//! ```
+//!
+//! and a design's improvement is the baseline-to-variant cycle ratio.
+//! "Perfect TLB" zeroes both TLB terms — Figure 21's upper bound.
+
+use crate::sim::SimResult;
+
+/// Cycle composition model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PerfModel {
+    /// Cycles per instruction of non-memory work on the 4-wide
+    /// out-of-order core (§5.2.1 models a 4-way OoO, 128-entry ROB).
+    pub base_cpi: f64,
+    /// Fraction of data-cache stall cycles the out-of-order window
+    /// cannot hide.
+    pub data_overlap: f64,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        Self { base_cpi: 0.4, data_overlap: 0.35 }
+    }
+}
+
+impl PerfModel {
+    /// Total cycles for one simulation result.
+    pub fn cycles(&self, r: &SimResult) -> f64 {
+        r.instructions as f64 * self.base_cpi
+            + r.data_stall_cycles as f64 * self.data_overlap
+            + r.l2_tlb_cycles as f64
+            + r.walk_cycles as f64
+    }
+
+    /// Cycles the same run would take with perfect (100% hit) TLBs: both
+    /// TLB-related terms vanish.
+    pub fn perfect_tlb_cycles(&self, r: &SimResult) -> f64 {
+        r.instructions as f64 * self.base_cpi + r.data_stall_cycles as f64 * self.data_overlap
+    }
+
+    /// Percent performance improvement of `variant` over `baseline`
+    /// (positive = faster), as plotted in Figure 21.
+    pub fn improvement_pct(&self, baseline: &SimResult, variant: &SimResult) -> f64 {
+        let b = self.cycles(baseline);
+        let v = self.cycles(variant);
+        if v <= 0.0 {
+            return 0.0;
+        }
+        (b / v - 1.0) * 100.0
+    }
+
+    /// Percent improvement of a perfect TLB over `baseline` (Figure 21's
+    /// "Perfect" bars).
+    pub fn perfect_improvement_pct(&self, baseline: &SimResult) -> f64 {
+        let b = self.cycles(baseline);
+        let p = self.perfect_tlb_cycles(baseline);
+        if p <= 0.0 {
+            return 0.0;
+        }
+        (b / p - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_memsim::walker::WalkerStats;
+    use colt_tlb::stats::HierarchyStats;
+
+    fn result(instructions: u64, walk_cycles: u64, data_stall: u64) -> SimResult {
+        SimResult {
+            tlb: HierarchyStats::default(),
+            walker: WalkerStats::default(),
+            instructions,
+            walk_cycles,
+            data_stall_cycles: data_stall,
+            l2_tlb_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn l2_tlb_lookup_cycles_are_charged() {
+        let m = PerfModel { base_cpi: 1.0, data_overlap: 0.0 };
+        let mut r = result(1000, 0, 0);
+        r.l2_tlb_cycles = 70;
+        assert!((m.cycles(&r) - 1070.0).abs() < 1e-9);
+        // Perfect TLBs also drop the L2-TLB lookup cycles.
+        assert!((m.perfect_tlb_cycles(&r) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_compose_linearly() {
+        let m = PerfModel { base_cpi: 1.0, data_overlap: 0.5 };
+        let r = result(1000, 300, 200);
+        assert!((m.cycles(&r) - (1000.0 + 100.0 + 300.0)).abs() < 1e-9);
+        assert!((m.perfect_tlb_cycles(&r) - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_is_ratio_based() {
+        let m = PerfModel { base_cpi: 1.0, data_overlap: 0.0 };
+        let base = result(1000, 500, 0); // 1500 cycles
+        let colt = result(1000, 200, 0); // 1200 cycles
+        assert!((m.improvement_pct(&base, &colt) - 25.0).abs() < 1e-9);
+        // Perfect removes all 500 walk cycles: 1500/1000 - 1 = 50%.
+        assert!((m.perfect_improvement_pct(&base) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_walks_means_no_headroom() {
+        let m = PerfModel::default();
+        let r = result(1000, 0, 0);
+        assert_eq!(m.perfect_improvement_pct(&r), 0.0);
+    }
+
+    #[test]
+    fn variant_can_regress() {
+        let m = PerfModel { base_cpi: 1.0, data_overlap: 0.0 };
+        let base = result(1000, 100, 0);
+        let worse = result(1000, 300, 0);
+        assert!(m.improvement_pct(&base, &worse) < 0.0);
+    }
+}

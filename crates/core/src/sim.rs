@@ -1,0 +1,497 @@
+//! The simulation engine: drives a prepared workload's reference stream
+//! through a TLB hierarchy, the page-table walker, and the cache
+//! hierarchy, collecting the counters every experiment consumes.
+//!
+//! This is the counterpart of the paper's "highly-detailed custom memory
+//! simulator" (§5.2.1): trace-driven, with 32/128-entry L1/L2 TLBs by
+//! default, a 16-entry superpage TLB, 22-entry MMU caches, and a
+//! three-level cache hierarchy.
+
+use colt_memsim::hierarchy::CacheHierarchy;
+use colt_memsim::walker::{PageWalker, WalkedLeaf, WalkerStats};
+use colt_os_mem::addr::PhysAddr;
+use colt_tlb::config::TlbConfig;
+use colt_tlb::hierarchy::{TlbHierarchy, TlbLevel, WalkFill};
+use colt_tlb::stats::HierarchyStats;
+use colt_workloads::scenario::PreparedWorkload;
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// TLB hierarchy configuration (mode, sizes, shift, policies).
+    pub tlb: TlbConfig,
+    /// Memory references to simulate.
+    pub accesses: u64,
+    /// References used to warm structures before counters reset.
+    pub warmup: u64,
+    /// Seed for the benchmark's access-pattern generator.
+    pub pattern_seed: u64,
+    /// Every N accesses, invalidate a recently used translation —
+    /// TLB-shootdown churn from unrelated OS activity (migration, COW,
+    /// unmap). Exercises the §4.1.5 invalidation policies.
+    pub invalidate_period: Option<u64>,
+    /// Run walks under nested paging (virtualization) — the environment
+    /// the paper's introduction motivates, where walk penalties triple
+    /// and coalescing pays the most.
+    pub nested_paging: bool,
+    /// Every N accesses, flush the whole hierarchy and the walker's MMU
+    /// caches — a context switch on a machine without ASID/PCID tagging.
+    pub flush_period: Option<u64>,
+}
+
+impl SimConfig {
+    /// A config for `tlb` with the default reference budget.
+    pub fn new(tlb: TlbConfig) -> Self {
+        Self {
+            tlb,
+            accesses: 400_000,
+            warmup: 40_000,
+            pattern_seed: 0x5EED,
+            invalidate_period: None,
+            nested_paging: false,
+            flush_period: None,
+        }
+    }
+
+    /// Flushes all translation state every `period` accesses (context
+    /// switches without PCID).
+    #[must_use]
+    pub fn with_context_switches(mut self, period: u64) -> Self {
+        self.flush_period = Some(period);
+        self
+    }
+
+    /// Switches walks to two-dimensional nested paging.
+    #[must_use]
+    pub fn virtualized(mut self) -> Self {
+        self.nested_paging = true;
+        self
+    }
+
+    /// Enables shootdown churn every `period` accesses.
+    #[must_use]
+    pub fn with_invalidations(mut self, period: u64) -> Self {
+        self.invalidate_period = Some(period);
+        self
+    }
+
+    /// Overrides the access budget (warmup scales to 10%).
+    #[must_use]
+    pub fn with_accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self.warmup = accesses / 10;
+        self
+    }
+}
+
+/// Everything one simulation run measured.
+#[derive(Clone, Copy, Debug)]
+pub struct SimResult {
+    /// TLB hierarchy counters (post-warmup).
+    pub tlb: HierarchyStats,
+    /// Page-walker counters (post-warmup).
+    pub walker: WalkerStats,
+    /// Instructions represented by the measured references.
+    pub instructions: u64,
+    /// Cycles spent in page walks (serialized, on the critical path —
+    /// the paper's interpolation assumption, §5.2.1).
+    pub walk_cycles: u64,
+    /// Data-access stall cycles beyond an L1 hit.
+    pub data_stall_cycles: u64,
+    /// Cycles spent on L2-TLB lookups after L1 misses.
+    pub l2_tlb_cycles: u64,
+}
+
+impl SimResult {
+    /// L1 TLB misses per million instructions (Table 1's metric; the
+    /// set-associative L1 and superpage TLB count together, §7.1.1).
+    pub fn l1_mpmi(&self) -> f64 {
+        mpmi(self.tlb.l1_misses, self.instructions)
+    }
+
+    /// L2 TLB misses (page walks) per million instructions.
+    pub fn l2_mpmi(&self) -> f64 {
+        mpmi(self.tlb.l2_misses, self.instructions)
+    }
+}
+
+fn mpmi(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        return 0.0;
+    }
+    misses as f64 * 1.0e6 / instructions as f64
+}
+
+/// Runs one simulation of `workload` under `config`.
+///
+/// The workload's kernel state (page tables, memory layout) is treated
+/// as read-only: all four TLB modes can be compared against the *same*
+/// allocation, exactly as the paper replays one trace through each
+/// configuration.
+pub fn run(workload: &PreparedWorkload, config: &SimConfig) -> SimResult {
+    let mut pattern = workload.pattern(config.pattern_seed);
+    run_stream(workload, config, || pattern.next_ref())
+}
+
+/// Replays an explicit reference trace (e.g. loaded with
+/// [`colt_workloads::trace::read_trace`]) instead of the benchmark's
+/// generated pattern; the trace wraps around if shorter than the access
+/// budget.
+///
+/// # Panics
+/// Panics if `refs` is empty or touches pages outside the workload's
+/// mapped footprint.
+pub fn run_trace(
+    workload: &PreparedWorkload,
+    config: &SimConfig,
+    refs: &[colt_workloads::MemRef],
+) -> SimResult {
+    assert!(!refs.is_empty(), "trace must contain at least one reference");
+    let mut i = 0usize;
+    run_stream(workload, config, move || {
+        let r = refs[i % refs.len()];
+        i += 1;
+        r
+    })
+}
+
+fn run_stream(
+    workload: &PreparedWorkload,
+    config: &SimConfig,
+    mut next_ref: impl FnMut() -> colt_workloads::MemRef,
+) -> SimResult {
+    let mut tlb = TlbHierarchy::new(config.tlb);
+    let mut walker = if config.nested_paging {
+        PageWalker::paper_default().nested()
+    } else {
+        PageWalker::paper_default()
+    };
+    // Background walker for prefetch requests (off the critical path but
+    // still polluting the caches); kept separate so the demand walker's
+    // accounting stays exactly walks == TLB misses.
+    let mut prefetch_walker = if config.nested_paging {
+        PageWalker::paper_default().nested()
+    } else {
+        PageWalker::paper_default()
+    };
+    let mut caches = CacheHierarchy::core_i7();
+    let page_table = workload
+        .kernel
+        .process(workload.asid)
+        .expect("workload process is live")
+        .page_table();
+    let latency = *caches.latency_model();
+
+    let mut walk_cycles = 0u64;
+    let mut data_stall_cycles = 0u64;
+    let mut l2_tlb_cycles = 0u64;
+    let mut measured = 0u64;
+    let mut warmup_walker_snapshot = walker.stats();
+    let mut warmup_tlb_snapshot = tlb.stats();
+    // Ring of recent vpns for shootdown churn.
+    let mut recent = [colt_os_mem::addr::Vpn::new(0); 64];
+    let mut recent_len = 0usize;
+
+    let total = config.warmup + config.accesses;
+    for i in 0..total {
+        if i == config.warmup {
+            // Reset measurement at the warmup boundary by snapshotting.
+            warmup_walker_snapshot = walker.stats();
+            warmup_tlb_snapshot = tlb.stats();
+            walk_cycles = 0;
+            data_stall_cycles = 0;
+            l2_tlb_cycles = 0;
+            measured = 0;
+        }
+        let r = next_ref();
+        let pfn = match tlb.lookup(r.vpn) {
+            Some(hit) => {
+                if hit.level == TlbLevel::L2 {
+                    l2_tlb_cycles += latency.l2_tlb;
+                }
+                hit.pfn
+            }
+            None => {
+                l2_tlb_cycles += latency.l2_tlb;
+                let outcome = walker
+                    .walk(page_table, r.vpn, &mut caches)
+                    .expect("footprint pages are always mapped");
+                walk_cycles += outcome.latency;
+                let fill = match outcome.leaf {
+                    WalkedLeaf::Base { line } => WalkFill::Base { line },
+                    WalkedLeaf::Super { base_vpn, base_pfn, flags } => {
+                        WalkFill::Super { base_vpn, base_pfn, flags }
+                    }
+                };
+                tlb.fill(r.vpn, &fill);
+                // Serve any queued prefetches in the background.
+                for target in tlb.take_prefetch_requests() {
+                    if let Some(po) = prefetch_walker.walk(page_table, target, &mut caches) {
+                        tlb.fill_prefetch(target, po.translation.pfn, po.translation.flags);
+                    }
+                }
+                outcome.translation.pfn
+            }
+        };
+        let phys = PhysAddr::new(pfn.raw() * 4096 + r.line as u64 * 64);
+        let lat = caches.access_data(phys);
+        data_stall_cycles += lat.saturating_sub(latency.l1);
+        recent[(i % 64) as usize] = r.vpn;
+        recent_len = recent_len.max((i + 1).min(64) as usize);
+        if let Some(period) = config.invalidate_period {
+            if i % period == period - 1 && recent_len > 32 {
+                // Shoot down the translation used ~32 accesses ago.
+                let victim = recent[((i + 64 - 32) % 64) as usize];
+                tlb.invalidate(victim);
+            }
+        }
+        if let Some(period) = config.flush_period {
+            if i % period == period - 1 {
+                tlb.flush();
+                walker.flush();
+            }
+        }
+        measured += 1;
+    }
+
+    let tlb_stats = diff_tlb(tlb.stats(), warmup_tlb_snapshot);
+    let walker_stats = diff_walker(walker.stats(), warmup_walker_snapshot);
+    SimResult {
+        tlb: tlb_stats,
+        walker: walker_stats,
+        instructions: workload.instructions(measured),
+        walk_cycles,
+        data_stall_cycles,
+        l2_tlb_cycles,
+    }
+}
+
+/// Runs a multiprogrammed simulation: the workloads of `multi` share the
+/// TLB hierarchy, caches, and walker, scheduled round-robin with
+/// `quantum` accesses per turn and a full translation flush at every
+/// switch (no PCID). Returns the combined result.
+///
+/// # Panics
+/// Panics if `multi` has no parts or `quantum` is zero.
+pub fn run_multiprogrammed(
+    multi: &colt_workloads::scenario::MultiWorkload,
+    config: &SimConfig,
+    quantum: u64,
+) -> SimResult {
+    assert!(!multi.parts.is_empty(), "multiprogramming needs workloads");
+    assert!(quantum > 0, "quantum must be positive");
+    let mut tlb = TlbHierarchy::new(config.tlb);
+    let mut walker = if config.nested_paging {
+        PageWalker::paper_default().nested()
+    } else {
+        PageWalker::paper_default()
+    };
+    let mut caches = CacheHierarchy::core_i7();
+    let n = multi.parts.len();
+    let mut patterns: Vec<_> = (0..n)
+        .map(|i| multi.pattern(i, config.pattern_seed.wrapping_add(i as u64)))
+        .collect();
+    let page_tables: Vec<_> = multi
+        .parts
+        .iter()
+        .map(|(_, asid, _)| multi.kernel.process(*asid).expect("live").page_table())
+        .collect();
+    let latency = *caches.latency_model();
+
+    let mut walk_cycles = 0u64;
+    let mut data_stall_cycles = 0u64;
+    let mut l2_tlb_cycles = 0u64;
+    let mut measured = 0u64;
+    let mut instructions = 0u64;
+    let mut warmup_walker = walker.stats();
+    let mut warmup_tlb = tlb.stats();
+    let total = config.warmup + config.accesses;
+    let mut current = 0usize;
+    for i in 0..total {
+        if i == config.warmup {
+            warmup_walker = walker.stats();
+            warmup_tlb = tlb.stats();
+            walk_cycles = 0;
+            data_stall_cycles = 0;
+            l2_tlb_cycles = 0;
+            measured = 0;
+            instructions = 0;
+        }
+        if i > 0 && i % quantum == 0 {
+            current = (current + 1) % n;
+            // Context switch: all translation state flushes.
+            tlb.flush();
+            walker.flush();
+        }
+        let r = patterns[current].next_ref();
+        let pfn = match tlb.lookup(r.vpn) {
+            Some(hit) => {
+                if hit.level == TlbLevel::L2 {
+                    l2_tlb_cycles += latency.l2_tlb;
+                }
+                hit.pfn
+            }
+            None => {
+                l2_tlb_cycles += latency.l2_tlb;
+                let outcome = walker
+                    .walk(page_tables[current], r.vpn, &mut caches)
+                    .expect("footprints are always mapped");
+                walk_cycles += outcome.latency;
+                let fill = match outcome.leaf {
+                    WalkedLeaf::Base { line } => WalkFill::Base { line },
+                    WalkedLeaf::Super { base_vpn, base_pfn, flags } => {
+                        WalkFill::Super { base_vpn, base_pfn, flags }
+                    }
+                };
+                tlb.fill(r.vpn, &fill);
+                outcome.translation.pfn
+            }
+        };
+        let phys = PhysAddr::new(pfn.raw() * 4096 + r.line as u64 * 64);
+        let lat = caches.access_data(phys);
+        data_stall_cycles += lat.saturating_sub(latency.l1);
+        instructions += multi.parts[current].0.instructions_per_access;
+        measured += 1;
+    }
+    let _ = measured;
+    SimResult {
+        tlb: diff_tlb(tlb.stats(), warmup_tlb),
+        walker: diff_walker(walker.stats(), warmup_walker),
+        instructions,
+        walk_cycles,
+        data_stall_cycles,
+        l2_tlb_cycles,
+    }
+}
+
+fn diff_tlb(after: HierarchyStats, before: HierarchyStats) -> HierarchyStats {
+    let mut d = after;
+    d.accesses -= before.accesses;
+    d.l1_hits -= before.l1_hits;
+    d.l1_misses -= before.l1_misses;
+    d.l2_hits -= before.l2_hits;
+    d.l2_misses -= before.l2_misses;
+    d.fills -= before.fills;
+    d.superpage_fills -= before.superpage_fills;
+    d.pb_hits -= before.pb_hits;
+    for i in 0..d.coalesce_hist.len() {
+        d.coalesce_hist[i] -= before.coalesce_hist[i];
+    }
+    d
+}
+
+fn diff_walker(after: WalkerStats, before: WalkerStats) -> WalkerStats {
+    WalkerStats {
+        walks: after.walks - before.walks,
+        total_latency: after.total_latency - before.total_latency,
+        faults: after.faults - before.faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_workloads::scenario::Scenario;
+    use colt_workloads::spec::benchmark;
+
+    fn small_sim(tlb: TlbConfig) -> SimResult {
+        let spec = benchmark("Gobmk").unwrap();
+        let workload = Scenario::default_linux().prepare(&spec).unwrap();
+        run(&workload, &SimConfig::new(tlb).with_accesses(30_000))
+    }
+
+    #[test]
+    fn accounting_identities_hold() {
+        let r = small_sim(TlbConfig::baseline());
+        assert_eq!(r.tlb.accesses, 30_000);
+        assert_eq!(r.tlb.l1_hits + r.tlb.l1_misses, r.tlb.accesses);
+        assert_eq!(r.tlb.l2_hits + r.tlb.l2_misses, r.tlb.l1_misses);
+        assert_eq!(r.walker.walks, r.tlb.l2_misses);
+        assert_eq!(r.walker.faults, 0, "footprint is fully mapped");
+        assert!(r.instructions >= r.tlb.accesses);
+    }
+
+    #[test]
+    fn walk_cycles_match_walker_latency() {
+        let r = small_sim(TlbConfig::baseline());
+        assert_eq!(r.walk_cycles, r.walker.total_latency);
+        assert!(r.walk_cycles > 0, "some walks must happen");
+    }
+
+    #[test]
+    fn colt_reduces_misses_on_a_contiguous_workload() {
+        // CactusADM has high contiguity under the default scenario; every
+        // CoLT design must cut its walks. (Low-contiguity workloads can
+        // legitimately see small CoLT-SA regressions from the shifted
+        // indexing — Figure 19 shows the same.)
+        let spec = benchmark("CactusADM").unwrap();
+        let workload = Scenario::default_linux().prepare(&spec).unwrap();
+        let run_one = |tlb: TlbConfig| {
+            run(&workload, &SimConfig::new(tlb).with_accesses(30_000))
+        };
+        let base = run_one(TlbConfig::baseline());
+        for config in [TlbConfig::colt_sa(), TlbConfig::colt_fa(), TlbConfig::colt_all()] {
+            let r = run_one(config);
+            assert!(
+                r.tlb.l2_misses < base.tlb.l2_misses,
+                "{:?} ({}) must beat baseline ({}) walks",
+                config.mode,
+                r.tlb.l2_misses,
+                base.tlb.l2_misses
+            );
+        }
+    }
+
+    #[test]
+    fn mpmi_reflects_instruction_scaling() {
+        let spec = benchmark("Gobmk").unwrap();
+        let r = small_sim(TlbConfig::baseline());
+        let per_access_misses = r.tlb.l1_misses as f64 / r.tlb.accesses as f64;
+        let expected = per_access_misses * 1e6 / spec.instructions_per_access as f64;
+        assert!((r.l1_mpmi() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_trace_wraps_short_traces() {
+        let spec = benchmark("FastaProt").unwrap();
+        let w = Scenario::default_linux().prepare(&spec).unwrap();
+        let refs = w.pattern(5).take_refs(100);
+        let cfg = SimConfig {
+            warmup: 0,
+            ..SimConfig::new(TlbConfig::baseline()).with_accesses(1_000)
+        };
+        let r = run_trace(&w, &cfg, &refs);
+        assert_eq!(r.tlb.accesses, 1_000, "trace wraps to fill the budget");
+        assert_eq!(r.walker.faults, 0);
+    }
+
+    #[test]
+    fn multiprogrammed_accounting_identities_hold() {
+        let specs = [benchmark("Gobmk").unwrap(), benchmark("FastaProt").unwrap()];
+        let multi = Scenario::default_linux().prepare_many(&specs).unwrap();
+        let r = run_multiprogrammed(
+            &multi,
+            &SimConfig::new(TlbConfig::colt_all()).with_accesses(20_000),
+            1_000,
+        );
+        assert_eq!(r.tlb.accesses, 20_000);
+        assert_eq!(r.tlb.l1_hits + r.tlb.l1_misses, r.tlb.accesses);
+        assert_eq!(r.tlb.l2_hits + r.tlb.l2_misses, r.tlb.l1_misses);
+        assert_eq!(r.walker.walks, r.tlb.l2_misses);
+        assert_eq!(r.walker.faults, 0);
+        // Mixed instruction rates: between the two benchmarks' IPAs.
+        let ipa = r.instructions as f64 / r.tlb.accesses as f64;
+        assert!((3.0..=9.0).contains(&ipa), "blended ipa {ipa}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let spec = benchmark("FastaProt").unwrap();
+        let w = Scenario::default_linux().prepare(&spec).unwrap();
+        let cfg = SimConfig::new(TlbConfig::colt_all()).with_accesses(20_000);
+        let a = run(&w, &cfg);
+        let b = run(&w, &cfg);
+        assert_eq!(a.tlb, b.tlb);
+        assert_eq!(a.walk_cycles, b.walk_cycles);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cycle-cost model for the simulated memory system.
+//!
+//! Latencies approximate the Intel Core i7 generation the paper simulates
+//! (§5.2.1). Only *relative* costs matter for reproducing the paper's
+//! performance shapes; absolute cycle counts are configurable.
+
+/// Access latencies in cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyModel {
+    /// L1 data-cache hit.
+    pub l1: u64,
+    /// L2 cache hit.
+    pub l2: u64,
+    /// Last-level-cache hit.
+    pub llc: u64,
+    /// DRAM access.
+    pub dram: u64,
+    /// L2 TLB lookup (added to an L1-TLB miss that hits in the L2 TLB).
+    pub l2_tlb: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self { l1: 4, l2: 12, llc: 38, dram: 200, l2_tlb: 7 }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of a data access that first hits at the given level
+    /// (1 = L1, 2 = L2, 3 = LLC, 4 = DRAM).
+    pub fn data_hit_at(&self, level: u8) -> u64 {
+        match level {
+            1 => self.l1,
+            2 => self.l2,
+            3 => self.llc,
+            _ => self.dram,
+        }
+    }
+
+    /// Latency of a page-table-entry fetch: PTEs are cached no higher
+    /// than the LLC (paper §4.1.1), so a fetch costs an LLC hit or a
+    /// DRAM access.
+    pub fn pte_fetch(&self, llc_hit: bool) -> u64 {
+        if llc_hit {
+            self.llc
+        } else {
+            self.dram
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered() {
+        let m = LatencyModel::default();
+        assert!(m.l1 < m.l2 && m.l2 < m.llc && m.llc < m.dram);
+    }
+
+    #[test]
+    fn data_hit_levels() {
+        let m = LatencyModel::default();
+        assert_eq!(m.data_hit_at(1), m.l1);
+        assert_eq!(m.data_hit_at(3), m.llc);
+        assert_eq!(m.data_hit_at(4), m.dram);
+        assert_eq!(m.data_hit_at(9), m.dram);
+    }
+
+    #[test]
+    fn pte_fetch_costs() {
+        let m = LatencyModel::default();
+        assert_eq!(m.pte_fetch(true), m.llc);
+        assert_eq!(m.pte_fetch(false), m.dram);
+    }
+}

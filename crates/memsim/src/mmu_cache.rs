@@ -1,0 +1,144 @@
+//! MMU page-walk cache (paper §5.2.1: "unlike past work, we model a more
+//! realistic TLB hierarchy with 22-entry MMU caches, accessed on TLB
+//! misses to accelerate page table walks").
+//!
+//! The cache holds upper-level (non-leaf) page-table entries, keyed by the
+//! physical address of the entry. On a walk, the deepest cached entry
+//! lets the walker skip every level above it; the leaf PTE must always be
+//! fetched from the memory hierarchy.
+
+use colt_os_mem::addr::PhysAddr;
+
+/// Hit/miss counters for the MMU cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MmuCacheStats {
+    /// Walk levels skipped thanks to cached entries.
+    pub level_hits: u64,
+    /// Non-leaf levels that had to be fetched.
+    pub level_misses: u64,
+}
+
+/// A small fully-associative page-walk cache with LRU replacement.
+///
+/// ```
+/// use colt_memsim::mmu_cache::MmuCache;
+/// use colt_os_mem::addr::PhysAddr;
+/// let mut c = MmuCache::new(22);
+/// assert!(!c.contains(PhysAddr::new(0x100)));
+/// c.insert(PhysAddr::new(0x100));
+/// assert!(c.contains(PhysAddr::new(0x100)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MmuCache {
+    entries: Vec<u64>, // entry addresses, MRU first
+    capacity: usize,
+    stats: MmuCacheStats,
+}
+
+impl MmuCache {
+    /// Creates a cache of `capacity` entries (the paper uses 22).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MMU cache must hold at least one entry");
+        Self { entries: Vec::with_capacity(capacity), capacity, stats: MmuCacheStats::default() }
+    }
+
+    /// The paper's 22-entry configuration.
+    pub fn paper_default() -> Self {
+        Self::new(22)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MmuCacheStats {
+        self.stats
+    }
+
+    /// Checks membership without LRU update.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        self.entries.contains(&addr.raw())
+    }
+
+    /// Looks up an entry address, promoting it on hit and counting the
+    /// outcome.
+    pub fn lookup(&mut self, addr: PhysAddr) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&a| a == addr.raw()) {
+            let a = self.entries.remove(pos);
+            self.entries.insert(0, a);
+            self.stats.level_hits += 1;
+            true
+        } else {
+            self.stats.level_misses += 1;
+            false
+        }
+    }
+
+    /// Inserts an entry address (no-op if already resident; promotes it).
+    pub fn insert(&mut self, addr: PhysAddr) {
+        if let Some(pos) = self.entries.iter().position(|&a| a == addr.raw()) {
+            let a = self.entries.remove(pos);
+            self.entries.insert(0, a);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, addr.raw());
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Live entry count.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_and_promotes() {
+        let mut c = MmuCache::new(2);
+        c.insert(PhysAddr::new(1));
+        c.insert(PhysAddr::new(2));
+        assert!(c.lookup(PhysAddr::new(1))); // promotes 1
+        c.insert(PhysAddr::new(3)); // evicts 2 (LRU)
+        assert!(c.contains(PhysAddr::new(1)));
+        assert!(!c.contains(PhysAddr::new(2)));
+        let s = c.stats();
+        assert_eq!(s.level_hits, 1);
+    }
+
+    #[test]
+    fn reinsert_promotes_without_duplicating() {
+        let mut c = MmuCache::new(3);
+        c.insert(PhysAddr::new(1));
+        c.insert(PhysAddr::new(2));
+        c.insert(PhysAddr::new(1));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn paper_default_is_22_entries() {
+        let mut c = MmuCache::paper_default();
+        for i in 0..30 {
+            c.insert(PhysAddr::new(i));
+        }
+        assert_eq!(c.occupancy(), 22);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = MmuCache::new(4);
+        c.insert(PhysAddr::new(7));
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.lookup(PhysAddr::new(7)));
+    }
+}

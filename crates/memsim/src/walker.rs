@@ -1,0 +1,423 @@
+//! The hardware page-table walker.
+//!
+//! On a TLB miss the walker traverses the 4-level page table. The MMU
+//! page-walk cache lets it skip upper levels; every remaining level is a
+//! PTE fetch through the cache hierarchy (LLC at best, §4.1.1). The final
+//! fetch brings in a 64-byte cache line holding eight PTEs — handed back
+//! so CoLT's coalescing logic can inspect it without further memory
+//! references (§4.1.4).
+
+use crate::hierarchy::CacheHierarchy;
+use crate::mmu_cache::{MmuCache, MmuCacheStats};
+use colt_os_mem::addr::{Pfn, PhysAddr, Vpn};
+use colt_os_mem::page_table::{PageKind, PageTable, PteFlags, PteLine, Translation};
+
+/// The leaf a walk resolved to, in the form the TLB fill path needs.
+#[derive(Clone, Copy, Debug)]
+pub enum WalkedLeaf {
+    /// A base page, plus the PTE cache line fetched with it.
+    Base {
+        /// The eight-PTE line covering the requested page.
+        line: PteLine,
+    },
+    /// A 2MB superpage leaf.
+    Super {
+        /// First virtual page of the superpage.
+        base_vpn: Vpn,
+        /// First physical frame of the superpage.
+        base_pfn: Pfn,
+        /// Attribute bits.
+        flags: PteFlags,
+    },
+}
+
+/// The outcome of one page walk.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkOutcome {
+    /// The translation found.
+    pub translation: Translation,
+    /// The leaf payload for the TLB fill path.
+    pub leaf: WalkedLeaf,
+    /// Walk latency in cycles (PTE fetches for all non-skipped levels).
+    pub latency: u64,
+    /// Number of memory (LLC/DRAM) accesses the walk performed.
+    pub memory_accesses: u64,
+}
+
+/// Per-walker counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WalkerStats {
+    /// Walks performed.
+    pub walks: u64,
+    /// Total cycles spent walking.
+    pub total_latency: u64,
+    /// Walks that faulted (unmapped page).
+    pub faults: u64,
+}
+
+/// Whether walks run natively or under nested paging (virtualization).
+///
+/// Under nested paging every guest page-table access itself requires a
+/// host (EPT/NPT) translation, turning the 4-access walk into the
+/// two-dimensional walk of up to 24 accesses — the environment where TLB
+/// misses cost the most and where the paper anticipates CoLT's benefits
+/// growing ("this number worsens to 50% in virtualized environments",
+/// §1; "as ... virtualization is considered, these performance
+/// improvements will be even higher", §7.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WalkMode {
+    /// Ordinary native walk (the paper's evaluation).
+    #[default]
+    Native,
+    /// Two-dimensional guest-over-host walk: each guest level costs a
+    /// host walk plus the guest entry fetch, and the final guest physical
+    /// address needs one more host walk.
+    Nested,
+}
+
+/// Simulated physical region where the host (EPT/NPT) page tables live.
+const HOST_PT_REGION_BASE: u64 = 1 << 44;
+/// Host page-table radix levels.
+const HOST_PT_LEVELS: u64 = 4;
+
+/// The page-table walker with its MMU page-walk cache.
+///
+/// ```
+/// use colt_memsim::walker::PageWalker;
+/// use colt_memsim::hierarchy::CacheHierarchy;
+/// use colt_os_mem::page_table::{PageTable, Pte, PteFlags};
+/// use colt_os_mem::addr::{Pfn, PhysAddr, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map_base(Vpn::new(42), Pte::new(Pfn::new(7), PteFlags::user_data()));
+/// let mut walker = PageWalker::paper_default();
+/// let mut caches = CacheHierarchy::core_i7();
+/// let outcome = walker.walk(&pt, Vpn::new(42), &mut caches).expect("mapped");
+/// assert_eq!(outcome.translation.pfn, Pfn::new(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageWalker {
+    mmu_cache: MmuCache,
+    mode: WalkMode,
+    /// Nested-mode only: caches host page-table entries so repeat host
+    /// walks skip levels (a nested-TLB/paging-structure cache).
+    host_mmu_cache: MmuCache,
+    stats: WalkerStats,
+}
+
+impl PageWalker {
+    /// Creates a walker with an `mmu_entries`-entry page-walk cache.
+    pub fn new(mmu_entries: usize) -> Self {
+        Self {
+            mmu_cache: MmuCache::new(mmu_entries),
+            mode: WalkMode::Native,
+            host_mmu_cache: MmuCache::new(mmu_entries),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// The paper's configuration (22-entry MMU cache, §5.2.1).
+    pub fn paper_default() -> Self {
+        Self::new(22)
+    }
+
+    /// Switches the walker to two-dimensional nested walks.
+    #[must_use]
+    pub fn nested(mut self) -> Self {
+        self.mode = WalkMode::Nested;
+        self
+    }
+
+    /// The walk mode in effect.
+    pub fn mode(&self) -> WalkMode {
+        self.mode
+    }
+
+    /// Charges the host-side translation of one guest-physical access
+    /// during a nested walk: a host radix walk over the guest-physical
+    /// address, with the host paging-structure cache skipping upper
+    /// levels. Returns (cycles, memory accesses).
+    fn charge_host_walk(
+        &mut self,
+        guest_phys: PhysAddr,
+        caches: &mut CacheHierarchy,
+    ) -> (u64, u64) {
+        // Host PT entry address for each level: a radix over the
+        // guest-physical page number, so nearby guest addresses share
+        // upper-level host entries (and cache lines).
+        let gpn = guest_phys.raw() >> 12;
+        let mut addrs = [PhysAddr::new(0); HOST_PT_LEVELS as usize];
+        for (i, slot) in addrs.iter_mut().enumerate() {
+            let level = HOST_PT_LEVELS as usize - 1 - i; // root first
+            let index = gpn >> (9 * level);
+            *slot = PhysAddr::new(
+                HOST_PT_REGION_BASE | ((level as u64) << 41) | (index * 8),
+            );
+        }
+        // Skip levels whose entries the host structure cache holds.
+        let mut start = 0usize;
+        for i in (0..addrs.len() - 1).rev() {
+            if self.host_mmu_cache.lookup(addrs[i]) {
+                start = i + 1;
+                break;
+            }
+        }
+        let mut latency = 0u64;
+        let mut accesses = 0u64;
+        for (i, &a) in addrs.iter().enumerate().skip(start) {
+            latency += caches.access_pte(a);
+            accesses += 1;
+            if i < addrs.len() - 1 {
+                self.host_mmu_cache.insert(a);
+            }
+        }
+        (latency, accesses)
+    }
+
+    /// Walker counters.
+    pub fn stats(&self) -> WalkerStats {
+        self.stats
+    }
+
+    /// MMU-cache counters.
+    pub fn mmu_stats(&self) -> MmuCacheStats {
+        self.mmu_cache.stats()
+    }
+
+    /// Walks `vpn` through `page_table`, charging PTE fetches to
+    /// `caches`. Returns `None` on a page fault (unmapped address).
+    pub fn walk(
+        &mut self,
+        page_table: &PageTable,
+        vpn: Vpn,
+        caches: &mut CacheHierarchy,
+    ) -> Option<WalkOutcome> {
+        self.stats.walks += 1;
+        let Some(path) = page_table.walk(vpn) else {
+            self.stats.faults += 1;
+            return None;
+        };
+        let levels = path.entry_addrs.len();
+        debug_assert!(levels >= 2, "walks touch at least two levels");
+
+        // Find the deepest non-leaf level whose entry the MMU cache
+        // holds; the walk resumes just below it. (Leaf is index
+        // levels-1; non-leaf candidates are indices 0..levels-1, where
+        // deeper = closer to the leaf.)
+        let mut start = 0usize;
+        for i in (0..levels - 1).rev() {
+            if self.mmu_cache.lookup(path.entry_addrs[i]) {
+                start = i + 1;
+                break;
+            }
+        }
+
+        let mut latency = 0u64;
+        let mut memory_accesses = 0u64;
+        for (i, &addr) in path.entry_addrs.iter().enumerate().skip(start) {
+            if self.mode == WalkMode::Nested {
+                // Each guest page-table access is itself host-translated.
+                let (l, a) = self.charge_host_walk(addr, caches);
+                latency += l;
+                memory_accesses += a;
+            }
+            latency += caches.access_pte(addr);
+            memory_accesses += 1;
+            if i < levels - 1 {
+                self.mmu_cache.insert(addr);
+            }
+        }
+        if self.mode == WalkMode::Nested {
+            // The final guest-physical data address needs one more host
+            // translation before the access can issue.
+            let (l, a) =
+                self.charge_host_walk(path.translation.pfn.addr(), caches);
+            latency += l;
+            memory_accesses += a;
+        }
+
+        let leaf = match path.translation.kind {
+            PageKind::Base => WalkedLeaf::Base { line: page_table.pte_line(vpn) },
+            PageKind::Super { base_vpn } => {
+                let within = vpn.distance_from(base_vpn).expect("vpn within superpage");
+                WalkedLeaf::Super {
+                    base_vpn,
+                    base_pfn: Pfn::new(path.translation.pfn.raw() - within),
+                    flags: path.translation.flags,
+                }
+            }
+        };
+
+        self.stats.total_latency += latency;
+        Some(WalkOutcome {
+            translation: path.translation,
+            leaf,
+            latency,
+            memory_accesses,
+        })
+    }
+
+    /// Flushes the MMU caches (e.g. context switch).
+    pub fn flush(&mut self) {
+        self.mmu_cache.flush();
+        self.host_mmu_cache.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_os_mem::page_table::Pte;
+
+    fn mapped_pt(n: u64) -> PageTable {
+        let mut pt = PageTable::new();
+        for i in 0..n {
+            pt.map_base(Vpn::new(0x1000 + i), Pte::new(Pfn::new(0x500 + i), PteFlags::user_data()));
+        }
+        pt
+    }
+
+    #[test]
+    fn cold_walk_touches_four_levels() {
+        let pt = mapped_pt(1);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        let o = w.walk(&pt, Vpn::new(0x1000), &mut caches).unwrap();
+        assert_eq!(o.memory_accesses, 4);
+        assert_eq!(o.latency, 4 * caches.latency_model().dram);
+        assert_eq!(o.translation.pfn, Pfn::new(0x500));
+    }
+
+    #[test]
+    fn mmu_cache_skips_upper_levels_on_repeat_walks() {
+        let pt = mapped_pt(16);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        let first = w.walk(&pt, Vpn::new(0x1000), &mut caches).unwrap();
+        // A neighboring page shares all non-leaf entries: only the leaf
+        // PTE fetch remains, and it hits the LLC line just fetched.
+        let second = w.walk(&pt, Vpn::new(0x1001), &mut caches).unwrap();
+        assert_eq!(second.memory_accesses, 1, "MMU cache skipped 3 levels");
+        assert!(second.latency < first.latency);
+        assert_eq!(second.latency, caches.latency_model().llc);
+    }
+
+    #[test]
+    fn unmapped_walk_is_a_fault() {
+        let pt = PageTable::new();
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        assert!(w.walk(&pt, Vpn::new(9), &mut caches).is_none());
+        assert_eq!(w.stats().faults, 1);
+    }
+
+    #[test]
+    fn base_walk_returns_the_pte_line() {
+        let pt = mapped_pt(8);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        let o = w.walk(&pt, Vpn::new(0x1002), &mut caches).unwrap();
+        match o.leaf {
+            WalkedLeaf::Base { line } => {
+                assert_eq!(line.base_vpn, Vpn::new(0x1000));
+                assert!(line.ptes.iter().all(Option::is_some));
+            }
+            WalkedLeaf::Super { .. } => panic!("expected base leaf"),
+        }
+    }
+
+    #[test]
+    fn superpage_walk_returns_super_leaf_with_three_levels() {
+        let mut pt = PageTable::new();
+        pt.map_super(Vpn::new(512), Pte::new(Pfn::new(2048), PteFlags::user_data()));
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        let o = w.walk(&pt, Vpn::new(512 + 33), &mut caches).unwrap();
+        assert_eq!(o.memory_accesses, 3);
+        match o.leaf {
+            WalkedLeaf::Super { base_vpn, base_pfn, .. } => {
+                assert_eq!(base_vpn, Vpn::new(512));
+                assert_eq!(base_pfn, Pfn::new(2048));
+            }
+            WalkedLeaf::Base { .. } => panic!("expected superpage leaf"),
+        }
+        assert_eq!(o.translation.pfn, Pfn::new(2048 + 33));
+    }
+
+    #[test]
+    fn cold_nested_walk_is_far_costlier_than_native() {
+        // The textbook two-dimensional walk is 24 accesses; the host
+        // paging-structure cache (shared across the five host walks of
+        // one guest walk) brings the cold cost to 15 here — still ~4x
+        // the native walk's 4.
+        let pt = mapped_pt(1);
+        let mut w = PageWalker::paper_default().nested();
+        let mut caches = CacheHierarchy::core_i7();
+        let o = w.walk(&pt, Vpn::new(0x1000), &mut caches).unwrap();
+        assert!(
+            (15..=24).contains(&o.memory_accesses),
+            "got {} accesses",
+            o.memory_accesses
+        );
+        assert_eq!(w.mode(), WalkMode::Nested);
+    }
+
+    #[test]
+    fn nested_walks_amortize_through_both_mmu_caches() {
+        let pt = mapped_pt(16);
+        let mut w = PageWalker::paper_default().nested();
+        let mut caches = CacheHierarchy::core_i7();
+        let first = w.walk(&pt, Vpn::new(0x1000), &mut caches).unwrap();
+        let second = w.walk(&pt, Vpn::new(0x1001), &mut caches).unwrap();
+        assert!(second.memory_accesses < first.memory_accesses / 3);
+        assert!(second.latency < first.latency);
+    }
+
+    #[test]
+    fn nested_walks_cost_more_than_native() {
+        let pt = mapped_pt(64);
+        let run = |nested: bool| {
+            let mut w = if nested {
+                PageWalker::paper_default().nested()
+            } else {
+                PageWalker::paper_default()
+            };
+            let mut caches = CacheHierarchy::core_i7();
+            let mut total = 0u64;
+            for i in 0..64 {
+                total += w.walk(&pt, Vpn::new(0x1000 + i), &mut caches).unwrap().latency;
+            }
+            total
+        };
+        let native = run(false);
+        let nested = run(true);
+        assert!(
+            nested > native * 3 / 2,
+            "nested ({nested}) must cost well beyond native ({native})"
+        );
+    }
+
+    #[test]
+    fn walker_stats_accumulate() {
+        let pt = mapped_pt(4);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        w.walk(&pt, Vpn::new(0x1000), &mut caches);
+        w.walk(&pt, Vpn::new(0x1001), &mut caches);
+        let s = w.stats();
+        assert_eq!(s.walks, 2);
+        assert!(s.total_latency > 0);
+    }
+
+    #[test]
+    fn flush_forgets_cached_levels() {
+        let pt = mapped_pt(2);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        w.walk(&pt, Vpn::new(0x1000), &mut caches);
+        w.flush();
+        caches.flush();
+        let o = w.walk(&pt, Vpn::new(0x1001), &mut caches).unwrap();
+        assert_eq!(o.memory_accesses, 4, "everything re-fetched after flush");
+    }
+}

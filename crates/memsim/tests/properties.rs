@@ -1,0 +1,102 @@
+//! Property-based tests of the memory-hierarchy substrate.
+
+use colt_memsim::cache::Cache;
+use colt_memsim::hierarchy::CacheHierarchy;
+use colt_memsim::mmu_cache::MmuCache;
+use colt_memsim::walker::PageWalker;
+use colt_os_mem::addr::{Pfn, PhysAddr, Vpn};
+use colt_os_mem::page_table::{PageTable, Pte, PteFlags};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// The set-associative cache matches a reference model: an access
+    /// hits iff the line is among the `ways` most recently used lines of
+    /// its set.
+    #[test]
+    fn cache_matches_lru_model(addrs in prop::collection::vec(0u64..(1 << 14), 1..400)) {
+        let mut cache = Cache::new(1024, 2); // 8 sets, 2 ways
+        let num_sets = cache.num_sets() as u64;
+        // Model: per-set MRU list of lines.
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); num_sets as usize];
+        for a in addrs {
+            let addr = PhysAddr::new(a);
+            let line = a / 64;
+            let set = (line % num_sets) as usize;
+            let model_hit = model[set].contains(&line);
+            let hit = cache.access(addr);
+            prop_assert_eq!(hit, model_hit, "address {:#x}", a);
+            model[set].retain(|&l| l != line);
+            model[set].insert(0, line);
+            model[set].truncate(2);
+        }
+    }
+
+    /// Cache occupancy never exceeds geometry, and flush empties it.
+    #[test]
+    fn cache_capacity_and_flush(addrs in prop::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut cache = Cache::new(2048, 4);
+        for a in &addrs {
+            cache.access(PhysAddr::new(*a));
+            prop_assert!(cache.occupancy() <= 32);
+        }
+        cache.flush();
+        prop_assert_eq!(cache.occupancy(), 0);
+    }
+
+    /// The MMU cache never reports a hit for an address that was not
+    /// inserted, and respects capacity.
+    #[test]
+    fn mmu_cache_is_honest(ops in prop::collection::vec((0u64..64, prop::bool::ANY), 1..200)) {
+        let mut cache = MmuCache::new(8);
+        let mut inserted: HashSet<u64> = HashSet::new();
+        for (addr, insert) in ops {
+            let a = PhysAddr::new(addr);
+            if insert {
+                cache.insert(a);
+                inserted.insert(addr);
+            } else if cache.lookup(a) {
+                prop_assert!(inserted.contains(&addr), "phantom hit at {:#x}", addr);
+            }
+            prop_assert!(cache.occupancy() <= 8);
+        }
+    }
+
+    /// Walks always return the page table's exact translation, with
+    /// positive latency, for both native and nested modes — and nested
+    /// is never cheaper than native on a cold system.
+    #[test]
+    fn walks_translate_exactly(
+        mappings in prop::collection::vec((0u64..(1 << 18), 0u64..(1 << 16)), 1..50),
+    ) {
+        let mut pt = PageTable::new();
+        let mut seen = HashSet::new();
+        for (v, p) in &mappings {
+            if seen.insert(*v) {
+                pt.map_base(Vpn::new(*v), Pte::new(Pfn::new(*p), PteFlags::user_data()));
+            }
+        }
+        let mut native = PageWalker::paper_default();
+        let mut nested = PageWalker::paper_default().nested();
+        let mut caches_a = CacheHierarchy::core_i7();
+        let mut caches_b = CacheHierarchy::core_i7();
+        for (v, _) in &mappings {
+            let vpn = Vpn::new(*v);
+            let truth = pt.translate(vpn).expect("mapped above").pfn;
+            let a = native.walk(&pt, vpn, &mut caches_a).expect("mapped");
+            let b = nested.walk(&pt, vpn, &mut caches_b).expect("mapped");
+            prop_assert_eq!(a.translation.pfn, truth);
+            prop_assert_eq!(b.translation.pfn, truth);
+            prop_assert!(a.latency > 0 && b.latency > 0);
+            prop_assert!(a.memory_accesses >= 1);
+            prop_assert!(b.memory_accesses >= a.memory_accesses);
+        }
+        // Aggregate: nested costs strictly more on any non-trivial set.
+        prop_assert!(
+            nested.stats().total_latency >= native.stats().total_latency,
+            "nested ({}) must cost at least native ({})",
+            nested.stats().total_latency,
+            native.stats().total_latency
+        );
+    }
+}

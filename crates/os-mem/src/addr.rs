@@ -1,0 +1,298 @@
+//! Address and page-number newtypes shared by the whole simulator.
+//!
+//! The paper's system is x86-64-like: 4KB base pages, 2MB superpages,
+//! 8-byte PTEs, and 64-byte cache lines (so a single cache line holds the
+//! PTEs for eight consecutive virtual pages — the unit over which CoLT's
+//! coalescing logic operates, paper §4.1.4).
+
+use std::fmt;
+
+/// log2 of the base page size (4KB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Size of one page-table entry in bytes.
+pub const PTE_SIZE: u64 = 8;
+/// Cache-line size in bytes.
+pub const CACHE_LINE_SIZE: u64 = 64;
+/// Number of PTEs that fit in one cache line; the maximum CoLT coalescing
+/// window examined after a page walk (paper §4.1.4).
+pub const PTES_PER_LINE: u64 = CACHE_LINE_SIZE / PTE_SIZE;
+/// Number of base pages per 2MB superpage.
+pub const SUPERPAGE_PAGES: u64 = 512;
+/// Superpage size in bytes (2MB).
+pub const SUPERPAGE_SIZE: u64 = SUPERPAGE_PAGES * PAGE_SIZE;
+/// Number of entries in one radix page-table node (9 index bits).
+pub const PT_FANOUT: u64 = 512;
+/// Number of radix levels in the page table (x86-64 4-level paging).
+pub const PT_LEVELS: usize = 4;
+
+/// A virtual page number.
+///
+/// ```
+/// use colt_os_mem::addr::{Vpn, PAGE_SIZE};
+/// let v = Vpn::new(10);
+/// assert_eq!(v.addr().raw(), 10 * PAGE_SIZE);
+/// assert_eq!(v.offset(3), Vpn::new(13));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(u64);
+
+/// A physical page-frame number.
+///
+/// ```
+/// use colt_os_mem::addr::Pfn;
+/// let p = Pfn::new(58);
+/// assert_eq!(p.offset(2), Pfn::new(60));
+/// assert_eq!(p.distance_from(Pfn::new(50)), Some(8));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(u64);
+
+/// A byte-granularity virtual address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A byte-granularity physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+macro_rules! page_number_impl {
+    ($ty:ident, $addr:ident) => {
+        impl $ty {
+            /// Wraps a raw page number.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw page number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the page number `delta` pages after `self`.
+            ///
+            /// # Panics
+            /// Panics on overflow (page numbers are bounded well below
+            /// `u64::MAX` in every simulated configuration).
+            #[inline]
+            pub fn offset(self, delta: u64) -> Self {
+                Self(self.0.checked_add(delta).expect("page number overflow"))
+            }
+
+            /// Returns the immediately following page number.
+            #[inline]
+            pub fn next(self) -> Self {
+                self.offset(1)
+            }
+
+            /// Returns `self - other` if non-negative.
+            #[inline]
+            pub fn distance_from(self, other: Self) -> Option<u64> {
+                self.0.checked_sub(other.0)
+            }
+
+            /// True when `other` is exactly the page after `self`.
+            #[inline]
+            pub fn is_followed_by(self, other: Self) -> bool {
+                other.0 == self.0.wrapping_add(1)
+            }
+
+            /// The first byte address of this page.
+            #[inline]
+            pub const fn addr(self) -> $addr {
+                $addr(self.0 << PAGE_SHIFT)
+            }
+
+            /// Rounds down to the enclosing naturally aligned block of
+            /// `2^order` pages.
+            #[inline]
+            pub const fn align_down(self, order: u32) -> Self {
+                Self(self.0 & !((1u64 << order) - 1))
+            }
+
+            /// True when this page number is aligned to `2^order` pages.
+            #[inline]
+            pub const fn is_aligned(self, order: u32) -> bool {
+                self.0 & ((1u64 << order) - 1) == 0
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(v: $ty) -> u64 {
+                v.0
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($ty), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+    };
+}
+
+page_number_impl!(Vpn, VirtAddr);
+page_number_impl!(Pfn, PhysAddr);
+
+macro_rules! byte_addr_impl {
+    ($ty:ident, $page:ident) => {
+        impl $ty {
+            /// Wraps a raw byte address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw byte address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The page containing this address.
+            #[inline]
+            pub const fn page(self) -> $page {
+                $page(self.0 >> PAGE_SHIFT)
+            }
+
+            /// Byte offset within the containing page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The cache line number containing this address.
+            #[inline]
+            pub const fn cache_line(self) -> u64 {
+                self.0 / CACHE_LINE_SIZE
+            }
+
+            /// Returns the address `delta` bytes after `self`.
+            #[inline]
+            pub fn offset(self, delta: u64) -> Self {
+                Self(self.0.checked_add(delta).expect("address overflow"))
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(v: $ty) -> u64 {
+                v.0
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($ty), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+    };
+}
+
+byte_addr_impl!(VirtAddr, Vpn);
+byte_addr_impl!(PhysAddr, Pfn);
+
+/// An address-space identifier naming one simulated process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Asid(pub u32);
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_roundtrip_and_arithmetic() {
+        let v = Vpn::new(0x1234);
+        assert_eq!(v.raw(), 0x1234);
+        assert_eq!(u64::from(v), 0x1234);
+        assert_eq!(Vpn::from(7u64), Vpn::new(7));
+        assert_eq!(v.next(), Vpn::new(0x1235));
+        assert_eq!(v.offset(0x10), Vpn::new(0x1244));
+        assert!(v.is_followed_by(Vpn::new(0x1235)));
+        assert!(!v.is_followed_by(Vpn::new(0x1236)));
+    }
+
+    #[test]
+    fn pfn_distance() {
+        assert_eq!(Pfn::new(60).distance_from(Pfn::new(58)), Some(2));
+        assert_eq!(Pfn::new(58).distance_from(Pfn::new(60)), None);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let v = Vpn::new(0b1011_0110);
+        assert_eq!(v.align_down(3), Vpn::new(0b1011_0000));
+        assert!(Vpn::new(512).is_aligned(9));
+        assert!(!Vpn::new(513).is_aligned(9));
+        assert!(Vpn::new(0).is_aligned(9));
+    }
+
+    #[test]
+    fn addr_page_decomposition() {
+        let a = VirtAddr::new(3 * PAGE_SIZE + 100);
+        assert_eq!(a.page(), Vpn::new(3));
+        assert_eq!(a.page_offset(), 100);
+        assert_eq!(Vpn::new(3).addr(), VirtAddr::new(3 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn cache_line_of_phys_addr() {
+        let a = PhysAddr::new(129);
+        assert_eq!(a.cache_line(), 2);
+        assert_eq!(PhysAddr::new(63).cache_line(), 0);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PTES_PER_LINE, 8);
+        assert_eq!(SUPERPAGE_SIZE, 2 * 1024 * 1024);
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(SUPERPAGE_PAGES, 512);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert!(!format!("{}", Vpn::new(0)).is_empty());
+        assert!(!format!("{:?}", Pfn::new(0)).is_empty());
+        assert!(!format!("{}", Asid(4)).is_empty());
+        assert_eq!(format!("{}", Asid(4)), "asid4");
+    }
+
+    #[test]
+    fn byte_addr_offset() {
+        let a = PhysAddr::new(4096);
+        assert_eq!(a.offset(64).raw(), 4160);
+    }
+}

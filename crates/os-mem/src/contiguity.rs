@@ -1,0 +1,279 @@
+//! Page-allocation contiguity measurement (paper §3.1 and §6).
+//!
+//! The paper's definition: *system contiguity* exists when consecutive
+//! virtual pages are allocated consecutive physical page frames — with no
+//! restriction on amount or alignment (unlike superpages). The
+//! characterization additionally requires contiguous translations to
+//! share the same page attributes (§5.1.1), because CoLT hardware keeps
+//! one attribute set per coalesced entry.
+//!
+//! The scanner walks a page table in VPN order over *base* (non-superpage)
+//! pages, exactly like the kernel instrumentation in the paper's
+//! real-system study, and reports run lengths, page-weighted CDFs (the
+//! Figures 7–15 curves), and average contiguity (the figure legends).
+
+use crate::addr::{Pfn, Vpn};
+use crate::page_table::{PageTable, PteFlags};
+
+/// One maximal run of contiguous translations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Run {
+    /// First virtual page of the run.
+    pub start_vpn: Vpn,
+    /// First physical frame of the run.
+    pub start_pfn: Pfn,
+    /// Number of pages in the run (`1` = no contiguity).
+    pub len: u64,
+    /// Shared attribute bits of the run.
+    pub flags: PteFlags,
+}
+
+/// The result of scanning one page table.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ContiguityReport {
+    runs: Vec<Run>,
+    total_pages: u64,
+}
+
+impl ContiguityReport {
+    /// Scans `page_table`, splitting its base-page mappings into maximal
+    /// contiguity runs. Runs break when VPN or PFN stops incrementing by
+    /// one, or when attributes diverge.
+    pub fn scan(page_table: &PageTable) -> Self {
+        let mut runs: Vec<Run> = Vec::new();
+        let mut total_pages = 0u64;
+        let mut current: Option<Run> = None;
+        for (vpn, pte) in page_table.iter_base() {
+            total_pages += 1;
+            if let Some(run) = current.as_mut() {
+                let expected_vpn = run.start_vpn.offset(run.len);
+                let expected_pfn = run.start_pfn.offset(run.len);
+                if vpn == expected_vpn && pte.pfn == expected_pfn && pte.flags == run.flags {
+                    run.len += 1;
+                    continue;
+                }
+                runs.push(*run);
+            }
+            current = Some(Run { start_vpn: vpn, start_pfn: pte.pfn, len: 1, flags: pte.flags });
+        }
+        if let Some(run) = current {
+            runs.push(run);
+        }
+        Self { runs, total_pages }
+    }
+
+    /// Builds a report directly from run lengths (useful in tests and
+    /// synthetic studies).
+    pub fn from_run_lengths(lengths: &[u64]) -> Self {
+        let mut runs = Vec::with_capacity(lengths.len());
+        let mut vpn = 0u64;
+        for &len in lengths {
+            assert!(len > 0, "runs cannot be empty");
+            runs.push(Run {
+                start_vpn: Vpn::new(vpn),
+                start_pfn: Pfn::new(vpn),
+                len,
+                flags: PteFlags::empty(),
+            });
+            vpn += len + 1; // gap so runs stay distinct
+        }
+        Self { total_pages: lengths.iter().sum(), runs }
+    }
+
+    /// The maximal runs found, in VPN order.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Total base pages scanned.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Average contiguity as reported in the paper's figure legends:
+    /// the mean run length (total pages / number of runs). An unmapped or
+    /// empty table reports 0.
+    pub fn average_contiguity(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.total_pages as f64 / self.runs.len() as f64
+    }
+
+    /// Fraction of pages living in runs of length at most `x` — one point
+    /// of the Figures 7–15 CDFs (page-weighted, as the figures plot "the
+    /// distribution of contiguities experienced by pages").
+    pub fn cdf_at(&self, x: u64) -> f64 {
+        if self.total_pages == 0 {
+            return 0.0;
+        }
+        let pages_le: u64 = self
+            .runs
+            .iter()
+            .filter(|r| r.len <= x)
+            .map(|r| r.len)
+            .sum();
+        pages_le as f64 / self.total_pages as f64
+    }
+
+    /// Evaluates the CDF at each of `points` (typically the paper's
+    /// log-scale ticks 1, 4, 16, 64, 256, 1024).
+    pub fn cdf(&self, points: &[u64]) -> Vec<f64> {
+        points.iter().map(|&x| self.cdf_at(x)).collect()
+    }
+
+    /// Fraction of pages in runs of length at least `x` (the paper's
+    /// "15% of non-superpage pages actually have over 512-page
+    /// contiguity" style of statistic).
+    pub fn fraction_with_contiguity_at_least(&self, x: u64) -> f64 {
+        if self.total_pages == 0 {
+            return 0.0;
+        }
+        let pages_ge: u64 = self
+            .runs
+            .iter()
+            .filter(|r| r.len >= x)
+            .map(|r| r.len)
+            .sum();
+        pages_ge as f64 / self.total_pages as f64
+    }
+
+    /// Histogram of run lengths bucketed by powers of two:
+    /// `buckets[i]` counts pages in runs with `2^i <= len < 2^(i+1)`.
+    pub fn log2_histogram(&self) -> Vec<u64> {
+        let mut buckets = vec![0u64; 11];
+        for r in &self.runs {
+            let b = (63 - r.len.leading_zeros()).min(10) as usize;
+            buckets[b] += r.len;
+        }
+        buckets
+    }
+
+    /// The longest run length observed.
+    pub fn max_contiguity(&self) -> u64 {
+        self.runs.iter().map(|r| r.len).max().unwrap_or(0)
+    }
+}
+
+/// The log-scale x-axis ticks used by the paper's CDF figures.
+pub const PAPER_CDF_POINTS: [u64; 6] = [1, 4, 16, 64, 256, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page_table::Pte;
+
+    fn pt_with(mappings: &[(u64, u64)]) -> PageTable {
+        let mut pt = PageTable::new();
+        for &(v, p) in mappings {
+            pt.map_base(Vpn::new(v), Pte::new(Pfn::new(p), PteFlags::user_data()));
+        }
+        pt
+    }
+
+    #[test]
+    fn paper_example_three_page_contiguity() {
+        // §3.1: virtual pages 1,2,3 → physical 58,59,60 is 3-page contiguity.
+        let pt = pt_with(&[(1, 58), (2, 59), (3, 60)]);
+        let rep = ContiguityReport::scan(&pt);
+        assert_eq!(rep.runs().len(), 1);
+        assert_eq!(rep.runs()[0].len, 3);
+        assert_eq!(rep.average_contiguity(), 3.0);
+        assert_eq!(rep.max_contiguity(), 3);
+    }
+
+    #[test]
+    fn virtual_only_contiguity_does_not_count() {
+        // Consecutive VPNs but scattered PFNs: three 1-runs.
+        let pt = pt_with(&[(1, 58), (2, 70), (3, 90)]);
+        let rep = ContiguityReport::scan(&pt);
+        assert_eq!(rep.runs().len(), 3);
+        assert_eq!(rep.average_contiguity(), 1.0);
+    }
+
+    #[test]
+    fn physical_only_contiguity_does_not_count() {
+        // Consecutive PFNs but scattered VPNs.
+        let pt = pt_with(&[(1, 58), (5, 59), (9, 60)]);
+        let rep = ContiguityReport::scan(&pt);
+        assert_eq!(rep.runs().len(), 3);
+    }
+
+    #[test]
+    fn attribute_divergence_breaks_runs() {
+        let mut pt = pt_with(&[(1, 58), (2, 59)]);
+        pt.map_base(
+            Vpn::new(3),
+            Pte::new(Pfn::new(60), PteFlags::user_data().with(PteFlags::DIRTY)),
+        );
+        pt.map_base(Vpn::new(4), Pte::new(Pfn::new(61), PteFlags::user_data()));
+        let rep = ContiguityReport::scan(&pt);
+        let lens: Vec<u64> = rep.runs().iter().map(|r| r.len).collect();
+        assert_eq!(lens, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn superpage_mapped_pages_are_excluded() {
+        let mut pt = pt_with(&[(1, 58), (2, 59)]);
+        pt.map_super(Vpn::new(512), Pte::new(Pfn::new(1024), PteFlags::user_data()));
+        let rep = ContiguityReport::scan(&pt);
+        assert_eq!(rep.total_pages(), 2, "superpage pages are not base pages");
+    }
+
+    #[test]
+    fn descending_pfns_do_not_form_runs() {
+        let pt = pt_with(&[(1, 60), (2, 59), (3, 58)]);
+        let rep = ContiguityReport::scan(&pt);
+        assert_eq!(rep.runs().len(), 3);
+    }
+
+    #[test]
+    fn cdf_is_page_weighted() {
+        // 4 pages in one 4-run, 4 pages in four 1-runs.
+        let rep = ContiguityReport::from_run_lengths(&[4, 1, 1, 1, 1]);
+        assert!((rep.cdf_at(1) - 0.5).abs() < 1e-12);
+        assert!((rep.cdf_at(3) - 0.5).abs() < 1e-12);
+        assert!((rep.cdf_at(4) - 1.0).abs() < 1e-12);
+        assert_eq!(rep.cdf(&[1, 4]), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn average_contiguity_is_mean_run_length() {
+        let rep = ContiguityReport::from_run_lengths(&[4, 1, 1, 1, 1]);
+        // 8 pages / 5 runs.
+        assert!((rep.average_contiguity() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_at_least_matches_paper_statistic_shape() {
+        let rep = ContiguityReport::from_run_lengths(&[600, 100, 1, 1]);
+        let f = rep.fraction_with_contiguity_at_least(512);
+        assert!((f - 600.0 / 702.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_reports_zeroes() {
+        let rep = ContiguityReport::scan(&PageTable::new());
+        assert_eq!(rep.total_pages(), 0);
+        assert_eq!(rep.average_contiguity(), 0.0);
+        assert_eq!(rep.cdf_at(64), 0.0);
+        assert_eq!(rep.max_contiguity(), 0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_by_run_length() {
+        let rep = ContiguityReport::from_run_lengths(&[1, 2, 3, 8, 1024]);
+        let h = rep.log2_histogram();
+        assert_eq!(h[0], 1); // the 1-run
+        assert_eq!(h[1], 5); // 2-run and 3-run pages
+        assert_eq!(h[3], 8); // the 8-run
+        assert_eq!(h[10], 1024); // the 1024-run
+    }
+
+    #[test]
+    fn runs_with_gap_in_vpn_space_break() {
+        let pt = pt_with(&[(1, 58), (3, 60)]);
+        let rep = ContiguityReport::scan(&pt);
+        assert_eq!(rep.runs().len(), 2, "vpn gap breaks the run even though pfn delta matches");
+    }
+}

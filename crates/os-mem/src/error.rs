@@ -1,0 +1,83 @@
+//! Error types for the OS memory-management substrate.
+
+use crate::addr::{Asid, Vpn};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by kernel memory-management operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum MemError {
+    /// Physical memory is exhausted (even after compaction).
+    OutOfMemory {
+        /// Number of contiguous pages that could not be found.
+        requested_pages: u64,
+    },
+    /// Virtual address space is exhausted for the process.
+    OutOfVirtualSpace {
+        /// Number of pages requested.
+        requested_pages: u64,
+    },
+    /// The given virtual page is not mapped in the address space.
+    NotMapped {
+        /// Offending virtual page.
+        vpn: Vpn,
+    },
+    /// The given virtual page does not start a known allocation.
+    NotAllocationStart {
+        /// Offending virtual page.
+        vpn: Vpn,
+    },
+    /// The address-space identifier does not name a live process.
+    NoSuchProcess {
+        /// Offending identifier.
+        asid: Asid,
+    },
+    /// A zero-page request was made.
+    ZeroSizedRequest,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested_pages } => {
+                write!(f, "out of physical memory ({requested_pages} pages requested)")
+            }
+            MemError::OutOfVirtualSpace { requested_pages } => {
+                write!(f, "out of virtual address space ({requested_pages} pages requested)")
+            }
+            MemError::NotMapped { vpn } => write!(f, "virtual page {vpn} is not mapped"),
+            MemError::NotAllocationStart { vpn } => {
+                write!(f, "virtual page {vpn} does not start an allocation")
+            }
+            MemError::NoSuchProcess { asid } => write!(f, "no such process {asid}"),
+            MemError::ZeroSizedRequest => write!(f, "zero-sized allocation request"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// Result alias used throughout the substrate.
+pub type MemResult<T> = Result<T, MemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MemError::OutOfMemory { requested_pages: 4 };
+        let msg = format!("{e}");
+        assert!(msg.contains("4 pages"));
+        assert!(msg.starts_with("out of"));
+        let e = MemError::NotMapped { vpn: Vpn::new(0x10) };
+        assert!(format!("{e}").contains("0x10"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MemError>();
+    }
+}

@@ -1,0 +1,1332 @@
+//! The kernel facade: ties the buddy allocator, frame database, page
+//! tables, compaction daemon, and THS together behind the memory-management
+//! API the workloads drive (`malloc`/`mmap`/`free`/`touch`).
+//!
+//! The twelve system configurations of paper §5.1.1 are expressed through
+//! [`KernelConfig`]: THS on/off, compaction normal/low, and memhog load
+//! (driven externally through [`Kernel::allocate_pinned`]).
+
+use crate::addr::{Asid, Pfn, Vpn, SUPERPAGE_PAGES};
+use crate::buddy::{covering_order, BuddyAllocator, PfnRange};
+use crate::compaction::{self, CompactionControl, CompactionStats};
+use crate::contiguity::ContiguityReport;
+use crate::error::{MemError, MemResult};
+use crate::frames::{FrameDb, FrameState};
+use crate::page_table::{PageKind, Pte, PteFlags, Translation};
+use crate::process::Process;
+use crate::thp;
+use crate::vma::{Vma, VmaKind};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How aggressively the memory-compaction daemon runs (the Linux
+/// `defrag` flag, paper §5.1.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CompactionMode {
+    /// Compaction on allocation failure and as background activity.
+    #[default]
+    Normal,
+    /// Compaction almost never runs (defrag disabled).
+    Low,
+}
+
+/// Whether allocations are backed by frames immediately or on first touch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PopulateMode {
+    /// Frames are allocated at `malloc` time, in one multi-page request —
+    /// the main buddy-contiguity source (paper §3.2.1: applications
+    /// "simultaneously request a number of physical pages together").
+    #[default]
+    Eager,
+    /// Frames are allocated one page per fault (worst case for
+    /// contiguity; used for ablation).
+    Demand,
+}
+
+/// Kernel construction parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KernelConfig {
+    /// Physical memory size in 4KB frames.
+    pub nr_frames: u64,
+    /// Transparent hugepage support enabled.
+    pub ths_enabled: bool,
+    /// Compaction aggressiveness.
+    pub compaction: CompactionMode,
+    /// Frame population policy.
+    pub populate: PopulateMode,
+    /// Background compaction triggers when the buddy fragmentation index
+    /// exceeds this threshold (checked in [`Kernel::tick`]).
+    pub compaction_frag_threshold: f64,
+    /// The THS pressure daemon splits superpages when the free fraction
+    /// of memory falls below this watermark.
+    pub thp_split_watermark: f64,
+    /// Largest block order used for ordinary (non-THP) user allocations.
+    /// Real kernels do not hand order-10 blocks to user mallocs; runs
+    /// longer than `2^max_alloc_order` still arise when successive blocks
+    /// happen to be carved adjacently from one large free region.
+    pub max_alloc_order: u32,
+    /// When the pressure daemon splits a superpage, also reclaim a
+    /// scattered subset of its base pages (puncturing the 512-page run
+    /// into segments of tens of pages — the residual contiguity of
+    /// paper §3.2.3). Reclaimed pages fault back in on next touch.
+    pub thp_split_puncture: bool,
+    /// Per-process virtual address-space span in pages.
+    pub va_limit_pages: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            nr_frames: 1 << 16, // 256MB of 4KB frames
+            ths_enabled: true,
+            compaction: CompactionMode::Normal,
+            populate: PopulateMode::Eager,
+            compaction_frag_threshold: 0.45,
+            thp_split_watermark: 0.08,
+            max_alloc_order: 6,
+            thp_split_puncture: true,
+            va_limit_pages: 1 << 26,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Convenience: the paper's default Linux setting (configuration 1 in
+    /// §5.1.1): THS on, normal compaction.
+    pub fn ths_on() -> Self {
+        Self::default()
+    }
+
+    /// Configuration 2: THS off, normal compaction.
+    pub fn ths_off() -> Self {
+        Self { ths_enabled: false, ..Self::default() }
+    }
+
+    /// Configuration 3: THS off, low compaction — the paper's
+    /// conservative worst case for contiguity.
+    pub fn ths_off_low_compaction() -> Self {
+        Self {
+            ths_enabled: false,
+            compaction: CompactionMode::Low,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters for everything the kernel did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KernelStats {
+    /// `malloc`/`mmap_file` calls served.
+    pub allocations: u64,
+    /// Pages requested across all allocations.
+    pub pages_requested: u64,
+    /// Pages actually populated with frames.
+    pub pages_populated: u64,
+    /// Distinct physically contiguous runs created (lower is better for
+    /// contiguity).
+    pub physical_runs: u64,
+    /// Superpages successfully allocated by THS.
+    pub thp_allocs: u64,
+    /// THS attempts that fell back to base pages.
+    pub thp_fallbacks: u64,
+    /// Superpages split by the pressure daemon.
+    pub thp_splits: u64,
+    /// Compaction passes run.
+    pub compaction_runs: u64,
+    /// Pages migrated by compaction.
+    pub pages_migrated: u64,
+    /// Demand-population faults served.
+    pub demand_faults: u64,
+    /// Clean file-backed pages evicted by the reclaim path.
+    pub pages_reclaimed: u64,
+}
+
+/// The simulated kernel.
+///
+/// ```
+/// use colt_os_mem::kernel::{Kernel, KernelConfig};
+/// let mut kernel = Kernel::new(KernelConfig::default());
+/// let asid = kernel.spawn();
+/// let base = kernel.malloc(asid, 64)?;
+/// let t = kernel.touch(asid, base)?;
+/// assert!(t.flags.contains(colt_os_mem::page_table::PteFlags::USER));
+/// # Ok::<(), colt_os_mem::error::MemError>(())
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    config: KernelConfig,
+    buddy: BuddyAllocator,
+    frames: FrameDb,
+    processes: BTreeMap<Asid, Process>,
+    next_asid: u32,
+    /// Live superpages in allocation order (oldest first), the pressure
+    /// daemon's split queue.
+    live_superpages: VecDeque<(Asid, Vpn)>,
+    /// Per-CPU page list: order-0 demand faults are served from batched
+    /// buddy refills, so consecutive faults receive adjacent frames —
+    /// the mechanism behind faulted-page contiguity on real systems.
+    pcp: VecDeque<Pfn>,
+    stats: KernelStats,
+}
+
+/// Pages per PCP refill batch (Linux's per-cpu batch is the same order
+/// of magnitude).
+const PCP_BATCH: u64 = 32;
+
+impl Kernel {
+    /// Boots a kernel over `config.nr_frames` of physical memory.
+    pub fn new(config: KernelConfig) -> Self {
+        Self {
+            buddy: BuddyAllocator::new(config.nr_frames),
+            frames: FrameDb::new(config.nr_frames),
+            processes: BTreeMap::new(),
+            next_asid: 1,
+            live_superpages: VecDeque::new(),
+            pcp: VecDeque::new(),
+            stats: KernelStats::default(),
+            config,
+        }
+    }
+
+    /// The construction-time configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The physical allocator (read-only).
+    pub fn buddy(&self) -> &BuddyAllocator {
+        &self.buddy
+    }
+
+    /// The frame database (read-only).
+    pub fn frames(&self) -> &FrameDb {
+        &self.frames
+    }
+
+    /// Looks up a live process.
+    ///
+    /// # Errors
+    /// [`MemError::NoSuchProcess`] when `asid` is unknown.
+    pub fn process(&self, asid: Asid) -> MemResult<&Process> {
+        self.processes.get(&asid).ok_or(MemError::NoSuchProcess { asid })
+    }
+
+    /// Free physical frames right now.
+    pub fn free_frames(&self) -> u64 {
+        self.buddy.free_frames()
+    }
+
+    /// Mapped clean file-backed pages — what the reclaim path could
+    /// evict under pressure.
+    pub fn reclaimable_file_pages(&self) -> u64 {
+        self.frames
+            .iter()
+            .filter(|(_, state)| {
+                let FrameState::Movable { owner, vpn } = *state else {
+                    return false;
+                };
+                self.processes.get(&owner).is_some_and(|p| {
+                    p.page_table
+                        .translate(vpn)
+                        .is_some_and(|t| t.flags.contains(PteFlags::FILE_BACKED))
+                })
+            })
+            .count() as u64
+    }
+
+    /// Creates a new process and returns its identifier.
+    pub fn spawn(&mut self) -> Asid {
+        let asid = Asid(self.next_asid);
+        self.next_asid += 1;
+        self.processes
+            .insert(asid, Process::new(asid, self.config.va_limit_pages));
+        asid
+    }
+
+    /// Terminates a process, releasing all its memory.
+    ///
+    /// # Errors
+    /// [`MemError::NoSuchProcess`] when `asid` is unknown.
+    pub fn exit(&mut self, asid: Asid) -> MemResult<()> {
+        let starts: Vec<Vpn> = self
+            .process(asid)?
+            .address_space()
+            .iter()
+            .map(|v| v.start)
+            .collect();
+        for s in starts {
+            self.free(asid, s)?;
+        }
+        self.processes.remove(&asid);
+        self.live_superpages.retain(|&(a, _)| a != asid);
+        Ok(())
+    }
+
+    /// Allocates `pages` of anonymous memory (heap `malloc`). Eligible
+    /// for THS superpages when enabled.
+    ///
+    /// # Errors
+    /// Propagates address-space or physical-memory exhaustion.
+    pub fn malloc(&mut self, asid: Asid, pages: u64) -> MemResult<Vpn> {
+        self.allocate(asid, pages, VmaKind::Anonymous, PteFlags::user_data())
+    }
+
+    /// Maps `pages` of file-backed memory — never superpage candidates
+    /// (paper §6.1).
+    ///
+    /// # Errors
+    /// Propagates address-space or physical-memory exhaustion.
+    pub fn mmap_file(&mut self, asid: Asid, pages: u64) -> MemResult<Vpn> {
+        self.allocate(
+            asid,
+            pages,
+            VmaKind::FileBacked,
+            PteFlags::user_data().with(PteFlags::FILE_BACKED),
+        )
+    }
+
+    /// Reserves `pages` of address space *without* populating frames,
+    /// regardless of the kernel's populate mode. Pages are then backed
+    /// one at a time by [`Kernel::touch`] — the behavior of programs that
+    /// grow structures incrementally rather than in bulk mallocs.
+    ///
+    /// # Errors
+    /// Propagates address-space exhaustion.
+    pub fn reserve(&mut self, asid: Asid, pages: u64, kind: VmaKind) -> MemResult<Vpn> {
+        let flags = match kind {
+            VmaKind::Anonymous => PteFlags::user_data(),
+            VmaKind::FileBacked => PteFlags::user_data().with(PteFlags::FILE_BACKED),
+        };
+        let process = self
+            .processes
+            .get_mut(&asid)
+            .ok_or(MemError::NoSuchProcess { asid })?;
+        let vma = process.address_space.reserve(pages, kind, flags)?;
+        self.stats.allocations += 1;
+        self.stats.pages_requested += pages;
+        Ok(vma.start)
+    }
+
+    fn allocate(
+        &mut self,
+        asid: Asid,
+        pages: u64,
+        kind: VmaKind,
+        flags: PteFlags,
+    ) -> MemResult<Vpn> {
+        let process = self
+            .processes
+            .get_mut(&asid)
+            .ok_or(MemError::NoSuchProcess { asid })?;
+        let vma = process.address_space.reserve(pages, kind, flags)?;
+        self.stats.allocations += 1;
+        self.stats.pages_requested += pages;
+        if self.config.populate == PopulateMode::Eager {
+            if let Err(e) = self.populate_range(asid, vma) {
+                // Roll back the reservation (already-populated pages are
+                // released) so the caller sees a clean failure.
+                let _ = self.free(asid, vma.start);
+                return Err(e);
+            }
+        }
+        Ok(vma.start)
+    }
+
+    /// Populates `vma` with physical frames in as few contiguous runs as
+    /// the buddy allocator permits, using THS for aligned 512-page chunks
+    /// of anonymous areas.
+    fn populate_range(&mut self, asid: Asid, vma: Vma) -> MemResult<()> {
+        let thp_ok = self.config.ths_enabled && vma.kind == VmaKind::Anonymous;
+        let mut vpn = vma.start;
+        let end = vma.end();
+        while vpn < end {
+            let remaining = end.distance_from(vpn).expect("vpn < end");
+            if thp_ok && vpn.is_aligned(9) && remaining >= SUPERPAGE_PAGES {
+                if let Some(base_pfn) = self.alloc_superpage_with_defrag() {
+                    self.install_super(asid, vpn, base_pfn, vma.flags);
+                    vpn = vpn.offset(SUPERPAGE_PAGES);
+                    continue;
+                }
+                self.stats.thp_fallbacks += 1;
+            }
+            // Base-page chunk: stop at the next superpage boundary when a
+            // later THS attempt is still possible, and at the per-request
+            // block-order cap.
+            let mut chunk = remaining;
+            if thp_ok && remaining >= SUPERPAGE_PAGES && !vpn.is_aligned(9) {
+                let to_boundary = SUPERPAGE_PAGES - (vpn.raw() & (SUPERPAGE_PAGES - 1));
+                chunk = chunk.min(to_boundary);
+            }
+            chunk = chunk.min(1 << self.config.max_alloc_order);
+            let run = self.alloc_run_with_reclaim(chunk)?;
+            self.install_base_run(asid, vpn, run, vma.flags);
+            vpn = vpn.offset(run.pages);
+        }
+        self.maybe_split_under_pressure();
+        Ok(())
+    }
+
+    /// Attempts an aligned 512-frame THP block, running direct compaction
+    /// (targeted at order 9) on failure when the defrag flag is on — the
+    /// Linux behavior the paper leans on: "THS relies on the memory
+    /// compaction daemon, triggering it more often" (§3.2.3).
+    fn alloc_superpage_with_defrag(&mut self) -> Option<Pfn> {
+        if let Some(p) = thp::try_alloc_superpage(&mut self.buddy) {
+            return Some(p);
+        }
+        if self.config.compaction == CompactionMode::Normal
+            && self.buddy.free_frames() >= SUPERPAGE_PAGES
+        {
+            self.compact_bounded(9, 8 * SUPERPAGE_PAGES);
+            return thp::try_alloc_superpage(&mut self.buddy);
+        }
+        None
+    }
+
+    /// Allocates up to `chunk` contiguous frames, compacting on failure
+    /// (in [`CompactionMode::Normal`]) and degrading to smaller runs as
+    /// fragmentation forces it.
+    fn alloc_run_with_reclaim(&mut self, mut chunk: u64) -> MemResult<PfnRange> {
+        // Order-0 requests go through the per-CPU page list like every
+        // other single-page allocation.
+        if chunk == 1 {
+            let pfn = self.alloc_single_via_pcp()?;
+            return Ok(PfnRange::new(pfn, 1));
+        }
+        let mut compacted = false;
+        loop {
+            if let Some(run) = self.buddy.alloc_pages(chunk) {
+                return Ok(run);
+            }
+            // Direct compaction: the Linux defrag flag triggers the
+            // daemon on allocation failure (paper §5.1.1). It stops as
+            // soon as a block of the needed order is free.
+            if !compacted
+                && self.config.compaction == CompactionMode::Normal
+                && self.buddy.free_frames() >= chunk
+            {
+                self.compact_bounded(covering_order(chunk), 4 * chunk.max(64));
+                compacted = true;
+                continue;
+            }
+            if chunk > 1 {
+                chunk /= 2;
+                continue;
+            }
+            // Last resort before OOM: evict clean page cache.
+            if self.reclaim_file_pages(PCP_BATCH * 4) > 0 {
+                continue;
+            }
+            return Err(MemError::OutOfMemory { requested_pages: chunk });
+        }
+    }
+
+    /// Serves one order-0 frame from the per-CPU page list, refilling it
+    /// with a contiguous batch from the buddy allocator when empty.
+    fn alloc_single_via_pcp(&mut self) -> MemResult<Pfn> {
+        if let Some(p) = self.pcp.pop_front() {
+            return Ok(p);
+        }
+        let mut want = PCP_BATCH;
+        let mut reclaimed = false;
+        loop {
+            if let Some(run) = self.buddy.alloc_pages(want) {
+                for p in run.iter() {
+                    // Parked in the PCP: owned by the allocator, not yet
+                    // mapped anywhere.
+                    self.frames.set(p, FrameState::Pinned);
+                    self.pcp.push_back(p);
+                }
+                return Ok(self.pcp.pop_front().expect("batch non-empty"));
+            }
+            if want > 1 {
+                want /= 2;
+                continue;
+            }
+            // Last resort: evict clean page cache (kswapd's job).
+            if !reclaimed && self.reclaim_file_pages(PCP_BATCH * 4) > 0 {
+                reclaimed = true;
+                want = PCP_BATCH;
+                continue;
+            }
+            return Err(MemError::OutOfMemory { requested_pages: 1 });
+        }
+    }
+
+    /// Evicts up to `target` clean file-backed pages (lowest frames
+    /// first), unmapping them from their owners and freeing the frames —
+    /// the reclaim path that lets allocation succeed under memory
+    /// pressure instead of failing. Evicted pages fault back in on the
+    /// next touch, as page cache does after a re-read.
+    ///
+    /// Returns the number of pages evicted.
+    pub fn reclaim_file_pages(&mut self, target: u64) -> u64 {
+        let mut victims: Vec<(Asid, Vpn)> = Vec::new();
+        for (pfn, state) in self.frames.iter() {
+            if victims.len() as u64 >= target {
+                break;
+            }
+            let FrameState::Movable { owner, vpn } = state else {
+                continue;
+            };
+            let Some(process) = self.processes.get(&owner) else {
+                continue;
+            };
+            let file_backed = process
+                .page_table
+                .translate(vpn)
+                .is_some_and(|t| t.flags.contains(PteFlags::FILE_BACKED));
+            if file_backed {
+                debug_assert_eq!(
+                    process.page_table.translate(vpn).map(|t| t.pfn),
+                    Some(pfn)
+                );
+                victims.push((owner, vpn));
+            }
+        }
+        let mut evicted = 0u64;
+        for (owner, vpn) in victims {
+            let Some(process) = self.processes.get_mut(&owner) else {
+                continue;
+            };
+            if let Some(pte) = process.page_table.unmap_base(vpn) {
+                self.frames.set(pte.pfn, FrameState::Free);
+                self.buddy.free_block(pte.pfn, 0);
+                evicted += 1;
+            }
+        }
+        self.stats.pages_reclaimed += evicted;
+        evicted
+    }
+
+    fn install_base_run(&mut self, asid: Asid, start_vpn: Vpn, run: PfnRange, flags: PteFlags) {
+        let process = self.processes.get_mut(&asid).expect("caller validated asid");
+        for i in 0..run.pages {
+            let vpn = start_vpn.offset(i);
+            let pfn = run.start.offset(i);
+            process.page_table.map_base(vpn, Pte::new(pfn, flags));
+            self.frames.set(pfn, FrameState::Movable { owner: asid, vpn });
+        }
+        self.stats.pages_populated += run.pages;
+        self.stats.physical_runs += 1;
+    }
+
+    fn install_super(&mut self, asid: Asid, base_vpn: Vpn, base_pfn: Pfn, flags: PteFlags) {
+        let process = self.processes.get_mut(&asid).expect("caller validated asid");
+        process.page_table.map_super(base_vpn, Pte::new(base_pfn, flags));
+        thp::record_superpage_frames(&mut self.frames, asid, base_vpn, base_pfn);
+        self.live_superpages.push_back((asid, base_vpn));
+        self.stats.thp_allocs += 1;
+        self.stats.pages_populated += SUPERPAGE_PAGES;
+        self.stats.physical_runs += 1;
+    }
+
+    /// Accesses a virtual page: translates it, demand-populating on a
+    /// fault when the kernel is in [`PopulateMode::Demand`].
+    ///
+    /// # Errors
+    /// [`MemError::NotMapped`] when `vpn` lies in no allocation, plus
+    /// population failures in demand mode.
+    pub fn touch(&mut self, asid: Asid, vpn: Vpn) -> MemResult<Translation> {
+        let process = self
+            .processes
+            .get_mut(&asid)
+            .ok_or(MemError::NoSuchProcess { asid })?;
+        if let Some(t) = process.page_table.translate(vpn) {
+            return Ok(t);
+        }
+        let vma = *process
+            .address_space
+            .find(vpn)
+            .ok_or(MemError::NotMapped { vpn })?;
+        self.stats.demand_faults += 1;
+        self.demand_fault(asid, vpn, vma)?;
+        let process = self.processes.get(&asid).expect("still live");
+        process.page_table.translate(vpn).ok_or(MemError::NotMapped { vpn })
+    }
+
+    /// Serves one demand fault: THS first-touch gets a whole aligned
+    /// superpage when possible; otherwise a single frame.
+    fn demand_fault(&mut self, asid: Asid, vpn: Vpn, vma: Vma) -> MemResult<()> {
+        let thp_ok = self.config.ths_enabled && vma.kind == VmaKind::Anonymous;
+        if thp_ok {
+            let huge_base = vpn.align_down(9);
+            let huge_fits = huge_base >= vma.start
+                && huge_base.offset(SUPERPAGE_PAGES) <= vma.end();
+            let range_untouched = || {
+                let process = self.processes.get(&asid).expect("live");
+                (0..SUPERPAGE_PAGES)
+                    .all(|i| process.page_table.translate(huge_base.offset(i)).is_none())
+            };
+            if huge_fits && range_untouched() {
+                if let Some(base_pfn) = self.alloc_superpage_with_defrag() {
+                    self.install_super(asid, huge_base, base_pfn, vma.flags);
+                    self.maybe_split_under_pressure();
+                    return Ok(());
+                }
+                self.stats.thp_fallbacks += 1;
+            }
+        }
+        let pfn = self.alloc_single_via_pcp()?;
+        let process = self.processes.get_mut(&asid).expect("caller validated asid");
+        process.page_table.map_base(vpn, Pte::new(pfn, vma.flags));
+        self.frames.set(pfn, FrameState::Movable { owner: asid, vpn });
+        self.stats.pages_populated += 1;
+        self.stats.physical_runs += 1;
+        Ok(())
+    }
+
+    /// Marks a page dirty (sets the DIRTY attribute on its PTE). Note
+    /// that diverging attributes end contiguity runs (paper §5.1.1).
+    ///
+    /// # Errors
+    /// [`MemError::NotMapped`] if `vpn` has no base-page mapping.
+    pub fn mark_dirty(&mut self, asid: Asid, vpn: Vpn) -> MemResult<()> {
+        let process = self
+            .processes
+            .get_mut(&asid)
+            .ok_or(MemError::NoSuchProcess { asid })?;
+        process
+            .page_table
+            .add_flags_base(vpn, PteFlags::DIRTY)
+            .map(|_| ())
+            .ok_or(MemError::NotMapped { vpn })
+    }
+
+    /// Frees the allocation starting at `start`, returning every frame to
+    /// the buddy allocator.
+    ///
+    /// # Errors
+    /// [`MemError::NotAllocationStart`] when `start` does not begin an
+    /// allocation.
+    pub fn free(&mut self, asid: Asid, start: Vpn) -> MemResult<()> {
+        let process = self
+            .processes
+            .get_mut(&asid)
+            .ok_or(MemError::NoSuchProcess { asid })?;
+        let vma = process.address_space.remove(start)?;
+        let mut vpn = vma.start;
+        let end = vma.end();
+        while vpn < end {
+            match process.page_table.translate(vpn) {
+                Some(Translation { kind: PageKind::Super { base_vpn }, .. }) => {
+                    let pte = process
+                        .page_table
+                        .unmap_super(base_vpn)
+                        .expect("translation said superpage");
+                    for i in 0..SUPERPAGE_PAGES {
+                        self.frames.set(pte.pfn.offset(i), FrameState::Free);
+                    }
+                    self.buddy.free_block(pte.pfn, 9);
+                    self.live_superpages
+                        .retain(|&(a, v)| !(a == asid && v == base_vpn));
+                    vpn = base_vpn.offset(SUPERPAGE_PAGES);
+                }
+                Some(Translation { kind: PageKind::Base, .. }) => {
+                    let pte = process.page_table.unmap_base(vpn).expect("mapped");
+                    self.frames.set(pte.pfn, FrameState::Free);
+                    self.buddy.free_block(pte.pfn, 0);
+                    vpn = vpn.next();
+                }
+                None => vpn = vpn.next(),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one full compaction pass immediately.
+    pub fn compact_now(&mut self) -> CompactionStats {
+        let stats = compaction::compact(&mut self.buddy, &mut self.frames, &mut self.processes);
+        self.stats.compaction_runs += 1;
+        self.stats.pages_migrated += stats.migrated;
+        stats
+    }
+
+    /// Direct compaction targeted at making one block of `order` free,
+    /// bounded at `max_migrations` of work (real direct compaction gives
+    /// up rather than stalling the faulting process indefinitely).
+    fn compact_bounded(&mut self, order: u32, max_migrations: u64) -> CompactionStats {
+        let stats = compaction::compact_with(
+            &mut self.buddy,
+            &mut self.frames,
+            &mut self.processes,
+            CompactionControl { target_order: Some(order), max_migrations: Some(max_migrations) },
+        );
+        self.stats.compaction_runs += 1;
+        self.stats.pages_migrated += stats.migrated;
+        stats
+    }
+
+    /// Background activity hook: call periodically (the paper's daemon is
+    /// "system background activity"). In [`CompactionMode::Normal`] this
+    /// runs a bounded compaction slice when fragmentation exceeds the
+    /// configured threshold (kcompactd-style), and lets the THS pressure
+    /// daemon split superpages when memory is low.
+    pub fn tick(&mut self) {
+        // Background compaction exists to serve high-order (THP) demand:
+        // with THS off it almost never wakes up (paper §6.2, "disabling
+        // THS drastically reduces memory compaction daemon invocations").
+        let scattered = self.buddy.small_free_fraction(6) > 0.30;
+        if self.config.ths_enabled
+            && self.config.compaction == CompactionMode::Normal
+            && (scattered
+                || self.buddy.fragmentation_index() > self.config.compaction_frag_threshold)
+        {
+            let slice = (self.buddy.nr_frames() / 32).max(64);
+            let stats = compaction::compact_with(
+                &mut self.buddy,
+                &mut self.frames,
+                &mut self.processes,
+                CompactionControl::slice(slice),
+            );
+            self.stats.compaction_runs += 1;
+            self.stats.pages_migrated += stats.migrated;
+        }
+        self.maybe_split_under_pressure();
+    }
+
+    /// Splits oldest-first superpages while the free-memory watermark is
+    /// violated (at most a few per invocation, as a daemon would).
+    fn maybe_split_under_pressure(&mut self) {
+        const SPLITS_PER_ROUND: usize = 8;
+        for _ in 0..SPLITS_PER_ROUND {
+            if !thp::pressure_should_split(
+                self.buddy.free_frames(),
+                self.buddy.nr_frames(),
+                self.config.thp_split_watermark,
+            ) {
+                return;
+            }
+            let Some((asid, base_vpn)) = self.live_superpages.pop_front() else {
+                return;
+            };
+            self.split_one(asid, base_vpn);
+        }
+    }
+
+    /// Forcibly splits up to `n` live superpages (oldest first),
+    /// regardless of pressure. Returns how many were split.
+    pub fn split_superpages(&mut self, n: usize) -> usize {
+        let mut done = 0;
+        while done < n {
+            let Some((asid, base_vpn)) = self.live_superpages.pop_front() else {
+                break;
+            };
+            if self.split_one(asid, base_vpn) {
+                done += 1;
+            }
+        }
+        done
+    }
+
+    /// Splits one superpage and, when configured, punctures the residual
+    /// 512-page run by reclaiming a strided subset of its pages — the
+    /// long-run outcome of pressure splitting plus reclaim, leaving
+    /// "tens of pages" of contiguity (paper §3.2.3). Reclaimed pages
+    /// fault back in on the next [`Kernel::touch`].
+    fn split_one(&mut self, asid: Asid, base_vpn: Vpn) -> bool {
+        let Some(process) = self.processes.get_mut(&asid) else {
+            return false;
+        };
+        if !thp::split_superpage(process, &mut self.frames, base_vpn) {
+            return false;
+        }
+        self.stats.thp_splits += 1;
+        // Only some split superpages see reclaim before their pages are
+        // touched again; the rest keep their full 512-page run.
+        let hash = base_vpn.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let punctured = (hash >> 29) % 10 < 6;
+        if self.config.thp_split_puncture && punctured {
+            // Deterministic per-superpage stride in 32..=127.
+            let stride = 32 + (hash >> 33) % 96;
+            let mut i = stride;
+            while i < SUPERPAGE_PAGES {
+                let vpn = base_vpn.offset(i);
+                // Reclaim + refault: the page comes back on a different
+                // frame, severing the run at this point.
+                if let Some(run) = self.buddy.alloc_pages(1) {
+                    let process = self.processes.get_mut(&asid).expect("checked above");
+                    if let Some(old) = process.page_table.remap_base(vpn, run.start) {
+                        self.frames
+                            .set(run.start, FrameState::Movable { owner: asid, vpn });
+                        self.frames.set(old.pfn, FrameState::Free);
+                        self.buddy.free_block(old.pfn, 0);
+                    } else {
+                        self.buddy.free_pages(run);
+                    }
+                }
+                i += stride;
+            }
+        }
+        true
+    }
+
+    /// Number of currently live (unsplit) superpages.
+    pub fn live_superpage_count(&self) -> usize {
+        self.live_superpages.len()
+    }
+
+    /// Allocates `pages` of pinned, unmovable memory with no virtual
+    /// mapping (kernel allocations; `memhog`'s tool of choice). The
+    /// frames come back scattered across as many runs as fragmentation
+    /// dictates.
+    ///
+    /// # Errors
+    /// [`MemError::OutOfMemory`] when physical memory is exhausted.
+    pub fn allocate_pinned(&mut self, pages: u64) -> MemResult<Vec<PfnRange>> {
+        let mut out = Vec::new();
+        let mut remaining = pages;
+        while remaining > 0 {
+            let chunk = remaining.min(1 << self.config.max_alloc_order);
+            let run = match self.buddy.alloc_pages(chunk) {
+                Some(r) => r,
+                None => {
+                    // No compaction here: pinned memory is exactly what
+                    // compaction cannot help with. Page cache can still
+                    // be evicted to make room.
+                    let shrunk = self.shrink_until_alloc(chunk).or_else(|| {
+                        if self.reclaim_file_pages(chunk.max(64)) > 0 {
+                            self.shrink_until_alloc(chunk.max(2))
+                        } else {
+                            None
+                        }
+                    });
+                    match shrunk {
+                        Some(r) => r,
+                        None => {
+                            for r in out {
+                                self.free_pinned(r);
+                            }
+                            return Err(MemError::OutOfMemory { requested_pages: remaining });
+                        }
+                    }
+                }
+            };
+            for p in run.iter() {
+                self.frames.set(p, FrameState::Pinned);
+            }
+            remaining -= run.pages;
+            out.push(run);
+        }
+        Ok(out)
+    }
+
+    fn shrink_until_alloc(&mut self, mut chunk: u64) -> Option<PfnRange> {
+        while chunk > 1 {
+            chunk /= 2;
+            if let Some(r) = self.buddy.alloc_pages(chunk) {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Frees one pinned range returned by [`Kernel::allocate_pinned`].
+    pub fn free_pinned(&mut self, range: PfnRange) {
+        for p in range.iter() {
+            debug_assert_eq!(self.frames.state(p), FrameState::Pinned);
+            self.frames.set(p, FrameState::Free);
+        }
+        self.buddy.free_pages(range);
+    }
+
+    /// Scans a process's page table and reports its page-allocation
+    /// contiguity (paper §3.1 definition).
+    ///
+    /// # Errors
+    /// [`MemError::NoSuchProcess`] when `asid` is unknown.
+    pub fn scan_contiguity(&self, asid: Asid) -> MemResult<ContiguityReport> {
+        Ok(ContiguityReport::scan(self.process(asid)?.page_table()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kernel(ths: bool) -> Kernel {
+        Kernel::new(KernelConfig {
+            nr_frames: 4096,
+            ths_enabled: ths,
+            ..KernelConfig::default()
+        })
+    }
+
+    #[test]
+    fn malloc_populates_contiguous_frames_when_memory_is_fresh() {
+        let mut k = small_kernel(false);
+        let asid = k.spawn();
+        let base = k.malloc(asid, 64).unwrap();
+        let proc = k.process(asid).unwrap();
+        let first = proc.translate(base).unwrap().pfn;
+        for i in 0..64 {
+            let t = proc.translate(base.offset(i)).unwrap();
+            assert_eq!(t.pfn, first.offset(i), "fresh memory yields one run");
+        }
+        assert_eq!(k.stats().physical_runs, 1);
+    }
+
+    #[test]
+    fn ths_backs_large_anonymous_allocations_with_superpages() {
+        let mut k = small_kernel(true);
+        let asid = k.spawn();
+        let base = k.malloc(asid, 1024).unwrap();
+        assert_eq!(k.stats().thp_allocs, 2);
+        assert_eq!(k.live_superpage_count(), 2);
+        let proc = k.process(asid).unwrap();
+        let t = proc.translate(base.offset(600)).unwrap();
+        assert!(matches!(t.kind, PageKind::Super { .. }));
+    }
+
+    #[test]
+    fn file_backed_mappings_never_use_superpages() {
+        let mut k = small_kernel(true);
+        let asid = k.spawn();
+        let base = k.mmap_file(asid, 1024).unwrap();
+        assert_eq!(k.stats().thp_allocs, 0);
+        let proc = k.process(asid).unwrap();
+        let t = proc.translate(base).unwrap();
+        assert_eq!(t.kind, PageKind::Base);
+        assert!(t.flags.contains(PteFlags::FILE_BACKED));
+    }
+
+    #[test]
+    fn free_returns_all_frames() {
+        let mut k = small_kernel(true);
+        let asid = k.spawn();
+        let before = k.free_frames();
+        let a = k.malloc(asid, 700).unwrap();
+        let b = k.mmap_file(asid, 100).unwrap();
+        assert_eq!(k.free_frames(), before - 800);
+        k.free(asid, a).unwrap();
+        k.free(asid, b).unwrap();
+        assert_eq!(k.free_frames(), before);
+        k.buddy().check_invariants();
+    }
+
+    #[test]
+    fn exit_releases_everything() {
+        let mut k = small_kernel(true);
+        let asid = k.spawn();
+        k.malloc(asid, 600).unwrap();
+        k.malloc(asid, 37).unwrap();
+        k.exit(asid).unwrap();
+        assert_eq!(k.free_frames(), 4096);
+        assert!(k.process(asid).is_err());
+        assert_eq!(k.live_superpage_count(), 0);
+    }
+
+    #[test]
+    fn touch_unmapped_address_errors() {
+        let mut k = small_kernel(false);
+        let asid = k.spawn();
+        let err = k.touch(asid, Vpn::new(0x5000)).unwrap_err();
+        assert!(matches!(err, MemError::NotMapped { .. }));
+    }
+
+    #[test]
+    fn demand_mode_populates_on_first_touch_only() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 4096,
+            ths_enabled: false,
+            populate: PopulateMode::Demand,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let before = k.free_frames();
+        let base = k.malloc(asid, 100).unwrap();
+        assert_eq!(k.free_frames(), before, "demand mode allocates nothing up front");
+        let t1 = k.touch(asid, base.offset(5)).unwrap();
+        let t2 = k.touch(asid, base.offset(5)).unwrap();
+        assert_eq!(t1.pfn, t2.pfn);
+        assert_eq!(k.stats().demand_faults, 1);
+        // The per-CPU page list grabbed a whole batch; one page is mapped
+        // and the rest are parked for the next faults.
+        assert!(before - k.free_frames() <= 32);
+        assert!(k.free_frames() < before);
+    }
+
+    #[test]
+    fn demand_mode_with_ths_faults_whole_superpages() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 4096,
+            ths_enabled: true,
+            populate: PopulateMode::Demand,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let base = k.malloc(asid, 1024).unwrap();
+        k.touch(asid, base.offset(100)).unwrap();
+        assert_eq!(k.stats().thp_allocs, 1);
+        let proc = k.process(asid).unwrap();
+        assert!(matches!(
+            proc.translate(base.offset(511)).unwrap().kind,
+            PageKind::Super { .. }
+        ));
+        assert!(proc.translate(base.offset(512)).is_none(), "next superpage untouched");
+    }
+
+    #[test]
+    fn pressure_splits_superpages_oldest_first() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 2048,
+            ths_enabled: true,
+            thp_split_watermark: 0.30,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        // Two superpages = 1024 pages; free fraction 50%, above watermark.
+        k.malloc(asid, 1024).unwrap();
+        assert_eq!(k.live_superpage_count(), 2);
+        // Another 600 pages drops free fraction below 30% → splits begin.
+        k.malloc(asid, 600).unwrap();
+        assert!(k.stats().thp_splits > 0, "pressure daemon must split");
+    }
+
+    #[test]
+    fn fragmentation_triggers_direct_compaction() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 1024,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        // Fill memory completely, then free every other allocation so the
+        // 512 free frames are shattered into 32-page chunks.
+        let mut allocs = Vec::new();
+        for _ in 0..32 {
+            allocs.push(k.malloc(asid, 32).unwrap());
+        }
+        for (i, a) in allocs.iter().enumerate() {
+            if i % 2 == 0 {
+                k.free(asid, *a).unwrap();
+            }
+        }
+        // A 256-page request (order-6 chunks under the cap) cannot be
+        // satisfied without compaction: only 32-page holes are free.
+        k.malloc(asid, 256).unwrap();
+        assert!(k.stats().compaction_runs > 0, "direct compaction must run");
+        // And compaction must have produced at least one full-order run.
+        let report = k.scan_contiguity(asid).unwrap();
+        assert!(report.max_contiguity() >= 64, "got {}", report.max_contiguity());
+    }
+
+    #[test]
+    fn low_compaction_mode_never_compacts() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 1024,
+            ths_enabled: false,
+            compaction: CompactionMode::Low,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let mut allocs = Vec::new();
+        for _ in 0..16 {
+            allocs.push(k.malloc(asid, 32).unwrap());
+        }
+        for (i, a) in allocs.iter().enumerate() {
+            if i % 2 == 0 {
+                k.free(asid, *a).unwrap();
+            }
+        }
+        k.malloc(asid, 256).unwrap();
+        k.tick();
+        assert_eq!(k.stats().compaction_runs, 0);
+    }
+
+    #[test]
+    fn allocation_degrades_to_scattered_runs_under_fragmentation() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 512,
+            ths_enabled: false,
+            compaction: CompactionMode::Low,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        // Fill memory completely, then free every other allocation.
+        let mut allocs = Vec::new();
+        for _ in 0..16 {
+            allocs.push(k.malloc(asid, 32).unwrap());
+        }
+        for (i, a) in allocs.iter().enumerate() {
+            if i % 2 == 0 {
+                k.free(asid, *a).unwrap();
+            }
+        }
+        // 256 pages exist free but shattered into 32-page chunks; with
+        // compaction off the allocation must degrade to multiple runs.
+        let runs_before = k.stats().physical_runs;
+        k.malloc(asid, 120).unwrap();
+        assert!(
+            k.stats().physical_runs > runs_before + 1,
+            "fragmented allocation requires multiple runs"
+        );
+    }
+
+    #[test]
+    fn pinned_allocations_are_unmovable_and_freeable() {
+        let mut k = small_kernel(false);
+        let ranges = k.allocate_pinned(100).unwrap();
+        let total: u64 = ranges.iter().map(|r| r.pages).sum();
+        assert_eq!(total, 100);
+        assert_eq!(k.frames().counts().pinned, 100);
+        for r in ranges {
+            k.free_pinned(r);
+        }
+        assert_eq!(k.frames().counts().pinned, 0);
+        assert_eq!(k.free_frames(), 4096);
+    }
+
+    #[test]
+    fn oom_rolls_back_cleanly() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 256,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        k.malloc(asid, 200).unwrap();
+        let err = k.malloc(asid, 100).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+        // The failed allocation must not leak frames.
+        assert_eq!(k.free_frames(), 56);
+    }
+
+    #[test]
+    fn user_allocations_respect_the_block_order_cap() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 4096,
+            ths_enabled: false,
+            max_alloc_order: 4,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        k.malloc(asid, 256).unwrap();
+        // 256 pages at order-4 cap = at least 16 separate runs...
+        assert!(k.stats().physical_runs >= 16);
+        // ...but carved adjacently from fresh memory, so contiguity still
+        // spans the whole allocation (the emergent-run effect).
+        let report = k.scan_contiguity(asid).unwrap();
+        assert_eq!(report.max_contiguity(), 256);
+    }
+
+    #[test]
+    fn reclaim_evicts_only_file_pages_and_they_fault_back() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 1024,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let anon = k.malloc(asid, 64).unwrap();
+        let file = k.mmap_file(asid, 64).unwrap();
+        let evicted = k.reclaim_file_pages(32);
+        assert_eq!(evicted, 32);
+        assert_eq!(k.stats().pages_reclaimed, 32);
+        // Anonymous pages untouched.
+        for i in 0..64 {
+            assert!(k.process(asid).unwrap().translate(anon.offset(i)).is_some());
+        }
+        // Some file pages unmapped, but they fault back on touch.
+        let unmapped = (0..64)
+            .filter(|&i| k.process(asid).unwrap().translate(file.offset(i)).is_none())
+            .count();
+        assert_eq!(unmapped, 32);
+        for i in 0..64 {
+            let t = k.touch(asid, file.offset(i)).unwrap();
+            assert!(t.flags.contains(PteFlags::FILE_BACKED));
+        }
+    }
+
+    #[test]
+    fn allocation_under_pressure_reclaims_instead_of_oom() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 512,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        k.mmap_file(asid, 300).unwrap(); // page cache fills memory
+        k.malloc(asid, 120).unwrap();
+        // 512 - 300 - 120 = 92 free minus PCP slack: the next allocation
+        // cannot fit without evicting page cache.
+        let base = k.malloc(asid, 150).expect("reclaim must rescue this");
+        assert!(k.stats().pages_reclaimed > 0);
+        for i in 0..150 {
+            assert!(k.process(asid).unwrap().translate(base.offset(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn pcp_gives_sequential_faults_adjacent_frames() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 4096,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let base = k.reserve(asid, 16, crate::vma::VmaKind::Anonymous).unwrap();
+        let mut pfns = Vec::new();
+        for i in 0..16 {
+            pfns.push(k.touch(asid, base.offset(i)).unwrap().pfn);
+        }
+        // All 16 frames come from one PCP batch: perfectly ascending.
+        for w in pfns.windows(2) {
+            assert!(w[0].is_followed_by(w[1]), "PCP batch must be adjacent: {w:?}");
+        }
+    }
+
+    #[test]
+    fn pcp_is_shared_between_processes() {
+        // Interleaved faults from two processes split one batch between
+        // them — exactly how interference breaks faulted contiguity.
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 4096,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let a = k.spawn();
+        let b = k.spawn();
+        let base_a = k.reserve(a, 8, crate::vma::VmaKind::Anonymous).unwrap();
+        let base_b = k.reserve(b, 8, crate::vma::VmaKind::Anonymous).unwrap();
+        let mut a_pfns = Vec::new();
+        for i in 0..8 {
+            a_pfns.push(k.touch(a, base_a.offset(i)).unwrap().pfn);
+            k.touch(b, base_b.offset(i)).unwrap();
+        }
+        // Process A's frames are strided by 2 (B took every other one):
+        // adjacency in A's address space is broken.
+        assert!(
+            a_pfns.windows(2).any(|w| !w[0].is_followed_by(w[1])),
+            "interleaved faulting must break adjacency: {a_pfns:?}"
+        );
+    }
+
+    #[test]
+    fn punctured_split_breaks_the_residual_run() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 8192,
+            ths_enabled: true,
+            thp_split_puncture: true,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        // Allocate until a superpage whose vpn hashes to "punctured".
+        let mut punctured_seen = false;
+        for _ in 0..8 {
+            let base = k.malloc(asid, 512).unwrap();
+            if k.live_superpage_count() == 0 {
+                continue; // THP failed (unlikely on fresh memory)
+            }
+            k.split_superpages(1);
+            let report = k.scan_contiguity(asid).unwrap();
+            if report.runs().len() > 1 {
+                punctured_seen = true;
+                // The punctured pages are still mapped (remapped to new
+                // frames), so the footprint is intact.
+                for i in 0..512 {
+                    assert!(
+                        k.process(asid).unwrap().translate(base.offset(i)).is_some(),
+                        "punctured page {i} must stay mapped"
+                    );
+                }
+                break;
+            }
+            k.free(asid, base).unwrap();
+        }
+        assert!(punctured_seen, "some split must be punctured (60% rate)");
+    }
+
+    #[test]
+    fn unpunctured_splits_keep_full_512_runs() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 8192,
+            ths_enabled: true,
+            thp_split_puncture: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        k.malloc(asid, 512).unwrap();
+        assert_eq!(k.live_superpage_count(), 1);
+        k.split_superpages(1);
+        let report = k.scan_contiguity(asid).unwrap();
+        assert_eq!(report.max_contiguity(), 512, "puncturing disabled");
+    }
+
+    #[test]
+    fn freeing_a_punctured_split_returns_every_frame() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 8192,
+            ths_enabled: true,
+            thp_split_puncture: true,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let before = k.free_frames();
+        // Find a punctured split (60% hash rate) and free it.
+        for _ in 0..8 {
+            let base = k.malloc(asid, 512).unwrap();
+            k.split_superpages(k.live_superpage_count());
+            k.free(asid, base).unwrap();
+        }
+        // Everything came back (modulo frames parked in the PCP).
+        let parked = before - k.free_frames();
+        assert!(parked <= 32, "at most one PCP batch may stay parked, got {parked}");
+        assert_eq!(k.live_superpage_count(), 0);
+    }
+
+    #[test]
+    fn exit_after_thp_splits_balances_memory() {
+        let mut k = Kernel::new(KernelConfig { nr_frames: 8192, ..KernelConfig::default() });
+        let before = k.free_frames();
+        let asid = k.spawn();
+        k.malloc(asid, 1024).unwrap();
+        k.malloc(asid, 100).unwrap();
+        k.split_superpages(1);
+        k.exit(asid).unwrap();
+        let parked = before - k.free_frames();
+        assert!(parked <= 32, "only PCP slack may remain, got {parked}");
+    }
+
+    #[test]
+    fn reclaim_with_no_file_pages_is_a_noop() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 1024,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        k.malloc(asid, 64).unwrap();
+        assert_eq!(k.reclaim_file_pages(100), 0);
+        assert_eq!(k.stats().pages_reclaimed, 0);
+    }
+
+    #[test]
+    fn reclaimable_file_pages_counts_exactly() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 2048,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        k.malloc(asid, 64).unwrap();
+        k.mmap_file(asid, 37).unwrap();
+        assert_eq!(k.reclaimable_file_pages(), 37);
+    }
+
+    #[test]
+    fn mark_dirty_sets_pte_flag() {
+        let mut k = small_kernel(false);
+        let asid = k.spawn();
+        let base = k.malloc(asid, 4).unwrap();
+        k.mark_dirty(asid, base.offset(1)).unwrap();
+        let t = k.process(asid).unwrap().translate(base.offset(1)).unwrap();
+        assert!(t.flags.contains(PteFlags::DIRTY));
+        let t0 = k.process(asid).unwrap().translate(base).unwrap();
+        assert!(!t0.flags.contains(PteFlags::DIRTY));
+    }
+}

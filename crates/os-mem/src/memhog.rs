@@ -1,0 +1,174 @@
+//! `memhog`-style memory fragmentation load (paper §5.1.1).
+//!
+//! The paper loads the system by running `memhog` to claim 25% or 50% of
+//! physical memory alongside each workload. We model it as pinned
+//! allocations in many small randomly sized chunks, a configurable share
+//! of which are immediately released — leaving scattered holes that
+//! fragment the buddy allocator's free lists.
+
+use crate::buddy::PfnRange;
+use crate::error::MemResult;
+use crate::kernel::Kernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for the fragmentation load.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MemhogConfig {
+    /// Fraction of physical memory to claim, in `[0, 1]`.
+    pub fraction: f64,
+    /// Chunk sizes are drawn uniformly from `1..=max_chunk_pages`.
+    pub max_chunk_pages: u64,
+    /// Share of claimed chunks that are immediately released again,
+    /// punching holes that fragment the free lists.
+    pub release_ratio: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for MemhogConfig {
+    fn default() -> Self {
+        Self {
+            fraction: 0.25,
+            max_chunk_pages: 8,
+            release_ratio: 0.3,
+            seed: 0xC017_0001,
+        }
+    }
+}
+
+/// A running memhog instance holding its pinned memory.
+#[derive(Debug)]
+pub struct Memhog {
+    held: Vec<PfnRange>,
+    claimed_pages: u64,
+}
+
+impl Memhog {
+    /// Claims memory per `config`. The net held amount is
+    /// `fraction * (1 - release_ratio)` of memory, spread across scattered
+    /// pinned chunks.
+    ///
+    /// # Errors
+    /// Propagates [`MemError::OutOfMemory`](crate::error::MemError) if the
+    /// kernel cannot supply the requested fraction.
+    pub fn engage(kernel: &mut Kernel, config: MemhogConfig) -> MemResult<Self> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let target = (kernel.buddy().nr_frames() as f64 * config.fraction) as u64;
+        let mut held = Vec::new();
+        let mut release_later = Vec::new();
+        let mut claimed = 0u64;
+        while claimed < target {
+            let want = rng
+                .gen_range(1..=config.max_chunk_pages)
+                .min(target - claimed)
+                .max(1);
+            let ranges = kernel.allocate_pinned(want)?;
+            for r in ranges {
+                claimed += r.pages;
+                if rng.gen_bool(config.release_ratio) {
+                    release_later.push(r);
+                } else {
+                    held.push(r);
+                }
+            }
+        }
+        for r in release_later {
+            kernel.free_pinned(r);
+        }
+        Ok(Self { held, claimed_pages: claimed })
+    }
+
+    /// Pages claimed at engage time (held + since released).
+    pub fn claimed_pages(&self) -> u64 {
+        self.claimed_pages
+    }
+
+    /// Pages currently held pinned.
+    pub fn held_pages(&self) -> u64 {
+        self.held.iter().map(|r| r.pages).sum()
+    }
+
+    /// Releases all held memory back to the kernel.
+    pub fn release(self, kernel: &mut Kernel) {
+        for r in self.held {
+            kernel.free_pinned(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig {
+            nr_frames: 8192,
+            ths_enabled: false,
+            ..KernelConfig::default()
+        })
+    }
+
+    #[test]
+    fn engage_claims_requested_fraction() {
+        let mut k = kernel();
+        let hog = Memhog::engage(&mut k, MemhogConfig { fraction: 0.25, ..Default::default() })
+            .unwrap();
+        assert!(hog.claimed_pages() >= 2048);
+        // Held is claimed minus the released share (statistically ~30%).
+        assert!(hog.held_pages() < hog.claimed_pages());
+        assert_eq!(k.frames().counts().pinned, hog.held_pages());
+    }
+
+    #[test]
+    fn engage_fragments_free_memory() {
+        let mut k = kernel();
+        let blocks_before: usize = k.buddy().histogram().counts.iter().sum();
+        let small_before: usize = k.buddy().histogram().counts[..5].iter().sum();
+        let _hog = Memhog::engage(
+            &mut k,
+            MemhogConfig { fraction: 0.5, release_ratio: 0.4, ..Default::default() },
+        )
+        .unwrap();
+        let h = k.buddy().histogram();
+        let blocks_after: usize = h.counts.iter().sum();
+        let small_after: usize = h.counts[..5].iter().sum();
+        assert!(blocks_after > blocks_before, "free memory must shatter into more blocks");
+        assert!(small_after > small_before, "released holes must appear as small blocks");
+    }
+
+    #[test]
+    fn release_restores_all_memory() {
+        let mut k = kernel();
+        let hog =
+            Memhog::engage(&mut k, MemhogConfig { fraction: 0.5, ..Default::default() }).unwrap();
+        hog.release(&mut k);
+        assert_eq!(k.free_frames(), 8192);
+        assert_eq!(k.frames().counts().pinned, 0);
+        k.buddy().check_invariants();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_layout() {
+        let run = |seed| {
+            let mut k = kernel();
+            let hog = Memhog::engage(
+                &mut k,
+                MemhogConfig { fraction: 0.25, seed, ..Default::default() },
+            )
+            .unwrap();
+            (hog.held_pages(), k.buddy().fragmentation_index())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn zero_fraction_claims_nothing() {
+        let mut k = kernel();
+        let hog = Memhog::engage(&mut k, MemhogConfig { fraction: 0.0, ..Default::default() })
+            .unwrap();
+        assert_eq!(hog.claimed_pages(), 0);
+        assert_eq!(k.free_frames(), 8192);
+    }
+}

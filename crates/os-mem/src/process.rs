@@ -1,0 +1,61 @@
+//! The simulated process: an address space plus its page table.
+
+use crate::addr::{Asid, Vpn};
+use crate::page_table::{PageTable, Translation};
+use crate::vma::AddressSpace;
+
+/// One simulated process.
+///
+/// Construction and memory operations go through
+/// [`Kernel`](crate::kernel::Kernel); the process object itself only
+/// exposes read access to its translation state.
+#[derive(Debug)]
+pub struct Process {
+    asid: Asid,
+    pub(crate) address_space: AddressSpace,
+    pub(crate) page_table: PageTable,
+}
+
+impl Process {
+    pub(crate) fn new(asid: Asid, va_limit_pages: u64) -> Self {
+        Self {
+            asid,
+            address_space: AddressSpace::new(va_limit_pages),
+            page_table: PageTable::new(),
+        }
+    }
+
+    /// The process's address-space identifier.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// The process's virtual address-space layout.
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.address_space
+    }
+
+    /// The process's page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Translates a virtual page (convenience passthrough).
+    pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        self.page_table.translate(vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_process_has_empty_tables() {
+        let p = Process::new(Asid(3), 1 << 20);
+        assert_eq!(p.asid(), Asid(3));
+        assert!(p.address_space().is_empty());
+        assert_eq!(p.page_table().stats().base_pages, 0);
+        assert!(p.translate(Vpn::new(0x2000)).is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Transparent hugepage support (THS, paper §3.2.3).
+//!
+//! When enabled, the memory allocator opportunistically backs 2MB-aligned
+//! anonymous regions with naturally aligned 512-frame blocks and maps them
+//! as superpages. Under memory pressure a daemon splits superpages back
+//! into base pages — which *retain* their physical contiguity, one of the
+//! paper's key sources of intermediate contiguity.
+
+use crate::addr::{Asid, Pfn, Vpn, SUPERPAGE_PAGES};
+use crate::buddy::BuddyAllocator;
+use crate::frames::{FrameDb, FrameState};
+use crate::process::Process;
+
+/// Attempts to allocate one naturally aligned 512-frame block for a
+/// superpage. Buddy order-9 blocks are aligned by construction, which is
+/// exactly why THS leans on the buddy allocator (paper §3.2.3).
+pub fn try_alloc_superpage(buddy: &mut BuddyAllocator) -> Option<Pfn> {
+    buddy.alloc_block(9)
+}
+
+/// Splits the superpage mapped at `base_vpn` into 512 base pages backed by
+/// the same (still contiguous) frames, updating the frame database from
+/// `Huge` to `Movable` so compaction may later move them.
+///
+/// Returns `false` if no superpage maps `base_vpn`.
+pub fn split_superpage(process: &mut Process, frames: &mut FrameDb, base_vpn: Vpn) -> bool {
+    let Some(pte) = process.page_table.split_superpage(base_vpn) else {
+        return false;
+    };
+    let owner = process.asid();
+    for i in 0..SUPERPAGE_PAGES {
+        frames.set(
+            pte.pfn.offset(i),
+            FrameState::Movable { owner, vpn: base_vpn.offset(i) },
+        );
+    }
+    true
+}
+
+/// Records the frames of a freshly mapped superpage in the frame database.
+pub fn record_superpage_frames(frames: &mut FrameDb, owner: Asid, base_vpn: Vpn, base_pfn: Pfn) {
+    for i in 0..SUPERPAGE_PAGES {
+        frames.set(base_pfn.offset(i), FrameState::Huge { owner, base_vpn });
+    }
+}
+
+/// The pressure daemon's split decision: split superpages when the free
+/// fraction of memory falls below `watermark` (paper §3.2.3: "system
+/// pressure triggers a daemon that breaks superpages into baseline 4KB
+/// pages").
+pub fn pressure_should_split(free_frames: u64, total_frames: u64, watermark: f64) -> bool {
+    (free_frames as f64) < watermark * total_frames as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page_table::{Pte, PteFlags};
+
+    #[test]
+    fn superpage_allocation_is_naturally_aligned() {
+        let mut buddy = BuddyAllocator::new(4096);
+        // Disturb alignment by taking one page first.
+        assert!(buddy.take_free_page(Pfn::new(0)));
+        let base = try_alloc_superpage(&mut buddy).unwrap();
+        assert!(base.is_aligned(9));
+        buddy.check_invariants();
+    }
+
+    #[test]
+    fn superpage_allocation_fails_without_aligned_block() {
+        let mut buddy = BuddyAllocator::new(1024);
+        // Poke a hole in each 512-page half so no order-9 block survives.
+        assert!(buddy.take_free_page(Pfn::new(100)));
+        assert!(buddy.take_free_page(Pfn::new(600)));
+        assert!(try_alloc_superpage(&mut buddy).is_none());
+    }
+
+    #[test]
+    fn split_converts_huge_frames_to_movable() {
+        let mut frames = FrameDb::new(2048);
+        let asid = Asid(1);
+        let mut proc = Process::new(asid, 1 << 20);
+        let base_vpn = Vpn::new(512);
+        let base_pfn = Pfn::new(1024);
+        proc.page_table
+            .map_super(base_vpn, Pte::new(base_pfn, PteFlags::user_data()));
+        record_superpage_frames(&mut frames, asid, base_vpn, base_pfn);
+        assert_eq!(frames.counts().huge, 512);
+
+        assert!(split_superpage(&mut proc, &mut frames, base_vpn));
+        assert_eq!(frames.counts().huge, 0);
+        assert_eq!(frames.counts().movable, 512);
+        // Contiguity retained: base pages still map consecutive frames.
+        for i in [0u64, 17, 511] {
+            assert_eq!(
+                proc.translate(base_vpn.offset(i)).unwrap().pfn,
+                base_pfn.offset(i)
+            );
+        }
+        // Reverse map now points at individual base pages.
+        assert_eq!(frames.rmap(base_pfn.offset(9)), Some((asid, base_vpn.offset(9))));
+    }
+
+    #[test]
+    fn split_of_nonexistent_superpage_is_false() {
+        let mut frames = FrameDb::new(64);
+        let mut proc = Process::new(Asid(1), 1 << 20);
+        assert!(!split_superpage(&mut proc, &mut frames, Vpn::new(512)));
+    }
+
+    #[test]
+    fn pressure_watermark_comparison() {
+        assert!(pressure_should_split(5, 100, 0.10));
+        assert!(!pressure_should_split(15, 100, 0.10));
+        assert!(!pressure_should_split(10, 100, 0.10), "exactly at watermark: no split");
+    }
+}

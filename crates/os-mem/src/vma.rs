@@ -1,0 +1,221 @@
+//! Virtual memory areas and per-process address-space layout.
+//!
+//! The address space hands out virtual ranges with a bump allocator.
+//! Anonymous regions of at least 2MB are aligned to 2MB boundaries when
+//! requested, mirroring the alignment Linux gives THP-eligible regions
+//! (a superpage must be naturally aligned in both virtual and physical
+//! memory, paper §2.2).
+
+use crate::addr::{Vpn, SUPERPAGE_PAGES};
+use crate::error::{MemError, MemResult};
+use crate::page_table::PteFlags;
+use std::collections::BTreeMap;
+
+/// What backs a virtual memory area.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmaKind {
+    /// Anonymous memory (malloc/heap); THS-eligible (paper §6.1).
+    Anonymous,
+    /// File-backed memory; never a THS superpage candidate (paper §6.1).
+    FileBacked,
+}
+
+/// One contiguous virtual memory area.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Vma {
+    /// First virtual page.
+    pub start: Vpn,
+    /// Length in pages.
+    pub pages: u64,
+    /// Backing kind.
+    pub kind: VmaKind,
+    /// Page attribute bits applied to every mapping in the area.
+    pub flags: PteFlags,
+}
+
+impl Vma {
+    /// One-past-the-end virtual page.
+    pub fn end(&self) -> Vpn {
+        self.start.offset(self.pages)
+    }
+
+    /// True when `vpn` falls inside the area.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn >= self.start && vpn < self.end()
+    }
+}
+
+/// First virtual page handed out to user mappings (skip the null region).
+const USER_BASE_VPN: u64 = 0x1000;
+
+/// The per-process virtual address-space layout.
+///
+/// ```
+/// use colt_os_mem::vma::{AddressSpace, VmaKind};
+/// use colt_os_mem::page_table::PteFlags;
+/// let mut space = AddressSpace::new(1 << 27);
+/// let vma = space.reserve(100, VmaKind::Anonymous, PteFlags::user_data())?;
+/// assert_eq!(vma.pages, 100);
+/// assert!(space.find(vma.start).is_some());
+/// # Ok::<(), colt_os_mem::error::MemError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    vmas: BTreeMap<u64, Vma>,
+    next_vpn: u64,
+    limit_vpn: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space able to hold `limit_pages` mapped pages
+    /// of layout (the virtual span, not a physical budget).
+    pub fn new(limit_pages: u64) -> Self {
+        Self {
+            vmas: BTreeMap::new(),
+            next_vpn: USER_BASE_VPN,
+            limit_vpn: USER_BASE_VPN + limit_pages,
+        }
+    }
+
+    /// Reserves a fresh area of `pages` virtual pages.
+    ///
+    /// Anonymous areas of at least one superpage are aligned to 512 pages
+    /// so THS has a chance to back them with aligned 2MB frames.
+    ///
+    /// # Errors
+    /// [`MemError::ZeroSizedRequest`] for empty requests and
+    /// [`MemError::OutOfVirtualSpace`] when the layout region is full.
+    pub fn reserve(&mut self, pages: u64, kind: VmaKind, flags: PteFlags) -> MemResult<Vma> {
+        if pages == 0 {
+            return Err(MemError::ZeroSizedRequest);
+        }
+        let mut start = self.next_vpn;
+        if kind == VmaKind::Anonymous && pages >= SUPERPAGE_PAGES {
+            start = (start + SUPERPAGE_PAGES - 1) & !(SUPERPAGE_PAGES - 1);
+        }
+        let end = start
+            .checked_add(pages)
+            .ok_or(MemError::OutOfVirtualSpace { requested_pages: pages })?;
+        if end > self.limit_vpn {
+            return Err(MemError::OutOfVirtualSpace { requested_pages: pages });
+        }
+        let vma = Vma { start: Vpn::new(start), pages, kind, flags };
+        self.vmas.insert(start, vma);
+        // Leave a one-page guard gap between areas: distinct mappings are
+        // not virtually adjacent in practice, so contiguity runs cannot
+        // span separate allocations.
+        self.next_vpn = end + 1;
+        Ok(vma)
+    }
+
+    /// Removes the area starting exactly at `start`.
+    ///
+    /// # Errors
+    /// [`MemError::NotAllocationStart`] when no area starts there.
+    pub fn remove(&mut self, start: Vpn) -> MemResult<Vma> {
+        self.vmas
+            .remove(&start.raw())
+            .ok_or(MemError::NotAllocationStart { vpn: start })
+    }
+
+    /// The area containing `vpn`, if any.
+    pub fn find(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas
+            .range(..=vpn.raw())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(vpn))
+    }
+
+    /// Iterates areas in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Number of areas.
+    pub fn len(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// True when no areas exist.
+    pub fn is_empty(&self) -> bool {
+        self.vmas.is_empty()
+    }
+
+    /// Total mapped layout size in pages.
+    pub fn total_pages(&self) -> u64 {
+        self.vmas.values().map(|v| v.pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(1 << 24)
+    }
+
+    #[test]
+    fn reserve_bumps_and_finds() {
+        let mut s = space();
+        let a = s.reserve(10, VmaKind::Anonymous, PteFlags::user_data()).unwrap();
+        let b = s.reserve(5, VmaKind::FileBacked, PteFlags::user_data()).unwrap();
+        assert_eq!(b.start, a.end().next(), "one-page guard gap between areas");
+        assert_eq!(s.find(a.start.offset(9)).unwrap().start, a.start);
+        assert_eq!(s.find(b.start).unwrap().kind, VmaKind::FileBacked);
+        assert_eq!(s.total_pages(), 15);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn large_anonymous_areas_are_superpage_aligned() {
+        let mut s = space();
+        s.reserve(3, VmaKind::Anonymous, PteFlags::user_data()).unwrap();
+        let big = s.reserve(1024, VmaKind::Anonymous, PteFlags::user_data()).unwrap();
+        assert!(big.start.is_aligned(9), "THS-eligible area must be 2MB aligned");
+    }
+
+    #[test]
+    fn large_file_backed_areas_are_not_aligned() {
+        let mut s = space();
+        s.reserve(3, VmaKind::FileBacked, PteFlags::user_data()).unwrap();
+        let big = s.reserve(1024, VmaKind::FileBacked, PteFlags::user_data()).unwrap();
+        assert!(!big.start.is_aligned(9));
+    }
+
+    #[test]
+    fn zero_request_is_rejected() {
+        let mut s = space();
+        assert_eq!(
+            s.reserve(0, VmaKind::Anonymous, PteFlags::empty()),
+            Err(MemError::ZeroSizedRequest)
+        );
+    }
+
+    #[test]
+    fn exhausting_virtual_space_errors() {
+        let mut s = AddressSpace::new(100);
+        s.reserve(60, VmaKind::FileBacked, PteFlags::empty()).unwrap();
+        let err = s.reserve(60, VmaKind::FileBacked, PteFlags::empty()).unwrap_err();
+        assert!(matches!(err, MemError::OutOfVirtualSpace { requested_pages: 60 }));
+    }
+
+    #[test]
+    fn remove_requires_exact_start() {
+        let mut s = space();
+        let a = s.reserve(10, VmaKind::Anonymous, PteFlags::empty()).unwrap();
+        assert!(s.remove(a.start.offset(1)).is_err());
+        assert_eq!(s.remove(a.start).unwrap(), a);
+        assert!(s.find(a.start).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn find_outside_any_area_is_none() {
+        let mut s = space();
+        let a = s.reserve(4, VmaKind::Anonymous, PteFlags::empty()).unwrap();
+        assert!(s.find(a.end()).is_none());
+        assert!(s.find(Vpn::new(0)).is_none());
+    }
+}

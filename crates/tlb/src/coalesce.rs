@@ -1,0 +1,226 @@
+//! The coalescing logic (paper §4.1.4, the "Coalescing Logic" box of
+//! Figures 4–6).
+//!
+//! On a TLB miss the page walk fetches a 64-byte cache line holding the
+//! PTEs of eight consecutive virtual pages. *Without any additional
+//! memory references*, the coalescing logic inspects those eight slots
+//! and extracts the maximal run of contiguous, attribute-identical
+//! translations around the requested one. Coalescing is therefore bounded
+//! at eight translations per fill — a deliberate restriction that keeps
+//! the logic off the critical path.
+
+use crate::entry::CoalescedRun;
+use colt_os_mem::addr::Vpn;
+use colt_os_mem::page_table::PteLine;
+
+/// Extracts the maximal contiguous run around `vpn` from its PTE cache
+/// line. Returns `None` when the requested slot itself holds no
+/// translation.
+///
+/// A slot continues the run only when it is present, its frame number
+/// follows on from its neighbor, and its attribute bits are identical
+/// (one attribute set per coalesced entry, §4.1.5).
+///
+/// ```
+/// use colt_tlb::coalesce::coalesce_line;
+/// use colt_os_mem::page_table::{PageTable, Pte, PteFlags};
+/// use colt_os_mem::addr::{Pfn, Vpn};
+/// let mut pt = PageTable::new();
+/// for i in 0..4 {
+///     pt.map_base(Vpn::new(8 + i), Pte::new(Pfn::new(100 + i), PteFlags::user_data()));
+/// }
+/// let line = pt.pte_line(Vpn::new(9));
+/// let run = coalesce_line(&line, Vpn::new(9)).expect("slot mapped");
+/// assert_eq!(run.len, 4);
+/// assert_eq!(run.start_vpn, Vpn::new(8));
+/// ```
+pub fn coalesce_line(line: &PteLine, vpn: Vpn) -> Option<CoalescedRun> {
+    coalesce_line_masked(line, vpn, colt_os_mem::page_table::PteFlags::empty())
+}
+
+/// Like [`coalesce_line`], but attribute bits in `ignore` are excluded
+/// from the equality check — the §4.1.5 future-work relaxation ("more
+/// sophisticated schemes supporting separate attribute bits per
+/// translation will improve our results"). A hardware implementation
+/// would track the ignored bits per slot; we conservatively OR them into
+/// the entry (e.g. the whole entry reads as dirty if any member is).
+pub fn coalesce_line_masked(
+    line: &PteLine,
+    vpn: Vpn,
+    ignore: colt_os_mem::page_table::PteFlags,
+) -> Option<CoalescedRun> {
+    let slot = line.slot_of(vpn);
+    let pte = line.ptes[slot]?;
+    let key = pte.flags.without(ignore);
+
+    // Scan left while the previous slot holds the previous frame.
+    let mut first = slot;
+    while first > 0 {
+        match line.ptes[first - 1] {
+            Some(prev)
+                if prev.pfn.is_followed_by(line.ptes[first].expect("in-run slot").pfn)
+                    && prev.flags.without(ignore) == key =>
+            {
+                first -= 1;
+            }
+            _ => break,
+        }
+    }
+    // Scan right while the next slot continues the run.
+    let mut last = slot;
+    while last + 1 < line.ptes.len() {
+        match line.ptes[last + 1] {
+            Some(next)
+                if line.ptes[last].expect("in-run slot").pfn.is_followed_by(next.pfn)
+                    && next.flags.without(ignore) == key =>
+            {
+                last += 1;
+            }
+            _ => break,
+        }
+    }
+
+    let start_vpn = line.base_vpn.offset(first as u64);
+    let base_pfn = line.ptes[first].expect("first is in the run").pfn;
+    // Conservative shared attributes: the union of every member's bits.
+    let mut flags = pte.flags;
+    for s in first..=last {
+        flags = flags.with(line.ptes[s].expect("in-run slot").flags);
+    }
+    Some(CoalescedRun::new(
+        start_vpn,
+        base_pfn,
+        (last - first + 1) as u64,
+        flags,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_os_mem::addr::Pfn;
+    use colt_os_mem::page_table::{PageTable, Pte, PteFlags, PteLine};
+
+    fn line_from(mappings: &[(u64, u64)]) -> (PageTable, PteLine) {
+        let mut pt = PageTable::new();
+        for &(v, p) in mappings {
+            pt.map_base(Vpn::new(v), Pte::new(Pfn::new(p), PteFlags::user_data()));
+        }
+        let line = pt.pte_line(Vpn::new(mappings[0].0));
+        (pt, line)
+    }
+
+    #[test]
+    fn full_line_coalesces_to_eight() {
+        let maps: Vec<(u64, u64)> = (0..8).map(|i| (16 + i, 200 + i)).collect();
+        let (_pt, line) = line_from(&maps);
+        let run = coalesce_line(&line, Vpn::new(19)).unwrap();
+        assert_eq!(run.len, 8);
+        assert_eq!(run.start_vpn, Vpn::new(16));
+        assert_eq!(run.base_pfn, Pfn::new(200));
+    }
+
+    #[test]
+    fn lone_translation_yields_single_run() {
+        let (_pt, line) = line_from(&[(16, 200)]);
+        let run = coalesce_line(&line, Vpn::new(16)).unwrap();
+        assert_eq!(run.len, 1);
+    }
+
+    #[test]
+    fn requested_slot_unmapped_returns_none() {
+        let (_pt, line) = line_from(&[(16, 200)]);
+        assert!(coalesce_line(&line, Vpn::new(17)).is_none());
+    }
+
+    #[test]
+    fn run_is_clipped_by_pfn_discontinuity() {
+        // vpns 16,17,18 → 200,201,300: requesting 17 gives run {16,17}.
+        let (_pt, line) = line_from(&[(16, 200), (17, 201), (18, 300)]);
+        let run = coalesce_line(&line, Vpn::new(17)).unwrap();
+        assert_eq!(run.start_vpn, Vpn::new(16));
+        assert_eq!(run.len, 2);
+        // Requesting 18 gives the singleton {18}.
+        let run = coalesce_line(&line, Vpn::new(18)).unwrap();
+        assert_eq!(run.start_vpn, Vpn::new(18));
+        assert_eq!(run.len, 1);
+    }
+
+    #[test]
+    fn run_is_clipped_by_hole() {
+        let (_pt, line) = line_from(&[(16, 200), (18, 202), (19, 203)]);
+        let run = coalesce_line(&line, Vpn::new(18)).unwrap();
+        assert_eq!(run.start_vpn, Vpn::new(18));
+        assert_eq!(run.len, 2);
+    }
+
+    #[test]
+    fn run_is_clipped_by_attribute_divergence() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn::new(16), Pte::new(Pfn::new(200), PteFlags::user_data()));
+        pt.map_base(
+            Vpn::new(17),
+            Pte::new(Pfn::new(201), PteFlags::user_data().with(PteFlags::DIRTY)),
+        );
+        pt.map_base(Vpn::new(18), Pte::new(Pfn::new(202), PteFlags::user_data()));
+        let line = pt.pte_line(Vpn::new(16));
+        let run = coalesce_line(&line, Vpn::new(16)).unwrap();
+        assert_eq!(run.len, 1, "dirty neighbor cannot coalesce");
+        let run = coalesce_line(&line, Vpn::new(17)).unwrap();
+        assert_eq!(run.len, 1);
+    }
+
+    #[test]
+    fn coalescing_never_crosses_the_cache_line() {
+        // 16 contiguous pages, but a line holds only 8 PTEs.
+        let maps: Vec<(u64, u64)> = (0..16).map(|i| (16 + i, 200 + i)).collect();
+        let mut pt = PageTable::new();
+        for &(v, p) in &maps {
+            pt.map_base(Vpn::new(v), Pte::new(Pfn::new(p), PteFlags::user_data()));
+        }
+        let line = pt.pte_line(Vpn::new(20));
+        let run = coalesce_line(&line, Vpn::new(20)).unwrap();
+        assert_eq!(run.len, 8, "restricted to one line (§4.1.4)");
+        assert_eq!(run.start_vpn, Vpn::new(16));
+    }
+
+    #[test]
+    fn masked_coalescing_crosses_ignored_attribute_divergence() {
+        use super::coalesce_line_masked;
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn::new(16), Pte::new(Pfn::new(200), PteFlags::user_data()));
+        pt.map_base(
+            Vpn::new(17),
+            Pte::new(Pfn::new(201), PteFlags::user_data().with(PteFlags::DIRTY)),
+        );
+        pt.map_base(Vpn::new(18), Pte::new(Pfn::new(202), PteFlags::user_data()));
+        let line = pt.pte_line(Vpn::new(16));
+        // Strict comparison: run of 1 (exactly the paper's restriction).
+        assert_eq!(coalesce_line(&line, Vpn::new(16)).unwrap().len, 1);
+        // Ignoring DIRTY: the full 3-page run coalesces, and the entry
+        // conservatively reads as dirty.
+        let run = coalesce_line_masked(&line, Vpn::new(16), PteFlags::DIRTY).unwrap();
+        assert_eq!(run.len, 3);
+        assert!(run.flags.contains(PteFlags::DIRTY));
+        // A non-ignored divergence still breaks the run.
+        let run = coalesce_line_masked(&line, Vpn::new(16), PteFlags::ACCESSED).unwrap();
+        assert_eq!(run.len, 1);
+    }
+
+    #[test]
+    fn descending_pfns_do_not_coalesce() {
+        let (_pt, line) = line_from(&[(16, 203), (17, 202), (18, 201)]);
+        let run = coalesce_line(&line, Vpn::new(17)).unwrap();
+        assert_eq!(run.len, 1);
+    }
+
+    #[test]
+    fn run_in_middle_of_line() {
+        let (_pt, line) = line_from(&[(18, 300), (19, 301), (20, 302)]);
+        for probe in 18..=20u64 {
+            let run = coalesce_line(&line, Vpn::new(probe)).unwrap();
+            assert_eq!(run.start_vpn, Vpn::new(18));
+            assert_eq!(run.len, 3);
+        }
+    }
+}

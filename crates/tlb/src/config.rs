@@ -1,0 +1,252 @@
+//! Configuration of the two-level TLB hierarchy and its CoLT mode.
+
+use crate::prefetch::PrefetchConfig;
+use crate::replacement::ReplacementPolicy;
+use colt_os_mem::page_table::PteFlags;
+
+/// Which coalescing design the hierarchy implements (paper §4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ColtMode {
+    /// No coalescing: conventional set-associative L1/L2 plus a
+    /// fully-associative superpage TLB (the paper's baseline).
+    #[default]
+    Baseline,
+    /// CoLT-SA: coalescing in the set-associative L1 and L2 TLBs via
+    /// left-shifted index bits (§4.1).
+    ColtSa,
+    /// CoLT-FA: coalescing into the fully-associative superpage TLB
+    /// (§4.2).
+    ColtFa,
+    /// CoLT-All: threshold split between the set-associative TLBs and the
+    /// superpage TLB (§4.3).
+    ColtAll,
+}
+
+impl ColtMode {
+    /// Short display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ColtMode::Baseline => "Baseline",
+            ColtMode::ColtSa => "CoLT-SA",
+            ColtMode::ColtFa => "CoLT-FA",
+            ColtMode::ColtAll => "CoLT-All",
+        }
+    }
+}
+
+/// Hierarchy parameters. The defaults reproduce the paper's simulated
+/// system (§5.2.1): 32-entry 4-way L1, 128-entry 4-way L2, 16-entry
+/// superpage TLB (halved to 8 for CoLT-FA/CoLT-All to pay for their more
+/// complex lookups, §4.2.4), and index bits left-shifted by two
+/// (VPN[4-2] / VPN[6-2], §7.1.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbConfig {
+    /// Coalescing design.
+    pub mode: ColtMode,
+    /// L1 set-associative TLB entries.
+    pub l1_entries: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 set-associative TLB entries.
+    pub l2_entries: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Fully-associative superpage TLB entries.
+    pub sp_entries: usize,
+    /// Index left-shift of the set-associative TLBs in coalescing modes
+    /// (maximum coalescing `2^sa_shift`).
+    pub sa_shift: u32,
+    /// CoLT-All threshold: runs of at most this length go to the
+    /// set-associative TLBs, longer runs to the superpage TLB (§4.3.1).
+    pub all_threshold: u64,
+    /// When a coalesced entry is placed in the superpage TLB, also fill
+    /// the L2 TLB (§7.1.3 — the policy worth 10–20% extra eliminations).
+    pub fill_l2_on_fa: bool,
+    /// Merge freshly coalesced entries with resident superpage-TLB
+    /// entries (§4.2.1 step 5).
+    pub fa_resident_merge: bool,
+    /// Victim-selection policy (§4.1.5/§4.2.3 future work: prioritize
+    /// high-coalescing entries).
+    pub replacement: ReplacementPolicy,
+    /// Graceful uncoalescing on invalidation (§4.1.5 future work): only
+    /// the victim translation is lost, not its siblings.
+    pub graceful_invalidation: bool,
+    /// Attribute bits ignored by the coalescing comparison (§4.1.5
+    /// future work: per-translation attribute handling). The paper's
+    /// hardware requires all attributes equal; relaxing DIRTY/ACCESSED
+    /// recovers the contiguity write traffic breaks up.
+    pub coalesce_ignore_flags: PteFlags,
+    /// Optional sequential TLB prefetcher with a distinct buffer — the
+    /// related-work baseline of §2.1 (disabled for all paper designs).
+    pub prefetch: Option<PrefetchConfig>,
+}
+
+impl TlbConfig {
+    /// The paper's baseline hierarchy: no coalescing, 16-entry superpage
+    /// TLB.
+    pub fn baseline() -> Self {
+        Self {
+            mode: ColtMode::Baseline,
+            l1_entries: 32,
+            l1_ways: 4,
+            l2_entries: 128,
+            l2_ways: 4,
+            sp_entries: 16,
+            sa_shift: 0,
+            all_threshold: 0,
+            fill_l2_on_fa: false,
+            fa_resident_merge: false,
+            replacement: ReplacementPolicy::Lru,
+            graceful_invalidation: false,
+            coalesce_ignore_flags: PteFlags::empty(),
+            prefetch: None,
+        }
+    }
+
+    /// CoLT-SA with the paper's default two-bit index shift.
+    pub fn colt_sa() -> Self {
+        Self {
+            mode: ColtMode::ColtSa,
+            sa_shift: 2,
+            ..Self::baseline()
+        }
+    }
+
+    /// CoLT-FA with the conservatively halved 8-entry superpage TLB.
+    pub fn colt_fa() -> Self {
+        Self {
+            mode: ColtMode::ColtFa,
+            sp_entries: 8,
+            sa_shift: 0,
+            fill_l2_on_fa: true,
+            fa_resident_merge: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// CoLT-All: shift-2 set-associative coalescing, 8-entry superpage
+    /// TLB, threshold at the set-associative maximum (4).
+    pub fn colt_all() -> Self {
+        Self {
+            mode: ColtMode::ColtAll,
+            sp_entries: 8,
+            sa_shift: 2,
+            all_threshold: 4,
+            fill_l2_on_fa: true,
+            fa_resident_merge: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// Returns the configuration for `mode` with paper defaults.
+    pub fn for_mode(mode: ColtMode) -> Self {
+        match mode {
+            ColtMode::Baseline => Self::baseline(),
+            ColtMode::ColtSa => Self::colt_sa(),
+            ColtMode::ColtFa => Self::colt_fa(),
+            ColtMode::ColtAll => Self::colt_all(),
+        }
+    }
+
+    /// Sets the index shift (Figure 19's sweep), adjusting the CoLT-All
+    /// threshold to the new set-associative maximum.
+    #[must_use]
+    pub fn with_shift(mut self, shift: u32) -> Self {
+        self.sa_shift = shift;
+        if self.mode == ColtMode::ColtAll {
+            self.all_threshold = 1 << shift;
+        }
+        self
+    }
+
+    /// Sets L2 associativity at fixed size (Figure 20's sweep).
+    #[must_use]
+    pub fn with_l2_ways(mut self, ways: usize) -> Self {
+        self.l2_ways = ways;
+        self
+    }
+
+    /// Attaches the related-work sequential prefetcher (§2.1 baseline).
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = Some(prefetch);
+        self
+    }
+
+    /// Enables every §4.1.5/§4.2.3 future-work refinement on top of the
+    /// current design: coalescing-aware replacement, graceful
+    /// invalidation, and DIRTY/ACCESSED-tolerant coalescing.
+    #[must_use]
+    pub fn with_future_work(mut self) -> Self {
+        self.replacement = ReplacementPolicy::SmallestCoalescedFirst;
+        self.graceful_invalidation = true;
+        self.coalesce_ignore_flags = PteFlags::DIRTY.with(PteFlags::ACCESSED);
+        self
+    }
+
+    /// The index shift actually applied to the set-associative TLBs
+    /// (coalescing modes only; baseline and CoLT-FA use conventional
+    /// indexing).
+    pub fn effective_sa_shift(&self) -> u32 {
+        match self.mode {
+            ColtMode::ColtSa | ColtMode::ColtAll => self.sa_shift,
+            ColtMode::Baseline | ColtMode::ColtFa => 0,
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let b = TlbConfig::baseline();
+        assert_eq!(b.l1_entries, 32);
+        assert_eq!(b.l2_entries, 128);
+        assert_eq!(b.sp_entries, 16);
+        assert_eq!(b.effective_sa_shift(), 0);
+
+        let sa = TlbConfig::colt_sa();
+        assert_eq!(sa.sp_entries, 16);
+        assert_eq!(sa.effective_sa_shift(), 2);
+
+        let fa = TlbConfig::colt_fa();
+        assert_eq!(fa.sp_entries, 8, "conservatively halved (§4.2.4)");
+        assert_eq!(fa.effective_sa_shift(), 0);
+        assert!(fa.fill_l2_on_fa);
+
+        let all = TlbConfig::colt_all();
+        assert_eq!(all.sp_entries, 8);
+        assert_eq!(all.all_threshold, 4);
+        assert_eq!(all.effective_sa_shift(), 2);
+    }
+
+    #[test]
+    fn with_shift_updates_threshold_for_all_mode() {
+        let c = TlbConfig::colt_all().with_shift(3);
+        assert_eq!(c.all_threshold, 8);
+        let c = TlbConfig::colt_sa().with_shift(1);
+        assert_eq!(c.sa_shift, 1);
+        assert_eq!(c.all_threshold, 0, "threshold untouched outside CoLT-All");
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(ColtMode::ColtSa.label(), "CoLT-SA");
+        assert_eq!(ColtMode::Baseline.label(), "Baseline");
+    }
+
+    #[test]
+    fn for_mode_round_trips() {
+        for mode in [ColtMode::Baseline, ColtMode::ColtSa, ColtMode::ColtFa, ColtMode::ColtAll] {
+            assert_eq!(TlbConfig::for_mode(mode).mode, mode);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Fully-associative range TLB (CoLT-FA, paper §4.2 / Figure 5).
+//!
+//! The small fully-associative structure processors dedicate to
+//! superpages, extended with range-check lookup so each entry can cover
+//! an arbitrary-length coalesced run (up to 1024 pages). On fill, a newly
+//! coalesced entry may merge with resident entries that continue its run
+//! (§4.2.1 step 5), growing reach without extra entries.
+
+use crate::entry::{CoalescedRun, RangeEntry, RangeKind};
+use crate::replacement::ReplacementPolicy;
+use colt_os_mem::addr::{Pfn, Vpn};
+use colt_os_mem::page_table::PteFlags;
+
+/// A hit in the fully-associative TLB.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaHit {
+    /// The translated frame.
+    pub pfn: Pfn,
+    /// Attribute bits.
+    pub flags: PteFlags,
+    /// Length of the hit range (512 for superpages).
+    pub entry_len: u64,
+    /// Whether the hit entry was a superpage.
+    pub superpage: bool,
+}
+
+/// Per-structure counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Fills absorbed by resident-entry merging.
+    pub merges: u64,
+    /// Entries evicted by replacement.
+    pub evictions: u64,
+    /// Entries removed by invalidation.
+    pub invalidations: u64,
+}
+
+/// The fully-associative range TLB with LRU replacement.
+///
+/// ```
+/// use colt_tlb::fully_assoc::FullyAssocTlb;
+/// use colt_tlb::entry::{CoalescedRun, RangeEntry};
+/// use colt_os_mem::addr::{Pfn, Vpn};
+/// use colt_os_mem::page_table::PteFlags;
+/// let mut tlb = FullyAssocTlb::new(8);
+/// let run = CoalescedRun::new(Vpn::new(100), Pfn::new(700), 20, PteFlags::user_data());
+/// tlb.insert(RangeEntry::coalesced(run));
+/// assert_eq!(tlb.lookup(Vpn::new(119)).unwrap().pfn, Pfn::new(719));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FullyAssocTlb {
+    entries: Vec<RangeEntry>, // MRU-first
+    capacity: usize,
+    policy: ReplacementPolicy,
+    stats: FaStats,
+}
+
+impl FullyAssocTlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB must hold at least one entry");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            policy: ReplacementPolicy::Lru,
+            stats: FaStats::default(),
+        }
+    }
+
+    /// Sets the victim-selection policy (§4.2.3 future work).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FaStats {
+        self.stats
+    }
+
+    /// Looks up `vpn` by range check against every entry, updating LRU
+    /// order and counters. Frequently accessed superpage entries thus
+    /// stay at the head of the LRU list, which is what keeps them from
+    /// being evicted by coalesced traffic (§4.2.1).
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<FaHit> {
+        if let Some(pos) = self.entries.iter().position(|e| e.lookup(vpn).is_some()) {
+            let entry = self.entries.remove(pos);
+            let hit = FaHit {
+                pfn: entry.lookup(vpn).expect("position found by lookup"),
+                flags: entry.flags(),
+                entry_len: entry.run().len,
+                superpage: entry.kind() == RangeKind::Superpage,
+            };
+            self.entries.insert(0, entry);
+            self.stats.hits += 1;
+            return Some(hit);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Checks for a hit without touching LRU or counters.
+    pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
+        self.entries.iter().find_map(|e| e.lookup(vpn))
+    }
+
+    /// Inserts an entry, evicting the LRU entry when full. Returns the
+    /// evicted entry, if any.
+    pub fn insert(&mut self, entry: RangeEntry) -> Option<RangeEntry> {
+        self.stats.insertions += 1;
+        let evicted = if self.entries.len() == self.capacity {
+            self.stats.evictions += 1;
+            let candidates: Vec<(usize, u64)> = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(rank, e)| (rank, e.run().len))
+                .collect();
+            let victim = self.policy.choose_victim(&candidates);
+            Some(self.entries.remove(victim))
+        } else {
+            None
+        };
+        self.entries.insert(0, entry);
+        evicted
+    }
+
+    /// Gracefully uncoalesces on invalidation: coalesced ranges covering
+    /// `vpn` lose only the victim translation, splitting into remnants;
+    /// superpage entries are still flushed whole (a 2MB invalidation is a
+    /// 2MB invalidation). Returns the number of entries affected.
+    pub fn invalidate_graceful(&mut self, vpn: Vpn) -> usize {
+        let mut affected = 0;
+        let mut pos = 0;
+        while pos < self.entries.len() {
+            if self.entries[pos].lookup(vpn).is_none() {
+                pos += 1;
+                continue;
+            }
+            affected += 1;
+            let entry = self.entries.remove(pos);
+            if entry.kind() == RangeKind::Superpage {
+                continue;
+            }
+            let (left, right) = entry.run().split_at(vpn).expect("lookup hit");
+            let mut insert_at = pos;
+            for remnant in [left, right].into_iter().flatten() {
+                if self.entries.len() < self.capacity {
+                    self.entries
+                        .insert(insert_at.min(self.entries.len()), RangeEntry::coalesced(remnant));
+                    insert_at += 1;
+                }
+            }
+        }
+        self.stats.invalidations += affected as u64;
+        affected
+    }
+
+    /// Inserts a coalesced run, first merging it with any resident
+    /// coalesced entries it extends (§4.2.1: the scan happens while the
+    /// requested entry returns to the pipeline, so it is off the critical
+    /// path). Chained merges are applied until a fixpoint, since the new
+    /// run can bridge two residents.
+    ///
+    /// Returns the evicted entry if insertion displaced one.
+    pub fn insert_coalesced_with_merge(&mut self, run: CoalescedRun) -> Option<RangeEntry> {
+        let mut acc = run;
+        loop {
+            let mut merged_any = false;
+            let mut pos = 0;
+            while pos < self.entries.len() {
+                if let Some(merged) = self.entries[pos].try_merge(&acc) {
+                    self.entries.remove(pos);
+                    acc = merged.run();
+                    self.stats.merges += 1;
+                    merged_any = true;
+                } else {
+                    pos += 1;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        self.insert(RangeEntry::coalesced(acc))
+    }
+
+    /// Invalidates every entry covering `vpn` (whole ranges are flushed,
+    /// §4.2.3). Returns the number removed.
+    pub fn invalidate(&mut self, vpn: Vpn) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.lookup(vpn).is_none());
+        let removed = before - self.entries.len();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
+    /// Flushes the whole TLB.
+    pub fn flush(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Live entry count.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total pages covered by live entries.
+    pub fn covered_pages(&self) -> u64 {
+        self.entries.iter().map(|e| e.run().len).sum()
+    }
+
+    /// Iterates live entries, MRU first.
+    pub fn iter(&self) -> impl Iterator<Item = &RangeEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags() -> PteFlags {
+        PteFlags::user_data()
+    }
+
+    fn run(v: u64, p: u64, len: u64) -> CoalescedRun {
+        CoalescedRun::new(Vpn::new(v), Pfn::new(p), len, flags())
+    }
+
+    #[test]
+    fn range_lookup_hits_anywhere_in_run() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert(RangeEntry::coalesced(run(100, 700, 20)));
+        assert_eq!(tlb.lookup(Vpn::new(100)).unwrap().pfn, Pfn::new(700));
+        assert_eq!(tlb.lookup(Vpn::new(119)).unwrap().pfn, Pfn::new(719));
+        assert!(tlb.lookup(Vpn::new(120)).is_none());
+        assert_eq!(tlb.stats().hits, 2);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut tlb = FullyAssocTlb::new(2);
+        tlb.insert(RangeEntry::coalesced(run(0, 0, 4)));
+        tlb.insert(RangeEntry::coalesced(run(100, 100, 4)));
+        tlb.lookup(Vpn::new(1)); // 0-run is MRU
+        let evicted = tlb.insert(RangeEntry::coalesced(run(200, 200, 4))).unwrap();
+        assert_eq!(evicted.run().start_vpn, Vpn::new(100));
+    }
+
+    #[test]
+    fn frequently_used_superpages_resist_eviction() {
+        // §4.2.1: hot superpages stay at the LRU head even when coalesced
+        // entries stream through a tiny structure.
+        let mut tlb = FullyAssocTlb::new(2);
+        tlb.insert(RangeEntry::superpage(Vpn::new(512), Pfn::new(1024), flags()));
+        for i in 0..10 {
+            tlb.lookup(Vpn::new(512 + i)); // keep the superpage hot
+            tlb.insert_coalesced_with_merge(run(10_000 + 100 * i, 5_000 + 100 * i, 8));
+        }
+        assert!(
+            tlb.probe(Vpn::new(512)).is_some(),
+            "hot superpage survived the coalesced stream"
+        );
+    }
+
+    #[test]
+    fn resident_merge_extends_runs() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert_coalesced_with_merge(run(100, 700, 8));
+        tlb.insert_coalesced_with_merge(run(108, 708, 8));
+        assert_eq!(tlb.occupancy(), 1, "adjacent runs merged");
+        assert_eq!(tlb.covered_pages(), 16);
+        assert_eq!(tlb.probe(Vpn::new(115)), Some(Pfn::new(715)));
+        assert_eq!(tlb.stats().merges, 1);
+    }
+
+    #[test]
+    fn merge_bridges_two_residents() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert_coalesced_with_merge(run(100, 700, 8)); // 100..108
+        tlb.insert_coalesced_with_merge(run(116, 716, 8)); // 116..124
+        assert_eq!(tlb.occupancy(), 2);
+        // The middle run bridges both.
+        tlb.insert_coalesced_with_merge(run(108, 708, 8)); // 108..116
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.covered_pages(), 24);
+        assert_eq!(tlb.probe(Vpn::new(123)), Some(Pfn::new(723)));
+    }
+
+    #[test]
+    fn merge_skips_inconsistent_neighbors() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert_coalesced_with_merge(run(100, 700, 8));
+        tlb.insert_coalesced_with_merge(run(108, 900, 8)); // anchor mismatch
+        assert_eq!(tlb.occupancy(), 2);
+    }
+
+    #[test]
+    fn superpages_are_not_merge_targets() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert(RangeEntry::superpage(Vpn::new(512), Pfn::new(512), flags()));
+        // Run physically continuing the superpage still does not merge.
+        tlb.insert_coalesced_with_merge(run(1024, 1024, 4));
+        assert_eq!(tlb.occupancy(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_covering_ranges() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert(RangeEntry::coalesced(run(100, 700, 20)));
+        tlb.insert(RangeEntry::coalesced(run(300, 900, 4)));
+        assert_eq!(tlb.invalidate(Vpn::new(110)), 1);
+        assert!(tlb.probe(Vpn::new(100)).is_none(), "whole range flushed");
+        assert!(tlb.probe(Vpn::new(301)).is_some());
+    }
+
+    #[test]
+    fn flush_and_occupancy() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert(RangeEntry::coalesced(run(0, 0, 4)));
+        tlb.insert(RangeEntry::coalesced(run(10, 10, 4)));
+        assert_eq!(tlb.occupancy(), 2);
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert!(tlb.probe(Vpn::new(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _ = FullyAssocTlb::new(0);
+    }
+
+    #[test]
+    fn graceful_invalidation_splits_ranges() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert(RangeEntry::coalesced(run(100, 700, 20)));
+        assert_eq!(tlb.invalidate_graceful(Vpn::new(110)), 1);
+        assert_eq!(tlb.probe(Vpn::new(109)), Some(Pfn::new(709)));
+        assert_eq!(tlb.probe(Vpn::new(110)), None);
+        assert_eq!(tlb.probe(Vpn::new(111)), Some(Pfn::new(711)));
+        assert_eq!(tlb.occupancy(), 2);
+    }
+
+    #[test]
+    fn graceful_invalidation_flushes_whole_superpages() {
+        let mut tlb = FullyAssocTlb::new(4);
+        tlb.insert(RangeEntry::superpage(Vpn::new(512), Pfn::new(512), flags()));
+        assert_eq!(tlb.invalidate_graceful(Vpn::new(600)), 1);
+        assert_eq!(tlb.occupancy(), 0, "superpages cannot uncoalesce");
+    }
+
+    #[test]
+    fn coalesced_first_replacement_in_fa() {
+        use crate::replacement::ReplacementPolicy;
+        let mut tlb =
+            FullyAssocTlb::new(2).with_policy(ReplacementPolicy::SmallestCoalescedFirst);
+        tlb.insert(RangeEntry::coalesced(run(0, 0, 64)));
+        tlb.insert(RangeEntry::coalesced(run(200, 200, 2)));
+        tlb.insert(RangeEntry::coalesced(run(400, 400, 8)));
+        assert!(tlb.probe(Vpn::new(10)).is_some(), "64-page range survives");
+        assert!(tlb.probe(Vpn::new(200)).is_none(), "2-page range evicted");
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut tlb = FullyAssocTlb::new(2);
+        tlb.insert(RangeEntry::coalesced(run(0, 0, 4)));
+        tlb.insert(RangeEntry::coalesced(run(100, 100, 4)));
+        tlb.probe(Vpn::new(0));
+        let evicted = tlb.insert(RangeEntry::coalesced(run(200, 200, 4))).unwrap();
+        assert_eq!(evicted.run().start_vpn, Vpn::new(0), "probe must not promote");
+    }
+}

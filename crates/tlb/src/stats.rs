@@ -1,0 +1,145 @@
+//! Hierarchy-level TLB statistics.
+//!
+//! Miss accounting follows the paper (§7.1.1): the set-associative L1 and
+//! the superpage TLB are probed in parallel and share one hit time, so a
+//! *L1 miss* means both missed; a *L2 miss* means every structure missed
+//! and a page walk is required.
+
+/// Counters for one run of a TLB hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HierarchyStats {
+    /// Total translation requests.
+    pub accesses: u64,
+    /// Hits at L1 level (set-associative L1 *or* superpage TLB).
+    pub l1_hits: u64,
+    /// Misses at L1 level.
+    pub l1_misses: u64,
+    /// Hits in the L2 TLB (after an L1-level miss).
+    pub l2_hits: u64,
+    /// Misses everywhere: page walks.
+    pub l2_misses: u64,
+    /// Fills performed after walks.
+    pub fills: u64,
+    /// Fills that installed a superpage entry.
+    pub superpage_fills: u64,
+    /// Lookups served by the prefetch buffer (related-work baseline).
+    pub pb_hits: u64,
+    /// Histogram of coalesced run lengths at fill time;
+    /// `coalesce_hist[k]` counts fills whose run coalesced `k+1`
+    /// translations (index 7 = the 8-translation cache-line maximum).
+    pub coalesce_hist: [u64; 8],
+}
+
+impl HierarchyStats {
+    /// L1-level miss ratio.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.l1_misses as f64 / self.accesses as f64
+    }
+
+    /// Walk (L2 miss) ratio over all accesses.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.l2_misses as f64 / self.accesses as f64
+    }
+
+    /// Misses per million *accesses* scaled by an instructions-per-access
+    /// factor: MPMI as the paper reports it, given how many instructions
+    /// each memory access represents.
+    pub fn mpmi(&self, misses: u64, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        misses as f64 * 1.0e6 / instructions as f64
+    }
+
+    /// Average translations per fill (coalescing effectiveness).
+    pub fn avg_coalescing(&self) -> f64 {
+        let fills: u64 = self.coalesce_hist.iter().sum();
+        if fills == 0 {
+            return 0.0;
+        }
+        let translations: u64 = self
+            .coalesce_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum();
+        translations as f64 / fills as f64
+    }
+
+    /// Records one fill of a run with `len` coalesced translations.
+    pub(crate) fn record_fill(&mut self, len: u64) {
+        self.fills += 1;
+        let idx = (len.clamp(1, 8) - 1) as usize;
+        self.coalesce_hist[idx] += 1;
+    }
+}
+
+/// Percentage of baseline misses eliminated: the paper's Figure 18/19/20
+/// metric. Negative values mean the design *added* misses (as Figure 19
+/// shows for over-aggressive index shifts).
+pub fn pct_misses_eliminated(baseline_misses: u64, colt_misses: u64) -> f64 {
+    if baseline_misses == 0 {
+        return 0.0;
+    }
+    (baseline_misses as f64 - colt_misses as f64) * 100.0 / baseline_misses as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_empty_safety() {
+        let mut s = HierarchyStats::default();
+        assert_eq!(s.l1_miss_ratio(), 0.0);
+        assert_eq!(s.l2_miss_ratio(), 0.0);
+        assert_eq!(s.avg_coalescing(), 0.0);
+        s.accesses = 100;
+        s.l1_misses = 25;
+        s.l2_misses = 10;
+        assert!((s.l1_miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.l2_miss_ratio() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_histogram_records_lengths() {
+        let mut s = HierarchyStats::default();
+        s.record_fill(1);
+        s.record_fill(4);
+        s.record_fill(4);
+        s.record_fill(8);
+        assert_eq!(s.fills, 4);
+        assert_eq!(s.coalesce_hist[0], 1);
+        assert_eq!(s.coalesce_hist[3], 2);
+        assert_eq!(s.coalesce_hist[7], 1);
+        assert!((s.avg_coalescing() - 17.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_fill_lengths_clamp_to_eight() {
+        let mut s = HierarchyStats::default();
+        s.record_fill(100);
+        assert_eq!(s.coalesce_hist[7], 1);
+    }
+
+    #[test]
+    fn miss_elimination_percentages() {
+        assert_eq!(pct_misses_eliminated(100, 60), 40.0);
+        assert_eq!(pct_misses_eliminated(100, 125), -25.0);
+        assert_eq!(pct_misses_eliminated(0, 10), 0.0);
+    }
+
+    #[test]
+    fn mpmi_scales_to_million_instructions() {
+        let s = HierarchyStats::default();
+        assert!((s.mpmi(500, 1_000_000) - 500.0).abs() < 1e-9);
+        assert!((s.mpmi(500, 10_000_000) - 50.0).abs() < 1e-9);
+        assert_eq!(s.mpmi(500, 0), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Background system load: machine "aging" and interfering processes.
+//!
+//! The paper measures contiguity on a realistically fragmented machine
+//! ("a machine that has already run a number of applications … for two
+//! months", §5.1.1) with other processes allocating concurrently. We
+//! reproduce both effects deterministically: an aging pass churns
+//! allocations from several background processes before the benchmark
+//! starts, and an [`Interferer`] injects competing allocations between
+//! the benchmark's own mallocs.
+
+use colt_os_mem::addr::{Asid, Vpn};
+use colt_os_mem::error::MemResult;
+use colt_os_mem::kernel::Kernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How hard the aging pass churns memory.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AgingConfig {
+    /// Fill physical memory up to this fraction before punching holes —
+    /// a long-running machine's memory is essentially all in use (page
+    /// cache and resident processes).
+    pub fill_fraction: f64,
+    /// Fraction of the fill allocations freed afterwards, leaving
+    /// scattered holes whose sizes follow the allocation sizes.
+    pub hole_fraction: f64,
+    /// Maximum pages per background allocation.
+    pub max_chunk_pages: u64,
+    /// Extra alloc/free churn operations after hole punching, mixing the
+    /// free-space pattern further.
+    pub churn_ops: u32,
+}
+
+impl Default for AgingConfig {
+    fn default() -> Self {
+        Self { fill_fraction: 0.97, hole_fraction: 0.50, max_chunk_pages: 3, churn_ops: 600 }
+    }
+}
+
+/// Probability that a fill allocation is a large buffer (hundreds of
+/// pages) rather than a small chunk — the heavy tail that leaves the
+/// occasional large free region behind, like a closed application's
+/// buffers on a real machine.
+const LARGE_ALLOC_PROB: f64 = 0.0005;
+
+/// Ages the system the way two months of use would (paper §5.1.1):
+/// background processes fill nearly all of memory with small mixed
+/// anonymous/file allocations, then a large share is freed in random
+/// order, leaving free space shattered into allocation-sized holes.
+/// Returns the background ASIDs (still live and holding memory).
+///
+/// # Errors
+/// Propagates kernel allocation failures (aging stays within the fill
+/// fraction, so failure indicates a configuration error).
+pub fn age_system(kernel: &mut Kernel, config: AgingConfig, seed: u64) -> MemResult<Vec<Asid>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let procs: Vec<Asid> = (0..3).map(|_| kernel.spawn()).collect();
+    let total = kernel.buddy().nr_frames();
+    let mut live: Vec<(Asid, Vpn, u64)> = Vec::new();
+
+    // Phase 1: fill memory to the target fraction — mostly small chunks,
+    // with an occasional large buffer (the heavy tail). Filling runs all
+    // the way down (no virgin strip survives months of uptime).
+    let fill_target = ((total as f64 * (1.0 - config.fill_fraction)) as u64).min(128);
+    while kernel.free_frames() > fill_target {
+        let asid = procs[rng.gen_range(0..procs.len())];
+        let pages = if rng.gen_bool(LARGE_ALLOC_PROB) {
+            // Half the large buffers are THP-eligible (>= 512 pages):
+            // with THS on, their faults trigger defrag compaction — the
+            // side effect that raises *other* processes' contiguity
+            // (paper §6.2's Omnetpp explanation).
+            rng.gen_range(256..=768)
+        } else {
+            rng.gen_range(1..=config.max_chunk_pages)
+        }
+        .min(kernel.free_frames() - fill_target);
+        // A third of background traffic is file-backed (never THP).
+        let base = if rng.gen_bool(0.33) {
+            kernel.mmap_file(asid, pages)?
+        } else {
+            kernel.malloc(asid, pages)?
+        };
+        live.push((asid, base, pages));
+    }
+
+    // Phase 2: punch holes by freeing a random share of allocations.
+    let holes = (live.len() as f64 * config.hole_fraction) as usize;
+    for _ in 0..holes {
+        if live.is_empty() {
+            break;
+        }
+        let idx = rng.gen_range(0..live.len());
+        let (asid, base, _) = live.swap_remove(idx);
+        kernel.free(asid, base)?;
+    }
+
+    // Phase 3: churn to mix the hole pattern (no compaction ticks here —
+    // an aged machine's free space stays fragmented until something
+    // triggers the daemon).
+    for _ in 0..config.churn_ops {
+        if rng.gen_bool(0.5) && !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            let (asid, base, _) = live.swap_remove(idx);
+            kernel.free(asid, base)?;
+        } else {
+            let asid = procs[rng.gen_range(0..procs.len())];
+            let pages = rng.gen_range(1..=config.max_chunk_pages.min(16));
+            if kernel.free_frames() < pages + fill_target {
+                continue;
+            }
+            let base = if rng.gen_bool(0.33) {
+                kernel.mmap_file(asid, pages)?
+            } else {
+                kernel.malloc(asid, pages)?
+            };
+            live.push((asid, base, pages));
+        }
+    }
+    // Phase 4: a large THP-using application starts, touches its heap,
+    // and exits. With THS on, every 2MB first-touch triggers defrag
+    // compaction, consolidating free space machine-wide — the side
+    // effect through which THS raises *other* processes' contiguity
+    // (paper §6.2). With THS off the same faults allocate single pages
+    // and change nothing.
+    let app = kernel.spawn();
+    let mut heaps = Vec::new();
+    for _ in 0..10 {
+        let pages = rng.gen_range(512..=1024);
+        if kernel.free_frames() < pages + fill_target {
+            break;
+        }
+        let base = kernel.reserve(app, pages, colt_os_mem::vma::VmaKind::Anonymous)?;
+        for i in 0..pages {
+            kernel.touch(app, base.offset(i))?;
+        }
+        heaps.push(base);
+    }
+    for base in heaps {
+        kernel.free(app, base)?;
+    }
+
+    Ok(procs)
+}
+
+/// A background process that allocates between the benchmark's mallocs,
+/// breaking up the buddy allocator's contiguous runs.
+#[derive(Debug)]
+pub struct Interferer {
+    asid: Asid,
+    live: Vec<Vpn>,
+    rng: StdRng,
+}
+
+impl Interferer {
+    /// Spawns the interfering process.
+    pub fn new(kernel: &mut Kernel, seed: u64) -> Self {
+        Self { asid: kernel.spawn(), live: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The interferer's address space.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Allocates roughly `pages` in small chunks, freeing about 40% of
+    /// its older allocations as it goes (steady-state process behavior).
+    ///
+    /// # Errors
+    /// Propagates kernel allocation failures.
+    pub fn interfere(&mut self, kernel: &mut Kernel, pages: u64) -> MemResult<()> {
+        let mut remaining = pages;
+        while remaining > 0 {
+            let chunk = self.rng.gen_range(1..=16).min(remaining);
+            let base = kernel.malloc(self.asid, chunk)?;
+            self.live.push(base);
+            remaining -= chunk;
+            if self.live.len() > 4 && self.rng.gen_bool(0.4) {
+                let idx = self.rng.gen_range(0..self.live.len());
+                let base = self.live.swap_remove(idx);
+                kernel.free(self.asid, base)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_os_mem::kernel::KernelConfig;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig { nr_frames: 1 << 14, ..KernelConfig::ths_off() })
+    }
+
+    #[test]
+    fn aging_fragments_free_memory() {
+        let mut k = kernel();
+        let blocks_before: usize = k.buddy().histogram().counts.iter().sum();
+        age_system(&mut k, AgingConfig::default(), 7).unwrap();
+        let blocks_after: usize = k.buddy().histogram().counts.iter().sum();
+        assert!(blocks_after > blocks_before, "aging must shatter free memory");
+        assert!(k.free_frames() > (1 << 14) / 2, "aging must not consume most memory");
+    }
+
+    #[test]
+    fn aging_is_deterministic() {
+        let run = |seed| {
+            let mut k = kernel();
+            age_system(&mut k, AgingConfig::default(), seed).unwrap();
+            (k.free_frames(), k.buddy().histogram().counts.clone())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn interferer_allocates_and_churns() {
+        let mut k = kernel();
+        let mut i = Interferer::new(&mut k, 5);
+        let before = k.free_frames();
+        i.interfere(&mut k, 64).unwrap();
+        assert!(k.free_frames() < before);
+        // It holds some but not all of what it allocated. (Order-0
+        // allocations may park a whole per-CPU batch, so allow that
+        // slack on top of the 64 requested pages.)
+        let held = before - k.free_frames();
+        assert!(held > 0 && held <= 64 + 32, "held {held}");
+    }
+}

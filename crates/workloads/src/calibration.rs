@@ -1,0 +1,151 @@
+//! The paper's published numbers, used two ways: to parameterize the
+//! synthetic benchmark models (ordering of TLB pressure and contiguity)
+//! and to report paper-vs-measured comparisons in every experiment
+//! (EXPERIMENTS.md).
+//!
+//! Sources: Table 1 (real-system MPMIs with THS on/off), the Figure 7–15
+//! CDF legends (average contiguities per kernel configuration), and the
+//! headline aggregates of Figures 18–21.
+
+/// Benchmark suite of origin (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// SPEC CPU2006.
+    Spec,
+    /// BioBench bioinformatics suite.
+    BioBench,
+}
+
+/// Per-benchmark numbers published in the paper.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PaperBenchmark {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Table 1: L1 TLB misses per million instructions, THS on.
+    pub l1_mpmi_ths_on: f64,
+    /// Table 1: L2 TLB MPMI, THS on.
+    pub l2_mpmi_ths_on: f64,
+    /// Table 1: L1 TLB MPMI, THS off.
+    pub l1_mpmi_ths_off: f64,
+    /// Table 1: L2 TLB MPMI, THS off.
+    pub l2_mpmi_ths_off: f64,
+    /// Figures 7–9 legend: average contiguity, THS on + normal compaction.
+    pub contig_ths_on: f64,
+    /// Figures 10–12 legend: average contiguity, THS off + normal
+    /// compaction.
+    pub contig_ths_off: f64,
+    /// Figures 13–15 legend: average contiguity, THS off + low compaction.
+    pub contig_low_compaction: f64,
+}
+
+/// The paper's 14 benchmarks in Table-1 order (highest to lowest THS-on
+/// L2 MPMI).
+pub const PAPER_BENCHMARKS: [PaperBenchmark; 14] = [
+    PaperBenchmark { name: "Mcf",        suite: Suite::Spec,     l1_mpmi_ths_on: 56550.0, l2_mpmi_ths_on: 28600.0, l1_mpmi_ths_off: 95600.0, l2_mpmi_ths_off: 49230.0, contig_ths_on: 20.3,   contig_ths_off: 11.14,  contig_low_compaction: 5.01 },
+    PaperBenchmark { name: "Tigr",       suite: Suite::BioBench, l1_mpmi_ths_on: 19000.0, l2_mpmi_ths_on: 18150.0, l1_mpmi_ths_off: 26950.0, l2_mpmi_ths_off: 18860.0, contig_ths_on: 55.55,  contig_ths_off: 2.71,   contig_low_compaction: 2.71 },
+    PaperBenchmark { name: "Mummer",     suite: Suite::BioBench, l1_mpmi_ths_on: 12910.0, l2_mpmi_ths_on: 11450.0, l1_mpmi_ths_off: 14760.0, l2_mpmi_ths_off: 12970.0, contig_ths_on: 6.2,    contig_ths_off: 8.1,    contig_low_compaction: 1.3 },
+    PaperBenchmark { name: "CactusADM",  suite: Suite::Spec,     l1_mpmi_ths_on: 6610.0,  l2_mpmi_ths_on: 8140.0,  l1_mpmi_ths_off: 8420.0,  l2_mpmi_ths_off: 6930.0,  contig_ths_on: 149.7,  contig_ths_off: 1.79,   contig_low_compaction: 1.6 },
+    PaperBenchmark { name: "Astar",      suite: Suite::Spec,     l1_mpmi_ths_on: 8480.0,  l2_mpmi_ths_on: 4660.0,  l1_mpmi_ths_off: 17390.0, l2_mpmi_ths_off: 11240.0, contig_ths_on: 3.89,   contig_ths_off: 1.69,   contig_low_compaction: 1.26 },
+    PaperBenchmark { name: "Omnetpp",    suite: Suite::Spec,     l1_mpmi_ths_on: 8410.0,  l2_mpmi_ths_on: 2730.0,  l1_mpmi_ths_off: 34040.0, l2_mpmi_ths_off: 8080.0,  contig_ths_on: 32.05,  contig_ths_off: 48.5,   contig_low_compaction: 1.2 },
+    PaperBenchmark { name: "Xalancbmk",  suite: Suite::Spec,     l1_mpmi_ths_on: 2670.0,  l2_mpmi_ths_on: 2150.0,  l1_mpmi_ths_off: 14120.0, l2_mpmi_ths_off: 2100.0,  contig_ths_on: 1.88,   contig_ths_off: 2.23,   contig_low_compaction: 1.775 },
+    PaperBenchmark { name: "Povray",     suite: Suite::Spec,     l1_mpmi_ths_on: 7010.0,  l2_mpmi_ths_on: 630.0,   l1_mpmi_ths_off: 7310.0,  l2_mpmi_ths_off: 630.0,   contig_ths_on: 1.85,   contig_ths_off: 1.64,   contig_low_compaction: 1.82 },
+    PaperBenchmark { name: "GemsFDTD",   suite: Suite::Spec,     l1_mpmi_ths_on: 1300.0,  l2_mpmi_ths_on: 620.0,   l1_mpmi_ths_off: 8030.0,  l2_mpmi_ths_off: 3620.0,  contig_ths_on: 8.1,    contig_ths_off: 12.1,   contig_low_compaction: 8.4 },
+    PaperBenchmark { name: "Gobmk",      suite: Suite::Spec,     l1_mpmi_ths_on: 710.0,   l2_mpmi_ths_on: 410.0,   l1_mpmi_ths_off: 1550.0,  l2_mpmi_ths_off: 510.0,   contig_ths_on: 8.9,    contig_ths_off: 1.83,   contig_low_compaction: 1.68 },
+    PaperBenchmark { name: "FastaProt",  suite: Suite::BioBench, l1_mpmi_ths_on: 460.0,   l2_mpmi_ths_on: 300.0,   l1_mpmi_ths_off: 610.0,   l2_mpmi_ths_off: 300.0,   contig_ths_on: 4.79,   contig_ths_off: 1.013,  contig_low_compaction: 1.1 },
+    PaperBenchmark { name: "Sjeng",      suite: Suite::Spec,     l1_mpmi_ths_on: 1840.0,  l2_mpmi_ths_on: 200.0,   l1_mpmi_ths_off: 3860.0,  l2_mpmi_ths_off: 440.0,   contig_ths_on: 116.75, contig_ths_off: 104.0,  contig_low_compaction: 96.6 },
+    PaperBenchmark { name: "Bzip2",      suite: Suite::Spec,     l1_mpmi_ths_on: 4070.0,  l2_mpmi_ths_on: 150.0,   l1_mpmi_ths_off: 7120.0,  l2_mpmi_ths_off: 270.0,   contig_ths_on: 82.74,  contig_ths_off: 59.55,  contig_low_compaction: 89.09 },
+    PaperBenchmark { name: "Milc",       suite: Suite::Spec,     l1_mpmi_ths_on: 120.0,   l2_mpmi_ths_on: 90.0,    l1_mpmi_ths_off: 3780.0,  l2_mpmi_ths_off: 1820.0,  contig_ths_on: 84.09,  contig_ths_off: 1.88,   contig_low_compaction: 1.88 },
+];
+
+/// Looks up the paper's numbers for `name`.
+pub fn paper_benchmark(name: &str) -> Option<&'static PaperBenchmark> {
+    PAPER_BENCHMARKS.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// The paper's average contiguities across all benchmarks
+/// (Figure 9/12/15 legends).
+pub const PAPER_AVG_CONTIG_THS_ON: f64 = 41.19;
+/// Average contiguity, THS off + normal compaction.
+pub const PAPER_AVG_CONTIG_THS_OFF: f64 = 18.43;
+/// Average contiguity, THS off + low compaction.
+pub const PAPER_AVG_CONTIG_LOW_COMPACTION: f64 = 15.38;
+
+/// Headline aggregates of the evaluation (§7, Figures 16–21).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PaperAggregates {
+    /// Figure 16: average contiguity with THS on under memhog
+    /// 0% / 25% / 50%.
+    pub fig16_contig_by_memhog: [f64; 3],
+    /// Figure 17: average contiguity with THS off under memhog
+    /// 0% / 25% / 50%.
+    pub fig17_contig_by_memhog: [f64; 3],
+    /// Figure 18: average percent of baseline L1/L2 misses eliminated by
+    /// CoLT-SA, CoLT-FA, CoLT-All.
+    pub fig18_avg_elimination: [f64; 3],
+    /// Figure 20: percent of baseline 4-way misses eliminated by
+    /// 4-way CoLT-SA / 8-way no CoLT / 8-way CoLT-SA.
+    pub fig20_avg_elimination: [f64; 3],
+    /// Figure 21: average performance improvement (%) of CoLT-SA,
+    /// CoLT-FA, CoLT-All.
+    pub fig21_avg_perf: [f64; 3],
+}
+
+/// The paper's headline aggregates.
+pub const PAPER_AGGREGATES: PaperAggregates = PaperAggregates {
+    fig16_contig_by_memhog: [41.19, 43.0, 10.0],
+    fig17_contig_by_memhog: [18.43, 20.0, 5.0],
+    fig18_avg_elimination: [40.0, 55.0, 55.0],
+    fig20_avg_elimination: [40.0, 10.0, 60.0],
+    fig21_avg_perf: [12.0, 14.0, 14.0],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_benchmarks_in_mpmi_order() {
+        assert_eq!(PAPER_BENCHMARKS.len(), 14);
+        // Table 1 orders by THS-on L2 MPMI, highest first (with the tail
+        // benchmarks roughly tied; check the strict head).
+        for w in PAPER_BENCHMARKS.windows(2).take(7) {
+            assert!(
+                w[0].l2_mpmi_ths_on >= w[1].l2_mpmi_ths_on,
+                "{} should not rank above {}",
+                w[1].name,
+                w[0].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(paper_benchmark("mcf").is_some());
+        assert!(paper_benchmark("MCF").is_some());
+        assert!(paper_benchmark("nosuch").is_none());
+    }
+
+    #[test]
+    fn ths_off_average_contiguity_is_lower() {
+        // Evaluated through locals so the transcription of the paper's
+        // constants is actually exercised (clippy would otherwise fold
+        // the comparison away).
+        let (on, off, low) = (
+            PAPER_AVG_CONTIG_THS_ON,
+            PAPER_AVG_CONTIG_THS_OFF,
+            PAPER_AVG_CONTIG_LOW_COMPACTION,
+        );
+        assert!(off < on, "{off} < {on}");
+        assert!(low < off, "{low} < {off}");
+    }
+
+    #[test]
+    fn mcf_is_the_tlb_stress_leader() {
+        let mcf = paper_benchmark("Mcf").unwrap();
+        for b in &PAPER_BENCHMARKS {
+            assert!(mcf.l2_mpmi_ths_on >= b.l2_mpmi_ths_on);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # colt-workloads — synthetic workload models for the CoLT reproduction
+//!
+//! The paper evaluates on 14 SPEC 2006 / BioBench benchmarks traced with
+//! Simics (Table 1, §5). Lacking those binaries and traces, this crate
+//! models each benchmark by the two properties that determine CoLT's
+//! behavior — its allocation profile (what the buddy allocator and THS
+//! see) and its access pattern (TLB pressure and temporal proximity) —
+//! calibrated against the paper's published per-benchmark numbers (kept
+//! verbatim in [`calibration`]).
+//!
+//! * [`spec`] — the 14 benchmark models,
+//! * [`pattern`] — access-pattern generators,
+//! * [`scenario`] — the §5.1.1 system configurations (THS × compaction ×
+//!   memhog), machine aging, and the allocation phase,
+//! * [`background`] — aging and interfering processes,
+//! * [`trace`] — memory-reference records,
+//! * [`calibration`] — the paper's numbers, for model parameterization
+//!   and paper-vs-measured reporting.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use colt_workloads::{scenario::Scenario, spec::benchmark};
+//!
+//! # fn main() -> colt_os_mem::error::MemResult<()> {
+//! let spec = benchmark("Gobmk").expect("a Table-1 benchmark");
+//! let workload = Scenario::default_linux().prepare(&spec)?;
+//! let report = workload.contiguity();
+//! assert!(report.average_contiguity() >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod background;
+pub mod calibration;
+pub mod pattern;
+pub mod scenario;
+pub mod spec;
+pub mod trace;
+
+pub use calibration::{PaperBenchmark, Suite, PAPER_BENCHMARKS};
+pub use pattern::{PatternGen, PatternSpec};
+pub use scenario::{PreparedWorkload, Scenario};
+pub use spec::{all_benchmarks, benchmark, BenchmarkSpec};
+pub use trace::MemRef;

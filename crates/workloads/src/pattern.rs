@@ -1,0 +1,534 @@
+//! Access-pattern generators.
+//!
+//! Each of the 14 benchmark models (see [`crate::spec`]) is characterized
+//! by a mixture of these primitive behaviors over its allocated footprint:
+//! streaming sweeps, uniform-random access, hot/cold locality, pointer
+//! chasing, and strided grid traversal. What matters for CoLT is (a) how
+//! much TLB pressure the stream creates and (b) whether contiguous pages
+//! are touched in temporal proximity — the property the paper notes is
+//! required for coalesced entries to pay off (§7.1.1, the Tigr
+//! discussion).
+
+use crate::trace::{MemRef, LINES_PER_PAGE};
+use colt_os_mem::addr::Vpn;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Declarative description of an access pattern.
+#[derive(Clone, Debug)]
+pub enum PatternSpec {
+    /// Sweep the footprint in virtual-address order, touching
+    /// `accesses_per_page` lines of each page before moving on
+    /// (streaming compression/physics codes: Bzip2, Milc).
+    Sequential {
+        /// Consecutive line touches per page (≥ 1).
+        accesses_per_page: u32,
+    },
+    /// Uniformly random page each access (hash-table traffic: Mcf-like
+    /// worst case).
+    UniformRandom,
+    /// A hot *contiguous window* of pages absorbs most accesses
+    /// (game-tree searchers: Gobmk, Sjeng). Working sets are contiguous
+    /// in virtual address space — objects and arrays cluster — which is
+    /// exactly the spatial locality CoLT's reach multiplication needs.
+    HotCold {
+        /// Fraction of the footprint that is hot, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Probability an access goes to the hot window.
+        hot_probability: f64,
+    },
+    /// Follow a fixed random permutation cycle over the pages (pointer
+    /// chasing: Mcf, Mummer, Astar graph/suffix-tree codes).
+    PointerChase,
+    /// Jump by a fixed page stride with wraparound, touching
+    /// `accesses_per_touch` lines per visit (grid sweeps: CactusADM,
+    /// GemsFDTD).
+    Strided {
+        /// Page stride between successive touches.
+        stride_pages: u64,
+        /// Line touches per visited page.
+        accesses_per_touch: u32,
+    },
+    /// Sweep a window of pages repeatedly before advancing it (block
+    /// compression: Bzip2 processes ~900KB blocks that fit the L2 TLB's
+    /// reach but not the L1's). Touches each page of the window
+    /// `accesses_per_page` times per sweep, `repeats` sweeps per window.
+    WindowedSweep {
+        /// Window size in pages.
+        window_pages: u64,
+        /// Sweeps over the window before it advances.
+        repeats: u32,
+        /// Line touches per page per sweep.
+        accesses_per_page: u32,
+    },
+    /// Weighted mixture: each access is drawn from one of the
+    /// sub-patterns with the given weight.
+    Mixture(Vec<(f64, PatternSpec)>),
+    /// Program phases: run each sub-pattern for its access budget, then
+    /// move to the next, wrapping around (initialization scan followed by
+    /// compute loops, etc.).
+    Phased(Vec<(u64, PatternSpec)>),
+}
+
+/// A compiled, seeded pattern generator over a concrete footprint.
+///
+/// ```
+/// use colt_workloads::pattern::{PatternGen, PatternSpec};
+/// use colt_os_mem::addr::Vpn;
+/// use std::sync::Arc;
+/// let footprint: Arc<Vec<Vpn>> = Arc::new((0..100).map(Vpn::new).collect());
+/// let mut gen = PatternGen::new(&PatternSpec::UniformRandom, footprint, 42);
+/// let r = gen.next_ref();
+/// assert!(r.vpn.raw() < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PatternGen {
+    footprint: Arc<Vec<Vpn>>,
+    rng: SmallRng,
+    state: GenState,
+}
+
+#[derive(Clone, Debug)]
+enum GenState {
+    Sequential {
+        accesses_per_page: u32,
+        pos: usize,
+        line: u32,
+    },
+    UniformRandom,
+    HotCold {
+        hot_pages: usize,
+        hot_probability: f64,
+        /// Start of the contiguous hot window within the footprint.
+        window_start: usize,
+    },
+    PointerChase {
+        /// successor[i] = next page index in the cycle.
+        successor: Arc<Vec<u32>>,
+        pos: usize,
+    },
+    Strided {
+        stride_pages: u64,
+        accesses_per_touch: u32,
+        pos: u64,
+        line: u32,
+    },
+    WindowedSweep {
+        window_pages: u64,
+        repeats: u32,
+        accesses_per_page: u32,
+        window_start: u64,
+        sweep: u32,
+        pos_in_window: u64,
+        line: u32,
+    },
+    Mixture {
+        cumulative: Vec<f64>,
+        gens: Vec<PatternGen>,
+    },
+    Phased {
+        lengths: Vec<u64>,
+        gens: Vec<PatternGen>,
+        phase: usize,
+        used: u64,
+    },
+}
+
+impl PatternGen {
+    /// Compiles `spec` over `footprint` (the allocated pages in VA
+    /// order), seeding all randomness from `seed`.
+    ///
+    /// # Panics
+    /// Panics if the footprint is empty or the spec is degenerate
+    /// (empty mixture, zero weights, zero strides).
+    pub fn new(spec: &PatternSpec, footprint: Arc<Vec<Vpn>>, seed: u64) -> Self {
+        assert!(!footprint.is_empty(), "pattern needs a non-empty footprint");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let state = match spec {
+            PatternSpec::Sequential { accesses_per_page } => {
+                assert!(*accesses_per_page >= 1, "must touch each page at least once");
+                // Start at a random phase so bounded simulation windows
+                // sample the whole footprint without positional bias.
+                let pos = rng.gen_range(0..footprint.len());
+                GenState::Sequential { accesses_per_page: *accesses_per_page, pos, line: 0 }
+            }
+            PatternSpec::UniformRandom => GenState::UniformRandom,
+            PatternSpec::HotCold { hot_fraction, hot_probability } => {
+                assert!(*hot_fraction > 0.0 && *hot_fraction <= 1.0, "hot fraction in (0,1]");
+                assert!((0.0..=1.0).contains(hot_probability), "probability in [0,1]");
+                let n = footprint.len();
+                let hot_pages = ((n as f64 * hot_fraction).ceil() as usize).max(1);
+                GenState::HotCold {
+                    hot_pages,
+                    hot_probability: *hot_probability,
+                    window_start: rng.gen_range(0..n),
+                }
+            }
+            PatternSpec::PointerChase => {
+                let n = footprint.len();
+                // Random cyclic permutation (Sattolo's algorithm).
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..i);
+                    perm.swap(i, j);
+                }
+                // perm is a cycle through all indices; successor of
+                // perm[i] is perm[(i+1) % n].
+                let mut successor = vec![0u32; n];
+                for i in 0..n {
+                    successor[perm[i] as usize] = perm[(i + 1) % n];
+                }
+                GenState::PointerChase { successor: Arc::new(successor), pos: 0 }
+            }
+            PatternSpec::Strided { stride_pages, accesses_per_touch } => {
+                assert!(*stride_pages > 0, "stride must be positive");
+                assert!(*accesses_per_touch >= 1);
+                GenState::Strided {
+                    stride_pages: *stride_pages,
+                    accesses_per_touch: *accesses_per_touch,
+                    pos: 0,
+                    line: 0,
+                }
+            }
+            PatternSpec::WindowedSweep { window_pages, repeats, accesses_per_page } => {
+                assert!(*window_pages > 0 && *repeats >= 1 && *accesses_per_page >= 1);
+                GenState::WindowedSweep {
+                    window_pages: *window_pages,
+                    repeats: *repeats,
+                    accesses_per_page: *accesses_per_page,
+                    window_start: 0,
+                    sweep: 0,
+                    pos_in_window: 0,
+                    line: 0,
+                }
+            }
+            PatternSpec::Phased(phases) => {
+                assert!(!phases.is_empty(), "phases must be non-empty");
+                assert!(
+                    phases.iter().all(|&(len, _)| len > 0),
+                    "each phase needs a positive access budget"
+                );
+                let gens = phases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, sub))| {
+                        PatternGen::new(
+                            sub,
+                            Arc::clone(&footprint),
+                            seed.wrapping_add(0xFA5E + i as u64 * 0x51D),
+                        )
+                    })
+                    .collect();
+                GenState::Phased {
+                    lengths: phases.iter().map(|&(len, _)| len).collect(),
+                    gens,
+                    phase: 0,
+                    used: 0,
+                }
+            }
+            PatternSpec::Mixture(parts) => {
+                assert!(!parts.is_empty(), "mixture must have components");
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                assert!(total > 0.0, "mixture weights must be positive");
+                let mut cumulative = Vec::with_capacity(parts.len());
+                let mut acc = 0.0;
+                let mut gens = Vec::with_capacity(parts.len());
+                for (i, (w, sub)) in parts.iter().enumerate() {
+                    acc += w / total;
+                    cumulative.push(acc);
+                    gens.push(PatternGen::new(
+                        sub,
+                        Arc::clone(&footprint),
+                        seed.wrapping_add(0x9E37 + i as u64 * 0x79B9),
+                    ));
+                }
+                GenState::Mixture { cumulative, gens }
+            }
+        };
+        Self { footprint, rng, state }
+    }
+
+    /// Produces the next memory reference.
+    pub fn next_ref(&mut self) -> MemRef {
+        let n = self.footprint.len();
+        match &mut self.state {
+            GenState::Sequential { accesses_per_page, pos, line } => {
+                let vpn = self.footprint[*pos];
+                let stride = LINES_PER_PAGE / (*accesses_per_page as u64).clamp(1, LINES_PER_PAGE);
+                let l = (*line as u64 * stride) % LINES_PER_PAGE;
+                *line += 1;
+                if *line >= *accesses_per_page {
+                    *line = 0;
+                    *pos = (*pos + 1) % n;
+                }
+                MemRef { vpn, line: l as u8, write: false }
+            }
+            GenState::UniformRandom => {
+                let vpn = self.footprint[self.rng.gen_range(0..n)];
+                let line = self.rng.gen_range(0..LINES_PER_PAGE) as u8;
+                MemRef { vpn, line, write: self.rng.gen_bool(0.3) }
+            }
+            GenState::HotCold { hot_pages, hot_probability, window_start } => {
+                let idx = if self.rng.gen_bool(*hot_probability) {
+                    (*window_start + self.rng.gen_range(0..*hot_pages)) % n
+                } else {
+                    self.rng.gen_range(0..n)
+                };
+                MemRef {
+                    vpn: self.footprint[idx],
+                    line: self.rng.gen_range(0..LINES_PER_PAGE) as u8,
+                    write: self.rng.gen_bool(0.3),
+                }
+            }
+            GenState::PointerChase { successor, pos } => {
+                let vpn = self.footprint[*pos];
+                *pos = successor[*pos] as usize;
+                MemRef { vpn, line: self.rng.gen_range(0..LINES_PER_PAGE) as u8, write: false }
+            }
+            GenState::Strided { stride_pages, accesses_per_touch, pos, line } => {
+                let vpn = self.footprint[(*pos % n as u64) as usize];
+                let l = *line as u64 % LINES_PER_PAGE;
+                *line += 1;
+                if *line >= *accesses_per_touch {
+                    *line = 0;
+                    *pos = pos.wrapping_add(*stride_pages);
+                }
+                MemRef { vpn, line: l as u8, write: self.rng.gen_bool(0.2) }
+            }
+            GenState::WindowedSweep {
+                window_pages,
+                repeats,
+                accesses_per_page,
+                window_start,
+                sweep,
+                pos_in_window,
+                line,
+            } => {
+                let w = (*window_pages).min(n as u64);
+                let idx = ((*window_start + *pos_in_window) % n as u64) as usize;
+                let vpn = self.footprint[idx];
+                let l = *line as u64 % LINES_PER_PAGE;
+                *line += 1;
+                if *line >= *accesses_per_page {
+                    *line = 0;
+                    *pos_in_window += 1;
+                    if *pos_in_window >= w {
+                        *pos_in_window = 0;
+                        *sweep += 1;
+                        if *sweep >= *repeats {
+                            *sweep = 0;
+                            *window_start = (*window_start + w) % n as u64;
+                        }
+                    }
+                }
+                MemRef { vpn, line: l as u8, write: self.rng.gen_bool(0.3) }
+            }
+            GenState::Mixture { cumulative, gens } => {
+                let x: f64 = self.rng.gen();
+                let which = cumulative.iter().position(|&c| x <= c).unwrap_or(gens.len() - 1);
+                gens[which].next_ref()
+            }
+            GenState::Phased { lengths, gens, phase, used } => {
+                if *used >= lengths[*phase] {
+                    *used = 0;
+                    *phase = (*phase + 1) % gens.len();
+                }
+                *used += 1;
+                gens[*phase].next_ref()
+            }
+        }
+    }
+
+    /// Produces `count` references into a vector.
+    pub fn take_refs(&mut self, count: usize) -> Vec<MemRef> {
+        (0..count).map(|_| self.next_ref()).collect()
+    }
+
+    /// The footprint the generator roams over.
+    pub fn footprint(&self) -> &Arc<Vec<Vpn>> {
+        &self.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn footprint(n: u64) -> Arc<Vec<Vpn>> {
+        Arc::new((0..n).map(|i| Vpn::new(0x1000 + i)).collect())
+    }
+
+    #[test]
+    fn sequential_visits_pages_in_order() {
+        let mut g = PatternGen::new(
+            &PatternSpec::Sequential { accesses_per_page: 2 },
+            footprint(4),
+            1,
+        );
+        let refs = g.take_refs(8);
+        let pages: Vec<u64> = refs.iter().map(|r| r.vpn.raw() - 0x1000).collect();
+        // Starts at a seed-derived phase, then ascends (mod wraparound)
+        // touching each page twice.
+        let start = pages[0];
+        let expected: Vec<u64> = (0..4u64).flat_map(|i| [(start + i) % 4; 2]).collect();
+        assert_eq!(pages, expected);
+        // Continues wrapping.
+        assert_eq!(g.next_ref().vpn.raw() - 0x1000, start);
+    }
+
+    #[test]
+    fn uniform_random_stays_in_footprint() {
+        let mut g = PatternGen::new(&PatternSpec::UniformRandom, footprint(10), 7);
+        for r in g.take_refs(1000) {
+            assert!(r.vpn.raw() >= 0x1000 && r.vpn.raw() < 0x100A);
+            assert!((r.line as u64) < LINES_PER_PAGE);
+        }
+    }
+
+    #[test]
+    fn hot_cold_concentrates_accesses() {
+        let mut g = PatternGen::new(
+            &PatternSpec::HotCold { hot_fraction: 0.1, hot_probability: 0.9 },
+            footprint(100),
+            3,
+        );
+        let mut counts = std::collections::HashMap::new();
+        for r in g.take_refs(20_000) {
+            *counts.entry(r.vpn.raw()).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.8 * 20_000.0,
+            "top 10 pages must absorb most accesses, got {top10}"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_is_a_full_cycle() {
+        let mut g = PatternGen::new(&PatternSpec::PointerChase, footprint(50), 11);
+        let refs = g.take_refs(50);
+        let mut seen: Vec<u64> = refs.iter().map(|r| r.vpn.raw()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50, "one lap visits every page exactly once");
+        // The next lap repeats the same sequence.
+        let second = g.take_refs(50);
+        assert_eq!(
+            refs.iter().map(|r| r.vpn).collect::<Vec<_>>(),
+            second.iter().map(|r| r.vpn).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strided_jumps_by_stride() {
+        let mut g = PatternGen::new(
+            &PatternSpec::Strided { stride_pages: 3, accesses_per_touch: 1 },
+            footprint(10),
+            5,
+        );
+        let pages: Vec<u64> = g.take_refs(5).iter().map(|r| r.vpn.raw() - 0x1000).collect();
+        assert_eq!(pages, vec![0, 3, 6, 9, 2]);
+    }
+
+    #[test]
+    fn mixture_draws_from_all_components() {
+        let spec = PatternSpec::Mixture(vec![
+            (0.5, PatternSpec::Sequential { accesses_per_page: 1 }),
+            (0.5, PatternSpec::UniformRandom),
+        ]);
+        let mut g = PatternGen::new(&spec, footprint(1000), 9);
+        let refs = g.take_refs(2000);
+        // The sequential component produces many adjacent-page pairs; a
+        // pure uniform stream over 1000 pages almost never would.
+        let adjacent_pairs = refs
+            .windows(2)
+            .filter(|w| w[1].vpn.raw() == w[0].vpn.raw() || w[1].vpn.raw() == w[0].vpn.raw() + 1)
+            .count();
+        assert!(adjacent_pairs > 200, "sequential component visible ({adjacent_pairs} pairs)");
+        // And the random component must roam widely.
+        let distinct: std::collections::HashSet<u64> = refs.iter().map(|r| r.vpn.raw()).collect();
+        assert!(distinct.len() > 300, "random component visible ({} pages)", distinct.len());
+    }
+
+    #[test]
+    fn windowed_sweep_repeats_before_advancing() {
+        let mut g = PatternGen::new(
+            &PatternSpec::WindowedSweep { window_pages: 3, repeats: 2, accesses_per_page: 1 },
+            footprint(9),
+            1,
+        );
+        let pages: Vec<u64> = g.take_refs(9).iter().map(|r| r.vpn.raw() - 0x1000).collect();
+        assert_eq!(pages, vec![0, 1, 2, 0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn windowed_sweep_window_larger_than_footprint_clamps() {
+        let mut g = PatternGen::new(
+            &PatternSpec::WindowedSweep { window_pages: 100, repeats: 1, accesses_per_page: 1 },
+            footprint(4),
+            1,
+        );
+        let pages: Vec<u64> = g.take_refs(8).iter().map(|r| r.vpn.raw() - 0x1000).collect();
+        assert_eq!(pages, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn phased_patterns_switch_after_their_budget() {
+        let spec = PatternSpec::Phased(vec![
+            (6, PatternSpec::Sequential { accesses_per_page: 1 }),
+            (4, PatternSpec::PointerChase),
+        ]);
+        let mut g = PatternGen::new(&spec, footprint(20), 3);
+        let refs = g.take_refs(20);
+        // First six references ascend sequentially (mod wraparound).
+        let seq: Vec<u64> = refs[..6].iter().map(|r| r.vpn.raw()).collect();
+        for w in seq.windows(2) {
+            let delta = (w[1] + 20 - w[0]) % 20;
+            assert_eq!(delta, 1, "sequential phase must ascend: {seq:?}");
+        }
+        // After 6 + 4 accesses the sequential phase resumes where the
+        // generator's second lap places it — just check determinism and
+        // coverage of both behaviors.
+        let again = PatternGen::new(&spec, footprint(20), 3).take_refs(20);
+        assert_eq!(refs, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_phase_panics() {
+        let _ = PatternGen::new(
+            &PatternSpec::Phased(vec![(0, PatternSpec::UniformRandom)]),
+            footprint(4),
+            0,
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let spec = PatternSpec::HotCold { hot_fraction: 0.2, hot_probability: 0.8 };
+        let a = PatternGen::new(&spec, footprint(100), 42).take_refs(100);
+        let b = PatternGen::new(&spec, footprint(100), 42).take_refs(100);
+        assert_eq!(a, b);
+        let c = PatternGen::new(&spec, footprint(100), 43).take_refs(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty footprint")]
+    fn empty_footprint_panics() {
+        let _ = PatternGen::new(&PatternSpec::UniformRandom, Arc::new(Vec::new()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = PatternGen::new(
+            &PatternSpec::Strided { stride_pages: 0, accesses_per_touch: 1 },
+            footprint(4),
+            0,
+        );
+    }
+}

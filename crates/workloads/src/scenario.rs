@@ -1,0 +1,596 @@
+//! System scenarios: the kernel configurations of paper §5.1.1.
+//!
+//! The paper studies twelve configurations (THS on/off × compaction
+//! normal/low × memhog 0/25/50%) and focuses on five. [`Scenario`]
+//! captures one configuration; [`Scenario::prepare`] boots a kernel,
+//! ages it, applies memhog load, and performs the benchmark's allocation
+//! phase (with interleaved background traffic) — producing a
+//! [`PreparedWorkload`] whose page table carries exactly the contiguity
+//! that configuration generates.
+
+use crate::background::{age_system, AgingConfig, Interferer};
+use crate::pattern::PatternGen;
+use crate::spec::{BenchmarkSpec, PopulatePolicy};
+use colt_os_mem::addr::{Asid, Vpn};
+use colt_os_mem::contiguity::ContiguityReport;
+use colt_os_mem::error::MemResult;
+use colt_os_mem::kernel::{CompactionMode, Kernel, KernelConfig};
+use colt_os_mem::memhog::{Memhog, MemhogConfig};
+use colt_os_mem::vma::VmaKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One system configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: String,
+    /// Transparent hugepage support on/off.
+    pub ths: bool,
+    /// Compaction daemon aggressiveness (the `defrag` flag).
+    pub compaction: CompactionMode,
+    /// Fraction of memory claimed by memhog (0.0, 0.25, or 0.50 in the
+    /// paper).
+    pub memhog_fraction: f64,
+    /// Physical memory in frames.
+    pub nr_frames: u64,
+    /// Aging churn before the benchmark runs.
+    pub aging: AgingConfig,
+    /// Share of live superpages split by long-run system pressure after
+    /// the allocation phase. Models the paper's observation that
+    /// "optimistically-allocated 2MB superpages are often eventually
+    /// split due to system pressure" yet leave residual contiguity
+    /// (§3.2.3). Additional splits still happen emergently whenever the
+    /// free-memory watermark is violated.
+    pub pressure_split_fraction: f64,
+    /// Fraction of the benchmark's pages marked dirty after allocation
+    /// (write traffic so far). Diverging DIRTY bits break contiguity
+    /// runs under the paper's equal-attribute rule (§5.1.1) — the
+    /// future-work attribute ablation measures what tolerating them
+    /// recovers.
+    pub dirty_fraction: f64,
+    /// Master seed (aging, memhog, interferer, allocation mixing).
+    pub seed: u64,
+}
+
+impl Scenario {
+    fn base(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            ths: true,
+            compaction: CompactionMode::Normal,
+            memhog_fraction: 0.0,
+            nr_frames: 1 << 17, // 512MB
+            aging: AgingConfig::default(),
+            pressure_split_fraction: 0.85,
+            dirty_fraction: 0.0,
+            seed: 0xC011_7E57,
+        }
+    }
+
+    /// Marks a fraction of the benchmark's pages dirty after allocation.
+    #[must_use]
+    pub fn with_dirty_fraction(mut self, fraction: f64) -> Self {
+        self.dirty_fraction = fraction;
+        self
+    }
+
+    /// Configuration 1: THS on, normal compaction, no memhog — the Linux
+    /// default.
+    pub fn default_linux() -> Self {
+        Self::base("THS on, normal compaction")
+    }
+
+    /// Configuration 2: THS off, normal compaction, no memhog.
+    pub fn no_ths() -> Self {
+        Self { ths: false, ..Self::base("THS off, normal compaction") }
+    }
+
+    /// Configuration 3: THS off, low compaction — the paper's
+    /// conservative stress test.
+    pub fn no_ths_low_compaction() -> Self {
+        Self {
+            ths: false,
+            compaction: CompactionMode::Low,
+            ..Self::base("THS off, low compaction")
+        }
+    }
+
+    /// Configuration 4: THS on, normal compaction, with memhog at
+    /// `fraction` (0.25 or 0.50 in the paper).
+    pub fn default_with_memhog(fraction: f64) -> Self {
+        Self {
+            memhog_fraction: fraction,
+            ..Self::base(&format!("THS on, memhog({}%)", (fraction * 100.0) as u32))
+        }
+    }
+
+    /// Configuration 5: THS off, normal compaction, with memhog.
+    pub fn no_ths_with_memhog(fraction: f64) -> Self {
+        Self {
+            ths: false,
+            memhog_fraction: fraction,
+            ..Self::base(&format!("THS off, memhog({}%)", (fraction * 100.0) as u32))
+        }
+    }
+
+    /// The five configurations the paper focuses on (§5.1.1), with
+    /// memhog at 25%.
+    pub fn paper_five() -> Vec<Scenario> {
+        vec![
+            Self::default_linux(),
+            Self::no_ths(),
+            Self::no_ths_low_compaction(),
+            Self::default_with_memhog(0.25),
+            Self::no_ths_with_memhog(0.25),
+        ]
+    }
+
+    /// All twelve §5.1.1 configurations: THS on/off × compaction
+    /// normal/low × memhog 0/25/50%.
+    pub fn all_twelve() -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(12);
+        for ths in [true, false] {
+            for compaction in [CompactionMode::Normal, CompactionMode::Low] {
+                for memhog in [0.0, 0.25, 0.50] {
+                    let name = format!(
+                        "THS {}, {} compaction, memhog({}%)",
+                        if ths { "on" } else { "off" },
+                        if compaction == CompactionMode::Normal { "normal" } else { "low" },
+                        (memhog * 100.0) as u32,
+                    );
+                    out.push(Scenario {
+                        ths,
+                        compaction,
+                        memhog_fraction: memhog,
+                        ..Self::base(&name)
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Boots one kernel and allocates *several* benchmarks into it, for
+    /// multiprogrammed simulation. Allocation phases run one benchmark
+    /// after another (as staggered program starts would).
+    ///
+    /// # Errors
+    /// Propagates kernel errors; the combined footprints plus load must
+    /// fit the configured memory.
+    pub fn prepare_many(&self, specs: &[BenchmarkSpec]) -> MemResult<MultiWorkload> {
+        let mut kernel = Kernel::new(KernelConfig {
+            nr_frames: self.nr_frames,
+            ths_enabled: self.ths,
+            compaction: self.compaction,
+            ..KernelConfig::default()
+        });
+        age_system(&mut kernel, self.aging, self.seed)?;
+        let memhog = self.engage_memhog(
+            &mut kernel,
+            specs.iter().map(|s| s.footprint_pages).sum::<u64>(),
+        )?;
+        let mut parts = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let asid = kernel.spawn();
+            let mut interferer = Interferer::new(&mut kernel, self.seed ^ (0x1F + i as u64));
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA6E5 ^ (i as u64) << 32);
+            let footprint =
+                self.allocate_benchmark(&mut kernel, asid, spec, &mut interferer, &mut rng)?;
+            parts.push((spec.clone(), asid, Arc::new(footprint)));
+        }
+        self.apply_pressure(&mut kernel)?;
+        for (_, asid, footprint) in &parts {
+            for &vpn in footprint.iter() {
+                kernel.touch(*asid, vpn)?;
+            }
+        }
+        kernel.tick();
+        for (_, asid, footprint) in &parts {
+            self.mark_dirty_fraction(&mut kernel, *asid, footprint);
+        }
+        Ok(MultiWorkload {
+            scenario_name: self.name.clone(),
+            kernel,
+            parts,
+            _memhog: memhog,
+        })
+    }
+
+    /// Boots, ages, loads, and allocates: produces the benchmark's
+    /// populated address space under this configuration.
+    ///
+    /// # Errors
+    /// Propagates kernel errors (the scenario is sized so that genuine
+    /// OOM indicates a configuration mistake).
+    pub fn prepare(&self, spec: &BenchmarkSpec) -> MemResult<PreparedWorkload> {
+        let mut kernel = Kernel::new(KernelConfig {
+            nr_frames: self.nr_frames,
+            ths_enabled: self.ths,
+            compaction: self.compaction,
+            ..KernelConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA6E5);
+
+        // 1. Age the machine.
+        age_system(&mut kernel, self.aging, self.seed)?;
+
+        // 2. System load + background-daemon settling.
+        let memhog = self.engage_memhog(&mut kernel, spec.footprint_pages)?;
+
+        // 3. The benchmark process plus its interfering neighbor.
+        let asid = kernel.spawn();
+        let mut interferer = Interferer::new(&mut kernel, self.seed ^ 0x1F);
+        let footprint =
+            self.allocate_benchmark(&mut kernel, asid, spec, &mut interferer, &mut rng)?;
+
+        // 4. Long-run pressure: superpage splits with punctured residue.
+        self.apply_pressure(&mut kernel)?;
+        for &vpn in &footprint {
+            kernel.touch(asid, vpn)?;
+        }
+        kernel.tick();
+
+        // 5. Write traffic: dirty a deterministic subset of pages.
+        self.mark_dirty_fraction(&mut kernel, asid, &footprint);
+
+        Ok(PreparedWorkload {
+            scenario_name: self.name.clone(),
+            spec: spec.clone(),
+            kernel,
+            asid,
+            footprint: Arc::new(footprint),
+            _memhog: memhog,
+        })
+    }
+
+    /// Engages memhog (capped to what physical memory can satisfy
+    /// without swap, counting reclaimable page cache) and lets the
+    /// background compaction daemon settle.
+    fn engage_memhog(&self, kernel: &mut Kernel, reserve_pages: u64) -> MemResult<Option<Memhog>> {
+        let memhog = if self.memhog_fraction > 0.0 {
+            let reserve = reserve_pages + reserve_pages / 8 + 2048;
+            let claimable = (kernel.free_frames() + kernel.reclaimable_file_pages())
+                .saturating_sub(reserve);
+            let max_fraction = claimable as f64 / self.nr_frames as f64;
+            let fraction = self.memhog_fraction.min(max_fraction).max(0.0);
+            Some(Memhog::engage(
+                kernel,
+                MemhogConfig { fraction, seed: self.seed ^ 0x4096, ..MemhogConfig::default() },
+            )?)
+        } else {
+            None
+        };
+        // Let the background compaction daemon reach its steady state on
+        // the aged machine (a real system's kcompactd has had weeks).
+        for _ in 0..64 {
+            if kernel.buddy().small_free_fraction(6) < 0.20 {
+                break;
+            }
+            kernel.tick();
+        }
+        Ok(memhog)
+    }
+
+    /// Runs one benchmark's churn + allocation phase.
+    fn allocate_benchmark(
+        &self,
+        kernel: &mut Kernel,
+        asid: Asid,
+        spec: &BenchmarkSpec,
+        interferer: &mut Interferer,
+        rng: &mut StdRng,
+    ) -> MemResult<Vec<Vpn>> {
+        // Churn: allocate and free a few rounds first (self-inflicted
+        // fragmentation of many-small-allocation programs).
+        for _round in 0..spec.alloc.churn_rounds {
+            let mut bases = Vec::new();
+            let churn_pages = (spec.footprint_pages / 4).max(spec.alloc.chunk_pages);
+            let mut done = 0;
+            while done < churn_pages {
+                let chunk = spec.alloc.chunk_pages.min(churn_pages - done).max(1);
+                bases.push(kernel.malloc(asid, chunk)?);
+                done += chunk;
+            }
+            for base in bases {
+                kernel.free(asid, base)?;
+            }
+        }
+
+        // The real allocation phase, interleaved with noise.
+        let mut footprint: Vec<Vpn> = Vec::with_capacity(spec.footprint_pages as usize);
+        let mut allocated = 0u64;
+        let mut chunk_idx = 0u64;
+        while allocated < spec.footprint_pages {
+            let chunk = spec.alloc.chunk_pages.min(spec.footprint_pages - allocated);
+            let kind = if rng.gen_bool(spec.alloc.file_fraction) {
+                VmaKind::FileBacked
+            } else {
+                VmaKind::Anonymous
+            };
+            let base = match spec.alloc.populate {
+                PopulatePolicy::Eager => match kind {
+                    VmaKind::Anonymous => kernel.malloc(asid, chunk)?,
+                    VmaKind::FileBacked => kernel.mmap_file(asid, chunk)?,
+                },
+                PopulatePolicy::Faulted => {
+                    // Reserve, then fault pages in one at a time with
+                    // interleaved noise faults from the neighbor process.
+                    let base = kernel.reserve(asid, chunk, kind)?;
+                    for i in 0..chunk {
+                        kernel.touch(asid, base.offset(i))?;
+                        if spec.alloc.interleave_pages > 0 && i % 16 == 15 {
+                            interferer
+                                .interfere(kernel, (spec.alloc.interleave_pages / 8).max(1))?;
+                        }
+                        // Background daemons run while the program faults
+                        // its heap in (kswapd/kcompactd cadence).
+                        if (allocated + i) % 256 == 255 {
+                            kernel.tick();
+                        }
+                    }
+                    base
+                }
+            };
+            for i in 0..chunk {
+                footprint.push(base.offset(i));
+            }
+            allocated += chunk;
+            if spec.alloc.interleave_pages > 0 {
+                interferer.interfere(kernel, spec.alloc.interleave_pages)?;
+            }
+            chunk_idx += 1;
+            if chunk_idx.is_multiple_of(8) {
+                kernel.tick();
+            }
+        }
+        Ok(footprint)
+    }
+
+    /// Splits a pressure-scaled share of the system's superpages (oldest
+    /// first, with reclaim puncturing, §3.2.3) and lets a transient
+    /// neighbor snap up the reclaimed frames. Callers re-touch their
+    /// footprints afterwards so punctured pages fault back in.
+    fn apply_pressure(&self, kernel: &mut Kernel) -> MemResult<()> {
+        if self.ths && self.pressure_split_fraction > 0.0 {
+            let occupied =
+                1.0 - kernel.free_frames() as f64 / kernel.buddy().nr_frames() as f64;
+            let pressure = ((occupied - 0.20) * 2.2).clamp(0.3, 1.0);
+            let fraction = (self.pressure_split_fraction * pressure).min(0.95);
+            let live = kernel.live_superpage_count();
+            let n = (live as f64 * fraction).round() as usize;
+            kernel.split_superpages(n);
+            // Other processes snap up the reclaimed frames before the
+            // benchmark touches its punctured pages again.
+            let mut scavenger = Interferer::new(kernel, self.seed ^ 0x5CAF);
+            scavenger.interfere(kernel, 256)?;
+        }
+        Ok(())
+    }
+
+    /// Marks a deterministic `dirty_fraction` subset of `footprint` dirty.
+    fn mark_dirty_fraction(&self, kernel: &mut Kernel, asid: Asid, footprint: &[Vpn]) {
+        if self.dirty_fraction > 0.0 {
+            let threshold = (self.dirty_fraction * 1000.0) as u64;
+            for &vpn in footprint {
+                let h = vpn.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+                if h % 1000 < threshold {
+                    // Superpage-backed pages have no base PTE to mark.
+                    let _ = kernel.mark_dirty(asid, vpn);
+                }
+            }
+        }
+    }
+}
+
+/// Several benchmarks allocated in *one* kernel, for multiprogrammed
+/// simulation (round-robin scheduling with TLB flushes at switches).
+#[derive(Debug)]
+pub struct MultiWorkload {
+    /// Name of the scenario that produced this workload.
+    pub scenario_name: String,
+    /// The shared kernel.
+    pub kernel: Kernel,
+    /// Per-benchmark: the model, its address space, and its footprint.
+    pub parts: Vec<(BenchmarkSpec, Asid, Arc<Vec<Vpn>>)>,
+    /// Keeps memhog's pinned memory alive.
+    _memhog: Option<Memhog>,
+}
+
+impl MultiWorkload {
+    /// Builds the pattern generator for part `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn pattern(&self, index: usize, seed: u64) -> PatternGen {
+        let (spec, _, footprint) = &self.parts[index];
+        PatternGen::new(&spec.pattern, Arc::clone(footprint), seed)
+    }
+
+    /// Scans part `index`'s page-allocation contiguity.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn contiguity(&self, index: usize) -> ContiguityReport {
+        self.kernel
+            .scan_contiguity(self.parts[index].1)
+            .expect("benchmark process is live")
+    }
+}
+
+/// A benchmark allocated and ready to run under one scenario.
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    /// Name of the scenario that produced this workload.
+    pub scenario_name: String,
+    /// The benchmark model.
+    pub spec: BenchmarkSpec,
+    /// The kernel with all processes and page tables live.
+    pub kernel: Kernel,
+    /// The benchmark's address space.
+    pub asid: Asid,
+    /// All allocated pages in VA order (the pattern generator's domain).
+    pub footprint: Arc<Vec<Vpn>>,
+    /// Keeps memhog's pinned memory alive for the workload's lifetime.
+    _memhog: Option<Memhog>,
+}
+
+impl PreparedWorkload {
+    /// Builds the benchmark's access-pattern generator.
+    pub fn pattern(&self, seed: u64) -> PatternGen {
+        PatternGen::new(&self.spec.pattern, Arc::clone(&self.footprint), seed)
+    }
+
+    /// Scans the benchmark's page-allocation contiguity (the paper's §6
+    /// measurement).
+    pub fn contiguity(&self) -> ContiguityReport {
+        self.kernel
+            .scan_contiguity(self.asid)
+            .expect("benchmark process is live")
+    }
+
+    /// Instructions represented by `accesses` memory references.
+    pub fn instructions(&self, accesses: u64) -> u64 {
+        accesses * self.spec.instructions_per_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::benchmark;
+
+    #[test]
+    fn paper_five_scenarios_have_expected_settings() {
+        let five = Scenario::paper_five();
+        assert_eq!(five.len(), 5);
+        assert!(five[0].ths && five[0].memhog_fraction == 0.0);
+        assert!(!five[1].ths);
+        assert_eq!(five[2].compaction, CompactionMode::Low);
+        assert!(five[3].ths && five[3].memhog_fraction > 0.0);
+        assert!(!five[4].ths && five[4].memhog_fraction > 0.0);
+    }
+
+    #[test]
+    fn all_twelve_configurations_enumerate() {
+        let twelve = Scenario::all_twelve();
+        assert_eq!(twelve.len(), 12);
+        let names: std::collections::HashSet<_> =
+            twelve.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 12, "names must be distinct");
+        assert_eq!(twelve.iter().filter(|s| s.ths).count(), 6);
+        assert_eq!(
+            twelve.iter().filter(|s| s.compaction == CompactionMode::Low).count(),
+            6
+        );
+        assert_eq!(twelve.iter().filter(|s| s.memhog_fraction == 0.0).count(), 4);
+    }
+
+    #[test]
+    fn prepare_allocates_the_full_footprint() {
+        let spec = benchmark("Gobmk").unwrap();
+        let w = Scenario::default_linux().prepare(&spec).unwrap();
+        assert_eq!(w.footprint.len() as u64, spec.footprint_pages);
+        // Every footprint page translates.
+        let proc = w.kernel.process(w.asid).unwrap();
+        for &vpn in w.footprint.iter() {
+            assert!(proc.translate(vpn).is_some(), "unbacked footprint page {vpn}");
+        }
+    }
+
+    #[test]
+    fn ths_scenario_creates_superpages_and_splits_some() {
+        let spec = benchmark("Sjeng").unwrap(); // big 1024-page chunks
+        let w = Scenario::default_linux().prepare(&spec).unwrap();
+        let stats = w.kernel.stats();
+        assert!(stats.thp_allocs > 0, "large anonymous chunks must get THP");
+        assert!(stats.thp_splits > 0, "pressure must split some superpages");
+    }
+
+    #[test]
+    fn no_ths_scenario_never_creates_superpages() {
+        let spec = benchmark("Sjeng").unwrap();
+        let w = Scenario::no_ths().prepare(&spec).unwrap();
+        assert_eq!(w.kernel.stats().thp_allocs, 0);
+        assert_eq!(w.kernel.process(w.asid).unwrap().page_table().stats().superpages, 0);
+    }
+
+    #[test]
+    fn big_chunk_benchmarks_get_more_contiguity_than_small_chunk_ones() {
+        let scenario = Scenario::no_ths();
+        let sjeng = scenario.prepare(&benchmark("Sjeng").unwrap()).unwrap();
+        let xalanc = scenario.prepare(&benchmark("Xalancbmk").unwrap()).unwrap();
+        let c_sjeng = sjeng.contiguity().average_contiguity();
+        let c_xalanc = xalanc.contiguity().average_contiguity();
+        assert!(
+            c_sjeng > 2.0 * c_xalanc,
+            "Sjeng ({c_sjeng:.1}) must out-contiguity Xalancbmk ({c_xalanc:.1})"
+        );
+    }
+
+    #[test]
+    fn low_compaction_reduces_contiguity() {
+        let spec = benchmark("Mcf").unwrap();
+        let normal = Scenario::no_ths().prepare(&spec).unwrap();
+        let low = Scenario::no_ths_low_compaction().prepare(&spec).unwrap();
+        let cn = normal.contiguity().average_contiguity();
+        let cl = low.contiguity().average_contiguity();
+        // With THS off the compaction daemon barely runs (§6.2), so the
+        // two configurations land close together; allow seed noise.
+        assert!(
+            cn * 1.5 >= cl,
+            "normal compaction ({cn:.2}) must not badly trail low compaction ({cl:.2})"
+        );
+    }
+
+    #[test]
+    fn memhog_scenario_prepares_successfully_at_50_percent() {
+        let spec = benchmark("Povray").unwrap(); // small footprint
+        let w = Scenario::default_with_memhog(0.5).prepare(&spec).unwrap();
+        assert_eq!(w.footprint.len() as u64, spec.footprint_pages);
+        assert!(w.kernel.frames().counts().pinned > 0, "memhog is holding memory");
+    }
+
+    #[test]
+    fn prepare_many_shares_one_kernel() {
+        let specs = [benchmark("Gobmk").unwrap(), benchmark("Povray").unwrap()];
+        let multi = Scenario::default_linux().prepare_many(&specs).unwrap();
+        assert_eq!(multi.parts.len(), 2);
+        let (a, b) = (multi.parts[0].1, multi.parts[1].1);
+        assert_ne!(a, b, "distinct address spaces");
+        for (i, (spec, asid, footprint)) in multi.parts.iter().enumerate() {
+            assert_eq!(footprint.len() as u64, spec.footprint_pages);
+            let proc = multi.kernel.process(*asid).unwrap();
+            for &vpn in footprint.iter() {
+                assert!(proc.translate(vpn).is_some(), "part {i} page {vpn} unbacked");
+            }
+            assert!(multi.contiguity(i).average_contiguity() >= 1.0);
+        }
+        // Patterns roam their own footprints only.
+        let mut g = multi.pattern(1, 7);
+        for _ in 0..200 {
+            let r = g.next_ref();
+            assert!(multi.parts[1].2.contains(&r.vpn));
+        }
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let spec = benchmark("Astar").unwrap();
+        let a = Scenario::default_linux().prepare(&spec).unwrap();
+        let b = Scenario::default_linux().prepare(&spec).unwrap();
+        assert_eq!(a.footprint, b.footprint);
+        assert_eq!(
+            a.contiguity().average_contiguity(),
+            b.contiguity().average_contiguity()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Memory-reference records.
+//!
+//! The paper extracts micro-op-level memory traces with Simics (§5.2.1);
+//! we generate equivalent streams synthetically. The TLB-relevant content
+//! of a trace record is the virtual page touched; the line offset within
+//! the page feeds the data-cache model.
+
+use colt_os_mem::addr::{VirtAddr, Vpn, PAGE_SIZE};
+
+/// Cache lines per 4KB page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / 64;
+
+/// One data memory reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemRef {
+    /// Virtual page touched.
+    pub vpn: Vpn,
+    /// Cache-line index within the page (0..64).
+    pub line: u8,
+    /// Store (true) or load (false).
+    pub write: bool,
+}
+
+impl MemRef {
+    /// The full virtual address of the reference (line granularity).
+    pub fn virt_addr(&self) -> VirtAddr {
+        VirtAddr::new(self.vpn.raw() * PAGE_SIZE + self.line as u64 * 64)
+    }
+}
+
+/// Writes a reference stream in the plain-text trace format:
+/// one `vpn line rw` triple per line, `vpn` in hex.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: std::io::Write>(mut w: W, refs: &[MemRef]) -> std::io::Result<()> {
+    for r in refs {
+        writeln!(w, "{:x} {} {}", r.vpn.raw(), r.line, u8::from(r.write))?;
+    }
+    Ok(())
+}
+
+/// Reads a reference stream written by [`write_trace`]. Lines that are
+/// empty or start with `#` are skipped, so traces can carry comments.
+///
+/// # Errors
+/// Returns `InvalidData` on malformed records, plus underlying I/O
+/// errors.
+pub fn read_trace<R: std::io::BufRead>(r: R) -> std::io::Result<Vec<MemRef>> {
+    use std::io::{Error, ErrorKind};
+    let mut out = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |what: &str| {
+            Error::new(ErrorKind::InvalidData, format!("trace line {}: {what}", no + 1))
+        };
+        let vpn = u64::from_str_radix(parts.next().ok_or_else(|| bad("missing vpn"))?, 16)
+            .map_err(|_| bad("bad vpn"))?;
+        let line_idx: u64 = parts
+            .next()
+            .ok_or_else(|| bad("missing line index"))?
+            .parse()
+            .map_err(|_| bad("bad line index"))?;
+        if line_idx >= LINES_PER_PAGE {
+            return Err(bad("line index out of range"));
+        }
+        let write: u8 = parts
+            .next()
+            .ok_or_else(|| bad("missing rw flag"))?
+            .parse()
+            .map_err(|_| bad("bad rw flag"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        out.push(MemRef { vpn: Vpn::new(vpn), line: line_idx as u8, write: write != 0 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_combines_page_and_line() {
+        let r = MemRef { vpn: Vpn::new(3), line: 2, write: false };
+        assert_eq!(r.virt_addr().raw(), 3 * 4096 + 128);
+        assert_eq!(r.virt_addr().page(), Vpn::new(3));
+    }
+
+    #[test]
+    fn lines_per_page_is_64() {
+        assert_eq!(LINES_PER_PAGE, 64);
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let refs = vec![
+            MemRef { vpn: Vpn::new(0x1234), line: 7, write: true },
+            MemRef { vpn: Vpn::new(0xABCDEF), line: 63, write: false },
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &refs).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, refs);
+    }
+
+    #[test]
+    fn trace_reader_skips_comments_and_blanks() {
+        let text = b"# a comment
+
+1f 3 0
+";
+        let refs = read_trace(&text[..]).unwrap();
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].vpn, Vpn::new(0x1f));
+    }
+
+    #[test]
+    fn trace_reader_rejects_garbage() {
+        assert!(read_trace(&b"zz 3 0
+"[..]).is_err());
+        assert!(read_trace(&b"1f 99 0
+"[..]).is_err(), "line index out of range");
+        assert!(read_trace(&b"1f 3
+"[..]).is_err(), "missing field");
+        assert!(read_trace(&b"1f 3 0 junk
+"[..]).is_err(), "trailing field");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the workload generators.
+
+use colt_os_mem::addr::Vpn;
+use colt_workloads::pattern::{PatternGen, PatternSpec};
+use colt_workloads::trace::{read_trace, write_trace, MemRef, LINES_PER_PAGE};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arbitrary_pattern() -> impl Strategy<Value = PatternSpec> {
+    let leaf = prop_oneof![
+        (1u32..16).prop_map(|a| PatternSpec::Sequential { accesses_per_page: a }),
+        Just(PatternSpec::UniformRandom),
+        (0.01f64..1.0, 0.0f64..1.0).prop_map(|(f, p)| PatternSpec::HotCold {
+            hot_fraction: f,
+            hot_probability: p,
+        }),
+        Just(PatternSpec::PointerChase),
+        (1u64..16, 1u32..8).prop_map(|(s, a)| PatternSpec::Strided {
+            stride_pages: s,
+            accesses_per_touch: a,
+        }),
+        (1u64..64, 1u32..4, 1u32..8).prop_map(|(w, r, a)| PatternSpec::WindowedSweep {
+            window_pages: w,
+            repeats: r,
+            accesses_per_page: a,
+        }),
+    ];
+    // One level of composition: mixtures and phases of leaves.
+    prop_oneof![
+        leaf.clone(),
+        prop::collection::vec((0.1f64..1.0, leaf.clone()), 1..4).prop_map(PatternSpec::Mixture),
+        prop::collection::vec((1u64..50, leaf), 1..4).prop_map(PatternSpec::Phased),
+    ]
+}
+
+proptest! {
+    /// Every pattern, simple or composed, stays inside its footprint and
+    /// produces valid line indices.
+    #[test]
+    fn patterns_stay_in_bounds(
+        spec in arbitrary_pattern(),
+        pages in 1u64..500,
+        seed in 0u64..1000,
+    ) {
+        let footprint: Arc<Vec<Vpn>> =
+            Arc::new((0..pages).map(|i| Vpn::new(0x4000 + i * 2)).collect());
+        let mut gen = PatternGen::new(&spec, Arc::clone(&footprint), seed);
+        for _ in 0..500 {
+            let r = gen.next_ref();
+            prop_assert!(footprint.contains(&r.vpn), "vpn {} outside footprint", r.vpn);
+            prop_assert!((r.line as u64) < LINES_PER_PAGE);
+        }
+    }
+
+    /// Identical seeds reproduce identical streams for every pattern.
+    #[test]
+    fn patterns_are_deterministic(
+        spec in arbitrary_pattern(),
+        pages in 1u64..200,
+        seed in 0u64..1000,
+    ) {
+        let footprint: Arc<Vec<Vpn>> = Arc::new((0..pages).map(Vpn::new).collect());
+        let a = PatternGen::new(&spec, Arc::clone(&footprint), seed).take_refs(200);
+        let b = PatternGen::new(&spec, footprint, seed).take_refs(200);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Trace files round-trip every representable reference stream.
+    #[test]
+    fn trace_round_trip(
+        refs in prop::collection::vec(
+            (0u64..(1 << 36), 0u8..64, prop::bool::ANY),
+            0..200
+        )
+    ) {
+        let refs: Vec<MemRef> = refs
+            .into_iter()
+            .map(|(v, l, w)| MemRef { vpn: Vpn::new(v), line: l, write: w })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &refs).expect("in-memory write");
+        let back = read_trace(&buf[..]).expect("own format parses");
+        prop_assert_eq!(back, refs);
+    }
+}

@@ -1,0 +1,79 @@
+//! Tour of the reproduction's extensions beyond the paper's figures:
+//! nested paging (virtualization), the sequential-prefetcher baseline,
+//! and the §4.1.5/§4.2.3 future-work TLB refinements.
+//!
+//! Run with: `cargo run --release -p colt-core --example extensions_tour`
+
+use colt_core::perf::PerfModel;
+use colt_core::sim::{self, SimConfig};
+use colt_tlb::config::TlbConfig;
+use colt_tlb::prefetch::PrefetchConfig;
+use colt_tlb::stats::pct_misses_eliminated;
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = benchmark("Omnetpp").expect("a Table-1 benchmark");
+    let workload = Scenario::default_linux().prepare(&spec)?;
+    let accesses = 150_000;
+    let model = PerfModel::default();
+
+    // 1. Virtualization: the same designs under nested paging.
+    println!("== nested paging (the paper's sec 7.2 expectation) ==");
+    for nested in [false, true] {
+        let mk = |tlb: TlbConfig| {
+            let mut cfg = SimConfig::new(tlb).with_accesses(accesses);
+            if nested {
+                cfg = cfg.virtualized();
+            }
+            sim::run(&workload, &cfg)
+        };
+        let base = mk(TlbConfig::baseline());
+        let colt = mk(TlbConfig::colt_all());
+        println!(
+            "  {:7}: perfect headroom {:5.1}%, CoLT-All speedup {:+5.1}%",
+            if nested { "nested" } else { "native" },
+            model.perfect_improvement_pct(&base),
+            model.improvement_pct(&base, &colt),
+        );
+    }
+
+    // 2. The related-work prefetcher baseline.
+    println!("\n== sequential TLB prefetching vs CoLT (sec 2.1/2.4) ==");
+    let base = sim::run(&workload, &SimConfig::new(TlbConfig::baseline()).with_accesses(accesses));
+    for (label, tlb) in [
+        (
+            "prefetch d=1",
+            TlbConfig::baseline().with_prefetch(PrefetchConfig { buffer_entries: 16, degree: 1 }),
+        ),
+        (
+            "prefetch d=2",
+            TlbConfig::baseline().with_prefetch(PrefetchConfig { buffer_entries: 16, degree: 2 }),
+        ),
+        ("CoLT-All", TlbConfig::colt_all()),
+    ] {
+        let r = sim::run(&workload, &SimConfig::new(tlb).with_accesses(accesses));
+        println!(
+            "  {label:13} eliminates {:5.1}% of walks",
+            pct_misses_eliminated(base.tlb.l2_misses, r.tlb.l2_misses),
+        );
+    }
+
+    // 3. Future work: graceful invalidation under shootdown churn.
+    println!("\n== graceful uncoalescing under shootdown churn (sec 4.1.5) ==");
+    let churny = |tlb: TlbConfig| {
+        sim::run(
+            &workload,
+            &SimConfig::new(tlb).with_accesses(accesses).with_invalidations(64),
+        )
+    };
+    let base = churny(TlbConfig::baseline());
+    let flush = churny(TlbConfig::colt_all());
+    let graceful = churny(TlbConfig { graceful_invalidation: true, ..TlbConfig::colt_all() });
+    println!(
+        "  whole-entry flush: {:5.1}%   graceful: {:5.1}%",
+        pct_misses_eliminated(base.tlb.l2_misses, flush.tlb.l2_misses),
+        pct_misses_eliminated(base.tlb.l2_misses, graceful.tlb.l2_misses),
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: allocate a workload under the default Linux scenario,
+//! run it through the baseline and CoLT-All TLB hierarchies, and compare
+//! miss rates — the paper's core result in ~40 lines.
+//!
+//! Run with: `cargo run --release -p colt-core --example quickstart`
+
+use colt_core::sim::{self, SimConfig};
+use colt_tlb::config::TlbConfig;
+use colt_tlb::stats::pct_misses_eliminated;
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a TLB-hungry benchmark model and prepare it under the
+    //    paper's default system configuration (THS on, normal memory
+    //    compaction). This boots a simulated kernel, ages it, and lets
+    //    the buddy allocator + THS back the benchmark's address space.
+    let spec = benchmark("Mcf").expect("Mcf is a Table-1 benchmark");
+    let workload = Scenario::default_linux().prepare(&spec)?;
+
+    // 2. How much page-allocation contiguity did the OS produce?
+    let contiguity = workload.contiguity();
+    println!(
+        "Mcf footprint: {} pages, average contiguity {:.1} pages (max {})",
+        contiguity.total_pages(),
+        contiguity.average_contiguity(),
+        contiguity.max_contiguity(),
+    );
+
+    // 3. Replay the same reference stream through the baseline hierarchy
+    //    and through CoLT-All.
+    let accesses = 200_000;
+    let baseline = sim::run(
+        &workload,
+        &SimConfig::new(TlbConfig::baseline()).with_accesses(accesses),
+    );
+    let colt = sim::run(
+        &workload,
+        &SimConfig::new(TlbConfig::colt_all()).with_accesses(accesses),
+    );
+
+    println!(
+        "baseline: {:6} L1 misses, {:6} page walks",
+        baseline.tlb.l1_misses, baseline.tlb.l2_misses
+    );
+    println!(
+        "CoLT-All: {:6} L1 misses, {:6} page walks (avg {:.1} translations/fill)",
+        colt.tlb.l1_misses,
+        colt.tlb.l2_misses,
+        colt.tlb.avg_coalescing()
+    );
+    println!(
+        "eliminated: {:.1}% of L1 misses, {:.1}% of walks",
+        pct_misses_eliminated(baseline.tlb.l1_misses, colt.tlb.l1_misses),
+        pct_misses_eliminated(baseline.tlb.l2_misses, colt.tlb.l2_misses),
+    );
+    Ok(())
+}

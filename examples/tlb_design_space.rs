@@ -1,0 +1,67 @@
+//! TLB design-space exploration: sweep the CoLT knobs the paper examines
+//! (design, index shift, superpage-TLB size, CoLT-All threshold) over one
+//! workload and print the resulting miss eliminations.
+//!
+//! Run with: `cargo run --release -p colt-core --example tlb_design_space`
+
+use colt_core::sim::{self, SimConfig, SimResult};
+use colt_tlb::config::TlbConfig;
+use colt_tlb::stats::pct_misses_eliminated;
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = benchmark("CactusADM").expect("a Table-1 benchmark");
+    let workload = Scenario::default_linux().prepare(&spec)?;
+    let accesses = 150_000;
+    let run = |tlb: TlbConfig| -> SimResult {
+        sim::run(&workload, &SimConfig::new(tlb).with_accesses(accesses))
+    };
+
+    let baseline = run(TlbConfig::baseline());
+    println!(
+        "CactusADM baseline: {} L1 misses, {} walks over {} accesses\n",
+        baseline.tlb.l1_misses, baseline.tlb.l2_misses, baseline.tlb.accesses
+    );
+
+    let report = |label: &str, r: SimResult| {
+        println!(
+            "{label:38} L1 elim {:6.1}%   walk elim {:6.1}%",
+            pct_misses_eliminated(baseline.tlb.l1_misses, r.tlb.l1_misses),
+            pct_misses_eliminated(baseline.tlb.l2_misses, r.tlb.l2_misses),
+        );
+    };
+
+    // The three designs (Figure 18).
+    report("CoLT-SA (shift 2)", run(TlbConfig::colt_sa()));
+    report("CoLT-FA (8-entry SP)", run(TlbConfig::colt_fa()));
+    report("CoLT-All (threshold 4)", run(TlbConfig::colt_all()));
+    println!();
+
+    // Index-shift sweep (Figure 19).
+    for shift in [1u32, 2, 3] {
+        report(
+            &format!("CoLT-SA, index left-shift {shift}"),
+            run(TlbConfig::colt_sa().with_shift(shift)),
+        );
+    }
+    println!();
+
+    // Associativity (Figure 20).
+    report("8-way L2, no CoLT", run(TlbConfig::baseline().with_l2_ways(8)));
+    report("8-way L2, CoLT-SA", run(TlbConfig::colt_sa().with_l2_ways(8)));
+    println!();
+
+    // Superpage-TLB size and CoLT-All threshold (ablation extras).
+    report(
+        "CoLT-FA with 16-entry SP TLB",
+        run(TlbConfig { sp_entries: 16, ..TlbConfig::colt_fa() }),
+    );
+    for threshold in [2u64, 4, 8] {
+        report(
+            &format!("CoLT-All, threshold {threshold}"),
+            run(TlbConfig { all_threshold: threshold, ..TlbConfig::colt_all() }),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/` (one file per concern:
+//! `e2e_pipeline`, `cross_crate_invariants`, `paper_shapes`,
+//! `properties`).
+
+use colt_core::sim::{self, SimConfig, SimResult};
+use colt_tlb::config::TlbConfig;
+use colt_workloads::scenario::{PreparedWorkload, Scenario};
+use colt_workloads::spec::benchmark;
+
+/// Prepares `name` under the default Linux scenario.
+///
+/// # Panics
+/// Panics when `name` is not a Table-1 benchmark or preparation fails.
+pub fn prepare(name: &str) -> PreparedWorkload {
+    let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    Scenario::default_linux()
+        .prepare(&spec)
+        .unwrap_or_else(|e| panic!("prepare({name}) failed: {e}"))
+}
+
+/// Runs a short simulation of `workload` under `tlb`.
+pub fn short_sim(workload: &PreparedWorkload, tlb: TlbConfig) -> SimResult {
+    sim::run(workload, &SimConfig::new(tlb).with_accesses(30_000))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_work() {
+        let w = super::prepare("FastaProt");
+        let r = super::short_sim(&w, colt_tlb::config::TlbConfig::baseline());
+        assert_eq!(r.tlb.accesses, 30_000);
+    }
+}

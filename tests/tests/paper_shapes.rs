@@ -1,0 +1,151 @@
+//! The paper's qualitative results, asserted at reduced scale. These are
+//! the claims a reviewer would check first; each test names the table or
+//! figure it guards.
+
+use colt_core::experiments::{
+    ablation, associativity, contiguity, index_shift, miss_elimination, performance,
+    ExperimentOptions,
+};
+use colt_core::metrics::mean;
+use colt_tests::{prepare, short_sim};
+use colt_tlb::config::TlbConfig;
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::benchmark;
+
+fn opts() -> ExperimentOptions {
+    ExperimentOptions::quick().with_benchmarks(&["Mcf", "CactusADM", "Bzip2", "Gobmk"])
+}
+
+/// Table 1's headline: TLB stressors stress, light benchmarks do not.
+#[test]
+fn table1_shape_mcf_stresses_more_than_fasta() {
+    let mcf = prepare("Mcf");
+    let fasta = prepare("FastaProt");
+    let mcf_r = short_sim(&mcf, TlbConfig::baseline());
+    let fasta_r = short_sim(&fasta, TlbConfig::baseline());
+    assert!(
+        mcf_r.l2_mpmi() > 5.0 * fasta_r.l2_mpmi(),
+        "Mcf L2 MPMI ({:.0}) must dwarf FastaProt's ({:.0})",
+        mcf_r.l2_mpmi(),
+        fasta_r.l2_mpmi()
+    );
+}
+
+/// Figures 7–15: intermediate contiguity exists under every kernel
+/// configuration, and the three configurations order as in the paper.
+#[test]
+fn contiguity_exists_under_every_configuration_and_orders_correctly() {
+    let o = opts();
+    let (on, _) = contiguity::run(contiguity::ContiguityConfig::ThsOn, &o);
+    let (off, _) = contiguity::run(contiguity::ContiguityConfig::ThsOff, &o);
+    let (low, _) = contiguity::run(contiguity::ContiguityConfig::LowCompaction, &o);
+    let avg = |rows: &[contiguity::ContiguityRow]| {
+        mean(&rows.iter().map(|r| r.average).collect::<Vec<_>>())
+    };
+    let (a_on, a_off, a_low) = (avg(&on), avg(&off), avg(&low));
+    // §6.6 conclusion 1: contiguity always exists.
+    assert!(a_low > 1.0, "even low compaction retains contiguity ({a_low:.2})");
+    // §6.1/6.2: THS on produces the most.
+    assert!(a_on > a_off, "THS must add contiguity ({a_on:.1} vs {a_off:.1})");
+    assert!(a_on > a_low);
+}
+
+/// Figure 18: all three CoLT designs eliminate a large share of misses,
+/// with FA/All generally ahead of SA.
+#[test]
+fn fig18_shape_all_designs_eliminate_misses() {
+    let (rows, _) = miss_elimination::run(&opts());
+    let avg_l2 = |design: usize| {
+        mean(&rows.iter().map(|r| r.l2_elim(design)).collect::<Vec<_>>())
+    };
+    let (sa, fa, all) = (avg_l2(1), avg_l2(2), avg_l2(3));
+    assert!(sa > 10.0, "CoLT-SA must eliminate a large share, got {sa:.1}%");
+    assert!(fa > 25.0, "CoLT-FA must eliminate a large share, got {fa:.1}%");
+    assert!(all > 25.0, "CoLT-All must eliminate a large share, got {all:.1}%");
+    assert!(
+        fa + 10.0 > sa,
+        "CoLT-FA ({fa:.1}%) should generally lead CoLT-SA ({sa:.1}%)"
+    );
+}
+
+/// Figure 19: left-shift 2 beats 1 on average; 3 is not clearly better
+/// than 2 (conflict misses bite).
+#[test]
+fn fig19_shape_shift_two_is_the_sweet_spot() {
+    let (rows, _) = index_shift::run(&opts());
+    let avg = |i: usize| mean(&rows.iter().map(|r| r.l2_elim(i)).collect::<Vec<_>>());
+    let (s1, s2, s3) = (avg(0), avg(1), avg(2));
+    assert!(s2 >= s1 - 1.0, "shift 2 ({s2:.1}%) must match or beat shift 1 ({s1:.1}%)");
+    assert!(
+        s2 + 15.0 > s3,
+        "shift 3 ({s3:.1}%) must not decisively beat shift 2 ({s2:.1}%)"
+    );
+}
+
+/// Figure 20: associativity alone is a poor substitute for coalescing,
+/// and the combination wins.
+#[test]
+fn fig20_shape_coalescing_beats_associativity() {
+    let (rows, _) = associativity::run(&opts());
+    let avg = |i: usize| mean(&rows.iter().map(|r| r.l2_elim(i)).collect::<Vec<_>>());
+    let (sa4, no8, sa8) = (avg(0), avg(1), avg(2));
+    assert!(
+        sa4 > no8,
+        "4-way CoLT-SA ({sa4:.1}%) must beat mere 8-way associativity ({no8:.1}%)"
+    );
+    assert!(
+        sa8 + 5.0 >= sa4,
+        "8-way CoLT-SA ({sa8:.1}%) should not trail 4-way CoLT-SA ({sa4:.1}%)"
+    );
+}
+
+/// Figure 21: CoLT captures a meaningful share of the perfect-TLB
+/// headroom on TLB-stressed benchmarks.
+#[test]
+fn fig21_shape_colt_realizes_performance_gains() {
+    let o = ExperimentOptions::quick().with_benchmarks(&["Mcf", "CactusADM"]);
+    let (rows, _) = performance::run(&o);
+    for r in &rows {
+        assert!(r.perfect > 1.0, "{}: must have TLB headroom", r.name);
+        let best = r.colt.iter().cloned().fold(f64::MIN, f64::max);
+        // At quick scale warm-up is partial; full runs capture ~30-40%
+        // of the headroom (EXPERIMENTS.md).
+        assert!(
+            best > 0.12 * r.perfect,
+            "{}: best CoLT ({best:.1}%) should capture real headroom (perfect {:.1}%)",
+            r.name,
+            r.perfect
+        );
+    }
+}
+
+/// §7.1.3: the fill-to-L2 policy is worth keeping.
+#[test]
+fn sec713_shape_l2_fill_policy_helps() {
+    let o = ExperimentOptions::quick().with_benchmarks(&["CactusADM", "Gobmk"]);
+    let rows = ablation::l2_fill_policy(&o);
+    let get = |label: &str| {
+        rows.iter()
+            .find(|r| r.label.contains(label))
+            .map(|r| r.l2_elim)
+            .expect("variant present")
+    };
+    assert!(get("CoLT-FA, fill L2 (paper)") + 2.0 >= get("CoLT-FA, no L2 fill"));
+    assert!(get("CoLT-All, fill L2 (paper)") + 2.0 >= get("CoLT-All, no L2 fill"));
+}
+
+/// §6.4: moderate memhog load does not destroy contiguity; heavy load
+/// reduces it.
+#[test]
+fn fig16_shape_heavy_load_reduces_contiguity() {
+    let spec = benchmark("Mcf").unwrap();
+    let base = Scenario::default_linux().prepare(&spec).unwrap();
+    let heavy = Scenario::default_with_memhog(0.5).prepare(&spec).unwrap();
+    let c_base = base.contiguity().average_contiguity();
+    let c_heavy = heavy.contiguity().average_contiguity();
+    assert!(
+        c_heavy < c_base,
+        "memhog(50%) ({c_heavy:.1}) must reduce Mcf's contiguity ({c_base:.1})"
+    );
+    assert!(c_heavy > 1.0, "but intermediate contiguity survives (§6.5)");
+}

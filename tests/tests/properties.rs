@@ -1,0 +1,111 @@
+//! Cross-crate property tests: randomized workloads through the full
+//! stack.
+
+use colt_core::sim::{self, SimConfig};
+use colt_os_mem::kernel::CompactionMode;
+use colt_tlb::config::TlbConfig;
+use colt_workloads::background::AgingConfig;
+use colt_workloads::calibration::paper_benchmark;
+use colt_workloads::pattern::PatternSpec;
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::{AllocBehavior, BenchmarkSpec, PopulatePolicy};
+use colt_workloads::Suite;
+use proptest::prelude::*;
+
+fn arbitrary_spec() -> impl Strategy<Value = BenchmarkSpec> {
+    (
+        512u64..4000,              // footprint
+        prop_oneof![Just(4u64), Just(16), Just(64), Just(512)], // chunk
+        prop::bool::ANY,           // eager?
+        0u64..16,                  // interleave
+        0.0f64..0.4,               // file fraction
+        prop_oneof![
+            Just(PatternSpec::UniformRandom),
+            Just(PatternSpec::PointerChase),
+            Just(PatternSpec::Sequential { accesses_per_page: 4 }),
+            Just(PatternSpec::HotCold { hot_fraction: 0.05, hot_probability: 0.9 }),
+            Just(PatternSpec::Strided { stride_pages: 3, accesses_per_touch: 2 }),
+        ],
+    )
+        .prop_map(|(fp, chunk, eager, interleave, file, pattern)| BenchmarkSpec {
+            name: "Fuzz",
+            suite: Suite::Spec,
+            footprint_pages: fp,
+            alloc: AllocBehavior {
+                chunk_pages: chunk.min(fp),
+                populate: if eager { PopulatePolicy::Eager } else { PopulatePolicy::Faulted },
+                interleave_pages: interleave,
+                churn_rounds: 0,
+                file_fraction: file,
+            },
+            pattern,
+            instructions_per_access: 3,
+            paper: paper_benchmark("Gobmk").expect("table entry"),
+        })
+}
+
+fn small_scenario(ths: bool, low_compaction: bool, seed: u64) -> Scenario {
+    Scenario {
+        name: "fuzz".into(),
+        ths,
+        compaction: if low_compaction { CompactionMode::Low } else { CompactionMode::Normal },
+        memhog_fraction: 0.0,
+        nr_frames: 1 << 15, // keep fuzz preparations fast
+        aging: AgingConfig { churn_ops: 100, ..AgingConfig::default() },
+        pressure_split_fraction: 0.85,
+        dirty_fraction: 0.0,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any synthetic workload under any kernel configuration simulates
+    /// with consistent accounting under every TLB design, and no design
+    /// ever mistranslates.
+    #[test]
+    fn any_workload_simulates_consistently(
+        spec in arbitrary_spec(),
+        ths in prop::bool::ANY,
+        low in prop::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let scenario = small_scenario(ths, low, seed);
+        let workload = scenario.prepare(&spec).expect("scenario sized generously");
+        prop_assert_eq!(workload.footprint.len() as u64, spec.footprint_pages);
+
+        // Contiguity scan is internally consistent.
+        let report = workload.contiguity();
+        let run_pages: u64 = report.runs().iter().map(|r| r.len).sum();
+        prop_assert_eq!(run_pages, report.total_pages());
+
+        for config in [
+            TlbConfig::baseline(),
+            TlbConfig::colt_sa(),
+            TlbConfig::colt_fa(),
+            TlbConfig::colt_all(),
+        ] {
+            let r = sim::run(&workload, &SimConfig::new(config).with_accesses(5_000));
+            prop_assert_eq!(r.tlb.l1_hits + r.tlb.l1_misses, r.tlb.accesses);
+            prop_assert_eq!(r.tlb.l2_hits + r.tlb.l2_misses, r.tlb.l1_misses);
+            prop_assert_eq!(r.walker.walks, r.tlb.l2_misses);
+            prop_assert_eq!(r.walker.faults, 0, "footprints are always resident");
+            prop_assert_eq!(r.walk_cycles, r.walker.total_latency);
+        }
+    }
+
+    /// Baseline misses upper-bound what coalescing can eliminate: a CoLT
+    /// design never eliminates more misses than the baseline had.
+    #[test]
+    fn elimination_is_bounded_by_baseline(spec in arbitrary_spec(), seed in 0u64..100) {
+        let scenario = small_scenario(true, false, seed);
+        let workload = scenario.prepare(&spec).expect("fits");
+        let base = sim::run(&workload, &SimConfig::new(TlbConfig::baseline()).with_accesses(5_000));
+        for config in [TlbConfig::colt_sa(), TlbConfig::colt_fa(), TlbConfig::colt_all()] {
+            let r = sim::run(&workload, &SimConfig::new(config).with_accesses(5_000));
+            let elim = colt_tlb::stats::pct_misses_eliminated(base.tlb.l2_misses, r.tlb.l2_misses);
+            prop_assert!(elim <= 100.0 + 1e-9, "cannot eliminate more than everything");
+        }
+    }
+}
