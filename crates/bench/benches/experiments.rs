@@ -1,4 +1,4 @@
-//! One Criterion bench per paper experiment (DESIGN.md §3).
+//! One self-timed bench per paper experiment (DESIGN.md §3).
 //!
 //! Each bench runs a scaled-down version of the corresponding experiment
 //! driver so `cargo bench` exercises exactly the code paths the `repro`
@@ -9,11 +9,11 @@
 //! stressor, one light) and a reduced access budget; the full 14-benchmark
 //! runs are produced by `cargo run --release -p colt-core --bin repro`.
 
+use colt_bench::harness::Harness;
 use colt_core::experiments::{
     ablation, associativity, contiguity, index_shift, memhog_load, miss_elimination,
     performance, related_work, table1, virtualization, ExperimentOptions,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn opts() -> ExperimentOptions {
@@ -24,15 +24,14 @@ fn opts() -> ExperimentOptions {
     .with_benchmarks(&["CactusADM", "Gobmk"])
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Harness) {
     c.bench_function("experiment_table1", |b| {
         b.iter(|| black_box(table1::run(&opts())))
     });
 }
 
-fn bench_contiguity_figures(c: &mut Criterion) {
+fn bench_contiguity_figures(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_contiguity");
-    group.sample_size(10);
     for (label, config) in [
         ("fig7_9_ths_on", contiguity::ContiguityConfig::ThsOn),
         ("fig10_12_ths_off", contiguity::ContiguityConfig::ThsOff),
@@ -45,91 +44,81 @@ fn bench_contiguity_figures(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_memhog_figures(c: &mut Criterion) {
+fn bench_memhog_figures(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_memhog");
-    group.sample_size(10);
     group.bench_function("fig16_17", |b| {
         b.iter(|| black_box(memhog_load::run_figure(true, &opts())))
     });
     group.finish();
 }
 
-fn bench_miss_elimination(c: &mut Criterion) {
+fn bench_miss_elimination(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_fig18");
-    group.sample_size(10);
     group.bench_function("miss_elimination", |b| {
         b.iter(|| black_box(miss_elimination::run(&opts())))
     });
     group.finish();
 }
 
-fn bench_index_shift(c: &mut Criterion) {
+fn bench_index_shift(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_fig19");
-    group.sample_size(10);
     group.bench_function("index_shift_sweep", |b| {
         b.iter(|| black_box(index_shift::run(&opts())))
     });
     group.finish();
 }
 
-fn bench_associativity(c: &mut Criterion) {
+fn bench_associativity(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_fig20");
-    group.sample_size(10);
     group.bench_function("associativity_study", |b| {
         b.iter(|| black_box(associativity::run(&opts())))
     });
     group.finish();
 }
 
-fn bench_performance(c: &mut Criterion) {
+fn bench_performance(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_fig21");
-    group.sample_size(10);
     group.bench_function("performance_model", |b| {
         b.iter(|| black_box(performance::run(&opts())))
     });
     group.finish();
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn bench_ablation(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_ablation");
-    group.sample_size(10);
     group.bench_function("l2_fill_policy", |b| {
         b.iter(|| black_box(ablation::l2_fill_policy(&opts())))
     });
     group.finish();
 }
 
-fn bench_virtualization(c: &mut Criterion) {
+fn bench_virtualization(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_virt");
-    group.sample_size(10);
     group.bench_function("nested_paging", |b| {
         b.iter(|| black_box(virtualization::run(&opts())))
     });
     group.finish();
 }
 
-fn bench_related_work(c: &mut Criterion) {
+fn bench_related_work(c: &mut Harness) {
     let mut group = c.benchmark_group("experiment_related");
-    group.sample_size(10);
     group.bench_function("prefetch_comparison", |b| {
         b.iter(|| black_box(related_work::run(&opts())))
     });
     group.finish();
 }
 
-criterion_group!(
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_table1,
-        bench_contiguity_figures,
-        bench_memhog_figures,
-        bench_miss_elimination,
-        bench_index_shift,
-        bench_associativity,
-        bench_performance,
-        bench_ablation,
-        bench_virtualization,
-        bench_related_work
-);
-criterion_main!(experiments);
+fn main() {
+    let mut harness = Harness::from_args("experiments");
+    bench_table1(&mut harness);
+    bench_contiguity_figures(&mut harness);
+    bench_memhog_figures(&mut harness);
+    bench_miss_elimination(&mut harness);
+    bench_index_shift(&mut harness);
+    bench_associativity(&mut harness);
+    bench_performance(&mut harness);
+    bench_ablation(&mut harness);
+    bench_virtualization(&mut harness);
+    bench_related_work(&mut harness);
+    harness.finish();
+}

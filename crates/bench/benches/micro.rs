@@ -3,8 +3,10 @@
 //! These quantify the cost of the operations every experiment performs
 //! millions of times: TLB lookups (set-associative and range-check),
 //! the coalescing logic, buddy allocation/free, compaction passes, and
-//! full page walks.
+//! full page walks. Self-timed via `colt_bench::harness` (the offline
+//! build cannot fetch criterion).
 
+use colt_bench::harness::Harness;
 use colt_memsim::hierarchy::CacheHierarchy;
 use colt_memsim::walker::PageWalker;
 use colt_os_mem::addr::{Pfn, Vpn};
@@ -18,7 +20,6 @@ use colt_tlb::entry::CoalescedRun;
 use colt_tlb::fully_assoc::FullyAssocTlb;
 use colt_tlb::hierarchy::{TlbHierarchy, WalkFill};
 use colt_tlb::set_assoc::SetAssocTlb;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn contiguous_page_table(pages: u64) -> PageTable {
@@ -29,7 +30,7 @@ fn contiguous_page_table(pages: u64) -> PageTable {
     pt
 }
 
-fn bench_tlb_lookup(c: &mut Criterion) {
+fn bench_tlb_lookup(c: &mut Harness) {
     let mut group = c.benchmark_group("tlb_lookup");
 
     let mut sa = SetAssocTlb::new(128, 4, 2);
@@ -74,7 +75,7 @@ fn bench_tlb_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_coalescing_logic(c: &mut Criterion) {
+fn bench_coalescing_logic(c: &mut Harness) {
     let pt = contiguous_page_table(64);
     let line = pt.pte_line(Vpn::new(0x1008));
     c.bench_function("coalesce_line_full_run", |b| {
@@ -82,7 +83,7 @@ fn bench_coalescing_logic(c: &mut Criterion) {
     });
 }
 
-fn bench_hierarchy_fill(c: &mut Criterion) {
+fn bench_hierarchy_fill(c: &mut Harness) {
     let pt = contiguous_page_table(4096);
     let mut group = c.benchmark_group("hierarchy_miss_and_fill");
     for config in [
@@ -106,7 +107,7 @@ fn bench_hierarchy_fill(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_buddy(c: &mut Criterion) {
+fn bench_buddy(c: &mut Harness) {
     let mut group = c.benchmark_group("buddy");
     group.bench_function("alloc_free_cycle_8_pages", |b| {
         b.iter_batched_ref(
@@ -115,7 +116,6 @@ fn bench_buddy(c: &mut Criterion) {
                 let r = buddy.alloc_pages(8).expect("fresh memory");
                 buddy.free_pages(r);
             },
-            BatchSize::SmallInput,
         )
     });
     group.bench_function("alloc_until_full_then_free", |b| {
@@ -130,13 +130,12 @@ fn bench_buddy(c: &mut Criterion) {
                     buddy.free_pages(r);
                 }
             },
-            BatchSize::SmallInput,
         )
     });
     group.finish();
 }
 
-fn bench_compaction(c: &mut Criterion) {
+fn bench_compaction(c: &mut Harness) {
     c.bench_function("compaction_pass_scattered", |b| {
         b.iter_batched_ref(
             || {
@@ -160,12 +159,11 @@ fn bench_compaction(c: &mut Criterion) {
             |k| {
                 black_box(k.compact_now());
             },
-            BatchSize::SmallInput,
         )
     });
 }
 
-fn bench_page_walk(c: &mut Criterion) {
+fn bench_page_walk(c: &mut Harness) {
     let pt = contiguous_page_table(4096);
     let mut walker = PageWalker::paper_default();
     let mut caches = CacheHierarchy::core_i7();
@@ -178,7 +176,7 @@ fn bench_page_walk(c: &mut Criterion) {
     });
 }
 
-fn bench_prefetch_buffer(c: &mut Criterion) {
+fn bench_prefetch_buffer(c: &mut Harness) {
     use colt_tlb::prefetch::{PrefetchBuffer, PrefetchConfig};
     let mut pb = PrefetchBuffer::new(PrefetchConfig::default());
     for i in 0..16u64 {
@@ -194,7 +192,7 @@ fn bench_prefetch_buffer(c: &mut Criterion) {
     });
 }
 
-fn bench_nested_walk(c: &mut Criterion) {
+fn bench_nested_walk(c: &mut Harness) {
     let pt = contiguous_page_table(4096);
     let mut group = c.benchmark_group("walk_modes");
     for nested in [false, true] {
@@ -215,25 +213,23 @@ fn bench_nested_walk(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_contiguity_scan(c: &mut Criterion) {
+fn bench_contiguity_scan(c: &mut Harness) {
     let pt = contiguous_page_table(16_384);
     c.bench_function("contiguity_scan_16k_pages", |b| {
         b.iter(|| black_box(ContiguityReport::scan(&pt)))
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_tlb_lookup,
-        bench_coalescing_logic,
-        bench_hierarchy_fill,
-        bench_buddy,
-        bench_compaction,
-        bench_page_walk,
-        bench_prefetch_buffer,
-        bench_nested_walk,
-        bench_contiguity_scan
-);
-criterion_main!(micro);
+fn main() {
+    let mut harness = Harness::from_args("micro");
+    bench_tlb_lookup(&mut harness);
+    bench_coalescing_logic(&mut harness);
+    bench_hierarchy_fill(&mut harness);
+    bench_buddy(&mut harness);
+    bench_compaction(&mut harness);
+    bench_page_walk(&mut harness);
+    bench_prefetch_buffer(&mut harness);
+    bench_nested_walk(&mut harness);
+    bench_contiguity_scan(&mut harness);
+    harness.finish();
+}

@@ -1,6 +1,8 @@
 //! # colt-bench — benchmark harness for the CoLT reproduction
 //!
-//! This crate contains only Criterion benches (see `benches/`):
+//! This crate contains self-timed benches (see `benches/`), built on the
+//! std-only [`harness`] module because the environment builds offline
+//! and cannot fetch criterion:
 //!
 //! * `micro` — microbenchmarks of the hot structures: TLB lookup and
 //!   fill, coalescing logic, buddy allocation, compaction, page walks.
@@ -11,6 +13,8 @@
 //!
 //! The full-size experiments are driven by the `repro` binary in
 //! `colt-core` (`cargo run --release -p colt-core --bin repro -- all`).
+
+pub mod harness;
 
 /// Shared helper: a small deterministic workload for benches that need a
 /// prepared address space without paying full scenario cost.

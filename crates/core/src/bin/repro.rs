@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--csv] <experiment>...
+//! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--jobs N] [--csv] <experiment>...
 //!
 //! experiments:
 //!   table1        Table 1   real-system MPMIs, THS on/off
@@ -29,11 +29,17 @@ use colt_core::experiments::{
     memhog_load, miss_elimination, multiprog, noise, performance, related_work,
     summary, table1, virtualization, ExperimentOptions, ExperimentOutput,
 };
+use colt_core::report::Table;
+use colt_core::runner::{self, CellMetric};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--csv] [--bars] <experiment>...\n\
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--csv] [--bars] <experiment>...\n\
+         --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
+         \u{20}           then the machine's available parallelism); results are\n\
+         \u{20}           identical at any value\n\
          experiments: table1 fig7-9 fig10-12 fig13-15 fig16-17 fig18 fig19 fig20 fig21 ablation virt related ctxswitch summary grid noise multiprog all"
     );
     std::process::exit(2);
@@ -41,6 +47,9 @@ fn usage() -> ! {
 
 fn main() -> ExitCode {
     let mut opts = ExperimentOptions::default();
+    if let Ok(jobs) = std::env::var("COLT_JOBS") {
+        opts.jobs = jobs.parse::<usize>().map_or(opts.jobs, |j| j.max(1));
+    }
     let mut csv = false;
     let mut bars = false;
     let mut experiments: Vec<String> = Vec::new();
@@ -57,6 +66,10 @@ fn main() -> ExitCode {
                 let names = args.next().unwrap_or_else(|| usage());
                 opts.benchmarks =
                     Some(names.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--jobs" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.jobs = n.parse::<usize>().unwrap_or_else(|_| usage()).max(1);
             }
             "--csv" => csv = true,
             "--bars" => bars = true,
@@ -78,6 +91,8 @@ fn main() -> ExitCode {
         .collect();
     }
 
+    let _ = runner::take_metrics();
+    let wall_start = Instant::now();
     for exp in &experiments {
         let output: ExperimentOutput = match exp.as_str() {
             "table1" => table1::run(&opts).1,
@@ -124,5 +139,129 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let metrics = runner::take_metrics();
+    if !metrics.is_empty() {
+        if !csv {
+            println!("{}", throughput_table(&metrics, opts.jobs, wall_seconds).render());
+        }
+        let json = sweep_json(&metrics, opts.jobs, wall_seconds);
+        match write_sweep_json(&json) {
+            Ok(path) => {
+                if !csv {
+                    println!("throughput details written to {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not write results/BENCH_sweep.json: {e}"),
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Sum of every cell's preparation and simulation time — what one
+/// worker thread would have spent, since results are identical at any
+/// width and prep sharing happens at every width too.
+fn serial_seconds_estimate(metrics: &[CellMetric]) -> f64 {
+    metrics.iter().map(|m| m.prep_seconds + m.sim_seconds).sum()
+}
+
+/// One row per experiment (cells grouped by label prefix up to the
+/// first '/'), plus an aggregate row.
+fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> Table {
+    let mut table = Table::new(
+        format!("Sweep throughput: {jobs} worker thread(s), {wall_seconds:.2}s wall"),
+        &["experiment", "cells", "refs", "cpu seconds", "refs/sec (cpu)"],
+    );
+    // Group in first-appearance order to keep the table deterministic.
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: std::collections::HashMap<&str, (u64, u64, f64)> =
+        std::collections::HashMap::new();
+    for m in metrics {
+        let exp = m.label.split('/').next().unwrap_or("?");
+        let entry = groups.entry(exp).or_insert_with(|| {
+            order.push(exp);
+            (0, 0, 0.0)
+        });
+        entry.0 += 1;
+        entry.1 += m.refs;
+        entry.2 += m.prep_seconds + m.sim_seconds;
+    }
+    for exp in &order {
+        let (cells, refs, secs) = groups[exp];
+        table.add_row(vec![
+            (*exp).to_string(),
+            cells.to_string(),
+            refs.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.0}", refs as f64 / secs.max(1e-9)),
+        ]);
+    }
+    let total_refs: u64 = metrics.iter().map(|m| m.refs).sum();
+    let serial = serial_seconds_estimate(metrics);
+    table.add_row(vec![
+        "TOTAL".to_string(),
+        metrics.len().to_string(),
+        total_refs.to_string(),
+        format!("{serial:.2}"),
+        format!("{:.0}", total_refs as f64 / wall_seconds.max(1e-9)),
+    ]);
+    table.add_row(vec![
+        "speedup vs 1 thread (est)".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{wall_seconds:.2} wall"),
+        format!("{:.2}x", serial / wall_seconds.max(1e-9)),
+    ]);
+    table
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Machine-readable sweep report (hand-rolled: the offline build has no
+/// serde).
+fn sweep_json(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> String {
+    let total_refs: u64 = metrics.iter().map(|m| m.refs).sum();
+    let serial = serial_seconds_estimate(metrics);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
+    out.push_str(&format!("  \"total_refs\": {total_refs},\n"));
+    out.push_str(&format!(
+        "  \"aggregate_refs_per_sec\": {:.1},\n",
+        total_refs as f64 / wall_seconds.max(1e-9)
+    ));
+    out.push_str(&format!("  \"serial_seconds_estimate\": {serial:.6},\n"));
+    out.push_str(&format!(
+        "  \"speedup_vs_1_thread_estimate\": {:.3},\n",
+        serial / wall_seconds.max(1e-9)
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"benchmark\": \"{}\", \"scenario\": \"{}\", \
+             \"refs\": {}, \"prep_seconds\": {:.6}, \"sim_seconds\": {:.6}, \
+             \"refs_per_sec\": {:.1}}}{}\n",
+            json_escape(&m.label),
+            json_escape(&m.benchmark),
+            json_escape(&m.scenario),
+            m.refs,
+            m.prep_seconds,
+            m.sim_seconds,
+            m.refs as f64 / (m.prep_seconds + m.sim_seconds).max(1e-9),
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_sweep_json(json: &str) -> std::io::Result<String> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_sweep.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
 }

@@ -10,9 +10,10 @@
 //! * **FA resident merging** (§4.2.1 step 5): merging freshly coalesced
 //!   entries with residents.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::SimConfig;
 use colt_tlb::config::{ColtMode, TlbConfig};
 use colt_tlb::stats::pct_misses_eliminated;
 use colt_workloads::scenario::Scenario;
@@ -28,29 +29,38 @@ pub struct AblationRow {
     pub l2_elim: f64,
 }
 
-fn average_elimination(
+/// Fans one ablation block out across the sweep runner: every selected
+/// benchmark × (baseline + each variant) is one cell; `make_cfg` maps a
+/// TLB config onto the block's simulation settings (e.g. shootdown
+/// churn). Returns per-variant averages of % misses eliminated.
+fn average_elimination_with(
     opts: &ExperimentOptions,
+    scenario: &Scenario,
+    make_cfg: impl Fn(TlbConfig) -> SimConfig,
     variants: &[(String, TlbConfig)],
 ) -> Vec<AblationRow> {
-    let scenario = Scenario::default_linux();
     let specs = opts.selected_benchmarks();
-    let mut sums = vec![(0.0f64, 0.0f64); variants.len()];
+    let mut cells = Vec::new();
     for spec in &specs {
-        let workload = prepare(&scenario, spec);
-        let run_one = |tlb: TlbConfig| -> SimResult {
-            let cfg = SimConfig {
-                pattern_seed: opts.seed,
-                ..SimConfig::new(tlb).with_accesses(opts.accesses)
-            };
-            sim::run(&workload, &cfg)
-        };
-        let baseline = run_one(TlbConfig::baseline());
-        for (i, (_, tlb)) in variants.iter().enumerate() {
-            let r = run_one(*tlb);
-            sums[i].0 +=
-                pct_misses_eliminated(baseline.tlb.l1_misses, r.tlb.l1_misses);
-            sums[i].1 +=
-                pct_misses_eliminated(baseline.tlb.l2_misses, r.tlb.l2_misses);
+        for (i, tlb) in std::iter::once(TlbConfig::baseline())
+            .chain(variants.iter().map(|(_, t)| *t))
+            .enumerate()
+        {
+            cells.push(SweepCell::sim(
+                format!("ablation/{}/v{i}", spec.name),
+                scenario,
+                spec,
+                make_cfg(tlb),
+            ));
+        }
+    }
+    let results = runner::run_cells(cells, opts.jobs);
+    let mut sums = vec![(0.0f64, 0.0f64); variants.len()];
+    for chunk in results.chunks_exact(variants.len() + 1) {
+        let baseline = &chunk[0];
+        for (i, r) in chunk[1..].iter().enumerate() {
+            sums[i].0 += pct_misses_eliminated(baseline.tlb.l1_misses, r.tlb.l1_misses);
+            sums[i].1 += pct_misses_eliminated(baseline.tlb.l2_misses, r.tlb.l2_misses);
         }
     }
     let n = specs.len().max(1) as f64;
@@ -63,6 +73,21 @@ fn average_elimination(
             l2_elim: l2 / n,
         })
         .collect()
+}
+
+fn average_elimination(
+    opts: &ExperimentOptions,
+    variants: &[(String, TlbConfig)],
+) -> Vec<AblationRow> {
+    average_elimination_with(
+        opts,
+        &Scenario::default_linux(),
+        |tlb| SimConfig {
+            pattern_seed: opts.seed,
+            ..SimConfig::new(tlb).with_accesses(opts.accesses)
+        },
+        variants,
+    )
 }
 
 /// §7.1.3: the fill-to-L2 policy for CoLT-FA and CoLT-All.
@@ -121,131 +146,65 @@ pub fn fa_merge(opts: &ExperimentOptions) -> Vec<AblationRow> {
 /// * attribute-tolerant coalescing — with a share of pages dirtied.
 pub fn future_work(opts: &ExperimentOptions) -> Vec<AblationRow> {
     let mut rows = Vec::new();
-    let specs = opts.selected_benchmarks();
-    let n = specs.len().max(1) as f64;
 
     // (a) Replacement policy, plain conditions.
-    {
-        let scenario = Scenario::default_linux();
-        let mut sums = [(0.0f64, 0.0f64); 2];
-        for spec in &specs {
-            let workload = prepare(&scenario, spec);
-            let base = sim::run(
-                &workload,
-                &SimConfig {
-                    pattern_seed: opts.seed,
-                    ..SimConfig::new(TlbConfig::baseline()).with_accesses(opts.accesses)
-                },
-            );
-            let variants = [
-                TlbConfig::colt_all(),
+    rows.extend(average_elimination(
+        opts,
+        &[
+            ("CoLT-All, LRU (paper)".to_string(), TlbConfig::colt_all()),
+            (
+                "CoLT-All, coalesced-first replacement".to_string(),
                 TlbConfig {
                     replacement: colt_tlb::replacement::ReplacementPolicy::SmallestCoalescedFirst,
                     ..TlbConfig::colt_all()
                 },
-            ];
-            for (i, tlb) in variants.iter().enumerate() {
-                let r = sim::run(
-                    &workload,
-                    &SimConfig {
-                        pattern_seed: opts.seed,
-                        ..SimConfig::new(*tlb).with_accesses(opts.accesses)
-                    },
-                );
-                sums[i].0 += pct_misses_eliminated(base.tlb.l1_misses, r.tlb.l1_misses);
-                sums[i].1 += pct_misses_eliminated(base.tlb.l2_misses, r.tlb.l2_misses);
-            }
-        }
-        rows.push(AblationRow {
-            label: "CoLT-All, LRU (paper)".into(),
-            l1_elim: sums[0].0 / n,
-            l2_elim: sums[0].1 / n,
-        });
-        rows.push(AblationRow {
-            label: "CoLT-All, coalesced-first replacement".into(),
-            l1_elim: sums[1].0 / n,
-            l2_elim: sums[1].1 / n,
-        });
-    }
+            ),
+        ],
+    ));
 
     // (b) Graceful invalidation, under shootdown churn.
-    {
-        let scenario = Scenario::default_linux();
-        let mut sums = [(0.0f64, 0.0f64); 2];
-        for spec in &specs {
-            let workload = prepare(&scenario, spec);
-            let run_churny = |tlb: TlbConfig| {
-                sim::run(
-                    &workload,
-                    &SimConfig {
-                        pattern_seed: opts.seed,
-                        ..SimConfig::new(tlb)
-                            .with_accesses(opts.accesses)
-                            .with_invalidations(64)
-                    },
-                )
-            };
-            let base = run_churny(TlbConfig::baseline());
-            let flush = run_churny(TlbConfig::colt_all());
-            let graceful = run_churny(TlbConfig {
-                graceful_invalidation: true,
-                ..TlbConfig::colt_all()
-            });
-            sums[0].0 += pct_misses_eliminated(base.tlb.l1_misses, flush.tlb.l1_misses);
-            sums[0].1 += pct_misses_eliminated(base.tlb.l2_misses, flush.tlb.l2_misses);
-            sums[1].0 += pct_misses_eliminated(base.tlb.l1_misses, graceful.tlb.l1_misses);
-            sums[1].1 += pct_misses_eliminated(base.tlb.l2_misses, graceful.tlb.l2_misses);
-        }
-        rows.push(AblationRow {
-            label: "CoLT-All + shootdowns, flush whole entries (paper)".into(),
-            l1_elim: sums[0].0 / n,
-            l2_elim: sums[0].1 / n,
-        });
-        rows.push(AblationRow {
-            label: "CoLT-All + shootdowns, graceful uncoalescing".into(),
-            l1_elim: sums[1].0 / n,
-            l2_elim: sums[1].1 / n,
-        });
-    }
+    rows.extend(average_elimination_with(
+        opts,
+        &Scenario::default_linux(),
+        |tlb| SimConfig {
+            pattern_seed: opts.seed,
+            ..SimConfig::new(tlb).with_accesses(opts.accesses).with_invalidations(64)
+        },
+        &[
+            (
+                "CoLT-All + shootdowns, flush whole entries (paper)".to_string(),
+                TlbConfig::colt_all(),
+            ),
+            (
+                "CoLT-All + shootdowns, graceful uncoalescing".to_string(),
+                TlbConfig { graceful_invalidation: true, ..TlbConfig::colt_all() },
+            ),
+        ],
+    ));
 
     // (c) Attribute tolerance, with dirty pages breaking runs.
-    {
-        let scenario = Scenario::default_linux().with_dirty_fraction(0.3);
-        let mut sums = [(0.0f64, 0.0f64); 2];
-        for spec in &specs {
-            let workload = prepare(&scenario, spec);
-            let run_one = |tlb: TlbConfig| {
-                sim::run(
-                    &workload,
-                    &SimConfig {
-                        pattern_seed: opts.seed,
-                        ..SimConfig::new(tlb).with_accesses(opts.accesses)
-                    },
-                )
-            };
-            let base = run_one(TlbConfig::baseline());
-            let strict = run_one(TlbConfig::colt_all());
-            let tolerant = run_one(TlbConfig {
-                coalesce_ignore_flags: colt_os_mem::page_table::PteFlags::DIRTY
-                    .with(colt_os_mem::page_table::PteFlags::ACCESSED),
-                ..TlbConfig::colt_all()
-            });
-            sums[0].0 += pct_misses_eliminated(base.tlb.l1_misses, strict.tlb.l1_misses);
-            sums[0].1 += pct_misses_eliminated(base.tlb.l2_misses, strict.tlb.l2_misses);
-            sums[1].0 += pct_misses_eliminated(base.tlb.l1_misses, tolerant.tlb.l1_misses);
-            sums[1].1 += pct_misses_eliminated(base.tlb.l2_misses, tolerant.tlb.l2_misses);
-        }
-        rows.push(AblationRow {
-            label: "CoLT-All + 30% dirty, strict attributes (paper)".into(),
-            l1_elim: sums[0].0 / n,
-            l2_elim: sums[0].1 / n,
-        });
-        rows.push(AblationRow {
-            label: "CoLT-All + 30% dirty, DIRTY/ACCESSED tolerated".into(),
-            l1_elim: sums[1].0 / n,
-            l2_elim: sums[1].1 / n,
-        });
-    }
+    rows.extend(average_elimination_with(
+        opts,
+        &Scenario::default_linux().with_dirty_fraction(0.3),
+        |tlb| SimConfig {
+            pattern_seed: opts.seed,
+            ..SimConfig::new(tlb).with_accesses(opts.accesses)
+        },
+        &[
+            (
+                "CoLT-All + 30% dirty, strict attributes (paper)".to_string(),
+                TlbConfig::colt_all(),
+            ),
+            (
+                "CoLT-All + 30% dirty, DIRTY/ACCESSED tolerated".to_string(),
+                TlbConfig {
+                    coalesce_ignore_flags: colt_os_mem::page_table::PteFlags::DIRTY
+                        .with(colt_os_mem::page_table::PteFlags::ACCESSED),
+                    ..TlbConfig::colt_all()
+                },
+            ),
+        ],
+    ));
     rows
 }
 

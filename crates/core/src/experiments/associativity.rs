@@ -5,9 +5,10 @@
 //! CoLT-SA (fixed 128-entry size). The paper finds mere associativity
 //! buys ~10% while CoLT-SA alone buys ~40% and the combination ~60%.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::{SimConfig, SimResult};
 use colt_tlb::config::TlbConfig;
 use colt_tlb::stats::pct_misses_eliminated;
 use colt_workloads::scenario::Scenario;
@@ -41,20 +42,27 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<AssocRow>, ExperimentOutput) {
         TlbConfig::baseline().with_l2_ways(8),
         TlbConfig::colt_sa().with_l2_ways(8),
     ];
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let run_one = |tlb: TlbConfig| {
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for (i, tlb) in std::iter::once(TlbConfig::baseline()).chain(configs).enumerate() {
             let cfg = SimConfig {
                 pattern_seed: opts.seed,
                 ..SimConfig::new(tlb).with_accesses(opts.accesses)
             };
-            sim::run(&workload, &cfg)
-        };
-        let baseline = run_one(TlbConfig::baseline());
-        let variants = configs.map(run_one);
-        rows.push(AssocRow { name: spec.name, baseline, variants });
+            cells.push(SweepCell::sim(format!("fig20/{}/v{i}", spec.name), &scenario, spec, cfg));
+        }
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<AssocRow> = specs
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(spec, r)| AssocRow {
+            name: spec.name,
+            baseline: r[0],
+            variants: [r[1], r[2], r[3]],
+        })
+        .collect();
 
     let mut table = Table::new(
         "Figure 20: % of 4-way baseline L2 misses eliminated (paper avg: 40 / 10 / 60)",

@@ -7,9 +7,10 @@
 //! baseline — the same §4 fill-path property that makes cold misses
 //! cheaper makes context switches cheaper.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::SimConfig;
 use colt_tlb::config::TlbConfig;
 use colt_tlb::stats::pct_misses_eliminated;
 use colt_workloads::scenario::Scenario;
@@ -30,25 +31,37 @@ pub struct ContextSwitchRow {
 /// Runs the context-switch sweep.
 pub fn run(opts: &ExperimentOptions) -> (Vec<ContextSwitchRow>, ExperimentOutput) {
     let scenario = Scenario::default_linux();
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let run_one = |tlb: TlbConfig, period: Option<u64>| -> SimResult {
-            let mut cfg = SimConfig {
-                pattern_seed: opts.seed,
-                ..SimConfig::new(tlb).with_accesses(opts.accesses)
-            };
-            cfg.flush_period = period;
-            sim::run(&workload, &cfg)
-        };
-        let mut elim = [0.0f64; 4];
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
         for (i, &period) in PERIODS.iter().enumerate() {
-            let base = run_one(TlbConfig::baseline(), period);
-            let colt = run_one(TlbConfig::colt_all(), period);
-            elim[i] = pct_misses_eliminated(base.tlb.l2_misses, colt.tlb.l2_misses);
+            for tlb in [TlbConfig::baseline(), TlbConfig::colt_all()] {
+                let mut cfg = SimConfig {
+                    pattern_seed: opts.seed,
+                    ..SimConfig::new(tlb).with_accesses(opts.accesses)
+                };
+                cfg.flush_period = period;
+                cells.push(SweepCell::sim(
+                    format!("ctxswitch/{}/p{i}/{}", spec.name, tlb.mode.label()),
+                    &scenario,
+                    spec,
+                    cfg,
+                ));
+            }
         }
-        rows.push(ContextSwitchRow { name: spec.name, elim });
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<ContextSwitchRow> = specs
+        .iter()
+        .zip(results.chunks_exact(8))
+        .map(|(spec, r)| {
+            let mut elim = [0.0f64; 4];
+            for (i, pair) in r.chunks_exact(2).enumerate() {
+                elim[i] = pct_misses_eliminated(pair[0].tlb.l2_misses, pair[1].tlb.l2_misses);
+            }
+            ContextSwitchRow { name: spec.name, elim }
+        })
+        .collect();
 
     let mut table = Table::new(
         "Context switches: CoLT-All L2 elimination vs flush period (extension)",

@@ -9,8 +9,9 @@
 //! under the scenario and scans its page table, exactly like the paper's
 //! instrumented-kernel walk (§5.1.1).
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f2, Table};
+use crate::runner::{self, SweepCell};
 use colt_os_mem::contiguity::PAPER_CDF_POINTS;
 use colt_workloads::scenario::Scenario;
 
@@ -72,18 +73,31 @@ pub struct ContiguityRow {
 /// Runs the contiguity characterization for one kernel configuration.
 pub fn run(config: ContiguityConfig, opts: &ExperimentOptions) -> (Vec<ContiguityRow>, ExperimentOutput) {
     let scenario = config.scenario();
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let report = workload.contiguity();
-        rows.push(ContiguityRow {
-            name: spec.name,
-            average: report.average_contiguity(),
-            paper_average: config.paper_average(spec.paper),
-            cdf: report.cdf(&PAPER_CDF_POINTS),
-            over_512: report.fraction_with_contiguity_at_least(512),
-        });
-    }
+    let cells: Vec<SweepCell<ContiguityRow>> = opts
+        .selected_benchmarks()
+        .into_iter()
+        .map(|spec| {
+            let paper_average = config.paper_average(spec.paper);
+            let name = spec.name;
+            SweepCell::new(
+                format!("contiguity/{}/{name}", scenario.name),
+                &scenario,
+                &spec,
+                0,
+                move |workload| {
+                    let report = workload.contiguity();
+                    ContiguityRow {
+                        name,
+                        average: report.average_contiguity(),
+                        paper_average,
+                        cdf: report.cdf(&PAPER_CDF_POINTS),
+                        over_512: report.fraction_with_contiguity_at_least(512),
+                    }
+                },
+            )
+        })
+        .collect();
+    let rows = runner::run_cells(cells, opts.jobs);
 
     let mut headers = vec!["Benchmark", "avg", "paper avg"];
     let tick_labels: Vec<String> =

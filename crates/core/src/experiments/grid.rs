@@ -5,9 +5,10 @@
 //! The paper measures all twelve but prints only five "due to space
 //! constraints"; this reproduction has no such constraint.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::metrics::mean;
 use crate::report::{f2, Table};
+use crate::runner::{self, SweepCell};
 use colt_workloads::scenario::Scenario;
 
 /// One configuration's cross-benchmark summary.
@@ -24,18 +25,28 @@ pub struct GridRow {
 
 /// Runs the twelve-configuration grid.
 pub fn run(opts: &ExperimentOptions) -> (Vec<GridRow>, ExperimentOutput) {
-    let mut rows = Vec::new();
-    for scenario in Scenario::all_twelve() {
-        let mut avgs = Vec::new();
-        for spec in opts.selected_benchmarks() {
-            let workload = prepare(&scenario, &spec);
-            avgs.push(workload.contiguity().average_contiguity());
+    let scenarios = Scenario::all_twelve();
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for scenario in &scenarios {
+        for spec in &specs {
+            cells.push(SweepCell::new(
+                format!("grid/{}/{}", scenario.name, spec.name),
+                scenario,
+                spec,
+                0,
+                |workload| workload.contiguity().average_contiguity(),
+            ));
         }
+    }
+    let averages = runner::run_cells(cells, opts.jobs);
+    let mut rows = Vec::new();
+    for (scenario, avgs) in scenarios.iter().zip(averages.chunks_exact(specs.len().max(1))) {
         let coalescible = avgs.iter().filter(|&&a| a >= 4.0).count() as f64
             / avgs.len().max(1) as f64;
         rows.push(GridRow {
             scenario: scenario.name.clone(),
-            avg_contiguity: mean(&avgs),
+            avg_contiguity: mean(avgs),
             coalescible_share: coalescible,
         });
     }

@@ -5,9 +5,10 @@
 //! The paper finds shift-2 the sweet spot, with shift-3 *increasing*
 //! misses for many benchmarks (negative elimination bars in the figure).
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::{SimConfig, SimResult};
 use colt_tlb::config::TlbConfig;
 use colt_tlb::stats::pct_misses_eliminated;
 use colt_workloads::scenario::Scenario;
@@ -41,20 +42,31 @@ impl ShiftRow {
 /// Runs the shift sweep.
 pub fn run(opts: &ExperimentOptions) -> (Vec<ShiftRow>, ExperimentOutput) {
     let scenario = Scenario::default_linux();
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let run_one = |tlb: TlbConfig| {
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        let mut configs = vec![("base".to_string(), TlbConfig::baseline())];
+        configs.extend(
+            SHIFTS.map(|s| (format!("shift{s}"), TlbConfig::colt_sa().with_shift(s))),
+        );
+        for (label, tlb) in configs {
             let cfg = SimConfig {
                 pattern_seed: opts.seed,
                 ..SimConfig::new(tlb).with_accesses(opts.accesses)
             };
-            sim::run(&workload, &cfg)
-        };
-        let baseline = run_one(TlbConfig::baseline());
-        let shifted = SHIFTS.map(|s| run_one(TlbConfig::colt_sa().with_shift(s)));
-        rows.push(ShiftRow { name: spec.name, baseline, shifted });
+            cells.push(SweepCell::sim(format!("fig19/{}/{label}", spec.name), &scenario, spec, cfg));
+        }
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<ShiftRow> = specs
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(spec, r)| ShiftRow {
+            name: spec.name,
+            baseline: r[0],
+            shifted: [r[1], r[2], r[3]],
+        })
+        .collect();
 
     let mut table = Table::new(
         "Figure 19: CoLT-SA miss elimination by index left-shift (paper: shift 2 is best)",

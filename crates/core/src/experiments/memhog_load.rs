@@ -6,8 +6,9 @@
 //! can *increase* contiguity because it triggers the compaction daemon
 //! more often, while heavy load (50%) reduces it.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f2, Table};
+use crate::runner::{self, SweepCell};
 use colt_workloads::scenario::Scenario;
 
 /// The memhog fractions both figures sweep.
@@ -35,10 +36,10 @@ pub struct MemhogFigure {
 
 /// Runs one of the two figures.
 pub fn run_figure(ths: bool, opts: &ExperimentOptions) -> MemhogFigure {
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let mut averages = [0.0f64; 3];
-        for (i, &fraction) in MEMHOG_FRACTIONS.iter().enumerate() {
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for &fraction in &MEMHOG_FRACTIONS {
             let scenario = if fraction == 0.0 {
                 if ths { Scenario::default_linux() } else { Scenario::no_ths() }
             } else if ths {
@@ -46,11 +47,21 @@ pub fn run_figure(ths: bool, opts: &ExperimentOptions) -> MemhogFigure {
             } else {
                 Scenario::no_ths_with_memhog(fraction)
             };
-            let workload = prepare(&scenario, &spec);
-            averages[i] = workload.contiguity().average_contiguity();
+            cells.push(SweepCell::new(
+                format!("fig16-17/{}/memhog({fraction})", spec.name),
+                &scenario,
+                spec,
+                0,
+                |workload| workload.contiguity().average_contiguity(),
+            ));
         }
-        rows.push(MemhogRow { name: spec.name, averages });
     }
+    let averages = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<MemhogRow> = specs
+        .iter()
+        .zip(averages.chunks_exact(3))
+        .map(|(spec, a)| MemhogRow { name: spec.name, averages: [a[0], a[1], a[2]] })
+        .collect();
     let n = rows.len().max(1) as f64;
     let mut averages = [0.0f64; 3];
     for (i, slot) in averages.iter_mut().enumerate() {

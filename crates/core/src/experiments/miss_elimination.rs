@@ -7,9 +7,10 @@
 //! TLB to 8 entries (§7.1.1). All four designs replay the same workload
 //! under the default Linux scenario.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::{SimConfig, SimResult};
 use colt_tlb::config::TlbConfig;
 use colt_tlb::stats::pct_misses_eliminated;
 use colt_workloads::scenario::Scenario;
@@ -50,24 +51,26 @@ pub fn figure18_configs() -> [TlbConfig; 4] {
 pub fn run(opts: &ExperimentOptions) -> (Vec<EliminationRow>, ExperimentOutput) {
     let scenario = Scenario::default_linux();
     let configs = figure18_configs();
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let results: Vec<SimResult> = configs
-            .iter()
-            .map(|tlb| {
-                let cfg = SimConfig {
-                    pattern_seed: opts.seed,
-                    ..SimConfig::new(*tlb).with_accesses(opts.accesses)
-                };
-                sim::run(&workload, &cfg)
-            })
-            .collect();
-        rows.push(EliminationRow {
-            name: spec.name,
-            results: [results[0], results[1], results[2], results[3]],
-        });
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for (label, tlb) in ["base", "SA", "FA", "All"].iter().zip(configs) {
+            let cfg = SimConfig {
+                pattern_seed: opts.seed,
+                ..SimConfig::new(tlb).with_accesses(opts.accesses)
+            };
+            cells.push(SweepCell::sim(format!("fig18/{}/{label}", spec.name), &scenario, spec, cfg));
+        }
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<EliminationRow> = specs
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(spec, r)| EliminationRow {
+            name: spec.name,
+            results: [r[0], r[1], r[2], r[3]],
+        })
+        .collect();
 
     let mut table = Table::new(
         "Figure 18: % of baseline TLB misses eliminated (paper avg: SA 40, FA/All ~55)",

@@ -40,7 +40,6 @@ pub mod table1;
 pub mod virtualization;
 
 use crate::report::Table;
-use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::{all_benchmarks, BenchmarkSpec};
 
 /// Options shared by all experiment drivers.
@@ -52,18 +51,38 @@ pub struct ExperimentOptions {
     pub benchmarks: Option<Vec<String>>,
     /// Master seed for patterns.
     pub seed: u64,
+    /// Worker threads for the sweep runner. Results are deterministic
+    /// regardless of this value; it only changes wall-clock time.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        Self { accesses: 400_000, benchmarks: None, seed: 0x5EED }
+        Self {
+            accesses: 400_000,
+            benchmarks: None,
+            seed: 0x5EED,
+            jobs: default_jobs(),
+        }
     }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl ExperimentOptions {
     /// A fast configuration for tests and smoke runs.
     pub fn quick() -> Self {
         Self { accesses: 30_000, ..Self::default() }
+    }
+
+    /// Overrides the worker-thread count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Restricts the benchmark set.
@@ -100,14 +119,6 @@ impl ExperimentOutput {
     pub fn render(&self) -> String {
         self.tables.iter().map(Table::render).collect::<Vec<_>>().join("\n")
     }
-}
-
-/// Prepares a workload, panicking with a helpful message on OOM (the
-/// scenarios are sized so this indicates a configuration error).
-pub(crate) fn prepare(scenario: &Scenario, spec: &BenchmarkSpec) -> PreparedWorkload {
-    scenario
-        .prepare(spec)
-        .unwrap_or_else(|e| panic!("scenario '{}' failed for {}: {e}", scenario.name, spec.name))
 }
 
 #[cfg(test)]

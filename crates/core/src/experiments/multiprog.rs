@@ -10,6 +10,7 @@
 
 use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
+use crate::runner::{self, SweepTask};
 use crate::sim::{self, SimConfig};
 use colt_tlb::config::TlbConfig;
 use colt_tlb::stats::pct_misses_eliminated;
@@ -35,36 +36,45 @@ pub struct MultiprogRow {
 
 /// Runs the multiprogramming study.
 pub fn run(opts: &ExperimentOptions) -> (Vec<MultiprogRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
     let quantum = 10_000;
-    let mut rows = Vec::new();
-    for (a, b) in PAIRS {
-        let specs = [
-            benchmark(a).expect("Table-1 benchmark"),
-            benchmark(b).expect("Table-1 benchmark"),
-        ];
-        let multi = scenario
-            .prepare_many(&specs)
-            .unwrap_or_else(|e| panic!("prepare_many({a}, {b}): {e}"));
-        let run_one = |tlb: TlbConfig| {
-            sim::run_multiprogrammed(
-                &multi,
-                &SimConfig {
-                    pattern_seed: opts.seed,
-                    ..SimConfig::new(tlb).with_accesses(opts.accesses)
-                },
-                quantum,
-            )
-        };
-        let base = run_one(TlbConfig::baseline());
-        let colt = run_one(TlbConfig::colt_all());
-        rows.push(MultiprogRow {
-            pair: format!("{a} + {b}"),
-            baseline_walks: base.tlb.l2_misses,
-            colt_walks: colt.tlb.l2_misses,
-            elim: pct_misses_eliminated(base.tlb.l2_misses, colt.tlb.l2_misses),
-        });
-    }
+    // Each pair's preparation (prepare_many) is itself per-cell state,
+    // so these run as self-contained tasks rather than shared-prep cells.
+    let tasks: Vec<SweepTask<MultiprogRow>> = PAIRS
+        .iter()
+        .map(|&(a, b)| {
+            let cfg = SimConfig {
+                pattern_seed: opts.seed,
+                ..SimConfig::new(TlbConfig::baseline()).with_accesses(opts.accesses)
+            };
+            let refs = 2 * (cfg.warmup + cfg.accesses);
+            SweepTask::new(format!("multiprog/{a}+{b}"), refs, move || {
+                let scenario = Scenario::default_linux();
+                let specs = [
+                    benchmark(a).expect("Table-1 benchmark"),
+                    benchmark(b).expect("Table-1 benchmark"),
+                ];
+                let multi = scenario
+                    .prepare_many(&specs)
+                    .unwrap_or_else(|e| panic!("prepare_many({a}, {b}): {e}"));
+                let run_one = |tlb: TlbConfig| {
+                    sim::run_multiprogrammed(
+                        &multi,
+                        &SimConfig { tlb, ..cfg },
+                        quantum,
+                    )
+                };
+                let base = run_one(TlbConfig::baseline());
+                let colt = run_one(TlbConfig::colt_all());
+                MultiprogRow {
+                    pair: format!("{a} + {b}"),
+                    baseline_walks: base.tlb.l2_misses,
+                    colt_walks: colt.tlb.l2_misses,
+                    elim: pct_misses_eliminated(base.tlb.l2_misses, colt.tlb.l2_misses),
+                }
+            })
+        })
+        .collect();
+    let rows = runner::run_tasks(tasks, opts.jobs);
 
     let mut table = Table::new(
         "Multiprogramming (extension): two benchmarks sharing one machine, 10k-access quanta",

@@ -11,7 +11,8 @@
 use super::{ExperimentOptions, ExperimentOutput};
 use crate::metrics::mean;
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig};
+use crate::runner::{self, SweepCell};
+use crate::sim::SimConfig;
 use colt_tlb::config::TlbConfig;
 use colt_tlb::stats::pct_misses_eliminated;
 use colt_workloads::scenario::Scenario;
@@ -38,25 +39,27 @@ fn elim_for(
 ) -> [f64; 3] {
     let scenario = Scenario::default_linux().with_seed(scenario_seed);
     let configs = [TlbConfig::colt_sa(), TlbConfig::colt_fa(), TlbConfig::colt_all()];
-    let mut sums = [0.0f64; 3];
     let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
     for spec in &specs {
-        let workload = scenario
-            .prepare(spec)
-            .unwrap_or_else(|e| panic!("prepare({}) failed: {e}", spec.name));
-        let run_one = |tlb: TlbConfig| {
-            sim::run(
-                &workload,
-                &SimConfig {
-                    pattern_seed,
-                    ..SimConfig::new(tlb).with_accesses(opts.accesses)
-                },
-            )
-        };
-        let base = run_one(TlbConfig::baseline());
-        for (i, cfg) in configs.iter().enumerate() {
-            let r = run_one(*cfg);
-            sums[i] += pct_misses_eliminated(base.tlb.l2_misses, r.tlb.l2_misses);
+        for (i, tlb) in std::iter::once(TlbConfig::baseline()).chain(configs).enumerate() {
+            let cfg = SimConfig {
+                pattern_seed,
+                ..SimConfig::new(tlb).with_accesses(opts.accesses)
+            };
+            cells.push(SweepCell::sim(
+                format!("noise/{}/s{scenario_seed:x}/p{pattern_seed:x}/v{i}", spec.name),
+                &scenario,
+                spec,
+                cfg,
+            ));
+        }
+    }
+    let results = runner::run_cells(cells, opts.jobs);
+    let mut sums = [0.0f64; 3];
+    for chunk in results.chunks_exact(4) {
+        for (i, r) in chunk[1..].iter().enumerate() {
+            sums[i] += pct_misses_eliminated(chunk[0].tlb.l2_misses, r.tlb.l2_misses);
         }
     }
     let n = specs.len().max(1) as f64;

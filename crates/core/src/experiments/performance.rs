@@ -5,10 +5,11 @@
 //! serialized on the critical path, so cycles saved on walks translate
 //! directly to runtime (see [`crate::perf`]).
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::perf::PerfModel;
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::{SimConfig, SimResult};
 use colt_tlb::config::TlbConfig;
 use colt_workloads::scenario::Scenario;
 
@@ -36,31 +37,40 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<PerfRow>, ExperimentOutput) {
         TlbConfig::colt_fa(),
         TlbConfig::colt_all(),
     ];
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let results: Vec<SimResult> = configs
-            .iter()
-            .map(|tlb| {
-                let cfg = SimConfig {
-                    pattern_seed: opts.seed,
-                    ..SimConfig::new(*tlb).with_accesses(opts.accesses)
-                };
-                sim::run(&workload, &cfg)
-            })
-            .collect();
-        let baseline = results[0];
-        rows.push(PerfRow {
-            name: spec.name,
-            perfect: model.perfect_improvement_pct(&baseline),
-            colt: [
-                model.improvement_pct(&baseline, &results[1]),
-                model.improvement_pct(&baseline, &results[2]),
-                model.improvement_pct(&baseline, &results[3]),
-            ],
-            results: [results[0], results[1], results[2], results[3]],
-        });
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for tlb in configs {
+            let cfg = SimConfig {
+                pattern_seed: opts.seed,
+                ..SimConfig::new(tlb).with_accesses(opts.accesses)
+            };
+            cells.push(SweepCell::sim(
+                format!("fig21/{}/{}", spec.name, tlb.mode.label()),
+                &scenario,
+                spec,
+                cfg,
+            ));
+        }
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<PerfRow> = specs
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(spec, r)| {
+            let baseline = r[0];
+            PerfRow {
+                name: spec.name,
+                perfect: model.perfect_improvement_pct(&baseline),
+                colt: [
+                    model.improvement_pct(&baseline, &r[1]),
+                    model.improvement_pct(&baseline, &r[2]),
+                    model.improvement_pct(&baseline, &r[3]),
+                ],
+                results: [r[0], r[1], r[2], r[3]],
+            }
+        })
+        .collect();
 
     let mut table = Table::new(
         "Figure 21: performance improvement % (paper avg: SA 12, FA 14, All 14)",

@@ -9,9 +9,10 @@
 //! standard TLBs with separate structures", §2.4). This experiment makes
 //! that comparison quantitative.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::SimConfig;
 use colt_tlb::config::TlbConfig;
 use colt_tlb::prefetch::PrefetchConfig;
 use colt_tlb::stats::pct_misses_eliminated;
@@ -36,35 +37,46 @@ pub struct RelatedWorkRow {
 /// Runs the prefetcher-vs-CoLT comparison.
 pub fn run(opts: &ExperimentOptions) -> (Vec<RelatedWorkRow>, ExperimentOutput) {
     let scenario = Scenario::default_linux();
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let run_one = |tlb: TlbConfig| -> SimResult {
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for (label, tlb) in [
+            ("base", TlbConfig::baseline()),
+            (
+                "pf1",
+                TlbConfig::baseline()
+                    .with_prefetch(PrefetchConfig { buffer_entries: 16, degree: 1 }),
+            ),
+            (
+                "pf2",
+                TlbConfig::baseline()
+                    .with_prefetch(PrefetchConfig { buffer_entries: 16, degree: 2 }),
+            ),
+            ("colt", TlbConfig::colt_all()),
+        ] {
             let cfg = SimConfig {
                 pattern_seed: opts.seed,
                 ..SimConfig::new(tlb).with_accesses(opts.accesses)
             };
-            sim::run(&workload, &cfg)
-        };
-        let base = run_one(TlbConfig::baseline());
-        let pf1 = run_one(
-            TlbConfig::baseline()
-                .with_prefetch(PrefetchConfig { buffer_entries: 16, degree: 1 }),
-        );
-        let pf2 = run_one(
-            TlbConfig::baseline()
-                .with_prefetch(PrefetchConfig { buffer_entries: 16, degree: 2 }),
-        );
-        let colt = run_one(TlbConfig::colt_all());
-        rows.push(RelatedWorkRow {
-            name: spec.name,
-            prefetch1_elim: pct_misses_eliminated(base.tlb.l2_misses, pf1.tlb.l2_misses),
-            prefetch2_elim: pct_misses_eliminated(base.tlb.l2_misses, pf2.tlb.l2_misses),
-            colt_elim: pct_misses_eliminated(base.tlb.l2_misses, colt.tlb.l2_misses),
-            prefetch2_walk_overhead: 2.0 * pf2.tlb.l2_misses as f64 * 1000.0
-                / pf2.tlb.accesses.max(1) as f64,
-        });
+            cells.push(SweepCell::sim(format!("related/{}/{label}", spec.name), &scenario, spec, cfg));
+        }
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<RelatedWorkRow> = specs
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(spec, r)| {
+            let (base, pf1, pf2, colt) = (&r[0], &r[1], &r[2], &r[3]);
+            RelatedWorkRow {
+                name: spec.name,
+                prefetch1_elim: pct_misses_eliminated(base.tlb.l2_misses, pf1.tlb.l2_misses),
+                prefetch2_elim: pct_misses_eliminated(base.tlb.l2_misses, pf2.tlb.l2_misses),
+                colt_elim: pct_misses_eliminated(base.tlb.l2_misses, colt.tlb.l2_misses),
+                prefetch2_walk_overhead: 2.0 * pf2.tlb.l2_misses as f64 * 1000.0
+                    / pf2.tlb.accesses.max(1) as f64,
+            }
+        })
+        .collect();
 
     let mut table = Table::new(
         "Related work: sequential TLB prefetching vs CoLT (L2 miss elimination %)",

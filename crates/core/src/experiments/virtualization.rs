@@ -8,10 +8,11 @@
 //! walks (each guest page-table access is itself host-translated), and
 //! compares CoLT's performance improvement native vs virtualized.
 
-use super::{prepare, ExperimentOptions, ExperimentOutput};
+use super::{ExperimentOptions, ExperimentOutput};
 use crate::perf::PerfModel;
 use crate::report::{f1, Table};
-use crate::sim::{self, SimConfig, SimResult};
+use crate::runner::{self, SweepCell};
+use crate::sim::SimConfig;
 use colt_tlb::config::TlbConfig;
 use colt_workloads::scenario::Scenario;
 
@@ -34,10 +35,15 @@ pub struct VirtRow {
 pub fn run(opts: &ExperimentOptions) -> (Vec<VirtRow>, ExperimentOutput) {
     let scenario = Scenario::default_linux();
     let model = PerfModel::default();
-    let mut rows = Vec::new();
-    for spec in opts.selected_benchmarks() {
-        let workload = prepare(&scenario, &spec);
-        let run_one = |tlb: TlbConfig, nested: bool| -> SimResult {
+    let specs = opts.selected_benchmarks();
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for (label, tlb, nested) in [
+            ("native-base", TlbConfig::baseline(), false),
+            ("native-colt", TlbConfig::colt_all(), false),
+            ("virt-base", TlbConfig::baseline(), true),
+            ("virt-colt", TlbConfig::colt_all(), true),
+        ] {
             let mut cfg = SimConfig {
                 pattern_seed: opts.seed,
                 ..SimConfig::new(tlb).with_accesses(opts.accesses)
@@ -45,20 +51,21 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<VirtRow>, ExperimentOutput) {
             if nested {
                 cfg = cfg.virtualized();
             }
-            sim::run(&workload, &cfg)
-        };
-        let native_base = run_one(TlbConfig::baseline(), false);
-        let native_colt = run_one(TlbConfig::colt_all(), false);
-        let virt_base = run_one(TlbConfig::baseline(), true);
-        let virt_colt = run_one(TlbConfig::colt_all(), true);
-        rows.push(VirtRow {
-            name: spec.name,
-            native_perfect: model.perfect_improvement_pct(&native_base),
-            native_colt: model.improvement_pct(&native_base, &native_colt),
-            virt_perfect: model.perfect_improvement_pct(&virt_base),
-            virt_colt: model.improvement_pct(&virt_base, &virt_colt),
-        });
+            cells.push(SweepCell::sim(format!("virt/{}/{label}", spec.name), &scenario, spec, cfg));
+        }
     }
+    let results = runner::run_cells(cells, opts.jobs);
+    let rows: Vec<VirtRow> = specs
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(spec, r)| VirtRow {
+            name: spec.name,
+            native_perfect: model.perfect_improvement_pct(&r[0]),
+            native_colt: model.improvement_pct(&r[0], &r[1]),
+            virt_perfect: model.perfect_improvement_pct(&r[2]),
+            virt_colt: model.improvement_pct(&r[2], &r[3]),
+        })
+        .collect();
 
     let mut table = Table::new(
         "Virtualization: CoLT-All improvement, native vs nested paging (paper sec 7.2 expectation)",

@@ -11,6 +11,8 @@
 //! * [`perf`] — the paper's performance-interpolation model,
 //! * [`experiments`] — one driver per table/figure (Table 1, Figures
 //!   7–21, plus the §7.1.3 ablation and extras),
+//! * [`runner`] — the parallel sweep runner the drivers fan out on
+//!   (deterministic results, shared workload preparation),
 //! * [`report`] / [`metrics`] — output formatting and comparisons.
 //!
 //! The `repro` binary regenerates any experiment:
@@ -37,6 +39,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod perf;
 pub mod report;
+pub mod runner;
 pub mod sim;
 
 pub use experiments::{ExperimentOptions, ExperimentOutput};

@@ -1,0 +1,341 @@
+//! Parallel sweep runner: fans independent (benchmark × scenario ×
+//! TLB-config) simulation cells out across a scoped-thread worker pool.
+//!
+//! Every experiment driver is a sweep over cells that share nothing but
+//! a prepared workload, so the runner provides exactly two guarantees:
+//!
+//! 1. **Determinism** — results come back in submission order, and each
+//!    cell's simulation consumes only its own [`SimConfig`]-seeded RNG
+//!    streams, so the rendered tables are byte-identical regardless of
+//!    `jobs`.
+//! 2. **Shared preparation** — cells that name the same (scenario,
+//!    benchmark) pair share one [`PreparedWorkload`], built once by
+//!    whichever worker gets there first and handed out as an `Arc`, so
+//!    e.g. Figure 18's four TLB modes pay for one aging pass, not four.
+//!
+//! Implementation is std-only (`std::thread::scope`, channels, locks):
+//! the build must work offline, so no rayon or crates.io dependency.
+
+use crate::sim::{self, SimConfig, SimResult};
+use colt_workloads::scenario::{PreparedWorkload, Scenario};
+use colt_workloads::spec::BenchmarkSpec;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One unit of parallel work: a job run against a prepared workload.
+pub struct SweepCell<R> {
+    label: String,
+    scenario: Scenario,
+    spec: BenchmarkSpec,
+    /// Memory references the job will simulate (0 for analysis-only
+    /// cells such as contiguity scans) — feeds the throughput report.
+    refs: u64,
+    job: Box<dyn FnOnce(&PreparedWorkload) -> R + Send>,
+}
+
+impl<R> SweepCell<R> {
+    /// A cell running an arbitrary job against the prepared workload.
+    pub fn new(
+        label: impl Into<String>,
+        scenario: &Scenario,
+        spec: &BenchmarkSpec,
+        refs: u64,
+        job: impl FnOnce(&PreparedWorkload) -> R + Send + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            scenario: scenario.clone(),
+            spec: spec.clone(),
+            refs,
+            job: Box::new(job),
+        }
+    }
+}
+
+impl SweepCell<SimResult> {
+    /// The common case: simulate the workload under one TLB config.
+    pub fn sim(
+        label: impl Into<String>,
+        scenario: &Scenario,
+        spec: &BenchmarkSpec,
+        cfg: SimConfig,
+    ) -> Self {
+        let refs = cfg.warmup + cfg.accesses;
+        Self::new(label, scenario, spec, refs, move |w| sim::run(w, &cfg))
+    }
+}
+
+/// One unit of parallel work that owns its whole job (no shared
+/// preparation) — for drivers like `multiprog` whose preparation is
+/// itself per-cell.
+pub struct SweepTask<R> {
+    label: String,
+    refs: u64,
+    job: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> SweepTask<R> {
+    /// Creates a self-contained task.
+    pub fn new(
+        label: impl Into<String>,
+        refs: u64,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) -> Self {
+        Self { label: label.into(), refs, job: Box::new(job) }
+    }
+}
+
+/// Timing record for one completed cell, for the throughput report.
+#[derive(Clone, Debug)]
+pub struct CellMetric {
+    /// Cell label ("fig18/Mcf/CoLT-All").
+    pub label: String,
+    /// Benchmark name ("" for self-contained tasks).
+    pub benchmark: String,
+    /// Scenario name ("" for self-contained tasks).
+    pub scenario: String,
+    /// Memory references simulated (0 for analysis-only cells).
+    pub refs: u64,
+    /// Seconds this cell spent building the shared workload (0 when it
+    /// reused another cell's preparation).
+    pub prep_seconds: f64,
+    /// Seconds the job itself ran.
+    pub sim_seconds: f64,
+}
+
+static METRICS: Mutex<Vec<CellMetric>> = Mutex::new(Vec::new());
+
+/// Drains the metrics accumulated by every `run_cells`/`run_tasks` call
+/// since the last drain, in cell-submission order.
+pub fn take_metrics() -> Vec<CellMetric> {
+    std::mem::take(&mut METRICS.lock().expect("metrics lock"))
+}
+
+type PrepSlot = Arc<OnceLock<Arc<PreparedWorkload>>>;
+type PrepCache = Mutex<HashMap<String, PrepSlot>>;
+
+/// Builds (or fetches) the shared workload for one (scenario, spec)
+/// pair. Returns the seconds spent preparing — 0.0 on a cache hit.
+fn prepared(cache: &PrepCache, scenario: &Scenario, spec: &BenchmarkSpec) -> (Arc<PreparedWorkload>, f64) {
+    let key = format!("{scenario:?}\u{1}{spec:?}");
+    let slot = {
+        let mut map = cache.lock().expect("prep cache lock");
+        map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+    };
+    let mut prep_seconds = 0.0;
+    let workload = slot
+        .get_or_init(|| {
+            let start = Instant::now();
+            let w = scenario.prepare(spec).unwrap_or_else(|e| {
+                panic!("scenario '{}' failed for {}: {e}", scenario.name, spec.name)
+            });
+            prep_seconds = start.elapsed().as_secs_f64();
+            Arc::new(w)
+        })
+        .clone();
+    (workload, prep_seconds)
+}
+
+/// Runs every cell across at most `jobs` worker threads and returns the
+/// results in submission order. A panicking cell (e.g. workload OOM)
+/// propagates out of the scope exactly as it would sequentially.
+pub fn run_cells<R: Send>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
+    let n = cells.len();
+    let workers = jobs.max(1).min(n.max(1));
+    let queue: Mutex<VecDeque<(usize, SweepCell<R>)>> =
+        Mutex::new(cells.into_iter().enumerate().collect());
+    let cache: PrepCache = Mutex::new(HashMap::new());
+    let (tx, rx) = mpsc::channel::<(usize, R, CellMetric)>();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let cache = &cache;
+            s.spawn(move || {
+                loop {
+                    let Some((idx, cell)) = queue.lock().expect("queue lock").pop_front()
+                    else {
+                        break;
+                    };
+                    let (workload, prep_seconds) =
+                        prepared(cache, &cell.scenario, &cell.spec);
+                    let start = Instant::now();
+                    let result = (cell.job)(&workload);
+                    let metric = CellMetric {
+                        label: cell.label,
+                        benchmark: cell.spec.name.to_string(),
+                        scenario: cell.scenario.name.clone(),
+                        refs: cell.refs,
+                        prep_seconds,
+                        sim_seconds: start.elapsed().as_secs_f64(),
+                    };
+                    if tx.send((idx, result, metric)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    collect(rx, n)
+}
+
+/// Runs self-contained tasks (no shared preparation) across at most
+/// `jobs` worker threads; results come back in submission order.
+pub fn run_tasks<R: Send>(tasks: Vec<SweepTask<R>>, jobs: usize) -> Vec<R> {
+    let n = tasks.len();
+    let workers = jobs.max(1).min(n.max(1));
+    let queue: Mutex<VecDeque<(usize, SweepTask<R>)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R, CellMetric)>();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || {
+                loop {
+                    let Some((idx, task)) = queue.lock().expect("queue lock").pop_front()
+                    else {
+                        break;
+                    };
+                    let start = Instant::now();
+                    let result = (task.job)();
+                    let metric = CellMetric {
+                        label: task.label,
+                        benchmark: String::new(),
+                        scenario: String::new(),
+                        refs: task.refs,
+                        prep_seconds: 0.0,
+                        sim_seconds: start.elapsed().as_secs_f64(),
+                    };
+                    if tx.send((idx, result, metric)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    collect(rx, n)
+}
+
+/// Reorders completion-order results into submission order and appends
+/// the metrics (also in submission order) to the global registry.
+fn collect<R>(rx: mpsc::Receiver<(usize, R, CellMetric)>, n: usize) -> Vec<R> {
+    let mut slots: Vec<Option<(R, CellMetric)>> = (0..n).map(|_| None).collect();
+    for (idx, result, metric) in rx {
+        slots[idx] = Some((result, metric));
+    }
+    let mut results = Vec::with_capacity(n);
+    let mut metrics = METRICS.lock().expect("metrics lock");
+    for slot in slots {
+        let (result, metric) = slot.expect("every cell reports exactly once");
+        results.push(result);
+        metrics.push(metric);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_tlb::config::TlbConfig;
+    use colt_workloads::spec::benchmark;
+
+    fn quick_cfg(tlb: TlbConfig) -> SimConfig {
+        SimConfig { pattern_seed: 0x5EED, ..SimConfig::new(tlb).with_accesses(10_000) }
+    }
+
+    /// The metrics registry is process-global and the test harness runs
+    /// tests concurrently, so tests that drain it must not interleave.
+    static DRAIN: Mutex<()> = Mutex::new(());
+
+    fn drain_lock() -> std::sync::MutexGuard<'static, ()> {
+        DRAIN.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order_at_any_width() {
+        let _g = drain_lock();
+        let scenario = Scenario::default_linux();
+        let spec = benchmark("Gobmk").unwrap();
+        let make_cells = || {
+            vec![
+                SweepCell::sim("base", &scenario, &spec, quick_cfg(TlbConfig::baseline())),
+                SweepCell::sim("sa", &scenario, &spec, quick_cfg(TlbConfig::colt_sa())),
+                SweepCell::sim("fa", &scenario, &spec, quick_cfg(TlbConfig::colt_fa())),
+                SweepCell::sim("all", &scenario, &spec, quick_cfg(TlbConfig::colt_all())),
+            ]
+        };
+        let serial = run_cells(make_cells(), 1);
+        let wide = run_cells(make_cells(), 8);
+        let _ = take_metrics();
+        assert_eq!(serial.len(), 4);
+        for (a, b) in serial.iter().zip(&wide) {
+            assert_eq!(a.tlb.accesses, b.tlb.accesses);
+            assert_eq!(a.tlb.l1_misses, b.tlb.l1_misses);
+            assert_eq!(a.tlb.l2_misses, b.tlb.l2_misses);
+            assert_eq!(a.walker.walks, b.walker.walks);
+            assert_eq!(a.walk_cycles, b.walk_cycles);
+        }
+        // The four configs must actually differ (the cells were not
+        // accidentally collapsed onto one job).
+        assert!(serial[1].tlb.l2_misses < serial[0].tlb.l2_misses);
+    }
+
+    #[test]
+    fn preparation_is_shared_within_one_sweep() {
+        let _g = drain_lock();
+        let scenario = Scenario::default_linux();
+        let spec = benchmark("Povray").unwrap();
+        let cells = vec![
+            SweepCell::sim("prep-share/a", &scenario, &spec, quick_cfg(TlbConfig::baseline())),
+            SweepCell::sim("prep-share/b", &scenario, &spec, quick_cfg(TlbConfig::colt_all())),
+        ];
+        let _ = take_metrics();
+        let results = run_cells(cells, 2);
+        assert_eq!(results.len(), 2);
+        // Concurrent driver tests append their own metrics; look only at
+        // this sweep's labels.
+        let metrics: Vec<CellMetric> = take_metrics()
+            .into_iter()
+            .filter(|m| m.label.starts_with("prep-share/"))
+            .collect();
+        assert_eq!(metrics.len(), 2);
+        let prepped = metrics.iter().filter(|m| m.prep_seconds > 0.0).count();
+        assert_eq!(prepped, 1, "exactly one cell builds the shared workload");
+        assert_eq!(metrics[0].label, "prep-share/a");
+        assert_eq!(metrics[1].label, "prep-share/b");
+        assert!(metrics.iter().all(|m| m.refs == 11_000));
+    }
+
+    #[test]
+    fn tasks_run_and_keep_order() {
+        let _g = drain_lock();
+        let tasks: Vec<SweepTask<usize>> = (0..16)
+            .map(|i| SweepTask::new(format!("t{i}"), 0, move || i * i))
+            .collect();
+        let out = run_tasks(tasks, 4);
+        let _ = take_metrics();
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generic_cells_share_preparation_with_sim_cells() {
+        let _g = drain_lock();
+        let scenario = Scenario::default_linux();
+        let spec = benchmark("Mcf").unwrap();
+        let cells = vec![SweepCell::new("contig", &scenario, &spec, 0, |w| {
+            w.contiguity().average_contiguity()
+        })];
+        let avg = run_cells(cells, 3);
+        let _ = take_metrics();
+        assert!(avg[0] >= 1.0);
+    }
+}

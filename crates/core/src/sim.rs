@@ -494,4 +494,29 @@ mod tests {
         assert_eq!(a.tlb, b.tlb);
         assert_eq!(a.walk_cycles, b.walk_cycles);
     }
+
+    #[test]
+    fn shootdown_churn_raises_misses() {
+        // The §4.1.5 invalidation path: shooting down a recently used
+        // translation every few accesses must force re-walks. Gobmk
+        // revisits a small hot set, so each victim is translated again
+        // soon after the shootdown.
+        let spec = benchmark("Gobmk").unwrap();
+        let w = Scenario::default_linux().prepare(&spec).unwrap();
+        let quiet = run(&w, &SimConfig::new(TlbConfig::colt_all()).with_accesses(30_000));
+        let churny = run(
+            &w,
+            &SimConfig::new(TlbConfig::colt_all())
+                .with_accesses(30_000)
+                .with_invalidations(64),
+        );
+        assert_eq!(quiet.tlb.accesses, churny.tlb.accesses);
+        assert!(
+            churny.tlb.l2_misses > quiet.tlb.l2_misses,
+            "shootdowns every 64 accesses must add L2 misses ({} vs quiet {})",
+            churny.tlb.l2_misses,
+            quiet.tlb.l2_misses
+        );
+        assert_eq!(churny.walker.walks, churny.tlb.l2_misses);
+    }
 }

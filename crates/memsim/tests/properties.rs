@@ -6,7 +6,7 @@ use colt_memsim::mmu_cache::MmuCache;
 use colt_memsim::walker::PageWalker;
 use colt_os_mem::addr::{Pfn, PhysAddr, Vpn};
 use colt_os_mem::page_table::{PageTable, Pte, PteFlags};
-use proptest::prelude::*;
+use colt_quickprop::prelude::*;
 use std::collections::HashSet;
 
 proptest! {

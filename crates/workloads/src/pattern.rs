@@ -11,8 +11,8 @@
 
 use crate::trace::{MemRef, LINES_PER_PAGE};
 use colt_os_mem::addr::Vpn;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use colt_prng::rngs::SmallRng;
+use colt_prng::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Declarative description of an access pattern.
@@ -325,7 +325,7 @@ impl PatternGen {
                 MemRef { vpn, line: l as u8, write: self.rng.gen_bool(0.3) }
             }
             GenState::Mixture { cumulative, gens } => {
-                let x: f64 = self.rng.gen();
+                let x: f64 = self.rng.gen_f64();
                 let which = cumulative.iter().position(|&c| x <= c).unwrap_or(gens.len() - 1);
                 gens[which].next_ref()
             }

@@ -17,8 +17,8 @@ use colt_os_mem::error::MemResult;
 use colt_os_mem::kernel::{CompactionMode, Kernel, KernelConfig};
 use colt_os_mem::memhog::{Memhog, MemhogConfig};
 use colt_os_mem::vma::VmaKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use colt_prng::rngs::StdRng;
+use colt_prng::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// One system configuration.

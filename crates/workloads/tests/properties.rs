@@ -3,7 +3,7 @@
 use colt_os_mem::addr::Vpn;
 use colt_workloads::pattern::{PatternGen, PatternSpec};
 use colt_workloads::trace::{read_trace, write_trace, MemRef, LINES_PER_PAGE};
-use proptest::prelude::*;
+use colt_quickprop::prelude::*;
 use std::sync::Arc;
 
 fn arbitrary_pattern() -> impl Strategy<Value = PatternSpec> {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full verification: offline release build, the whole test suite, and a
+# quick parallel smoke sweep with a throughput regression gate.
+#
+# The gate compares the smoke sweep's aggregate refs/sec against the
+# committed results/BENCH_sweep.json baseline and fails on a >20% drop.
+# Set COLT_SKIP_PERF_CHECK=1 to skip the gate (e.g. on heavily loaded or
+# much slower machines); the build and tests still run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SWEEP_ARGS=(--quick --bench Gobmk,Bzip2 --jobs "$(nproc)" fig18 fig7-9)
+BASELINE=results/BENCH_sweep.json
+
+echo "== cargo build --release (offline) =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
+baseline_rps=""
+if [[ -f "$BASELINE" ]]; then
+    baseline_rps=$(grep -o '"aggregate_refs_per_sec": [0-9.]*' "$BASELINE" | awk '{print $2}')
+fi
+
+# The sweep rewrites $BASELINE with this run's numbers; the baseline
+# value was captured above first.
+./target/release/repro "${SWEEP_ARGS[@]}" > /dev/null
+current_rps=$(grep -o '"aggregate_refs_per_sec": [0-9.]*' "$BASELINE" | awk '{print $2}')
+echo "aggregate refs/sec: current=$current_rps baseline=${baseline_rps:-none}"
+
+if [[ "${COLT_SKIP_PERF_CHECK:-0}" == "1" ]]; then
+    echo "perf gate skipped (COLT_SKIP_PERF_CHECK=1)"
+elif [[ -z "$baseline_rps" ]]; then
+    echo "no committed baseline; perf gate skipped (commit $BASELINE to enable it)"
+elif awk -v c="$current_rps" -v b="$baseline_rps" 'BEGIN { exit !(c >= 0.8 * b) }'; then
+    echo "perf gate passed (>= 80% of baseline)"
+else
+    echo "FAIL: quick sweep regressed >20% vs baseline ($current_rps < 0.8 * $baseline_rps)" >&2
+    exit 1
+fi
+
+echo "verify.sh: all checks passed"

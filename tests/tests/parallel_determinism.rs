@@ -1,0 +1,57 @@
+//! The parallel sweep runner's core contract: the same seed and options
+//! produce identical counters and byte-identical rendered tables at any
+//! worker count. These run real experiment drivers end to end at
+//! `--jobs 1` and `--jobs 8` and compare everything.
+
+use colt_core::experiments::{contiguity, memhog_load, miss_elimination, ExperimentOptions};
+
+fn opts(jobs: usize) -> ExperimentOptions {
+    ExperimentOptions {
+        accesses: 10_000,
+        ..ExperimentOptions::quick()
+    }
+    .with_benchmarks(&["Gobmk", "Bzip2"])
+    .with_jobs(jobs)
+}
+
+#[test]
+fn fig18_counters_and_tables_identical_across_jobs() {
+    let (rows1, out1) = miss_elimination::run(&opts(1));
+    let (rows8, out8) = miss_elimination::run(&opts(8));
+    assert_eq!(rows1.len(), rows8.len());
+    for (a, b) in rows1.iter().zip(&rows8) {
+        assert_eq!(a.name, b.name);
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.tlb, rb.tlb, "{}: TLB counters must not depend on --jobs", a.name);
+            assert_eq!(ra.walker.walks, rb.walker.walks);
+            assert_eq!(ra.walk_cycles, rb.walk_cycles);
+            assert_eq!(ra.instructions, rb.instructions);
+        }
+    }
+    assert_eq!(out1.render(), out8.render(), "rendered tables must be byte-identical");
+}
+
+#[test]
+fn contiguity_tables_identical_across_jobs() {
+    let (rows1, out1) = contiguity::run(contiguity::ContiguityConfig::ThsOn, &opts(1));
+    let (rows8, out8) = contiguity::run(contiguity::ContiguityConfig::ThsOn, &opts(8));
+    for (a, b) in rows1.iter().zip(&rows8) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.average.to_bits(), b.average.to_bits());
+        assert_eq!(a.cdf, b.cdf);
+    }
+    assert_eq!(out1.render(), out8.render());
+}
+
+#[test]
+fn memhog_figures_identical_across_jobs() {
+    let (figs1, out1) = memhog_load::run(&opts(1));
+    let (figs8, out8) = memhog_load::run(&opts(8));
+    for (a, b) in figs1.iter().zip(&figs8) {
+        assert_eq!(a.ths, b.ths);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.averages.map(f64::to_bits), rb.averages.map(f64::to_bits));
+        }
+    }
+    assert_eq!(out1.render(), out8.render());
+}

@@ -10,7 +10,7 @@ use colt_workloads::pattern::PatternSpec;
 use colt_workloads::scenario::Scenario;
 use colt_workloads::spec::{AllocBehavior, BenchmarkSpec, PopulatePolicy};
 use colt_workloads::Suite;
-use proptest::prelude::*;
+use colt_quickprop::prelude::*;
 
 fn arbitrary_spec() -> impl Strategy<Value = BenchmarkSpec> {
     (
