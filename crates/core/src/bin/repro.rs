@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--jobs N] [--csv] <experiment>...
+//! repro --check [--seeds N] [--events N] [--jobs N]
 //!
 //! experiments:
 //!   table1        Table 1   real-system MPMIs, THS on/off
@@ -23,6 +24,11 @@
 //!   multiprog     extension: two benchmarks sharing one machine
 //!   all           everything above
 //! ```
+//!
+//! `--check` runs the differential translation oracle + coalescing
+//! invariant fuzzer ([`colt_core::check`]) instead of experiments:
+//! every TLB configuration is fuzzed with interleaved kernel events and
+//! any violation fails the run with a ddmin-minimised reproducer.
 
 use colt_core::experiments::{
     ablation, associativity, context_switch, contiguity, grid, index_shift,
@@ -37,9 +43,14 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--csv] [--bars] <experiment>...\n\
+         \u{20}      repro --check [--seeds N] [--events N] [--jobs N]\n\
          --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
          \u{20}           then the machine's available parallelism); results are\n\
          \u{20}           identical at any value\n\
+         --check    fuzz every TLB configuration against the translation\n\
+         \u{20}           oracle + coalescing invariant checker; exits nonzero\n\
+         \u{20}           on any violation (--seeds, default 4; --events per\n\
+         \u{20}           case, default 160)\n\
          experiments: table1 fig7-9 fig10-12 fig13-15 fig16-17 fig18 fig19 fig20 fig21 ablation virt related ctxswitch summary grid noise multiprog all"
     );
     std::process::exit(2);
@@ -52,12 +63,24 @@ fn main() -> ExitCode {
     }
     let mut csv = false;
     let mut bars = false;
+    let mut check = false;
+    let mut seeds = 4u64;
+    let mut events_per_case = 160usize;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.accesses = ExperimentOptions::quick().accesses,
+            "--check" => check = true,
+            "--seeds" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                seeds = n.parse::<u64>().unwrap_or_else(|_| usage()).max(1);
+            }
+            "--events" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                events_per_case = n.parse::<usize>().unwrap_or_else(|_| usage()).max(1);
+            }
             "--accesses" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 opts.accesses = n.parse().unwrap_or_else(|_| usage());
@@ -77,6 +100,13 @@ fn main() -> ExitCode {
             other if other.starts_with('-') => usage(),
             other => experiments.push(other.to_string()),
         }
+    }
+    if check {
+        if !experiments.is_empty() {
+            eprintln!("--check runs instead of experiments; drop '{}'", experiments[0]);
+            return ExitCode::from(2);
+        }
+        return run_check_mode(seeds, events_per_case, opts.jobs);
     }
     if experiments.is_empty() {
         usage();
@@ -157,6 +187,56 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the oracle/invariant fuzzer across every TLB configuration.
+/// Drains the sweep runner's metrics without writing
+/// `results/BENCH_sweep.json` so a `--check` run never perturbs the
+/// performance baseline that `scripts/verify.sh` gates on.
+fn run_check_mode(seeds: u64, events_per_case: usize, jobs: usize) -> ExitCode {
+    let _ = runner::take_metrics();
+    let wall_start = Instant::now();
+    let report = colt_core::check::run_check(seeds, events_per_case, jobs);
+    let _ = runner::take_metrics();
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let mut table = Table::new(
+        format!(
+            "Oracle + invariant check: {} case(s), {} translations, {wall:.2}s wall",
+            report.cases.len(),
+            report.translations
+        ),
+        &["case", "translations", "violations"],
+    );
+    for case in &report.cases {
+        table.add_row(vec![
+            case.label.clone(),
+            case.translations.to_string(),
+            case.violations.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if report.is_clean() {
+        println!("CHECK PASS: 0 violations across {} case(s)", report.cases.len());
+        return ExitCode::SUCCESS;
+    }
+    for case in report.cases.iter().filter(|c| !c.violations.is_empty()) {
+        eprintln!("\nFAIL {} (gen seed {:#x})", case.label, case.seed);
+        for v in &case.violations {
+            eprintln!("  violation: {v}");
+        }
+        eprintln!("  minimised reproducer ({} events):", case.minimized.len());
+        for ev in &case.minimized {
+            eprintln!("    {ev:?}");
+        }
+    }
+    eprintln!(
+        "\nCHECK FAIL: {} violation(s) across {} case(s)",
+        report.total_violations(),
+        report.cases.len()
+    );
+    ExitCode::FAILURE
 }
 
 /// Sum of every cell's preparation and simulation time — what one

@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod check;
 pub mod experiments;
 pub mod metrics;
 pub mod perf;

@@ -87,6 +87,7 @@ mod tests {
             walk_cycles,
             data_stall_cycles: data_stall,
             l2_tlb_cycles: 0,
+            oracle_mismatches: 0,
         }
     }
 

@@ -37,6 +37,11 @@ pub struct SimConfig {
     /// Every N accesses, flush the whole hierarchy and the walker's MMU
     /// caches — a context switch on a machine without ASID/PCID tagging.
     pub flush_period: Option<u64>,
+    /// Differential checking: verify every TLB hit's PFN against the live
+    /// page table and count mismatches in
+    /// [`SimResult::oracle_mismatches`]. Default off — the perf path pays
+    /// exactly one predictable branch per hit.
+    pub check: bool,
 }
 
 impl SimConfig {
@@ -50,7 +55,15 @@ impl SimConfig {
             invalidate_period: None,
             nested_paging: false,
             flush_period: None,
+            check: false,
         }
+    }
+
+    /// Enables the differential translation oracle on every hit.
+    #[must_use]
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
+        self
     }
 
     /// Flushes all translation state every `period` accesses (context
@@ -100,6 +113,10 @@ pub struct SimResult {
     pub data_stall_cycles: u64,
     /// Cycles spent on L2-TLB lookups after L1 misses.
     pub l2_tlb_cycles: u64,
+    /// TLB hits whose PFN disagreed with the live page table — only
+    /// counted when [`SimConfig::check`] is on; any nonzero value is a
+    /// coalescing-consistency bug.
+    pub oracle_mismatches: u64,
 }
 
 impl SimResult {
@@ -186,6 +203,7 @@ fn run_stream(
     let mut data_stall_cycles = 0u64;
     let mut l2_tlb_cycles = 0u64;
     let mut measured = 0u64;
+    let mut oracle_mismatches = 0u64;
     let mut warmup_walker_snapshot = walker.stats();
     let mut warmup_tlb_snapshot = tlb.stats();
     // Ring of recent vpns for shootdown churn.
@@ -202,12 +220,18 @@ fn run_stream(
             data_stall_cycles = 0;
             l2_tlb_cycles = 0;
             measured = 0;
+            oracle_mismatches = 0;
         }
         let r = next_ref();
         let pfn = match tlb.lookup(r.vpn) {
             Some(hit) => {
                 if hit.level == TlbLevel::L2 {
                     l2_tlb_cycles += latency.l2_tlb;
+                }
+                if config.check
+                    && page_table.translate(r.vpn).map(|t| t.pfn) != Some(hit.pfn)
+                {
+                    oracle_mismatches += 1;
                 }
                 hit.pfn
             }
@@ -240,9 +264,13 @@ fn run_stream(
         recent_len = recent_len.max((i + 1).min(64) as usize);
         if let Some(period) = config.invalidate_period {
             if i % period == period - 1 && recent_len > 32 {
-                // Shoot down the translation used ~32 accesses ago.
+                // Shoot down the translation used ~32 accesses ago — and
+                // reach the walker's MMU cache too: a real shootdown is
+                // an `invlpg`, which drops paging-structure entries for
+                // the page, not just the TLB entry.
                 let victim = recent[((i + 64 - 32) % 64) as usize];
                 tlb.invalidate(victim);
+                walker.invalidate(page_table, victim);
             }
         }
         if let Some(period) = config.flush_period {
@@ -263,6 +291,7 @@ fn run_stream(
         walk_cycles,
         data_stall_cycles,
         l2_tlb_cycles,
+        oracle_mismatches,
     }
 }
 
@@ -361,6 +390,7 @@ pub fn run_multiprogrammed(
         walk_cycles,
         data_stall_cycles,
         l2_tlb_cycles,
+        oracle_mismatches: 0,
     }
 }
 
@@ -374,6 +404,7 @@ fn diff_tlb(after: HierarchyStats, before: HierarchyStats) -> HierarchyStats {
     d.fills -= before.fills;
     d.superpage_fills -= before.superpage_fills;
     d.pb_hits -= before.pb_hits;
+    d.coalesce_overflow -= before.coalesce_overflow;
     for i in 0..d.coalesce_hist.len() {
         d.coalesce_hist[i] -= before.coalesce_hist[i];
     }

@@ -87,6 +87,19 @@ impl MmuCache {
         self.entries.insert(0, addr.raw());
     }
 
+    /// Removes one entry address if resident (the per-entry half of an
+    /// `invlpg`-style shootdown: dropping exactly the page-table entries
+    /// a mutated walk path used, instead of flushing the whole cache).
+    /// Returns whether the address was present.
+    pub fn invalidate_addr(&mut self, addr: PhysAddr) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&a| a == addr.raw()) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Empties the cache.
     pub fn flush(&mut self) {
         self.entries.clear();
@@ -131,6 +144,17 @@ mod tests {
             c.insert(PhysAddr::new(i));
         }
         assert_eq!(c.occupancy(), 22);
+    }
+
+    #[test]
+    fn invalidate_addr_removes_exactly_one_entry() {
+        let mut c = MmuCache::new(4);
+        c.insert(PhysAddr::new(1));
+        c.insert(PhysAddr::new(2));
+        assert!(c.invalidate_addr(PhysAddr::new(1)));
+        assert!(!c.contains(PhysAddr::new(1)));
+        assert!(c.contains(PhysAddr::new(2)), "other entries untouched");
+        assert!(!c.invalidate_addr(PhysAddr::new(1)), "already gone");
     }
 
     #[test]

@@ -257,6 +257,37 @@ impl PageWalker {
         })
     }
 
+    /// Removes the given page-table entry addresses from the guest MMU
+    /// page-walk cache — the per-VPN shootdown a kernel page-table
+    /// mutation must deliver, so the next walk of the affected page
+    /// re-fetches its (changed) path instead of relying on a whole-cache
+    /// [`PageWalker::flush`]. The host (EPT) cache is untouched: guest
+    /// `invlpg` does not reach host paging structures.
+    ///
+    /// Returns how many addresses were actually resident.
+    pub fn invalidate_addrs(&mut self, addrs: &[PhysAddr]) -> usize {
+        addrs
+            .iter()
+            .filter(|&&a| self.mmu_cache.invalidate_addr(a))
+            .count()
+    }
+
+    /// Per-VPN shootdown convenience: drops every MMU-cache entry on the
+    /// current walk path of `vpn` in `page_table`. Free of latency and
+    /// stat charges — this models invalidation hardware, not a walk.
+    /// Returns how many cached levels were dropped.
+    pub fn invalidate(&mut self, page_table: &PageTable, vpn: Vpn) -> usize {
+        match page_table.walk(vpn) {
+            Some(path) => self.invalidate_addrs(&path.entry_addrs),
+            None => 0,
+        }
+    }
+
+    /// Whether the guest MMU cache holds `addr` (checker visibility).
+    pub fn mmu_contains(&self, addr: PhysAddr) -> bool {
+        self.mmu_cache.contains(addr)
+    }
+
     /// Flushes the MMU caches (e.g. context switch).
     pub fn flush(&mut self) {
         self.mmu_cache.flush();
@@ -407,6 +438,33 @@ mod tests {
         let s = w.stats();
         assert_eq!(s.walks, 2);
         assert!(s.total_latency > 0);
+    }
+
+    #[test]
+    fn per_vpn_invalidation_refetches_only_the_shot_path() {
+        let pt = mapped_pt(16);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        w.walk(&pt, Vpn::new(0x1000), &mut caches);
+        // Shoot down vpn 0x1000's path: all three non-leaf levels drop.
+        let dropped = w.invalidate(&pt, Vpn::new(0x1000));
+        assert_eq!(dropped, 3, "three non-leaf levels were cached");
+        caches.flush();
+        let o = w.walk(&pt, Vpn::new(0x1001), &mut caches).unwrap();
+        assert_eq!(o.memory_accesses, 4, "full path re-fetched after shootdown");
+        // A second shootdown finds nothing left to drop.
+        assert_eq!(w.invalidate_addrs(&pt.walk(Vpn::new(0x1000)).unwrap().entry_addrs), 3);
+        assert_eq!(w.invalidate(&pt, Vpn::new(0x1000)), 0);
+    }
+
+    #[test]
+    fn invalidate_of_unmapped_vpn_is_harmless() {
+        let pt = mapped_pt(1);
+        let mut w = PageWalker::paper_default();
+        let mut caches = CacheHierarchy::core_i7();
+        w.walk(&pt, Vpn::new(0x1000), &mut caches);
+        assert_eq!(w.invalidate(&pt, Vpn::new(0x9999)), 0);
+        assert_eq!(w.stats().walks, 1, "invalidation charges no walk");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::addr::{Asid, Pfn};
 use crate::buddy::BuddyAllocator;
 use crate::frames::{FrameDb, FrameState};
 use crate::process::Process;
+use crate::shootdown::{ShootdownEvent, ShootdownKind, ShootdownLog};
 use std::collections::BTreeMap;
 
 /// Outcome of one compaction pass.
@@ -85,6 +86,20 @@ pub fn compact_with(
     frames: &mut FrameDb,
     processes: &mut BTreeMap<Asid, Process>,
     control: CompactionControl,
+) -> CompactionStats {
+    let mut log = ShootdownLog::new();
+    compact_logged(buddy, frames, processes, control, &mut log)
+}
+
+/// Runs a compaction pass, recording a [`ShootdownKind::Migrate`] event
+/// per migrated page into `log` (when enabled) — the shootdown traffic a
+/// real kernel would issue to every CPU caching the moved translation.
+pub fn compact_logged(
+    buddy: &mut BuddyAllocator,
+    frames: &mut FrameDb,
+    processes: &mut BTreeMap<Asid, Process>,
+    control: CompactionControl,
+    log: &mut ShootdownLog,
 ) -> CompactionStats {
     let mut stats = CompactionStats::default();
     let mut migrate_cursor = Pfn::new(0);
@@ -168,6 +183,21 @@ pub fn compact_with(
         let process = processes
             .get_mut(&owner)
             .expect("rmap names a process that no longer exists");
+        if log.is_enabled() {
+            let entry_addrs = process
+                .page_table
+                .walk(vpn)
+                .map(|p| p.entry_addrs)
+                .unwrap_or_default();
+            log.record(ShootdownEvent {
+                asid: owner,
+                vpn,
+                kind: ShootdownKind::Migrate,
+                entry_addrs,
+                old_pfn: Some(src),
+                new_pfn: Some(dst),
+            });
+        }
         let old = process.page_table.remap_base(vpn, dst);
         debug_assert!(old.is_some(), "rmap and page table out of sync");
         frames.set(dst, FrameState::Movable { owner, vpn });

@@ -14,6 +14,7 @@ use crate::error::{MemError, MemResult};
 use crate::frames::{FrameDb, FrameState};
 use crate::page_table::{PageKind, Pte, PteFlags, Translation};
 use crate::process::Process;
+use crate::shootdown::{ShootdownEvent, ShootdownKind, ShootdownLog};
 use crate::thp;
 use crate::vma::{Vma, VmaKind};
 use std::collections::{BTreeMap, VecDeque};
@@ -165,6 +166,9 @@ pub struct Kernel {
     /// buddy refills, so consecutive faults receive adjacent frames —
     /// the mechanism behind faulted-page contiguity on real systems.
     pcp: VecDeque<Pfn>,
+    /// Per-VPN shootdown events for every page-table mutation, recorded
+    /// only when enabled (the differential checker's hook).
+    shootdowns: ShootdownLog,
     stats: KernelStats,
 }
 
@@ -182,9 +186,23 @@ impl Kernel {
             next_asid: 1,
             live_superpages: VecDeque::new(),
             pcp: VecDeque::new(),
+            shootdowns: ShootdownLog::new(),
             stats: KernelStats::default(),
             config,
         }
+    }
+
+    /// Starts recording per-VPN [`ShootdownEvent`]s for every page-table
+    /// mutation. Off by default; the perf path pays one branch per
+    /// mutation site.
+    pub fn enable_shootdown_log(&mut self) {
+        self.shootdowns.enable();
+    }
+
+    /// Drains every shootdown recorded since the last drain, oldest
+    /// first. Empty unless [`Kernel::enable_shootdown_log`] was called.
+    pub fn take_shootdowns(&mut self) -> Vec<ShootdownEvent> {
+        self.shootdowns.take()
     }
 
     /// The construction-time configuration.
@@ -493,7 +511,20 @@ impl Kernel {
             let Some(process) = self.processes.get_mut(&owner) else {
                 continue;
             };
+            let entry_addrs = if self.shootdowns.is_enabled() {
+                process.page_table.walk(vpn).map(|p| p.entry_addrs).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
             if let Some(pte) = process.page_table.unmap_base(vpn) {
+                self.shootdowns.record(ShootdownEvent {
+                    asid: owner,
+                    vpn,
+                    kind: ShootdownKind::Reclaim,
+                    entry_addrs,
+                    old_pfn: Some(pte.pfn),
+                    new_pfn: None,
+                });
                 self.frames.set(pte.pfn, FrameState::Free);
                 self.buddy.free_block(pte.pfn, 0);
                 evicted += 1;
@@ -614,10 +645,27 @@ impl Kernel {
         while vpn < end {
             match process.page_table.translate(vpn) {
                 Some(Translation { kind: PageKind::Super { base_vpn }, .. }) => {
+                    let entry_addrs = if self.shootdowns.is_enabled() {
+                        process
+                            .page_table
+                            .walk(base_vpn)
+                            .map(|p| p.entry_addrs)
+                            .unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
                     let pte = process
                         .page_table
                         .unmap_super(base_vpn)
                         .expect("translation said superpage");
+                    self.shootdowns.record(ShootdownEvent {
+                        asid,
+                        vpn: base_vpn,
+                        kind: ShootdownKind::Unmap,
+                        entry_addrs,
+                        old_pfn: Some(pte.pfn),
+                        new_pfn: None,
+                    });
                     for i in 0..SUPERPAGE_PAGES {
                         self.frames.set(pte.pfn.offset(i), FrameState::Free);
                     }
@@ -627,7 +675,20 @@ impl Kernel {
                     vpn = base_vpn.offset(SUPERPAGE_PAGES);
                 }
                 Some(Translation { kind: PageKind::Base, .. }) => {
+                    let entry_addrs = if self.shootdowns.is_enabled() {
+                        process.page_table.walk(vpn).map(|p| p.entry_addrs).unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
                     let pte = process.page_table.unmap_base(vpn).expect("mapped");
+                    self.shootdowns.record(ShootdownEvent {
+                        asid,
+                        vpn,
+                        kind: ShootdownKind::Unmap,
+                        entry_addrs,
+                        old_pfn: Some(pte.pfn),
+                        new_pfn: None,
+                    });
                     self.frames.set(pte.pfn, FrameState::Free);
                     self.buddy.free_block(pte.pfn, 0);
                     vpn = vpn.next();
@@ -640,7 +701,13 @@ impl Kernel {
 
     /// Runs one full compaction pass immediately.
     pub fn compact_now(&mut self) -> CompactionStats {
-        let stats = compaction::compact(&mut self.buddy, &mut self.frames, &mut self.processes);
+        let stats = compaction::compact_logged(
+            &mut self.buddy,
+            &mut self.frames,
+            &mut self.processes,
+            CompactionControl::default(),
+            &mut self.shootdowns,
+        );
         self.stats.compaction_runs += 1;
         self.stats.pages_migrated += stats.migrated;
         stats
@@ -650,11 +717,12 @@ impl Kernel {
     /// bounded at `max_migrations` of work (real direct compaction gives
     /// up rather than stalling the faulting process indefinitely).
     fn compact_bounded(&mut self, order: u32, max_migrations: u64) -> CompactionStats {
-        let stats = compaction::compact_with(
+        let stats = compaction::compact_logged(
             &mut self.buddy,
             &mut self.frames,
             &mut self.processes,
             CompactionControl { target_order: Some(order), max_migrations: Some(max_migrations) },
+            &mut self.shootdowns,
         );
         self.stats.compaction_runs += 1;
         self.stats.pages_migrated += stats.migrated;
@@ -677,11 +745,12 @@ impl Kernel {
                 || self.buddy.fragmentation_index() > self.config.compaction_frag_threshold)
         {
             let slice = (self.buddy.nr_frames() / 32).max(64);
-            let stats = compaction::compact_with(
+            let stats = compaction::compact_logged(
                 &mut self.buddy,
                 &mut self.frames,
                 &mut self.processes,
                 CompactionControl::slice(slice),
+                &mut self.shootdowns,
             );
             self.stats.compaction_runs += 1;
             self.stats.pages_migrated += stats.migrated;
@@ -732,8 +801,26 @@ impl Kernel {
         let Some(process) = self.processes.get_mut(&asid) else {
             return false;
         };
+        let pre_split = if self.shootdowns.is_enabled() {
+            process.page_table.walk(base_vpn).map(|p| (p.entry_addrs, p.translation.pfn))
+        } else {
+            None
+        };
         if !thp::split_superpage(process, &mut self.frames, base_vpn) {
             return false;
+        }
+        if let Some((entry_addrs, old_pfn)) = pre_split {
+            // The superpage leaf is gone; any TLB entry caching it (and
+            // the walker's cached path to it) must go too, even though
+            // the split itself leaves every translation intact.
+            self.shootdowns.record(ShootdownEvent {
+                asid,
+                vpn: base_vpn,
+                kind: ShootdownKind::SuperSplit,
+                entry_addrs,
+                old_pfn: Some(old_pfn),
+                new_pfn: Some(old_pfn),
+            });
         }
         self.stats.thp_splits += 1;
         // Only some split superpages see reclaim before their pages are
@@ -750,7 +837,20 @@ impl Kernel {
                 // frame, severing the run at this point.
                 if let Some(run) = self.buddy.alloc_pages(1) {
                     let process = self.processes.get_mut(&asid).expect("checked above");
+                    let entry_addrs = if self.shootdowns.is_enabled() {
+                        process.page_table.walk(vpn).map(|p| p.entry_addrs).unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
                     if let Some(old) = process.page_table.remap_base(vpn, run.start) {
+                        self.shootdowns.record(ShootdownEvent {
+                            asid,
+                            vpn,
+                            kind: ShootdownKind::Puncture,
+                            entry_addrs,
+                            old_pfn: Some(old.pfn),
+                            new_pfn: Some(run.start),
+                        });
                         self.frames
                             .set(run.start, FrameState::Movable { owner: asid, vpn });
                         self.frames.set(old.pfn, FrameState::Free);

@@ -40,6 +40,7 @@ pub mod kernel;
 pub mod memhog;
 pub mod page_table;
 pub mod process;
+pub mod shootdown;
 pub mod thp;
 pub mod vma;
 

@@ -7,8 +7,10 @@
 //! strategies, tuples, `prop_map` — on top of [`colt_prng`].
 //!
 //! Differences from real proptest, deliberately accepted:
-//! - **no shrinking**: a failing case reports its inputs via the assert
-//!   message but is not minimised;
+//! - **no automatic shrinking**: a failing `proptest!` case reports its
+//!   inputs via the assert message but is not minimised. Drivers that
+//!   replay event lists (e.g. the `repro --check` fuzzer) can minimise
+//!   a failing list explicitly with [`shrink_list`];
 //! - **derived seeding**: each test's cases are seeded from an FNV-1a
 //!   hash of its module path + name, so runs are fully deterministic
 //!   (no `PROPTEST_` env handling, no persistence files);
@@ -267,6 +269,49 @@ pub fn case_rng(base_seed: u64, case: u32) -> TestRng {
     TestRng::seed_from_u64(base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Minimises a failing input list with complement-based delta debugging
+/// (Zeller's *ddmin*). `fails` must return `true` on any list that still
+/// reproduces the failure; it is assumed to hold for `items` itself
+/// (if it does not, `items` is returned unchanged). The result is
+/// *1-minimal*: removing any single remaining element no longer fails.
+///
+/// Element order is preserved, which matters for event-replay shrinking
+/// where interleaving *is* the bug.
+pub fn shrink_list<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !complement.is_empty() && fails(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break; // already 1-minimal
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
 /// proptest's entry macro: wraps each `fn name(arg in strategy, ...)`
 /// into a plain test that redraws its arguments [`ProptestConfig::cases`]
 /// times. An optional `#![proptest_config(...)]` header applies to every
@@ -344,7 +389,7 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::{
         case_rng, fnv1a, oneof_arm, prop_assert, prop_assert_eq, prop_assume, prop_oneof,
-        proptest, Just, Map, OneOf, ProptestConfig, Strategy, StrategyObj, TestRng,
+        proptest, shrink_list, Just, Map, OneOf, ProptestConfig, Strategy, StrategyObj, TestRng,
     };
 }
 
@@ -424,6 +469,50 @@ mod tests {
             seen[strategy.generate(&mut rng)] = true;
         }
         assert!(seen.iter().all(|&s| s), "all arms must be reachable: {seen:?}");
+    }
+
+    #[test]
+    fn shrink_finds_the_two_culprit_elements() {
+        let items: Vec<u64> = (0..40).collect();
+        let minimal = shrink_list(&items, |sub| sub.contains(&7) && sub.contains(&23));
+        assert_eq!(minimal, vec![7, 23], "order must be preserved too");
+    }
+
+    #[test]
+    fn shrink_result_is_one_minimal() {
+        // Failure: at least three even numbers present.
+        let items: Vec<u64> = (0..32).collect();
+        let fails = |sub: &[u64]| sub.iter().filter(|x| **x % 2 == 0).count() >= 3;
+        let minimal = shrink_list(&items, fails);
+        assert!(fails(&minimal));
+        for skip in 0..minimal.len() {
+            let without: Vec<u64> = minimal
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, &x)| x)
+                .collect();
+            assert!(!fails(&without), "removing index {skip} should pass");
+        }
+    }
+
+    #[test]
+    fn shrink_keeps_non_failing_input_unchanged() {
+        let items = vec![1u64, 2, 3];
+        assert_eq!(shrink_list(&items, |_| false), items);
+        assert_eq!(shrink_list::<u64>(&[], |_| true), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn shrink_of_order_dependent_failure_preserves_interleaving() {
+        // Fails only when an 'a' appears somewhere before a 'b'.
+        let items = vec!['b', 'x', 'a', 'y', 'b', 'z'];
+        let minimal = shrink_list(&items, |sub| {
+            sub.iter()
+                .position(|&c| c == 'a')
+                .is_some_and(|i| sub[i..].contains(&'b'))
+        });
+        assert_eq!(minimal, vec!['a', 'b']);
     }
 
     #[test]

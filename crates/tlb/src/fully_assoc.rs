@@ -160,11 +160,34 @@ impl FullyAssocTlb {
             let (left, right) = entry.run().split_at(vpn).expect("lookup hit");
             let mut insert_at = pos;
             for remnant in [left, right].into_iter().flatten() {
-                if self.entries.len() < self.capacity {
-                    self.entries
-                        .insert(insert_at.min(self.entries.len()), RangeEntry::coalesced(remnant));
-                    insert_at += 1;
+                if self.entries.len() >= self.capacity {
+                    // Splitting can overflow a full structure: evict per
+                    // policy rather than silently dropping a still-valid
+                    // remnant, but never victimise a remnant just
+                    // re-inserted (ranks `pos..insert_at`).
+                    let candidates: Vec<(usize, u64)> = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .filter(|(rank, _)| !(pos..insert_at).contains(rank))
+                        .map(|(rank, e)| (rank, e.run().len))
+                        .collect();
+                    if candidates.is_empty() {
+                        continue; // capacity-1 structure already holds a remnant
+                    }
+                    let victim = candidates[self.policy.choose_victim(&candidates)].0;
+                    self.stats.evictions += 1;
+                    self.entries.remove(victim);
+                    if victim < insert_at {
+                        insert_at -= 1;
+                        if victim < pos {
+                            pos -= 1;
+                        }
+                    }
                 }
+                self.entries
+                    .insert(insert_at.min(self.entries.len()), RangeEntry::coalesced(remnant));
+                insert_at += 1;
             }
         }
         self.stats.invalidations += affected as u64;
@@ -358,6 +381,37 @@ mod tests {
         assert_eq!(tlb.probe(Vpn::new(110)), None);
         assert_eq!(tlb.probe(Vpn::new(111)), Some(Pfn::new(711)));
         assert_eq!(tlb.occupancy(), 2);
+    }
+
+    #[test]
+    fn graceful_mid_split_when_full_keeps_both_remnants() {
+        // Regression: a full structure used to drop the second remnant of
+        // a mid-run split silently instead of evicting per policy.
+        let mut tlb = FullyAssocTlb::new(2);
+        tlb.insert(RangeEntry::coalesced(run(100, 700, 3)));
+        tlb.insert(RangeEntry::coalesced(run(200, 900, 1)));
+        assert_eq!(tlb.invalidate_graceful(Vpn::new(101)), 1);
+        assert_eq!(tlb.probe(Vpn::new(100)), Some(Pfn::new(700)));
+        assert_eq!(tlb.probe(Vpn::new(101)), None, "victim gone");
+        assert_eq!(
+            tlb.probe(Vpn::new(102)),
+            Some(Pfn::new(702)),
+            "second remnant must survive a full structure"
+        );
+        assert_eq!(tlb.probe(Vpn::new(200)), None, "LRU entry evicted to make room");
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn graceful_mid_split_in_capacity_one_keeps_first_remnant_only() {
+        let mut tlb = FullyAssocTlb::new(1);
+        tlb.insert(RangeEntry::coalesced(run(100, 700, 3)));
+        tlb.invalidate_graceful(Vpn::new(101));
+        assert_eq!(tlb.probe(Vpn::new(100)), Some(Pfn::new(700)));
+        assert_eq!(tlb.probe(Vpn::new(101)), None);
+        assert_eq!(tlb.probe(Vpn::new(102)), None, "no slot for the sibling");
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.stats().evictions, 0);
     }
 
     #[test]

@@ -202,6 +202,7 @@ impl SetAssocTlb {
     pub fn invalidate_graceful(&mut self, vpn: Vpn) -> usize {
         let idx = self.set_index(vpn);
         let shift = self.shift;
+        let ways = self.ways;
         let set = &mut self.sets[idx];
         let mut affected = 0;
         let mut pos = 0;
@@ -213,10 +214,33 @@ impl SetAssocTlb {
                 // stay within the original entry's index group.
                 let mut insert_at = pos;
                 for remnant in [left, right].into_iter().flatten() {
-                    if set.len() < self.ways {
-                        set.insert(insert_at.min(set.len()), SaEntry::new(remnant, shift));
-                        insert_at += 1;
+                    if set.len() >= ways {
+                        // Splitting one entry into two can overflow the
+                        // set: make room through the replacement policy
+                        // instead of silently dropping a still-valid
+                        // remnant — but never victimise a remnant just
+                        // re-inserted (ranks `pos..insert_at`).
+                        let candidates: Vec<(usize, u64)> = set
+                            .iter()
+                            .enumerate()
+                            .filter(|(rank, _)| !(pos..insert_at).contains(rank))
+                            .map(|(rank, e)| (rank, e.coalesced_len()))
+                            .collect();
+                        if candidates.is_empty() {
+                            continue; // one-way set already holds a remnant
+                        }
+                        let victim = candidates[self.policy.choose_victim(&candidates)].0;
+                        self.stats.evictions += 1;
+                        set.remove(victim);
+                        if victim < insert_at {
+                            insert_at -= 1;
+                            if victim < pos {
+                                pos -= 1;
+                            }
+                        }
                     }
+                    set.insert(insert_at.min(set.len()), SaEntry::new(remnant, shift));
+                    insert_at += 1;
                 }
             } else {
                 pos += 1;
@@ -430,6 +454,41 @@ mod tests {
         tlb.insert(run(16, 200, 1));
         tlb.invalidate_graceful(Vpn::new(16)); // singleton: nothing remains
         assert_eq!(tlb.probe(Vpn::new(16)), None);
+    }
+
+    #[test]
+    fn graceful_mid_split_in_full_set_keeps_both_remnants() {
+        // Regression: splitting a mid-run hit produces TWO remnants, but
+        // a full set used to have room for only one — the second (still
+        // valid) remnant was silently dropped instead of evicting per
+        // policy.
+        let mut tlb = SetAssocTlb::new(8, 2, 2); // 4 sets, 2 ways
+        tlb.insert(run(0, 100, 3)); // set 0, covers vpns 0..3
+        tlb.insert(run(16, 116, 1)); // group 4 → also set 0: set now full
+        assert_eq!(tlb.invalidate_graceful(Vpn::new(1)), 1);
+        assert_eq!(tlb.probe(Vpn::new(0)), Some(Pfn::new(100)));
+        assert_eq!(tlb.probe(Vpn::new(1)), None, "victim gone");
+        assert_eq!(
+            tlb.probe(Vpn::new(2)),
+            Some(Pfn::new(102)),
+            "second remnant must survive a full set"
+        );
+        assert_eq!(tlb.probe(Vpn::new(16)), None, "LRU way evicted to make room");
+        assert_eq!(tlb.stats().evictions, 1, "the displacement is a counted eviction");
+    }
+
+    #[test]
+    fn graceful_split_in_one_way_set_keeps_first_remnant_only() {
+        let mut tlb = SetAssocTlb::new(4, 1, 2); // 4 sets, 1 way
+        tlb.insert(run(0, 100, 3));
+        tlb.invalidate_graceful(Vpn::new(1));
+        // Only one slot exists: the left remnant takes it, the right one
+        // is dropped (never evict a remnant to hold its sibling).
+        assert_eq!(tlb.probe(Vpn::new(0)), Some(Pfn::new(100)));
+        assert_eq!(tlb.probe(Vpn::new(1)), None);
+        assert_eq!(tlb.probe(Vpn::new(2)), None);
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.stats().evictions, 0);
     }
 
     #[test]

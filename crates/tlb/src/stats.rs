@@ -28,6 +28,12 @@ pub struct HierarchyStats {
     /// `coalesce_hist[k]` counts fills whose run coalesced `k+1`
     /// translations (index 7 = the 8-translation cache-line maximum).
     pub coalesce_hist: [u64; 8],
+    /// Fills whose run length fell outside the possible 1..=8 range of
+    /// one PTE cache line — always zero unless a coalescing bug
+    /// manufactured an impossible run. Kept out of the histogram so the
+    /// invariant checker can see such lengths instead of having them
+    /// clamped into the edge buckets.
+    pub coalesce_overflow: u64,
 }
 
 impl HierarchyStats {
@@ -72,11 +78,22 @@ impl HierarchyStats {
         translations as f64 / fills as f64
     }
 
-    /// Records one fill of a run with `len` coalesced translations.
+    /// Records one fill of a run with `len` coalesced translations. A
+    /// cache line holds eight PTEs, so lengths outside 1..=8 cannot come
+    /// from a correct coalescing pass: they trip a debug assertion and
+    /// land in [`HierarchyStats::coalesce_overflow`] rather than being
+    /// laundered into the edge histogram buckets.
     pub(crate) fn record_fill(&mut self, len: u64) {
         self.fills += 1;
-        let idx = (len.clamp(1, 8) - 1) as usize;
-        self.coalesce_hist[idx] += 1;
+        debug_assert!(
+            (1..=8).contains(&len),
+            "fill length {len} exceeds the 8-PTE cache-line bound"
+        );
+        if (1..=8).contains(&len) {
+            self.coalesce_hist[(len - 1) as usize] += 1;
+        } else {
+            self.coalesce_overflow += 1;
+        }
     }
 }
 
@@ -122,10 +139,15 @@ mod tests {
     }
 
     #[test]
-    fn oversized_fill_lengths_clamp_to_eight() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "cache-line bound"))]
+    fn oversized_fill_lengths_are_flagged_not_laundered() {
         let mut s = HierarchyStats::default();
-        s.record_fill(100);
-        assert_eq!(s.coalesce_hist[7], 1);
+        s.record_fill(100); // panics in debug builds
+        // Release builds: counted as overflow, never folded into the
+        // histogram where it would inflate avg_coalescing.
+        assert_eq!(s.coalesce_overflow, 1);
+        assert_eq!(s.coalesce_hist[7], 0);
+        assert_eq!(s.avg_coalescing(), 0.0);
     }
 
     #[test]

@@ -6,8 +6,23 @@
 # committed results/BENCH_sweep.json baseline and fails on a >20% drop.
 # Set COLT_SKIP_PERF_CHECK=1 to skip the gate (e.g. on heavily loaded or
 # much slower machines); the build and tests still run.
+#
+# With --check, a differential-oracle fuzz stage runs after the perf
+# gate: `repro --check` interleaves kernel events (compaction, THP
+# split/puncture, munmap, reclaim, context switches) with translation
+# streams across every TLB configuration and fails on any stale-entry
+# or coalescing-invariant violation. Fixed seed budget, deterministic
+# at any --jobs width.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_CHECK=0
+for arg in "$@"; do
+    case "$arg" in
+        --check) RUN_CHECK=1 ;;
+        *) echo "usage: verify.sh [--check]" >&2; exit 2 ;;
+    esac
+done
 
 SWEEP_ARGS=(--quick --bench Gobmk,Bzip2 --jobs "$(nproc)" fig18 fig7-9)
 BASELINE=results/BENCH_sweep.json
@@ -39,6 +54,11 @@ elif awk -v c="$current_rps" -v b="$baseline_rps" 'BEGIN { exit !(c >= 0.8 * b) 
 else
     echo "FAIL: quick sweep regressed >20% vs baseline ($current_rps < 0.8 * $baseline_rps)" >&2
     exit 1
+fi
+
+if [[ "$RUN_CHECK" == "1" ]]; then
+    echo "== oracle + invariant fuzz: repro --check =="
+    ./target/release/repro --check --seeds 6 --events 160 --jobs "$(nproc)"
 fi
 
 echo "verify.sh: all checks passed"
