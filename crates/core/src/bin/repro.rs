@@ -22,7 +22,10 @@
 //!   grid          contiguity across all twelve sec 5.1.1 configurations
 //!   noise         seed-sensitivity of the headline averages
 //!   multiprog     extension: two benchmarks sharing one machine
-//!   all           everything above
+//!   smp_mix       extension: N-core mixes, tagged vs untagged, IPIs
+//!   smp_scaling   extension: one mix swept over core counts
+//!   all           every single-core experiment above (the smp_*
+//!                 extensions run when named; use --cores N for width)
 //! ```
 //!
 //! `--check` runs the differential translation oracle + coalescing
@@ -33,33 +36,66 @@
 use colt_core::experiments::{
     ablation, associativity, context_switch, contiguity, grid, index_shift,
     memhog_load, miss_elimination, multiprog, noise, performance, related_work,
-    summary, table1, virtualization, ExperimentOptions, ExperimentOutput,
+    smp, summary, table1, virtualization, ExperimentOptions, ExperimentOutput,
 };
 use colt_core::report::Table;
 use colt_core::runner::{self, CellMetric};
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Every experiment name `repro` accepts (besides the `all` alias).
+const EXPERIMENTS: [&str; 19] = [
+    "table1", "fig7-9", "fig10-12", "fig13-15", "fig16-17", "fig18", "fig19",
+    "fig20", "fig21", "ablation", "virt", "related", "ctxswitch", "summary",
+    "grid", "noise", "multiprog", "smp_mix", "smp_scaling",
+];
+
+/// The `all` alias: the single-core paper set (the `smp_*` extensions
+/// run only when named, so default outputs stay identical to the
+/// single-core reproduction).
+const ALL: [&str; 17] = [
+    "table1", "fig7-9", "fig10-12", "fig13-15", "fig16-17", "fig18", "fig19",
+    "fig20", "fig21", "ablation", "virt", "related", "ctxswitch", "summary",
+    "grid", "noise", "multiprog",
+];
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--csv] [--bars] <experiment>...\n\
-         \u{20}      repro --check [--seeds N] [--events N] [--jobs N]\n\
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--csv] [--bars] <experiment>...\n\
+         \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N]\n\
          --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
          \u{20}           then the machine's available parallelism); results are\n\
          \u{20}           identical at any value\n\
+         --cores N  simulated cores for the smp_* experiments and the\n\
+         \u{20}           cross-core --check oracle (default 1)\n\
          --check    fuzz every TLB configuration against the translation\n\
          \u{20}           oracle + coalescing invariant checker; exits nonzero\n\
          \u{20}           on any violation (--seeds, default 4; --events per\n\
-         \u{20}           case, default 160)\n\
-         experiments: table1 fig7-9 fig10-12 fig13-15 fig16-17 fig18 fig19 fig20 fig21 ablation virt related ctxswitch summary grid noise multiprog all"
+         \u{20}           case, default 160); with --cores > 1 the cross-core\n\
+         \u{20}           SMP oracle runs too\n\
+         experiments: {} all",
+        EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Clamps a zero flag value to 1, telling the user instead of silently
+/// rewriting what they asked for.
+fn clamp_flag(flag: &str, n: u64) -> u64 {
+    if n == 0 {
+        eprintln!("warning: {flag} 0 is meaningless; clamping to {flag} 1");
+        1
+    } else {
+        n
+    }
 }
 
 fn main() -> ExitCode {
     let mut opts = ExperimentOptions::default();
     if let Ok(jobs) = std::env::var("COLT_JOBS") {
-        opts.jobs = jobs.parse::<usize>().map_or(opts.jobs, |j| j.max(1));
+        opts.jobs = jobs
+            .parse::<u64>()
+            .map_or(opts.jobs, |j| clamp_flag("COLT_JOBS", j) as usize);
     }
     let mut csv = false;
     let mut bars = false;
@@ -75,11 +111,13 @@ fn main() -> ExitCode {
             "--check" => check = true,
             "--seeds" => {
                 let n = args.next().unwrap_or_else(|| usage());
-                seeds = n.parse::<u64>().unwrap_or_else(|_| usage()).max(1);
+                seeds = clamp_flag("--seeds", n.parse::<u64>().unwrap_or_else(|_| usage()));
             }
             "--events" => {
                 let n = args.next().unwrap_or_else(|| usage());
-                events_per_case = n.parse::<usize>().unwrap_or_else(|_| usage()).max(1);
+                events_per_case =
+                    clamp_flag("--events", n.parse::<u64>().unwrap_or_else(|_| usage()))
+                        as usize;
             }
             "--accesses" => {
                 let n = args.next().unwrap_or_else(|| usage());
@@ -92,7 +130,13 @@ fn main() -> ExitCode {
             }
             "--jobs" => {
                 let n = args.next().unwrap_or_else(|| usage());
-                opts.jobs = n.parse::<usize>().unwrap_or_else(|_| usage()).max(1);
+                opts.jobs =
+                    clamp_flag("--jobs", n.parse::<u64>().unwrap_or_else(|_| usage())) as usize;
+            }
+            "--cores" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.cores =
+                    clamp_flag("--cores", n.parse::<u64>().unwrap_or_else(|_| usage())) as usize;
             }
             "--csv" => csv = true,
             "--bars" => bars = true,
@@ -106,23 +150,40 @@ fn main() -> ExitCode {
             eprintln!("--check runs instead of experiments; drop '{}'", experiments[0]);
             return ExitCode::from(2);
         }
-        return run_check_mode(seeds, events_per_case, opts.jobs);
+        if csv || bars {
+            eprintln!(
+                "--check produces a pass/fail report, not tables; drop {}",
+                if csv { "--csv" } else { "--bars" }
+            );
+            return ExitCode::from(2);
+        }
+        return run_check_mode(seeds, events_per_case, opts.jobs, opts.cores);
     }
     if experiments.is_empty() {
         usage();
     }
-    if experiments.iter().any(|e| e == "all") {
-        experiments = [
-            "table1", "fig7-9", "fig10-12", "fig13-15", "fig16-17", "fig18", "fig19",
-            "fig20", "fig21", "ablation", "virt", "related", "ctxswitch", "summary", "grid", "noise", "multiprog",
-        ]
+    // Validate every name before running anything, so a typo at the end
+    // of the list fails fast instead of after minutes of simulation.
+    let unknown: Vec<&str> = experiments
         .iter()
-        .map(|s| s.to_string())
+        .map(String::as_str)
+        .filter(|e| *e != "all" && !EXPERIMENTS.contains(e))
         .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment(s): {}\nvalid experiments: {} all",
+            unknown.join(", "),
+            EXPERIMENTS.join(" ")
+        );
+        return ExitCode::from(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ALL.iter().map(|s| s.to_string()).collect();
     }
 
     let _ = runner::take_metrics();
     let wall_start = Instant::now();
+    let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
     for exp in &experiments {
         let output: ExperimentOutput = match exp.as_str() {
             "table1" => table1::run(&opts).1,
@@ -144,10 +205,17 @@ fn main() -> ExitCode {
             "grid" => grid::run(&opts).1,
             "noise" => noise::run(&opts).1,
             "multiprog" => multiprog::run(&opts).1,
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                return ExitCode::from(2);
+            "smp_mix" => {
+                let (rows, out) = smp::run_mix(&opts);
+                smp_rows.extend(rows);
+                out
             }
+            "smp_scaling" => {
+                let (rows, out) = smp::run_scaling(&opts);
+                smp_rows.extend(rows);
+                out
+            }
+            other => unreachable!("experiment '{other}' passed validation"),
         };
         if csv {
             for table in &output.tables {
@@ -186,17 +254,34 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("warning: could not write results/BENCH_sweep.json: {e}"),
         }
     }
+    if !smp_rows.is_empty() {
+        let json = smp_json(&smp_rows, opts.cores);
+        match write_smp_json(&json) {
+            Ok(path) => {
+                if !csv {
+                    println!("SMP details written to {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not write results/BENCH_smp.json: {e}"),
+        }
+    }
     ExitCode::SUCCESS
 }
 
-/// Runs the oracle/invariant fuzzer across every TLB configuration.
-/// Drains the sweep runner's metrics without writing
-/// `results/BENCH_sweep.json` so a `--check` run never perturbs the
-/// performance baseline that `scripts/verify.sh` gates on.
-fn run_check_mode(seeds: u64, events_per_case: usize, jobs: usize) -> ExitCode {
+/// Runs the oracle/invariant fuzzer across every TLB configuration,
+/// plus the cross-core SMP oracle when `cores > 1`. Drains the sweep
+/// runner's metrics without writing `results/BENCH_sweep.json` so a
+/// `--check` run never perturbs the performance baseline that
+/// `scripts/verify.sh` gates on.
+fn run_check_mode(seeds: u64, events_per_case: usize, jobs: usize, cores: usize) -> ExitCode {
     let _ = runner::take_metrics();
     let wall_start = Instant::now();
-    let report = colt_core::check::run_check(seeds, events_per_case, jobs);
+    let mut report = colt_core::check::run_check(seeds, events_per_case, jobs);
+    if cores > 1 {
+        let smp_report = colt_core::check::run_smp_check(cores, seeds, jobs);
+        report.translations += smp_report.translations;
+        report.cases.extend(smp_report.cases);
+    }
     let _ = runner::take_metrics();
     let wall = wall_start.elapsed().as_secs_f64();
 
@@ -342,6 +427,47 @@ fn write_sweep_json(json: &str) -> std::io::Result<String> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join("BENCH_sweep.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+/// Machine-readable SMP report: one record per (mix, mode, cores) row
+/// of the `smp_*` experiments.
+fn smp_json(rows: &[colt_core::experiments::smp::SmpRow], cores_flag: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cores_flag\": {cores_flag},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"mix\": \"{}\", \"mode\": \"{}\", \
+             \"cores\": {}, \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \
+             \"full_flushes\": {}, \"flushes_avoided\": {}, \"ipis_sent\": {}, \
+             \"ipis_received\": {}, \"remote_invalidations\": {}, \
+             \"ipi_cycles\": {}}}{}\n",
+            json_escape(r.experiment),
+            json_escape(&r.mix),
+            json_escape(r.mode),
+            r.cores,
+            r.accesses,
+            r.l1_misses,
+            r.walks,
+            r.full_flushes,
+            r.flushes_avoided,
+            r.ipis_sent,
+            r.ipis_received,
+            r.remote_invalidations,
+            r.ipi_cycles,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_smp_json(json: &str) -> std::io::Result<String> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_smp.json");
     std::fs::write(&path, json)?;
     Ok(path.display().to_string())
 }

@@ -29,6 +29,7 @@
 //! simulation loop's oracle costs one predictable branch per hit when
 //! disabled.
 
+use crate::experiments::smp::MIX_LIGHT;
 use crate::runner::{self, SweepTask};
 use colt_memsim::hierarchy::CacheHierarchy;
 use colt_memsim::walker::{PageWalker, WalkedLeaf};
@@ -38,9 +39,12 @@ use colt_os_mem::page_table::{PageTable, PteFlags};
 use colt_prng::rngs::SmallRng;
 use colt_prng::{Rng, SeedableRng};
 use colt_quickprop::{fnv1a, shrink_list};
+use colt_smp::{SmpConfig, SmpMachine};
 use colt_tlb::config::TlbConfig;
 use colt_tlb::entry::{CoalescedRun, RangeKind, MAX_RANGE_LEN};
 use colt_tlb::hierarchy::{TlbHierarchy, WalkFill};
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::benchmark;
 use std::fmt;
 
 /// One detected inconsistency between TLB state and ground truth, or a
@@ -330,6 +334,139 @@ fn check_hierarchy_into(tlb: &TlbHierarchy, pt: &PageTable, out: &mut Vec<Violat
     if overflow != 0 {
         out.push(Violation::OverflowedFills { count: overflow });
     }
+}
+
+/// Cross-core oracle: validates every entry resident in one core's TLB
+/// hierarchy against the page table of the process that *owns* the
+/// entry. In tagged mode the owner is the entry's own ASID tag (one
+/// hierarchy legitimately mixes several address spaces); untagged cores
+/// flush everything at context switches, so all entries belong to the
+/// currently running process. Structural invariants (run shapes, group
+/// crossings, arithmetic) are checked either way; coverage conflicts
+/// are checked per owner, since entries of different address spaces may
+/// legally cover one VPN with different frames — tagged lookups filter
+/// by ASID.
+pub fn check_core_hierarchy(
+    tlb: &TlbHierarchy,
+    kernel: &Kernel,
+    running: Option<Asid>,
+    out: &mut Vec<Violation>,
+) {
+    let tagged = tlb.config().asid_tagged;
+    let ignore = tlb.config().coalesce_ignore_flags;
+    let shift = tlb.l1().shift();
+    let mut runs: Vec<(&'static str, Asid, CoalescedRun, Option<RangeKind>)> = Vec::new();
+    for e in tlb.l1().iter() {
+        runs.push(("L1", e.asid(), e.run(), None));
+    }
+    for e in tlb.l2().iter() {
+        runs.push(("L2", e.asid(), e.run(), None));
+    }
+    for e in tlb.sp().iter() {
+        runs.push(("SP", e.asid(), e.run(), Some(e.kind())));
+    }
+    for (structure, tag, run, kind) in &runs {
+        match kind {
+            None => check_sa_shape(structure, run, shift, out),
+            Some(k) => check_fa_shape(run, *k, tlb.config(), out),
+        }
+        check_arithmetic(structure, run, out);
+        let owner = if tagged { Some(*tag) } else { running };
+        let Some(owner) = owner else { continue };
+        match kernel.process(owner) {
+            Ok(p) => oracle_scan(structure, run, p.page_table(), ignore, out),
+            Err(_) => out.push(Violation::OracleMismatch {
+                structure,
+                vpn: run.start_vpn,
+                cached: run.base_pfn,
+                live: None,
+            }),
+        }
+    }
+    for structure in ["L1", "L2", "SP"] {
+        let mut owners: Vec<Asid> = runs
+            .iter()
+            .filter(|(s, ..)| *s == structure)
+            .map(|(_, tag, ..)| *tag)
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+        for owner in owners {
+            let subset: Vec<CoalescedRun> = runs
+                .iter()
+                .filter(|(s, tag, ..)| *s == structure && *tag == owner)
+                .map(|(.., run, _)| *run)
+                .collect();
+            coverage_conflicts(structure, &subset, out);
+        }
+    }
+    let overflow = tlb.stats().coalesce_overflow;
+    if overflow != 0 {
+        out.push(Violation::OverflowedFills { count: overflow });
+    }
+}
+
+/// Cross-core differential check: an eight-benchmark mix co-scheduled
+/// over `cores` cores runs under periodic kernel churn with shootdown
+/// broadcast; after every chunk of lockstep steps, every core's
+/// resident entries are validated against the owning process's live
+/// page table via [`check_core_hierarchy`]. Covers untagged CoLT-All
+/// (flush-at-switch), tagged CoLT-All, and a tagged baseline TLB.
+pub fn run_smp_check(cores: usize, seeds: u64, jobs: usize) -> CheckReport {
+    let cores = cores.max(2);
+    let mut tasks: Vec<SweepTask<CaseReport>> = Vec::new();
+    for seed in 0..seeds {
+        for (cname, tlb_cfg) in [
+            ("untagged-all", TlbConfig::colt_all()),
+            ("tagged-all", TlbConfig::colt_all().with_asid_tagging()),
+            ("tagged-base", TlbConfig::baseline().with_asid_tagging()),
+        ] {
+            let label = format!("smpcheck/{cname}/{cores}c/seed{seed}");
+            let case_seed = fnv1a(&label) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let task_label = label.clone();
+            tasks.push(SweepTask::new(task_label, 0, move || {
+                let specs: Vec<_> = MIX_LIGHT
+                    .iter()
+                    .map(|n| benchmark(n).expect("Table-1 benchmark"))
+                    .collect();
+                let multi = Scenario::default_linux()
+                    .with_seed(case_seed)
+                    .prepare_many(&specs)
+                    .unwrap_or_else(|e| panic!("prepare_many(smpcheck): {e}"));
+                let cfg = SmpConfig::new(cores, tlb_cfg)
+                    .with_quantum(400)
+                    .with_churn_period(Some(271));
+                let mut machine = SmpMachine::new(multi, cfg, case_seed);
+                let mut violations = Vec::new();
+                for _ in 0..24 {
+                    machine.run(300);
+                    for c in 0..machine.cores() {
+                        check_core_hierarchy(
+                            machine.core_tlb(c),
+                            machine.kernel(),
+                            machine.running_asid(c),
+                            &mut violations,
+                        );
+                    }
+                    if !violations.is_empty() {
+                        break;
+                    }
+                }
+                let translations =
+                    machine.result().aggregate().counters.accesses;
+                CaseReport {
+                    label,
+                    seed: case_seed,
+                    violations,
+                    minimized: Vec::new(),
+                    translations,
+                }
+            }));
+        }
+    }
+    let cases = runner::run_tasks(tasks, jobs);
+    let translations = cases.iter().map(|c| c.translations).sum();
+    CheckReport { cases, translations }
 }
 
 /// One step of the fuzzed interleaving. Every variant carries its own

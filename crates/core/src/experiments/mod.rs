@@ -18,6 +18,7 @@
 //! | [`grid`] | all twelve §5.1.1 kernel configurations |
 //! | [`noise`] | seed-sensitivity of the headline averages |
 //! | [`multiprog`] | extension: two benchmarks sharing one machine |
+//! | [`smp`] | extension: N-core mixes, ASID tagging, shootdown IPIs |
 //!
 //! Every driver returns structured rows plus [`Table`]s whose columns
 //! include the paper's published values next to the measured ones, so
@@ -35,6 +36,7 @@ pub mod multiprog;
 pub mod noise;
 pub mod performance;
 pub mod related_work;
+pub mod smp;
 pub mod summary;
 pub mod table1;
 pub mod virtualization;
@@ -54,6 +56,10 @@ pub struct ExperimentOptions {
     /// Worker threads for the sweep runner. Results are deterministic
     /// regardless of this value; it only changes wall-clock time.
     pub jobs: usize,
+    /// Simulated cores for the `smp_*` experiments (ignored by the
+    /// single-core paper experiments). 1 keeps every existing headline
+    /// table untouched.
+    pub cores: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -63,6 +69,7 @@ impl Default for ExperimentOptions {
             benchmarks: None,
             seed: 0x5EED,
             jobs: default_jobs(),
+            cores: 1,
         }
     }
 }

@@ -395,28 +395,11 @@ pub fn run_multiprogrammed(
 }
 
 fn diff_tlb(after: HierarchyStats, before: HierarchyStats) -> HierarchyStats {
-    let mut d = after;
-    d.accesses -= before.accesses;
-    d.l1_hits -= before.l1_hits;
-    d.l1_misses -= before.l1_misses;
-    d.l2_hits -= before.l2_hits;
-    d.l2_misses -= before.l2_misses;
-    d.fills -= before.fills;
-    d.superpage_fills -= before.superpage_fills;
-    d.pb_hits -= before.pb_hits;
-    d.coalesce_overflow -= before.coalesce_overflow;
-    for i in 0..d.coalesce_hist.len() {
-        d.coalesce_hist[i] -= before.coalesce_hist[i];
-    }
-    d
+    after.since(&before)
 }
 
 fn diff_walker(after: WalkerStats, before: WalkerStats) -> WalkerStats {
-    WalkerStats {
-        walks: after.walks - before.walks,
-        total_latency: after.total_latency - before.total_latency,
-        faults: after.faults - before.faults,
-    }
+    after.since(&before)
 }
 
 #[cfg(test)]

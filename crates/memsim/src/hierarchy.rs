@@ -6,6 +6,15 @@ use crate::cache::{Cache, CacheStats};
 use crate::latency::LatencyModel;
 use colt_os_mem::addr::PhysAddr;
 
+/// Where page-table-entry fetches land during a walk. The walker is
+/// generic over this so the same walk logic runs against a single-core
+/// [`CacheHierarchy`] (PTEs go to its private LLC) or, in the SMP model,
+/// against the one [`SharedLlc`] all cores' walkers contend on.
+pub trait PteFetch {
+    /// Fetches one page-table entry, returning the latency in cycles.
+    fn access_pte(&mut self, addr: PhysAddr) -> u64;
+}
+
 /// The simulated cache hierarchy.
 ///
 /// ```
@@ -100,6 +109,117 @@ impl CacheHierarchy {
 impl Default for CacheHierarchy {
     fn default() -> Self {
         Self::core_i7()
+    }
+}
+
+impl PteFetch for CacheHierarchy {
+    fn access_pte(&mut self, addr: PhysAddr) -> u64 {
+        CacheHierarchy::access_pte(self, addr)
+    }
+}
+
+/// The last-level cache all cores of an SMP machine share. PTE fetches
+/// (from every core's walker) and private-cache misses both land here,
+/// so one core's walk traffic warms — or thrashes — the LLC the others
+/// see, which is exactly the contention the multiprogrammed experiments
+/// measure. The SMP simulator is single-threaded, so plain `&mut`
+/// sharing suffices.
+#[derive(Clone, Debug)]
+pub struct SharedLlc {
+    llc: Cache,
+    latency: LatencyModel,
+}
+
+impl SharedLlc {
+    /// Builds a shared LLC with an explicit `(size_bytes, ways)`
+    /// geometry.
+    pub fn new(llc: (usize, usize), latency: LatencyModel) -> Self {
+        Self { llc: Cache::new(llc.0, llc.1), latency }
+    }
+
+    /// The paper's 4MB/16-way LLC, shared instead of private.
+    pub fn core_i7() -> Self {
+        Self::new((4 * 1024 * 1024, 16), LatencyModel::default())
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// LLC counters (data + PTE traffic from all cores).
+    pub fn stats(&self) -> CacheStats {
+        self.llc.stats()
+    }
+
+    /// Flushes the LLC.
+    pub fn flush(&mut self) {
+        self.llc.flush();
+    }
+}
+
+impl PteFetch for SharedLlc {
+    fn access_pte(&mut self, addr: PhysAddr) -> u64 {
+        let hit = self.llc.access(addr);
+        self.latency.pte_fetch(hit)
+    }
+}
+
+/// One core's private L1/L2 data caches, backed by a [`SharedLlc`].
+#[derive(Clone, Debug)]
+pub struct PrivateCaches {
+    l1: Cache,
+    l2: Cache,
+    latency: LatencyModel,
+}
+
+impl PrivateCaches {
+    /// Builds private caches with explicit `(size_bytes, ways)`
+    /// geometries per level.
+    pub fn new(l1: (usize, usize), l2: (usize, usize), latency: LatencyModel) -> Self {
+        Self { l1: Cache::new(l1.0, l1.1), l2: Cache::new(l2.0, l2.1), latency }
+    }
+
+    /// The paper's per-core levels: 32KB/8-way L1, 256KB/8-way L2.
+    pub fn core_i7() -> Self {
+        Self::new((32 * 1024, 8), (256 * 1024, 8), LatencyModel::default())
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// A data access: probes the private L1 → L2, then the shared LLC,
+    /// filling all levels on the way back. Returns the latency in
+    /// cycles.
+    pub fn access_data(&mut self, addr: PhysAddr, llc: &mut SharedLlc) -> u64 {
+        if self.l1.access(addr) {
+            return self.latency.data_hit_at(1);
+        }
+        if self.l2.access(addr) {
+            return self.latency.data_hit_at(2);
+        }
+        if llc.llc.access(addr) {
+            return self.latency.data_hit_at(3);
+        }
+        self.latency.data_hit_at(4)
+    }
+
+    /// Private L1 counters.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// Private L2 counters.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Flushes both private levels.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
     }
 }
 

@@ -28,7 +28,7 @@ pub mod mmu_cache;
 pub mod walker;
 
 pub use cache::Cache;
-pub use hierarchy::CacheHierarchy;
+pub use hierarchy::{CacheHierarchy, PrivateCaches, PteFetch, SharedLlc};
 pub use latency::LatencyModel;
 pub use mmu_cache::MmuCache;
 pub use walker::{PageWalker, WalkOutcome, WalkedLeaf};

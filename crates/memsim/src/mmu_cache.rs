@@ -7,7 +7,7 @@
 //! lets the walker skip every level above it; the leaf PTE must always be
 //! fetched from the memory hierarchy.
 
-use colt_os_mem::addr::PhysAddr;
+use colt_os_mem::addr::{Asid, PhysAddr};
 
 /// Hit/miss counters for the MMU cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -30,7 +30,7 @@ pub struct MmuCacheStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MmuCache {
-    entries: Vec<u64>, // entry addresses, MRU first
+    entries: Vec<(Asid, u64)>, // (tag, entry address), MRU first
     capacity: usize,
     stats: MmuCacheStats,
 }
@@ -55,17 +55,31 @@ impl MmuCache {
         self.stats
     }
 
-    /// Checks membership without LRU update.
+    /// Checks membership without LRU update. Untagged entry point:
+    /// checks the shared ASID-0 tag all entries carry outside SMP tagged
+    /// mode.
     pub fn contains(&self, addr: PhysAddr) -> bool {
-        self.entries.contains(&addr.raw())
+        self.contains_tagged(addr, Asid(0))
+    }
+
+    /// Checks membership of `(asid, addr)` without LRU update. Entry
+    /// addresses alias across processes (each page table numbers its
+    /// nodes independently), so the tag is part of the key.
+    pub fn contains_tagged(&self, addr: PhysAddr, asid: Asid) -> bool {
+        self.entries.contains(&(asid, addr.raw()))
     }
 
     /// Looks up an entry address, promoting it on hit and counting the
     /// outcome.
     pub fn lookup(&mut self, addr: PhysAddr) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&a| a == addr.raw()) {
-            let a = self.entries.remove(pos);
-            self.entries.insert(0, a);
+        self.lookup_tagged(addr, Asid(0))
+    }
+
+    /// Tagged lookup: only `(asid, addr)` can hit.
+    pub fn lookup_tagged(&mut self, addr: PhysAddr, asid: Asid) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == (asid, addr.raw())) {
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
             self.stats.level_hits += 1;
             true
         } else {
@@ -76,15 +90,20 @@ impl MmuCache {
 
     /// Inserts an entry address (no-op if already resident; promotes it).
     pub fn insert(&mut self, addr: PhysAddr) {
-        if let Some(pos) = self.entries.iter().position(|&a| a == addr.raw()) {
-            let a = self.entries.remove(pos);
-            self.entries.insert(0, a);
+        self.insert_tagged(addr, Asid(0));
+    }
+
+    /// Tagged insert: the entry is keyed `(asid, addr)`.
+    pub fn insert_tagged(&mut self, addr: PhysAddr, asid: Asid) {
+        if let Some(pos) = self.entries.iter().position(|&e| e == (asid, addr.raw())) {
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
             return;
         }
         if self.entries.len() == self.capacity {
             self.entries.pop();
         }
-        self.entries.insert(0, addr.raw());
+        self.entries.insert(0, (asid, addr.raw()));
     }
 
     /// Removes one entry address if resident (the per-entry half of an
@@ -92,12 +111,27 @@ impl MmuCache {
     /// a mutated walk path used, instead of flushing the whole cache).
     /// Returns whether the address was present.
     pub fn invalidate_addr(&mut self, addr: PhysAddr) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&a| a == addr.raw()) {
+        self.invalidate_addr_tagged(addr, Asid(0))
+    }
+
+    /// Tagged invalidation: removes `(asid, addr)` if resident. A
+    /// shootdown for one address space must not clip another space's
+    /// aliasing entry.
+    pub fn invalidate_addr_tagged(&mut self, addr: PhysAddr, asid: Asid) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == (asid, addr.raw())) {
             self.entries.remove(pos);
             true
         } else {
             false
         }
+    }
+
+    /// Removes every entry tagged `asid` (process exit / ASID
+    /// recycling). Returns the number removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|&(a, _)| a != asid);
+        before - self.entries.len()
     }
 
     /// Empties the cache.

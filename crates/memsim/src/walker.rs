@@ -7,9 +7,9 @@
 //! so CoLT's coalescing logic can inspect it without further memory
 //! references (§4.1.4).
 
-use crate::hierarchy::CacheHierarchy;
+use crate::hierarchy::PteFetch;
 use crate::mmu_cache::{MmuCache, MmuCacheStats};
-use colt_os_mem::addr::{Pfn, PhysAddr, Vpn};
+use colt_os_mem::addr::{Asid, Pfn, PhysAddr, Vpn};
 use colt_os_mem::page_table::{PageKind, PageTable, PteFlags, PteLine, Translation};
 
 /// The leaf a walk resolved to, in the form the TLB fill path needs.
@@ -53,6 +53,28 @@ pub struct WalkerStats {
     pub total_latency: u64,
     /// Walks that faulted (unmapped page).
     pub faults: u64,
+}
+
+impl WalkerStats {
+    /// Counter-wise difference `self - before` (measurement windows).
+    #[must_use]
+    pub fn since(&self, before: &Self) -> Self {
+        Self {
+            walks: self.walks - before.walks,
+            total_latency: self.total_latency - before.total_latency,
+            faults: self.faults - before.faults,
+        }
+    }
+
+    /// Counter-wise sum (aggregating per-core walkers).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            walks: self.walks + other.walks,
+            total_latency: self.total_latency + other.total_latency,
+            faults: self.faults + other.faults,
+        }
+    }
 }
 
 /// Whether walks run natively or under nested paging (virtualization).
@@ -103,6 +125,10 @@ pub struct PageWalker {
     /// walks skip levels (a nested-TLB/paging-structure cache).
     host_mmu_cache: MmuCache,
     stats: WalkerStats,
+    /// SMP tagged mode: MMU-cache entries carry the ASID they were
+    /// walked under, so a context switch retargets instead of flushing.
+    asid_tagged: bool,
+    current_asid: Asid,
 }
 
 impl PageWalker {
@@ -113,6 +139,8 @@ impl PageWalker {
             mode: WalkMode::Native,
             host_mmu_cache: MmuCache::new(mmu_entries),
             stats: WalkerStats::default(),
+            asid_tagged: false,
+            current_asid: Asid(0),
         }
     }
 
@@ -128,6 +156,33 @@ impl PageWalker {
         self
     }
 
+    /// Enables ASID tagging of the MMU page-walk cache (SMP extension):
+    /// entries are keyed `(asid, addr)` and a context switch becomes a
+    /// tag change instead of a flush. Entry addresses alias across
+    /// processes (each page table numbers nodes independently), so the
+    /// tag is part of the key, not just a filter.
+    #[must_use]
+    pub fn with_asid_tagging(mut self) -> Self {
+        self.asid_tagged = true;
+        self
+    }
+
+    /// Retargets MMU-cache lookups to `asid` (tagged mode; a no-op tag in
+    /// untagged mode where everything is keyed ASID 0).
+    pub fn set_current_asid(&mut self, asid: Asid) {
+        self.current_asid = asid;
+    }
+
+    /// The ASID walks currently run under.
+    pub fn current_asid(&self) -> Asid {
+        self.current_asid
+    }
+
+    /// The MMU-cache key tag in effect.
+    fn tag(&self) -> Asid {
+        if self.asid_tagged { self.current_asid } else { Asid(0) }
+    }
+
     /// The walk mode in effect.
     pub fn mode(&self) -> WalkMode {
         self.mode
@@ -140,7 +195,7 @@ impl PageWalker {
     fn charge_host_walk(
         &mut self,
         guest_phys: PhysAddr,
-        caches: &mut CacheHierarchy,
+        caches: &mut impl PteFetch,
     ) -> (u64, u64) {
         // Host PT entry address for each level: a radix over the
         // guest-physical page number, so nearby guest addresses share
@@ -185,13 +240,16 @@ impl PageWalker {
     }
 
     /// Walks `vpn` through `page_table`, charging PTE fetches to
-    /// `caches`. Returns `None` on a page fault (unmapped address).
+    /// `caches` — a private [`crate::hierarchy::CacheHierarchy`] on a
+    /// single core, the machine-wide [`crate::hierarchy::SharedLlc`]
+    /// under SMP. Returns `None` on a page fault (unmapped address).
     pub fn walk(
         &mut self,
         page_table: &PageTable,
         vpn: Vpn,
-        caches: &mut CacheHierarchy,
+        caches: &mut impl PteFetch,
     ) -> Option<WalkOutcome> {
+        let tag = self.tag();
         self.stats.walks += 1;
         let Some(path) = page_table.walk(vpn) else {
             self.stats.faults += 1;
@@ -206,7 +264,7 @@ impl PageWalker {
         // deeper = closer to the leaf.)
         let mut start = 0usize;
         for i in (0..levels - 1).rev() {
-            if self.mmu_cache.lookup(path.entry_addrs[i]) {
+            if self.mmu_cache.lookup_tagged(path.entry_addrs[i], tag) {
                 start = i + 1;
                 break;
             }
@@ -224,7 +282,7 @@ impl PageWalker {
             latency += caches.access_pte(addr);
             memory_accesses += 1;
             if i < levels - 1 {
-                self.mmu_cache.insert(addr);
+                self.mmu_cache.insert_tagged(addr, tag);
             }
         }
         if self.mode == WalkMode::Nested {
@@ -266,9 +324,18 @@ impl PageWalker {
     ///
     /// Returns how many addresses were actually resident.
     pub fn invalidate_addrs(&mut self, addrs: &[PhysAddr]) -> usize {
+        let tag = self.tag();
+        self.invalidate_addrs_asid(addrs, tag)
+    }
+
+    /// ASID-directed shootdown (SMP tagged mode): drops the given entry
+    /// addresses from `asid`'s slice of the MMU cache only — an aliasing
+    /// entry another process walked must survive. Returns how many
+    /// addresses were resident.
+    pub fn invalidate_addrs_asid(&mut self, addrs: &[PhysAddr], asid: Asid) -> usize {
         addrs
             .iter()
-            .filter(|&&a| self.mmu_cache.invalidate_addr(a))
+            .filter(|&&a| self.mmu_cache.invalidate_addr_tagged(a, asid))
             .count()
     }
 
@@ -283,9 +350,16 @@ impl PageWalker {
         }
     }
 
-    /// Whether the guest MMU cache holds `addr` (checker visibility).
+    /// Whether the guest MMU cache holds `addr` under the ASID-0 tag
+    /// (checker visibility, untagged mode).
     pub fn mmu_contains(&self, addr: PhysAddr) -> bool {
         self.mmu_cache.contains(addr)
+    }
+
+    /// Whether the guest MMU cache holds `addr` under `asid`'s tag
+    /// (cross-core checker visibility in SMP tagged mode).
+    pub fn mmu_contains_asid(&self, addr: PhysAddr, asid: Asid) -> bool {
+        self.mmu_cache.contains_tagged(addr, asid)
     }
 
     /// Flushes the MMU caches (e.g. context switch).
@@ -293,11 +367,18 @@ impl PageWalker {
         self.mmu_cache.flush();
         self.host_mmu_cache.flush();
     }
+
+    /// Drops every guest MMU-cache entry tagged `asid` (process exit /
+    /// ASID recycling). Returns the number removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        self.mmu_cache.flush_asid(asid)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hierarchy::CacheHierarchy;
     use colt_os_mem::page_table::Pte;
 
     fn mapped_pt(n: u64) -> PageTable {

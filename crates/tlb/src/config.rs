@@ -79,6 +79,11 @@ pub struct TlbConfig {
     /// Optional sequential TLB prefetcher with a distinct buffer — the
     /// related-work baseline of §2.1 (disabled for all paper designs).
     pub prefetch: Option<PrefetchConfig>,
+    /// ASID-tag every entry so context switches only retarget lookups
+    /// instead of flushing (SMP extension; the paper's single-core
+    /// evaluation is untagged, so this defaults to off and all headline
+    /// results use full-flush semantics).
+    pub asid_tagged: bool,
 }
 
 impl TlbConfig {
@@ -100,6 +105,7 @@ impl TlbConfig {
             graceful_invalidation: false,
             coalesce_ignore_flags: PteFlags::empty(),
             prefetch: None,
+            asid_tagged: false,
         }
     }
 
@@ -170,6 +176,14 @@ impl TlbConfig {
     #[must_use]
     pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
         self.prefetch = Some(prefetch);
+        self
+    }
+
+    /// Enables ASID tagging (SMP extension): entries carry address-space
+    /// tags and a context switch becomes a tag change instead of a flush.
+    #[must_use]
+    pub fn with_asid_tagging(mut self) -> Self {
+        self.asid_tagged = true;
         self
     }
 

@@ -2,7 +2,7 @@
 //! bitmaps (CoLT-SA, paper §4.1.3 / Figure 4), and fully-associative
 //! range entries (CoLT-FA, §4.2.2 / Figure 5).
 
-use colt_os_mem::addr::{Pfn, Vpn, SUPERPAGE_PAGES};
+use colt_os_mem::addr::{Asid, Pfn, Vpn, SUPERPAGE_PAGES};
 use colt_os_mem::page_table::PteFlags;
 
 /// The maximum coalescing length a CoLT-FA range entry can record. The
@@ -168,20 +168,36 @@ impl CoalescedRun {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SaEntry {
     run: CoalescedRun,
+    asid: Asid,
 }
 
 impl SaEntry {
     /// Wraps a run, checking it fits a single `2^shift` index group.
+    /// The entry is untagged (ASID 0 — the shared global tag used when
+    /// the hierarchy runs in full-flush mode).
     ///
     /// # Panics
     /// Panics when the run crosses a group boundary — hardware could not
     /// represent it in one entry.
     pub fn new(run: CoalescedRun, shift: u32) -> Self {
+        Self::new_tagged(run, shift, Asid(0))
+    }
+
+    /// Wraps a run with an explicit ASID tag (SMP tagged mode).
+    ///
+    /// # Panics
+    /// Panics when the run crosses a group boundary.
+    pub fn new_tagged(run: CoalescedRun, shift: u32, asid: Asid) -> Self {
         assert!(
             run.fits_group(shift),
             "run {run:?} does not fit one 2^{shift} group"
         );
-        Self { run }
+        Self { run, asid }
+    }
+
+    /// The address-space tag (ASID 0 in untagged mode).
+    pub fn asid(&self) -> Asid {
+        self.asid
     }
 
     /// The underlying run.
@@ -239,28 +255,51 @@ pub enum RangeKind {
 pub struct RangeEntry {
     run: CoalescedRun,
     kind: RangeKind,
+    asid: Asid,
 }
 
 impl RangeEntry {
-    /// A coalesced range entry.
+    /// A coalesced range entry, untagged (ASID 0).
     ///
     /// # Panics
     /// Panics if the run exceeds [`MAX_RANGE_LEN`].
     pub fn coalesced(run: CoalescedRun) -> Self {
-        assert!(run.len <= MAX_RANGE_LEN, "range length field overflow");
-        Self { run, kind: RangeKind::Coalesced }
+        Self::coalesced_tagged(run, Asid(0))
     }
 
-    /// A superpage entry covering 512 aligned pages.
+    /// A coalesced range entry with an explicit ASID tag.
+    ///
+    /// # Panics
+    /// Panics if the run exceeds [`MAX_RANGE_LEN`].
+    pub fn coalesced_tagged(run: CoalescedRun, asid: Asid) -> Self {
+        assert!(run.len <= MAX_RANGE_LEN, "range length field overflow");
+        Self { run, kind: RangeKind::Coalesced, asid }
+    }
+
+    /// A superpage entry covering 512 aligned pages, untagged (ASID 0).
     ///
     /// # Panics
     /// Panics if `base_vpn` or `base_pfn` is not 512-page aligned.
     pub fn superpage(base_vpn: Vpn, base_pfn: Pfn, flags: PteFlags) -> Self {
+        Self::superpage_tagged(base_vpn, base_pfn, flags, Asid(0))
+    }
+
+    /// A superpage entry with an explicit ASID tag.
+    ///
+    /// # Panics
+    /// Panics if `base_vpn` or `base_pfn` is not 512-page aligned.
+    pub fn superpage_tagged(base_vpn: Vpn, base_pfn: Pfn, flags: PteFlags, asid: Asid) -> Self {
         assert!(base_vpn.is_aligned(9) && base_pfn.is_aligned(9), "superpage misaligned");
         Self {
             run: CoalescedRun::new(base_vpn, base_pfn, SUPERPAGE_PAGES, flags),
             kind: RangeKind::Superpage,
+            asid,
         }
+    }
+
+    /// The address-space tag (ASID 0 in untagged mode).
+    pub fn asid(&self) -> Asid {
+        self.asid
     }
 
     /// The covered run.
@@ -284,12 +323,13 @@ impl RangeEntry {
     }
 
     /// Attempts to merge a *coalesced* entry with another coalesced run
-    /// (superpage entries never merge).
+    /// (superpage entries never merge). The merged entry keeps this
+    /// entry's ASID tag; tagged containers only offer same-ASID runs.
     pub fn try_merge(&self, other: &CoalescedRun) -> Option<RangeEntry> {
         if self.kind != RangeKind::Coalesced {
             return None;
         }
-        self.run.try_union(other).map(RangeEntry::coalesced)
+        self.run.try_union(other).map(|u| RangeEntry::coalesced_tagged(u, self.asid))
     }
 }
 

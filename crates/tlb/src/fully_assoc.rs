@@ -8,7 +8,7 @@
 
 use crate::entry::{CoalescedRun, RangeEntry, RangeKind};
 use crate::replacement::ReplacementPolicy;
-use colt_os_mem::addr::{Pfn, Vpn};
+use colt_os_mem::addr::{Asid, Pfn, Vpn};
 use colt_os_mem::page_table::PteFlags;
 
 /// A hit in the fully-associative TLB.
@@ -98,7 +98,15 @@ impl FullyAssocTlb {
     /// stay at the head of the LRU list, which is what keeps them from
     /// being evicted by coalesced traffic (§4.2.1).
     pub fn lookup(&mut self, vpn: Vpn) -> Option<FaHit> {
-        if let Some(pos) = self.entries.iter().position(|e| e.lookup(vpn).is_some()) {
+        self.lookup_tagged(vpn, Asid(0))
+    }
+
+    /// ASID-selective lookup (SMP tagged mode): only entries tagged
+    /// `asid` can hit.
+    pub fn lookup_tagged(&mut self, vpn: Vpn, asid: Asid) -> Option<FaHit> {
+        if let Some(pos) =
+            self.entries.iter().position(|e| e.asid() == asid && e.lookup(vpn).is_some())
+        {
             let entry = self.entries.remove(pos);
             let hit = FaHit {
                 pfn: entry.lookup(vpn).expect("position found by lookup"),
@@ -114,9 +122,14 @@ impl FullyAssocTlb {
         None
     }
 
-    /// Checks for a hit without touching LRU or counters.
+    /// Checks for a hit without touching LRU or counters (any ASID).
     pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
         self.entries.iter().find_map(|e| e.lookup(vpn))
+    }
+
+    /// ASID-selective probe: no LRU or counter side effects.
+    pub fn probe_tagged(&self, vpn: Vpn, asid: Asid) -> Option<Pfn> {
+        self.entries.iter().filter(|e| e.asid() == asid).find_map(|e| e.lookup(vpn))
     }
 
     /// Inserts an entry, evicting the LRU entry when full. Returns the
@@ -145,10 +158,21 @@ impl FullyAssocTlb {
     /// superpage entries are still flushed whole (a 2MB invalidation is a
     /// 2MB invalidation). Returns the number of entries affected.
     pub fn invalidate_graceful(&mut self, vpn: Vpn) -> usize {
+        self.invalidate_graceful_filtered(vpn, None)
+    }
+
+    /// Graceful invalidation restricted to entries tagged `asid`.
+    pub fn invalidate_graceful_asid(&mut self, vpn: Vpn, asid: Asid) -> usize {
+        self.invalidate_graceful_filtered(vpn, Some(asid))
+    }
+
+    fn invalidate_graceful_filtered(&mut self, vpn: Vpn, filter: Option<Asid>) -> usize {
         let mut affected = 0;
         let mut pos = 0;
         while pos < self.entries.len() {
-            if self.entries[pos].lookup(vpn).is_none() {
+            if filter.is_some_and(|a| self.entries[pos].asid() != a)
+                || self.entries[pos].lookup(vpn).is_none()
+            {
                 pos += 1;
                 continue;
             }
@@ -185,8 +209,10 @@ impl FullyAssocTlb {
                         }
                     }
                 }
-                self.entries
-                    .insert(insert_at.min(self.entries.len()), RangeEntry::coalesced(remnant));
+                self.entries.insert(
+                    insert_at.min(self.entries.len()),
+                    RangeEntry::coalesced_tagged(remnant, entry.asid()),
+                );
                 insert_at += 1;
             }
         }
@@ -202,25 +228,38 @@ impl FullyAssocTlb {
     ///
     /// Returns the evicted entry if insertion displaced one.
     pub fn insert_coalesced_with_merge(&mut self, run: CoalescedRun) -> Option<RangeEntry> {
+        self.insert_coalesced_with_merge_tagged(run, Asid(0))
+    }
+
+    /// Tagged variant of [`FullyAssocTlb::insert_coalesced_with_merge`]:
+    /// only same-ASID residents are merge candidates, and the final entry
+    /// carries the tag.
+    pub fn insert_coalesced_with_merge_tagged(
+        &mut self,
+        run: CoalescedRun,
+        asid: Asid,
+    ) -> Option<RangeEntry> {
         let mut acc = run;
         loop {
             let mut merged_any = false;
             let mut pos = 0;
             while pos < self.entries.len() {
-                if let Some(merged) = self.entries[pos].try_merge(&acc) {
-                    self.entries.remove(pos);
-                    acc = merged.run();
-                    self.stats.merges += 1;
-                    merged_any = true;
-                } else {
-                    pos += 1;
+                if self.entries[pos].asid() == asid {
+                    if let Some(merged) = self.entries[pos].try_merge(&acc) {
+                        self.entries.remove(pos);
+                        acc = merged.run();
+                        self.stats.merges += 1;
+                        merged_any = true;
+                        continue;
+                    }
                 }
+                pos += 1;
             }
             if !merged_any {
                 break;
             }
         }
-        self.insert(RangeEntry::coalesced(acc))
+        self.insert(RangeEntry::coalesced_tagged(acc, asid))
     }
 
     /// Invalidates every entry covering `vpn` (whole ranges are flushed,
@@ -233,10 +272,29 @@ impl FullyAssocTlb {
         removed
     }
 
+    /// Invalidates entries covering `vpn` that are tagged `asid` (remote
+    /// shootdown in SMP tagged mode). Returns the number removed.
+    pub fn invalidate_asid(&mut self, vpn: Vpn, asid: Asid) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.asid() != asid || e.lookup(vpn).is_none());
+        let removed = before - self.entries.len();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
     /// Flushes the whole TLB.
     pub fn flush(&mut self) {
         self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
+    }
+
+    /// Flushes only entries tagged `asid`. Returns the number removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.asid() != asid);
+        let removed = before - self.entries.len();
+        self.stats.invalidations += removed as u64;
+        removed
     }
 
     /// Live entry count.

@@ -16,7 +16,7 @@ use crate::fully_assoc::{FaStats, FullyAssocTlb};
 use crate::prefetch::PrefetchBuffer;
 use crate::set_assoc::{SaStats, SetAssocTlb};
 use crate::stats::HierarchyStats;
-use colt_os_mem::addr::{Pfn, Vpn};
+use colt_os_mem::addr::{Asid, Pfn, Vpn};
 use colt_os_mem::page_table::{PteFlags, PteLine};
 
 /// Where a lookup hit.
@@ -84,6 +84,7 @@ pub struct TlbHierarchy {
     sp: FullyAssocTlb,
     pb: Option<PrefetchBuffer>,
     stats: HierarchyStats,
+    current_asid: Asid,
 }
 
 impl TlbHierarchy {
@@ -98,8 +99,33 @@ impl TlbHierarchy {
             sp: FullyAssocTlb::new(config.sp_entries).with_policy(config.replacement),
             pb: config.prefetch.map(PrefetchBuffer::new),
             stats: HierarchyStats::default(),
+            current_asid: Asid(0),
             config,
         }
+    }
+
+    /// The tag applied to lookups and fills: the running ASID in tagged
+    /// mode, the shared global tag (ASID 0) otherwise.
+    fn tag(&self) -> Asid {
+        if self.config.asid_tagged { self.current_asid } else { Asid(0) }
+    }
+
+    /// Retargets the hierarchy to `asid` on a context switch (tagged
+    /// mode). Untagged hierarchies ignore the tag on lookup, so the
+    /// caller must keep flushing there; in tagged mode this replaces the
+    /// flush. The prefetch buffer is untagged and is drained on a switch.
+    pub fn set_current_asid(&mut self, asid: Asid) {
+        if self.config.asid_tagged && asid != self.current_asid {
+            if let Some(pb) = self.pb.as_mut() {
+                pb.flush();
+            }
+        }
+        self.current_asid = asid;
+    }
+
+    /// The ASID lookups currently translate for.
+    pub fn current_asid(&self) -> Asid {
+        self.current_asid
     }
 
     /// Drains queued prefetch requests (the caller performs background
@@ -165,10 +191,11 @@ impl TlbHierarchy {
     /// the caller must walk the page table and then call
     /// [`TlbHierarchy::fill`].
     pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit> {
+        let tag = self.tag();
         self.stats.accesses += 1;
         // L1 SA and superpage TLB are probed in parallel (§7.1.1).
-        let l1_hit = self.l1.lookup(vpn);
-        let sp_hit = self.sp.lookup(vpn);
+        let l1_hit = self.l1.lookup_tagged(vpn, tag);
+        let sp_hit = self.sp.lookup_tagged(vpn, tag);
         if let Some(h) = l1_hit {
             self.stats.l1_hits += 1;
             return Some(TlbHit { level: TlbLevel::L1, pfn: h.pfn });
@@ -178,21 +205,23 @@ impl TlbHierarchy {
             return Some(TlbHit { level: TlbLevel::L1, pfn: h.pfn });
         }
         // Prefetch buffer: probed alongside the L1 (separate structure,
-        // §2 related work); a hit promotes into the L1 proper.
+        // §2 related work); a hit promotes into the L1 proper. The buffer
+        // itself is untagged — it is flushed on ASID switches, so every
+        // resident translation belongs to the running address space.
         if let Some(pb) = self.pb.as_mut() {
             if let Some((pfn, flags)) = pb.lookup(vpn) {
                 self.stats.l1_hits += 1;
                 self.stats.pb_hits += 1;
-                self.l1.insert(CoalescedRun::single(vpn, pfn, flags));
+                self.l1.insert_tagged(CoalescedRun::single(vpn, pfn, flags), tag);
                 return Some(TlbHit { level: TlbLevel::L1, pfn });
             }
         }
         self.stats.l1_misses += 1;
-        if let Some(h) = self.l2.lookup(vpn) {
+        if let Some(h) = self.l2.lookup_tagged(vpn, tag) {
             self.stats.l2_hits += 1;
             // Refill L1 with the L1-group restriction of the hit entry.
             if let Some(restricted) = h.run.restrict_to_group(vpn, self.l1.shift()) {
-                self.l1.insert(restricted);
+                self.l1.insert_tagged(restricted, tag);
             }
             return Some(TlbHit { level: TlbLevel::L2, pfn: h.pfn });
         }
@@ -207,10 +236,11 @@ impl TlbHierarchy {
     /// and placement policy. Must be called with the same `vpn` that
     /// missed.
     pub fn fill(&mut self, vpn: Vpn, fill: &WalkFill) {
+        let tag = self.tag();
         match fill {
             WalkFill::Super { base_vpn, base_pfn, flags } => {
                 // Superpages go to the fully-associative TLB in every mode.
-                self.sp.insert(RangeEntry::superpage(*base_vpn, *base_pfn, *flags));
+                self.sp.insert(RangeEntry::superpage_tagged(*base_vpn, *base_pfn, *flags, tag));
                 self.stats.superpage_fills += 1;
                 self.stats.record_fill(1);
             }
@@ -226,8 +256,8 @@ impl TlbHierarchy {
                             .restrict_to_group(vpn, 0)
                             .expect("run contains the requested vpn");
                         self.stats.record_fill(1);
-                        self.l2.insert(single);
-                        self.l1.insert(single);
+                        self.l2.insert_tagged(single, tag);
+                        self.l1.insert_tagged(single, tag);
                     }
                     ColtMode::ColtSa => {
                         self.stats.record_fill(
@@ -238,11 +268,11 @@ impl TlbHierarchy {
                         let l2_run = run
                             .restrict_to_group(vpn, self.l2.shift())
                             .expect("run contains vpn");
-                        self.l2.insert(l2_run);
+                        self.l2.insert_tagged(l2_run, tag);
                         let l1_run = run
                             .restrict_to_group(vpn, self.l1.shift())
                             .expect("run contains vpn");
-                        self.l1.insert(l1_run);
+                        self.l1.insert_tagged(l1_run, tag);
                     }
                     ColtMode::ColtFa => {
                         self.stats.record_fill(run.len);
@@ -253,19 +283,19 @@ impl TlbHierarchy {
                             // evictions from the tiny FA structure do not
                             // lose it (§7.1.3).
                             if self.config.fa_resident_merge {
-                                self.sp.insert_coalesced_with_merge(run);
+                                self.sp.insert_coalesced_with_merge_tagged(run, tag);
                             } else {
-                                self.sp.insert(RangeEntry::coalesced(run));
+                                self.sp.insert(RangeEntry::coalesced_tagged(run, tag));
                             }
                             if self.config.fill_l2_on_fa {
                                 let single = run
                                     .restrict_to_group(vpn, 0)
                                     .expect("run contains vpn");
-                                self.l2.insert(single);
+                                self.l2.insert_tagged(single, tag);
                             }
                         } else {
-                            self.l2.insert(run);
-                            self.l1.insert(run);
+                            self.l2.insert_tagged(run, tag);
+                            self.l1.insert_tagged(run, tag);
                         }
                     }
                     ColtMode::ColtAll => {
@@ -276,16 +306,16 @@ impl TlbHierarchy {
                             let l2_run = run
                                 .restrict_to_group(vpn, self.l2.shift())
                                 .expect("run contains vpn");
-                            self.l2.insert(l2_run);
+                            self.l2.insert_tagged(l2_run, tag);
                             let l1_run = run
                                 .restrict_to_group(vpn, self.l1.shift())
                                 .expect("run contains vpn");
-                            self.l1.insert(l1_run);
+                            self.l1.insert_tagged(l1_run, tag);
                         } else {
                             if self.config.fa_resident_merge {
-                                self.sp.insert_coalesced_with_merge(run);
+                                self.sp.insert_coalesced_with_merge_tagged(run, tag);
                             } else {
-                                self.sp.insert(RangeEntry::coalesced(run));
+                                self.sp.insert(RangeEntry::coalesced_tagged(run, tag));
                             }
                             if self.config.fill_l2_on_fa {
                                 // Unlike CoLT-FA, bring as much of the run
@@ -294,7 +324,7 @@ impl TlbHierarchy {
                                 let l2_run = run
                                     .restrict_to_group(vpn, self.l2.shift())
                                     .expect("run contains vpn");
-                                self.l2.insert(l2_run);
+                                self.l2.insert_tagged(l2_run, tag);
                             }
                         }
                     }
@@ -318,6 +348,43 @@ impl TlbHierarchy {
         if let Some(pb) = self.pb.as_mut() {
             pb.invalidate(vpn);
         }
+    }
+
+    /// Invalidates entries covering `vpn` that are tagged `asid` — a
+    /// remote shootdown delivered to a core running a *different*
+    /// address space (SMP tagged mode). Graceful uncoalescing applies
+    /// per the configuration, exactly as for local invalidations.
+    pub fn invalidate_asid(&mut self, vpn: Vpn, asid: Asid) {
+        if self.config.graceful_invalidation {
+            self.l1.invalidate_graceful_asid(vpn, asid);
+            self.l2.invalidate_graceful_asid(vpn, asid);
+            self.sp.invalidate_graceful_asid(vpn, asid);
+        } else {
+            self.l1.invalidate_asid(vpn, asid);
+            self.l2.invalidate_asid(vpn, asid);
+            self.sp.invalidate_asid(vpn, asid);
+        }
+        if self.tag() == asid {
+            if let Some(pb) = self.pb.as_mut() {
+                pb.invalidate(vpn);
+            }
+        }
+    }
+
+    /// Flushes every entry tagged `asid` across all structures (process
+    /// exit / ASID recycling). Returns the number of entries removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let mut removed = self.l1.flush_asid(asid);
+        removed += self.l2.flush_asid(asid);
+        removed += self.sp.flush_asid(asid);
+        if self.tag() == asid {
+            if let Some(pb) = self.pb.as_mut() {
+                pb.flush();
+            }
+        }
+        self.stats.asid_flushes += 1;
+        self.stats.asid_entries_flushed += removed as u64;
+        removed
     }
 
     /// Flushes the entire hierarchy (e.g. context switch).

@@ -10,7 +10,7 @@
 
 use crate::entry::{CoalescedRun, SaEntry};
 use crate::replacement::ReplacementPolicy;
-use colt_os_mem::addr::{Pfn, Vpn};
+use colt_os_mem::addr::{Asid, Pfn, Vpn};
 use colt_os_mem::page_table::PteFlags;
 
 /// A hit in a set-associative TLB.
@@ -123,11 +123,20 @@ impl SetAssocTlb {
         ((vpn.raw() >> self.shift) as usize) & (self.sets.len() - 1)
     }
 
-    /// Looks up `vpn`, updating LRU state and hit/miss counters.
+    /// Looks up `vpn`, updating LRU state and hit/miss counters. Untagged
+    /// entry point: matches only ASID-0 entries, which in full-flush mode
+    /// is every entry — byte-identical to the pre-SMP behavior.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<SaHit> {
+        self.lookup_tagged(vpn, Asid(0))
+    }
+
+    /// ASID-selective lookup (SMP tagged mode): only entries tagged
+    /// `asid` can hit, so stale translations of a descheduled address
+    /// space are invisible without a flush.
+    pub fn lookup_tagged(&mut self, vpn: Vpn, asid: Asid) -> Option<SaHit> {
         let idx = self.set_index(vpn);
         let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.lookup(vpn).is_some()) {
+        if let Some(pos) = set.iter().position(|e| e.asid() == asid && e.lookup(vpn).is_some()) {
             let entry = set.remove(pos);
             let hit = SaHit {
                 pfn: entry.lookup(vpn).expect("position found by lookup"),
@@ -143,10 +152,16 @@ impl SetAssocTlb {
         None
     }
 
-    /// Checks for a hit without touching LRU or counters.
+    /// Checks for a hit without touching LRU or counters (any ASID).
     pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
         let idx = self.set_index(vpn);
         self.sets[idx].iter().find_map(|e| e.lookup(vpn))
+    }
+
+    /// ASID-selective probe: no LRU or counter side effects.
+    pub fn probe_tagged(&self, vpn: Vpn, asid: Asid) -> Option<Pfn> {
+        let idx = self.set_index(vpn);
+        self.sets[idx].iter().filter(|e| e.asid() == asid).find_map(|e| e.lookup(vpn))
     }
 
     /// Inserts a coalesced run, which must fit the TLB's index group.
@@ -161,7 +176,14 @@ impl SetAssocTlb {
     /// must restrict it first, see
     /// [`CoalescedRun::restrict_to_group`]).
     pub fn insert(&mut self, run: CoalescedRun) -> Option<SaEntry> {
-        let entry = SaEntry::new(run, self.shift);
+        self.insert_tagged(run, Asid(0))
+    }
+
+    /// Inserts a run tagged with `asid` (SMP tagged mode). Merging only
+    /// considers resident entries with the same tag: two address spaces
+    /// may map the same VPNs to different frames.
+    pub fn insert_tagged(&mut self, run: CoalescedRun, asid: Asid) -> Option<SaEntry> {
+        let entry = SaEntry::new_tagged(run, self.shift, asid);
         let idx = self.set_index(run.start_vpn);
         let shift = self.shift;
         let set = &mut self.sets[idx];
@@ -169,10 +191,10 @@ impl SetAssocTlb {
 
         // Try merging with a resident entry of the same group.
         for pos in 0..set.len() {
-            if set[pos].group(shift) == entry.group(shift) {
+            if set[pos].asid() == asid && set[pos].group(shift) == entry.group(shift) {
                 if let Some(union) = set[pos].run().try_union(&run) {
                     set.remove(pos);
-                    set.insert(0, SaEntry::new(union, shift));
+                    set.insert(0, SaEntry::new_tagged(union, shift, asid));
                     self.stats.merges += 1;
                     return None;
                 }
@@ -200,6 +222,15 @@ impl SetAssocTlb {
     /// the victim translation is dropped — the remnant runs stay
     /// resident. Returns the number of entries affected.
     pub fn invalidate_graceful(&mut self, vpn: Vpn) -> usize {
+        self.invalidate_graceful_filtered(vpn, None)
+    }
+
+    /// Graceful invalidation restricted to entries tagged `asid`.
+    pub fn invalidate_graceful_asid(&mut self, vpn: Vpn, asid: Asid) -> usize {
+        self.invalidate_graceful_filtered(vpn, Some(asid))
+    }
+
+    fn invalidate_graceful_filtered(&mut self, vpn: Vpn, filter: Option<Asid>) -> usize {
         let idx = self.set_index(vpn);
         let shift = self.shift;
         let ways = self.ways;
@@ -207,6 +238,11 @@ impl SetAssocTlb {
         let mut affected = 0;
         let mut pos = 0;
         while pos < set.len() {
+            if filter.is_some_and(|a| set[pos].asid() != a) {
+                pos += 1;
+                continue;
+            }
+            let entry_asid = set[pos].asid();
             if let Some((left, right)) = set[pos].run().split_at(vpn) {
                 affected += 1;
                 set.remove(pos);
@@ -239,7 +275,7 @@ impl SetAssocTlb {
                             }
                         }
                     }
-                    set.insert(insert_at.min(set.len()), SaEntry::new(remnant, shift));
+                    set.insert(insert_at.min(set.len()), SaEntry::new_tagged(remnant, shift, entry_asid));
                     insert_at += 1;
                 }
             } else {
@@ -263,12 +299,37 @@ impl SetAssocTlb {
         removed
     }
 
+    /// Invalidates entries covering `vpn` that are tagged `asid` (remote
+    /// shootdown in SMP tagged mode). Returns the number removed.
+    pub fn invalidate_asid(&mut self, vpn: Vpn, asid: Asid) -> usize {
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        let before = set.len();
+        set.retain(|e| e.asid() != asid || e.lookup(vpn).is_none());
+        let removed = before - set.len();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
     /// Flushes the whole TLB.
     pub fn flush(&mut self) {
         for set in &mut self.sets {
             self.stats.invalidations += set.len() as u64;
             set.clear();
         }
+    }
+
+    /// Flushes only entries tagged `asid` (process exit or ASID
+    /// recycling). Returns the number removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|e| e.asid() != asid);
+            removed += before - set.len();
+        }
+        self.stats.invalidations += removed as u64;
+        removed
     }
 
     /// Number of live entries.

@@ -34,6 +34,11 @@ pub struct HierarchyStats {
     /// invariant checker can see such lengths instead of having them
     /// clamped into the edge buckets.
     pub coalesce_overflow: u64,
+    /// ASID-selective flushes performed (SMP tagged mode; zero in the
+    /// paper's single-core untagged configurations).
+    pub asid_flushes: u64,
+    /// Entries removed by ASID-selective flushes.
+    pub asid_entries_flushed: u64,
 }
 
 impl HierarchyStats {
@@ -76,6 +81,50 @@ impl HierarchyStats {
             .map(|(i, &n)| (i as u64 + 1) * n)
             .sum();
         translations as f64 / fills as f64
+    }
+
+    /// Counter-wise difference `self - before`: measurement windows
+    /// (snapshot at the warmup boundary, subtract at the end).
+    #[must_use]
+    pub fn since(&self, before: &Self) -> Self {
+        let mut d = *self;
+        d.accesses -= before.accesses;
+        d.l1_hits -= before.l1_hits;
+        d.l1_misses -= before.l1_misses;
+        d.l2_hits -= before.l2_hits;
+        d.l2_misses -= before.l2_misses;
+        d.fills -= before.fills;
+        d.superpage_fills -= before.superpage_fills;
+        d.pb_hits -= before.pb_hits;
+        d.coalesce_overflow -= before.coalesce_overflow;
+        for i in 0..d.coalesce_hist.len() {
+            d.coalesce_hist[i] -= before.coalesce_hist[i];
+        }
+        d.asid_flushes -= before.asid_flushes;
+        d.asid_entries_flushed -= before.asid_entries_flushed;
+        d
+    }
+
+    /// Counter-wise sum: aggregating per-core hierarchies into one
+    /// machine-wide view.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        let mut s = *self;
+        s.accesses += other.accesses;
+        s.l1_hits += other.l1_hits;
+        s.l1_misses += other.l1_misses;
+        s.l2_hits += other.l2_hits;
+        s.l2_misses += other.l2_misses;
+        s.fills += other.fills;
+        s.superpage_fills += other.superpage_fills;
+        s.pb_hits += other.pb_hits;
+        s.coalesce_overflow += other.coalesce_overflow;
+        for i in 0..s.coalesce_hist.len() {
+            s.coalesce_hist[i] += other.coalesce_hist[i];
+        }
+        s.asid_flushes += other.asid_flushes;
+        s.asid_entries_flushed += other.asid_entries_flushed;
+        s
     }
 
     /// Records one fill of a run with `len` coalesced translations. A

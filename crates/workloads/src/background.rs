@@ -218,6 +218,26 @@ mod tests {
     }
 
     #[test]
+    fn aging_cleanup_is_independent_of_kill_order() {
+        // The background processes hold memory after aging; reclaiming
+        // them must leave the same machine no matter which dies first
+        // (frees go back to the buddy allocator, which merges by
+        // address, not by teardown order).
+        let run = |reverse: bool| {
+            let mut k = kernel();
+            let mut procs = age_system(&mut k, AgingConfig::default(), 11).unwrap();
+            if reverse {
+                procs.reverse();
+            }
+            for asid in procs {
+                k.exit(asid).unwrap();
+            }
+            (k.free_frames(), k.buddy().histogram().counts.clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn interferer_allocates_and_churns() {
         let mut k = kernel();
         let mut i = Interferer::new(&mut k, 5);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full verification: offline release build, the whole test suite, and a
-# quick parallel smoke sweep with a throughput regression gate.
+# Full verification: offline release build, the whole test suite, a
+# quick 4-core SMP smoke run, and a quick parallel smoke sweep with a
+# throughput regression gate.
 #
 # The gate compares the smoke sweep's aggregate refs/sec against the
 # committed results/BENCH_sweep.json baseline and fails on a >20% drop.
@@ -33,12 +34,28 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
-echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 baseline_rps=""
 if [[ -f "$BASELINE" ]]; then
     baseline_rps=$(grep -o '"aggregate_refs_per_sec": [0-9.]*' "$BASELINE" | awk '{print $2}')
 fi
 
+# SMP smoke: a quick 4-core mix + core-count sweep. Runs after the
+# baseline capture (it rewrites $BASELINE too) and before the smoke
+# sweep, which leaves $BASELINE holding the single-core numbers the
+# perf gate has always gated on.
+SMP_ARGS=(--quick --cores 4 --jobs "$(nproc)" smp_mix smp_scaling)
+echo "== SMP smoke: repro ${SMP_ARGS[*]} =="
+./target/release/repro "${SMP_ARGS[@]}" > /dev/null
+if [[ ! -f results/BENCH_smp.json ]]; then
+    echo "FAIL: SMP smoke did not write results/BENCH_smp.json" >&2
+    exit 1
+fi
+if ! grep -q '"mode": "tagged"' results/BENCH_smp.json; then
+    echo "FAIL: results/BENCH_smp.json is missing tagged-mode rows" >&2
+    exit 1
+fi
+
+echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 # The sweep rewrites $BASELINE with this run's numbers; the baseline
 # value was captured above first.
 ./target/release/repro "${SWEEP_ARGS[@]}" > /dev/null
@@ -57,8 +74,8 @@ else
 fi
 
 if [[ "$RUN_CHECK" == "1" ]]; then
-    echo "== oracle + invariant fuzz: repro --check =="
-    ./target/release/repro --check --seeds 6 --events 160 --jobs "$(nproc)"
+    echo "== oracle + invariant fuzz: repro --check (single-core + 4-core SMP) =="
+    ./target/release/repro --check --seeds 6 --events 160 --jobs "$(nproc)" --cores 4
 fi
 
 echo "verify.sh: all checks passed"
