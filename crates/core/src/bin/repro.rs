@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--jobs N] [--csv] <experiment>...
-//! repro --check [--seeds N] [--events N] [--jobs N]
+//! repro pressure [--faults rate=R,window=W,seed=S] [--cores N]
+//! repro --check [--seeds N] [--events N] [--jobs N] [--faults SPEC]
 //!
 //! experiments:
 //!   table1        Table 1   real-system MPMIs, THS on/off
@@ -24,30 +25,39 @@
 //!   multiprog     extension: two benchmarks sharing one machine
 //!   smp_mix       extension: N-core mixes, tagged vs untagged, IPIs
 //!   smp_scaling   extension: one mix swept over core counts
-//!   all           every single-core experiment above (the smp_*
-//!                 extensions run when named; use --cores N for width)
+//!   pressure      robustness: fault-injection intensity sweep across
+//!                 all 8 TLB configs (+ SMP leg with --cores N)
+//!   all           every single-core experiment above (the smp_* and
+//!                 pressure extensions run when named; use --cores N
+//!                 for width)
 //! ```
 //!
 //! `--check` runs the differential translation oracle + coalescing
 //! invariant fuzzer ([`colt_core::check`]) instead of experiments:
 //! every TLB configuration is fuzzed with interleaved kernel events and
 //! any violation fails the run with a ddmin-minimised reproducer.
+//! `repro pressure --check` (or `--check --faults SPEC`) runs the same
+//! oracle with deterministic memory-pressure fault injection armed:
+//! allocation failures, compaction aborts, reclaim spikes, and
+//! dropped/duplicated shootdown deliveries.
 
 use colt_core::experiments::{
     ablation, associativity, context_switch, contiguity, grid, index_shift,
-    memhog_load, miss_elimination, multiprog, noise, performance, related_work,
-    smp, summary, table1, virtualization, ExperimentOptions, ExperimentOutput,
+    memhog_load, miss_elimination, multiprog, noise, performance, pressure,
+    related_work, smp, summary, table1, virtualization, ExperimentOptions,
+    ExperimentOutput,
 };
 use colt_core::report::Table;
 use colt_core::runner::{self, CellMetric};
+use colt_os_mem::faults::FaultConfig;
 use std::process::ExitCode;
 use std::time::Instant;
 
 /// Every experiment name `repro` accepts (besides the `all` alias).
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 20] = [
     "table1", "fig7-9", "fig10-12", "fig13-15", "fig16-17", "fig18", "fig19",
     "fig20", "fig21", "ablation", "virt", "related", "ctxswitch", "summary",
-    "grid", "noise", "multiprog", "smp_mix", "smp_scaling",
+    "grid", "noise", "multiprog", "smp_mix", "smp_scaling", "pressure",
 ];
 
 /// The `all` alias: the single-core paper set (the `smp_*` extensions
@@ -61,18 +71,23 @@ const ALL: [&str; 17] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--csv] [--bars] <experiment>...\n\
-         \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N]\n\
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--faults SPEC] [--csv] [--bars] <experiment>...\n\
+         \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N] [--faults SPEC]\n\
          --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
          \u{20}           then the machine's available parallelism); results are\n\
          \u{20}           identical at any value\n\
-         --cores N  simulated cores for the smp_* experiments and the\n\
-         \u{20}           cross-core --check oracle (default 1)\n\
+         --cores N  simulated cores for the smp_* experiments, the pressure\n\
+         \u{20}           SMP leg, and the cross-core --check oracle (default 1)\n\
+         --faults SPEC  deterministic fault injection, SPEC =\n\
+         \u{20}           rate=R,window=W,seed=S (each key optional; defaults\n\
+         \u{20}           rate=0.05, window=0 = always armed, seed=7); consumed\n\
+         \u{20}           by the pressure experiment and by --check\n\
          --check    fuzz every TLB configuration against the translation\n\
          \u{20}           oracle + coalescing invariant checker; exits nonzero\n\
          \u{20}           on any violation (--seeds, default 4; --events per\n\
          \u{20}           case, default 160); with --cores > 1 the cross-core\n\
-         \u{20}           SMP oracle runs too\n\
+         \u{20}           SMP oracle runs too; 'repro pressure --check' arms\n\
+         \u{20}           fault injection under the same oracle\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
@@ -138,6 +153,16 @@ fn main() -> ExitCode {
                 opts.cores =
                     clamp_flag("--cores", n.parse::<u64>().unwrap_or_else(|_| usage())) as usize;
             }
+            "--faults" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match FaultConfig::parse(&spec) {
+                    Ok(fc) => opts.faults = Some(fc),
+                    Err(e) => {
+                        eprintln!("--faults {spec}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--csv" => csv = true,
             "--bars" => bars = true,
             "--help" | "-h" => usage(),
@@ -146,10 +171,17 @@ fn main() -> ExitCode {
         }
     }
     if check {
-        if !experiments.is_empty() {
-            eprintln!("--check runs instead of experiments; drop '{}'", experiments[0]);
-            return ExitCode::from(2);
-        }
+        // `repro pressure --check` = the oracle under fault injection
+        // (default plan when --faults was not given). Any other
+        // experiment name alongside --check is a mistake.
+        let faults = match experiments.as_slice() {
+            [] => opts.faults,
+            [only] if only == "pressure" => Some(opts.faults.unwrap_or_default()),
+            _ => {
+                eprintln!("--check runs instead of experiments; drop '{}'", experiments[0]);
+                return ExitCode::from(2);
+            }
+        };
         if csv || bars {
             eprintln!(
                 "--check produces a pass/fail report, not tables; drop {}",
@@ -157,7 +189,7 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
-        return run_check_mode(seeds, events_per_case, opts.jobs, opts.cores);
+        return run_check_mode(seeds, events_per_case, opts.jobs, opts.cores, faults);
     }
     if experiments.is_empty() {
         usage();
@@ -184,6 +216,7 @@ fn main() -> ExitCode {
     let _ = runner::take_metrics();
     let wall_start = Instant::now();
     let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
+    let mut pressure_report: Option<pressure::PressureReport> = None;
     for exp in &experiments {
         let output: ExperimentOutput = match exp.as_str() {
             "table1" => table1::run(&opts).1,
@@ -213,6 +246,11 @@ fn main() -> ExitCode {
             "smp_scaling" => {
                 let (rows, out) = smp::run_scaling(&opts);
                 smp_rows.extend(rows);
+                out
+            }
+            "pressure" => {
+                let (report, out) = pressure::run(&opts);
+                pressure_report = Some(report);
                 out
             }
             other => unreachable!("experiment '{other}' passed validation"),
@@ -265,6 +303,25 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("warning: could not write results/BENCH_smp.json: {e}"),
         }
     }
+    if let Some(report) = &pressure_report {
+        let json = pressure_json(report, opts.faults.unwrap_or_default(), opts.cores);
+        match write_pressure_json(&json) {
+            Ok(path) => {
+                if !csv {
+                    println!("pressure details written to {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not write results/BENCH_pressure.json: {e}"),
+        }
+        if !report.failures.is_empty() {
+            eprintln!(
+                "pressure sweep completed with {} failed cell(s) (see the failure \
+                 report above and results/BENCH_pressure.json)",
+                report.failures.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -273,21 +330,32 @@ fn main() -> ExitCode {
 /// runner's metrics without writing `results/BENCH_sweep.json` so a
 /// `--check` run never perturbs the performance baseline that
 /// `scripts/verify.sh` gates on.
-fn run_check_mode(seeds: u64, events_per_case: usize, jobs: usize, cores: usize) -> ExitCode {
+fn run_check_mode(
+    seeds: u64,
+    events_per_case: usize,
+    jobs: usize,
+    cores: usize,
+    faults: Option<FaultConfig>,
+) -> ExitCode {
     let _ = runner::take_metrics();
     let wall_start = Instant::now();
-    let mut report = colt_core::check::run_check(seeds, events_per_case, jobs);
+    let mut report =
+        colt_core::check::run_check_with_faults(seeds, events_per_case, jobs, faults);
     if cores > 1 {
-        let smp_report = colt_core::check::run_smp_check(cores, seeds, jobs);
+        let smp_report =
+            colt_core::check::run_smp_check_with_faults(cores, seeds, jobs, faults);
         report.translations += smp_report.translations;
         report.cases.extend(smp_report.cases);
     }
     let _ = runner::take_metrics();
     let wall = wall_start.elapsed().as_secs_f64();
 
+    let armed = faults.map_or_else(String::new, |f| {
+        format!(", faults armed (rate {}, window {}, seed {})", f.rate, f.window, f.seed)
+    });
     let mut table = Table::new(
         format!(
-            "Oracle + invariant check: {} case(s), {} translations, {wall:.2}s wall",
+            "Oracle + invariant check: {} case(s), {} translations, {wall:.2}s wall{armed}",
             report.cases.len(),
             report.translations
         ),
@@ -382,7 +450,11 @@ fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> T
 }
 
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
 }
 
 /// Machine-readable sweep report (hand-rolled: the offline build has no
@@ -468,6 +540,88 @@ fn write_smp_json(json: &str) -> std::io::Result<String> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join("BENCH_smp.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+/// Machine-readable pressure report: every cell row, the SMP leg, and
+/// the failure list (partial results survive failed cells).
+fn pressure_json(
+    report: &pressure::PressureReport,
+    cfg: FaultConfig,
+    cores_flag: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"fault_rate\": {}, \"fault_window\": {}, \"fault_seed\": {},\n",
+        cfg.rate, cfg.window, cfg.seed
+    ));
+    out.push_str(&format!("  \"cores_flag\": {cores_flag},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"rate\": {}, \
+             \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \"walk_cycles\": {}, \
+             \"faults_injected\": {}, \"thp_fallbacks\": {}, \
+             \"thp_deferred_retries\": {}, \"compact_deferred\": {}, \
+             \"oom_kills\": {}}}{}\n",
+            json_escape(&r.benchmark),
+            json_escape(&r.config),
+            r.rate,
+            r.accesses,
+            r.l1_misses,
+            r.walks,
+            r.walk_cycles,
+            r.kernel.faults_injected,
+            r.kernel.thp_fallbacks,
+            r.kernel.thp_deferred_retries,
+            r.kernel.compact_deferred,
+            r.kernel.oom_kills,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"smp_rows\": [\n");
+    for (i, r) in report.smp_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rate\": {}, \"cores\": {}, \"accesses\": {}, \"walks\": {}, \
+             \"ipis_sent\": {}, \"faults_injected\": {}, \"thp_fallbacks\": {}, \
+             \"oom_kills\": {}}}{}\n",
+            r.rate,
+            r.cores,
+            r.accesses,
+            r.walks,
+            r.ipis_sent,
+            r.kernel.faults_injected,
+            r.kernel.thp_fallbacks,
+            r.kernel.oom_kills,
+            if i + 1 == report.smp_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    if report.failures.is_empty() {
+        // Inline so a clean run greps as `"failures": []` (verify.sh
+        // gates on exactly that).
+        out.push_str("  \"failures\": []\n}\n");
+        return out;
+    }
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in report.failures.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"cause\": \"{}\"}}{}\n",
+            json_escape(&f.label),
+            json_escape(&f.payload),
+            if i + 1 == report.failures.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_pressure_json(json: &str) -> std::io::Result<String> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_pressure.json");
     std::fs::write(&path, json)?;
     Ok(path.display().to_string())
 }

@@ -34,6 +34,7 @@ use crate::runner::{self, SweepTask};
 use colt_memsim::hierarchy::CacheHierarchy;
 use colt_memsim::walker::{PageWalker, WalkedLeaf};
 use colt_os_mem::addr::{Asid, Pfn, PhysAddr, Vpn, SUPERPAGE_PAGES};
+use colt_os_mem::faults::{DeliveryFault, FaultConfig, FaultPlan};
 use colt_os_mem::kernel::{Kernel, KernelConfig};
 use colt_os_mem::page_table::{PageTable, PteFlags};
 use colt_prng::rngs::SmallRng;
@@ -413,6 +414,22 @@ pub fn check_core_hierarchy(
 /// page table via [`check_core_hierarchy`]. Covers untagged CoLT-All
 /// (flush-at-switch), tagged CoLT-All, and a tagged baseline TLB.
 pub fn run_smp_check(cores: usize, seeds: u64, jobs: usize) -> CheckReport {
+    run_smp_check_with_faults(cores, seeds, jobs, None)
+}
+
+/// [`run_smp_check`] with the shared kernel running under an injected
+/// fault plan (installed after workload preparation, so the aged system
+/// state matches the fault-free run and only the checked phase
+/// degrades). Shootdown *delivery* stays exact on SMP — the machine
+/// models the IPI mesh itself — so this validates that kernel-side
+/// degradation (fallbacks, OOM kills, deferred collapses) never leaks a
+/// stale translation to any core.
+pub fn run_smp_check_with_faults(
+    cores: usize,
+    seeds: u64,
+    jobs: usize,
+    faults: Option<FaultConfig>,
+) -> CheckReport {
     let cores = cores.max(2);
     let mut tasks: Vec<SweepTask<CaseReport>> = Vec::new();
     for seed in 0..seeds {
@@ -437,6 +454,9 @@ pub fn run_smp_check(cores: usize, seeds: u64, jobs: usize) -> CheckReport {
                     .with_quantum(400)
                     .with_churn_period(Some(271));
                 let mut machine = SmpMachine::new(multi, cfg, case_seed);
+                if let Some(fc) = faults {
+                    machine.install_fault_plan(fc);
+                }
                 let mut violations = Vec::new();
                 for _ in 0..24 {
                     machine.run(300);
@@ -582,19 +602,40 @@ fn pick_vpn(regions: &[(Vpn, u64)], rng: &mut SmallRng) -> Option<Vpn> {
 /// process's TLB state is rebuilt from scratch after the context-switch
 /// flush (and page-table node addresses alias across processes, so its
 /// entry addresses must not be applied to this walker).
+///
+/// With a `delivery` fault plan, each IPI may be duplicated (delivered
+/// twice — invalidation must be idempotent) or dropped. A dropped IPI
+/// is recovered the way a real kernel recovers a lost shootdown ack: a
+/// conservative full TLB + walker flush, which keeps the oracle sound
+/// while still exercising the flush path at adversarial moments.
 fn apply_shootdowns(
     kernel: &mut Kernel,
     running: Asid,
     tlb: &mut TlbHierarchy,
     walker: &mut PageWalker,
+    delivery: &mut Option<FaultPlan>,
     out: &mut Vec<Violation>,
 ) {
     for ev in kernel.take_shootdowns() {
         if ev.asid != running {
             continue;
         }
-        tlb.invalidate(ev.vpn);
-        walker.invalidate_addrs(&ev.entry_addrs);
+        let fate = delivery
+            .as_mut()
+            .map_or(DeliveryFault::Deliver, FaultPlan::delivery_fault);
+        let rounds = match fate {
+            DeliveryFault::Drop => {
+                tlb.flush();
+                walker.flush();
+                continue;
+            }
+            DeliveryFault::Deliver => 1,
+            DeliveryFault::Duplicate => 2,
+        };
+        for _ in 0..rounds {
+            tlb.invalidate(ev.vpn);
+            walker.invalidate_addrs(&ev.entry_addrs);
+        }
         for &addr in &ev.entry_addrs {
             if walker.mmu_contains(addr) {
                 out.push(Violation::StaleWalkEntry { addr });
@@ -607,6 +648,21 @@ fn apply_shootdowns(
 /// running the full oracle and invariant sweep after every event.
 /// Deterministic: identical inputs produce identical outcomes.
 pub fn replay(tlb_config: TlbConfig, kernel_config: KernelConfig, events: &[FuzzEvent]) -> CaseOutcome {
+    replay_with_faults(tlb_config, kernel_config, events, None)
+}
+
+/// [`replay`] under deterministic fault injection: the kernel runs with
+/// an allocation/compaction/reclaim fault plan seeded from `faults`,
+/// and shootdown IPIs pass through a decorrelated delivery plan that
+/// drops or duplicates them. Still fully deterministic.
+pub fn replay_with_faults(
+    tlb_config: TlbConfig,
+    kernel_config: KernelConfig,
+    events: &[FuzzEvent],
+    faults: Option<FaultConfig>,
+) -> CaseOutcome {
+    let kernel_config = KernelConfig { faults, ..kernel_config };
+    let mut delivery = faults.map(FaultPlan::delivery);
     let mut kernel = Kernel::new(kernel_config);
     kernel.enable_shootdown_log();
     let asids = [kernel.spawn(), kernel.spawn()];
@@ -664,7 +720,7 @@ pub fn replay(tlb_config: TlbConfig, kernel_config: KernelConfig, events: &[Fuzz
                         if kernel.touch(asid, vpn).is_err() {
                             continue;
                         }
-                        apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                        apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
                     }
                     let pt = kernel.process(asid).expect("fuzz process").page_table();
                     if let Some(outcome) = walker.walk(pt, vpn, &mut caches) {
@@ -682,14 +738,14 @@ pub fn replay(tlb_config: TlbConfig, kernel_config: KernelConfig, events: &[Fuzz
                 if let Ok(start) = kernel.malloc(asid, *pages) {
                     regions[current].push((start, *pages));
                 }
-                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
             }
             FuzzEvent::Free { slot } => {
                 if !regions[current].is_empty() {
                     let idx = slot % regions[current].len();
                     let (start, _) = regions[current].remove(idx);
                     let _ = kernel.free(asid, start);
-                    apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                    apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
                 }
             }
             FuzzEvent::MarkDirty { salt } => {
@@ -700,19 +756,19 @@ pub fn replay(tlb_config: TlbConfig, kernel_config: KernelConfig, events: &[Fuzz
             }
             FuzzEvent::Compact => {
                 kernel.compact_now();
-                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
             }
             FuzzEvent::Tick => {
                 kernel.tick();
-                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
             }
             FuzzEvent::SplitSupers { n } => {
                 kernel.split_superpages(*n);
-                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
             }
             FuzzEvent::Reclaim { target } => {
                 kernel.reclaim_file_pages(*target);
-                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut violations);
+                apply_shootdowns(&mut kernel, asid, &mut tlb, &mut walker, &mut delivery, &mut violations);
             }
             FuzzEvent::ContextSwitch => {
                 current = 1 - current;
@@ -772,7 +828,7 @@ impl CheckReport {
 /// §4.1.5/§4.2.3 future-work variants (graceful invalidation,
 /// coalescing-aware replacement, D/A-tolerant coalescing) — the latter
 /// is where partial-invalidation bugs live.
-fn check_configs() -> Vec<(String, TlbConfig)> {
+pub fn check_configs() -> Vec<(String, TlbConfig)> {
     let base = [
         TlbConfig::baseline(),
         TlbConfig::colt_sa(),
@@ -794,6 +850,21 @@ fn check_configs() -> Vec<(String, TlbConfig)> {
 /// deterministic sweep runner (results are identical at any width).
 /// Failing cases are ddmin-minimised before reporting.
 pub fn run_check(seeds: u64, events_per_case: usize, jobs: usize) -> CheckReport {
+    run_check_with_faults(seeds, events_per_case, jobs, None)
+}
+
+/// [`run_check`] with every case running under the given fault plan:
+/// the same event lists replay against a kernel that suffers injected
+/// allocation failures, compaction aborts, and reclaim spikes, while
+/// shootdown IPIs are dropped/duplicated by a decorrelated delivery
+/// plan. The oracle must stay clean — degradation may change *which*
+/// frames back a page, never the coherence of cached translations.
+pub fn run_check_with_faults(
+    seeds: u64,
+    events_per_case: usize,
+    jobs: usize,
+    faults: Option<FaultConfig>,
+) -> CheckReport {
     let mut tasks: Vec<SweepTask<CaseReport>> = Vec::new();
     for seed in 0..seeds {
         for (label, tlb_cfg) in check_configs() {
@@ -803,12 +874,14 @@ pub fn run_check(seeds: u64, events_per_case: usize, jobs: usize) -> CheckReport
                 let events = gen_events(case_seed, events_per_case);
                 let task_label = case_label.clone();
                 tasks.push(SweepTask::new(task_label, 0, move || {
-                    let outcome = replay(tlb_cfg, kernel_cfg, &events);
+                    let outcome = replay_with_faults(tlb_cfg, kernel_cfg, &events, faults);
                     let minimized = if outcome.violations.is_empty() {
                         Vec::new()
                     } else {
                         shrink_list(&events, |sub| {
-                            !replay(tlb_cfg, kernel_cfg, sub).violations.is_empty()
+                            !replay_with_faults(tlb_cfg, kernel_cfg, sub, faults)
+                                .violations
+                                .is_empty()
                         })
                     };
                     CaseReport {
@@ -987,6 +1060,36 @@ mod tests {
         let b = replay(TlbConfig::colt_all().with_future_work(), fuzz_kernel(true), &events);
         assert_eq!(a, b);
         assert!(a.translations > 0, "the case must actually translate");
+    }
+
+    #[test]
+    fn faulted_fuzz_replay_is_deterministic() {
+        let events = gen_events(1337, 24);
+        let fc = FaultConfig { rate: 0.2, window: 4, seed: 99 };
+        let a = replay_with_faults(TlbConfig::colt_all(), fuzz_kernel(true), &events, Some(fc));
+        let b = replay_with_faults(TlbConfig::colt_all(), fuzz_kernel(true), &events, Some(fc));
+        assert_eq!(a, b);
+        assert!(a.translations > 0);
+        // The faulted run must actually diverge from the clean one
+        // somewhere (degradation changed frame placement), else the
+        // injection never reached the kernel.
+        let clean = replay(TlbConfig::colt_all(), fuzz_kernel(true), &events);
+        assert!(clean.violations.is_empty() && a.violations.is_empty());
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean_under_fault_injection() {
+        let report = run_check_with_faults(1, 24, 2, Some(FaultConfig::default()));
+        for case in &report.cases {
+            assert!(
+                case.violations.is_empty(),
+                "faulted case {} found: {:?}\nminimised to: {:?}",
+                case.label,
+                case.violations,
+                case.minimized
+            );
+        }
+        assert!(report.translations > 0);
     }
 
     #[test]

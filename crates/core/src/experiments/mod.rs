@@ -19,6 +19,7 @@
 //! | [`noise`] | seed-sensitivity of the headline averages |
 //! | [`multiprog`] | extension: two benchmarks sharing one machine |
 //! | [`smp`] | extension: N-core mixes, ASID tagging, shootdown IPIs |
+//! | [`pressure`] | robustness: fault-injection intensity sweep |
 //!
 //! Every driver returns structured rows plus [`Table`]s whose columns
 //! include the paper's published values next to the measured ones, so
@@ -35,6 +36,7 @@ pub mod miss_elimination;
 pub mod multiprog;
 pub mod noise;
 pub mod performance;
+pub mod pressure;
 pub mod related_work;
 pub mod smp;
 pub mod summary;
@@ -42,6 +44,7 @@ pub mod table1;
 pub mod virtualization;
 
 use crate::report::Table;
+use colt_os_mem::faults::FaultConfig;
 use colt_workloads::spec::{all_benchmarks, BenchmarkSpec};
 
 /// Options shared by all experiment drivers.
@@ -60,6 +63,10 @@ pub struct ExperimentOptions {
     /// single-core paper experiments). 1 keeps every existing headline
     /// table untouched.
     pub cores: usize,
+    /// Fault-injection plan for the `pressure` experiment and for
+    /// `--check` runs under injection (`None` everywhere else — the
+    /// paper experiments never see a fault).
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ExperimentOptions {
@@ -70,6 +77,7 @@ impl Default for ExperimentOptions {
             seed: 0x5EED,
             jobs: default_jobs(),
             cores: 1,
+            faults: None,
         }
     }
 }
@@ -89,6 +97,13 @@ impl ExperimentOptions {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 

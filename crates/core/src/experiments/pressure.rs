@@ -1,0 +1,365 @@
+//! Memory-pressure fault-injection sweep (`pressure` experiment).
+//!
+//! Robustness study, not a paper figure: every TLB configuration (the
+//! four paper designs plus their future-work variants) is simulated on
+//! workloads prepared by a kernel suffering *injected* memory-pressure
+//! faults — buddy-allocation failures, direct-compaction aborts, and
+//! reclaim spikes from a seeded [`FaultPlan`](colt_os_mem::faults) —
+//! at increasing intensity (rate 0, rate/2, rate). The interesting
+//! questions:
+//!
+//! * does graceful degradation hold (THP base-page fallback + deferred
+//!   khugepaged collapse, compaction backoff, emergency reclaim, the
+//!   deterministic OOM killer), i.e. does every sweep cell still
+//!   complete and stay deterministic, and
+//! * what does degraded contiguity cost CoLT — how much of the
+//!   miss-elimination headline survives when superpage allocation keeps
+//!   failing underneath it.
+//!
+//! The sweep runs through [`runner::run_cells_outcomes`], so a cell
+//! that dies reports as a failure row instead of killing the sweep —
+//! the BENCH json carries partial results plus the failure report.
+//!
+//! With `--cores N` (N > 1) an SMP leg rides along: the light
+//! eight-benchmark mix on N ASID-tagged cores, with the fault plan
+//! installed in the shared kernel *after* preparation, so kernel churn
+//! degrades (and OOM-kills) live under cross-core shootdown traffic.
+
+use super::smp::MIX_LIGHT;
+use super::{ExperimentOptions, ExperimentOutput};
+use crate::check::check_configs;
+use crate::report::Table;
+use crate::runner::{self, CellOutcome, SweepCell, SweepTask};
+use crate::sim::SimConfig;
+use colt_os_mem::faults::FaultConfig;
+use colt_os_mem::kernel::KernelStats;
+use colt_smp::{SmpConfig, SmpMachine};
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::{benchmark, BenchmarkSpec};
+
+/// Default benchmark subset: the paper's largest footprint (Mcf), the
+/// two headline mid-size programs, and a small one — enough spread to
+/// see degradation without sweeping all 14 at 24 cells each.
+pub const DEFAULT_BENCHMARKS: [&str; 4] = ["Mcf", "Gobmk", "Xalancbmk", "Bzip2"];
+
+/// One (benchmark × TLB config × fault intensity) measurement.
+#[derive(Clone, Debug)]
+pub struct PressureRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// TLB configuration label ("Baseline", "CoLT-All+fw", ...).
+    pub config: String,
+    /// Injected fault rate for this cell (0.0 = clean baseline).
+    pub rate: f64,
+    /// Memory references simulated.
+    pub accesses: u64,
+    /// L1-level TLB misses.
+    pub l1_misses: u64,
+    /// Page walks (L2 misses).
+    pub walks: u64,
+    /// Cycles spent walking.
+    pub walk_cycles: u64,
+    /// Kernel degradation counters from the preparation phase.
+    pub kernel: KernelStats,
+}
+
+/// One SMP measurement under injection (only with `--cores N`, N > 1).
+#[derive(Clone, Debug)]
+pub struct SmpPressureRow {
+    /// Injected fault rate (0.0 = clean baseline).
+    pub rate: f64,
+    /// Core count.
+    pub cores: usize,
+    /// Aggregate memory references.
+    pub accesses: u64,
+    /// Aggregate page walks.
+    pub walks: u64,
+    /// Shootdown IPIs sent.
+    pub ipis_sent: u64,
+    /// Kernel counters after the run (includes live-phase degradation).
+    pub kernel: KernelStats,
+}
+
+/// A sweep cell that died (panic or failed preparation).
+#[derive(Clone, Debug)]
+pub struct FailedCell {
+    /// Label of the failed cell.
+    pub label: String,
+    /// Panic message or preparation error.
+    pub payload: String,
+}
+
+/// Everything the pressure sweep produced: per-cell rows, the SMP leg,
+/// and the failure report (empty on a healthy run).
+#[derive(Clone, Debug, Default)]
+pub struct PressureReport {
+    /// Single-core rows, in (benchmark, rate, config) order.
+    pub rows: Vec<PressureRow>,
+    /// SMP rows, in rate order (empty unless `--cores N`, N > 1).
+    pub smp_rows: Vec<SmpPressureRow>,
+    /// Cells that failed; the sweep still completed around them.
+    pub failures: Vec<FailedCell>,
+}
+
+/// The swept fault intensities: clean, half rate, full rate (deduped —
+/// rate 0.0 sweeps only the clean point).
+fn intensities(max: f64) -> Vec<f64> {
+    let mut out = vec![0.0, max / 2.0, max];
+    out.dedup();
+    out
+}
+
+fn scenario_for(rate: f64, base: FaultConfig) -> Scenario {
+    if rate > 0.0 {
+        Scenario::default_linux().with_faults(FaultConfig { rate, ..base })
+    } else {
+        Scenario::default_linux()
+    }
+}
+
+/// Runs the sweep. Deterministic at any `jobs` width.
+pub fn run(opts: &ExperimentOptions) -> (PressureReport, ExperimentOutput) {
+    let base_cfg = opts.faults.unwrap_or_default();
+    let specs: Vec<BenchmarkSpec> = match &opts.benchmarks {
+        Some(_) => opts.selected_benchmarks(),
+        None => DEFAULT_BENCHMARKS
+            .iter()
+            .map(|n| benchmark(n).expect("Table-1 benchmark"))
+            .collect(),
+    };
+    let rates = intensities(base_cfg.rate);
+    let configs = check_configs();
+
+    let mut meta: Vec<(String, String, f64)> = Vec::new();
+    let mut cells: Vec<SweepCell<(crate::sim::SimResult, KernelStats)>> = Vec::new();
+    for spec in &specs {
+        for &rate in &rates {
+            let scenario = scenario_for(rate, base_cfg);
+            for (cname, tlb_cfg) in &configs {
+                let label = format!("pressure/{}/{cname}/r{rate:.3}", spec.name);
+                let cfg = SimConfig {
+                    pattern_seed: opts.seed,
+                    ..SimConfig::new(*tlb_cfg).with_accesses(opts.accesses)
+                };
+                meta.push((spec.name.to_string(), cname.clone(), rate));
+                let refs = cfg.warmup + cfg.accesses;
+                cells.push(SweepCell::new(label, &scenario, spec, refs, move |w| {
+                    (crate::sim::run(w, &cfg), w.kernel.stats())
+                }));
+            }
+        }
+    }
+
+    let mut report = PressureReport::default();
+    for (outcome, (bench, cname, rate)) in
+        runner::run_cells_outcomes(cells, opts.jobs).into_iter().zip(meta)
+    {
+        match outcome {
+            CellOutcome::Ok((sim, kernel)) => report.rows.push(PressureRow {
+                benchmark: bench,
+                config: cname,
+                rate,
+                accesses: sim.tlb.accesses,
+                l1_misses: sim.tlb.l1_misses,
+                walks: sim.tlb.l2_misses,
+                walk_cycles: sim.walk_cycles,
+                kernel,
+            }),
+            CellOutcome::Failed { label, payload } => {
+                report.failures.push(FailedCell { label, payload });
+            }
+        }
+    }
+
+    if opts.cores > 1 {
+        run_smp_leg(opts, base_cfg, &rates, &mut report);
+    }
+
+    let mut tables = vec![sweep_table(&report, base_cfg)];
+    if !report.smp_rows.is_empty() {
+        tables.push(smp_table(&report.smp_rows));
+    }
+    if !report.failures.is_empty() {
+        tables.push(failure_table(&report.failures));
+    }
+    (report, ExperimentOutput { id: "pressure", tables })
+}
+
+/// The SMP leg: the light mix at `opts.cores` tagged cores per
+/// intensity, fault plan armed after preparation.
+fn run_smp_leg(
+    opts: &ExperimentOptions,
+    base_cfg: FaultConfig,
+    rates: &[f64],
+    report: &mut PressureReport,
+) {
+    let cores = opts.cores;
+    let accesses = opts.accesses;
+    let seed = opts.seed;
+    let tasks: Vec<SweepTask<SmpPressureRow>> = rates
+        .iter()
+        .map(|&rate| {
+            let refs = cores as u64 * (accesses + accesses / 10);
+            SweepTask::new(format!("pressure/smp/{cores}c/r{rate:.3}"), refs, move || {
+                let specs: Vec<_> = MIX_LIGHT
+                    .iter()
+                    .map(|n| benchmark(n).expect("Table-1 benchmark"))
+                    .collect();
+                let multi = Scenario::default_linux()
+                    .prepare_many(&specs)
+                    .unwrap_or_else(|e| panic!("prepare_many(pressure/smp): {e}"));
+                let cfg = SmpConfig::new(cores, colt_tlb::config::TlbConfig::colt_all())
+                    .tagged();
+                let mut machine = SmpMachine::new(multi, cfg, seed);
+                if rate > 0.0 {
+                    machine.install_fault_plan(FaultConfig { rate, ..base_cfg });
+                }
+                machine.run(accesses / 10);
+                machine.mark();
+                machine.run(accesses);
+                let agg = machine.result().aggregate();
+                SmpPressureRow {
+                    rate,
+                    cores,
+                    accesses: agg.counters.accesses,
+                    walks: agg.tlb.l2_misses,
+                    ipis_sent: agg.counters.ipis_sent,
+                    kernel: machine.kernel_stats(),
+                }
+            })
+        })
+        .collect();
+    for outcome in runner::run_tasks_outcomes(tasks, opts.jobs) {
+        match outcome {
+            CellOutcome::Ok(row) => report.smp_rows.push(row),
+            CellOutcome::Failed { label, payload } => {
+                report.failures.push(FailedCell { label, payload });
+            }
+        }
+    }
+}
+
+/// Walks eliminated vs the baseline TLB at the *same* (benchmark,
+/// rate): how much of CoLT's win survives degraded contiguity.
+fn elimination(rows: &[PressureRow], row: &PressureRow) -> Option<f64> {
+    let base = rows.iter().find(|r| {
+        r.benchmark == row.benchmark && r.rate == row.rate && r.config == "Baseline"
+    })?;
+    if base.walks == 0 {
+        return None;
+    }
+    Some(100.0 * (1.0 - row.walks as f64 / base.walks as f64))
+}
+
+fn sweep_table(report: &PressureReport, base_cfg: FaultConfig) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Fault-injection pressure sweep (robustness): rates {:?}, window {}, seed {} \
+             — kernel counters are from the preparation phase",
+            intensities(base_cfg.rate),
+            base_cfg.window,
+            base_cfg.seed
+        ),
+        &[
+            "benchmark", "config", "rate", "walks", "% elim vs base",
+            "faults", "thp fallbacks", "collapse retries", "compact deferred", "oom kills",
+        ],
+    );
+    for r in &report.rows {
+        let elim = elimination(&report.rows, r)
+            .map_or_else(|| "-".to_string(), |e| format!("{e:.1}"));
+        table.add_row(vec![
+            r.benchmark.clone(),
+            r.config.clone(),
+            format!("{:.3}", r.rate),
+            r.walks.to_string(),
+            elim,
+            r.kernel.faults_injected.to_string(),
+            r.kernel.thp_fallbacks.to_string(),
+            r.kernel.thp_deferred_retries.to_string(),
+            r.kernel.compact_deferred.to_string(),
+            r.kernel.oom_kills.to_string(),
+        ]);
+    }
+    table
+}
+
+fn smp_table(rows: &[SmpPressureRow]) -> Table {
+    let mut table = Table::new(
+        "Pressure SMP leg: light8 mix, ASID-tagged CoLT-All, fault plan armed post-prep"
+            .to_string(),
+        &["rate", "cores", "walks", "IPIs sent", "faults", "oom kills", "thp fallbacks"],
+    );
+    for r in rows {
+        table.add_row(vec![
+            format!("{:.3}", r.rate),
+            r.cores.to_string(),
+            r.walks.to_string(),
+            r.ipis_sent.to_string(),
+            r.kernel.faults_injected.to_string(),
+            r.kernel.oom_kills.to_string(),
+            r.kernel.thp_fallbacks.to_string(),
+        ]);
+    }
+    table
+}
+
+fn failure_table(failures: &[FailedCell]) -> Table {
+    let mut table =
+        Table::new("Failed cells (sweep completed around them)".to_string(), &["cell", "cause"]);
+    for f in failures {
+        let mut cause = f.payload.clone();
+        cause.truncate(80);
+        table.add_row(vec![f.label.clone(), cause]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExperimentOptions {
+        ExperimentOptions {
+            accesses: 5_000,
+            ..ExperimentOptions::quick().with_benchmarks(&["Gobmk"])
+        }
+    }
+
+    #[test]
+    fn sweep_completes_with_no_failures_and_injects_faults() {
+        let (report, out) = run(&tiny_opts());
+        assert_eq!(out.id, "pressure");
+        // 1 benchmark × 3 intensities × 8 configs.
+        assert_eq!(report.rows.len(), 24);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let clean: Vec<_> = report.rows.iter().filter(|r| r.rate == 0.0).collect();
+        let faulted: Vec<_> = report.rows.iter().filter(|r| r.rate > 0.0).collect();
+        assert!(clean.iter().all(|r| r.kernel.faults_injected == 0));
+        assert!(
+            faulted.iter().all(|r| r.kernel.faults_injected > 0),
+            "every faulted cell must see injections"
+        );
+        // Degradation must be visible: the faulted preparations fall
+        // back to base pages at least once.
+        assert!(faulted.iter().any(|r| r.kernel.thp_fallbacks > 0));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_at_any_jobs_width() {
+        let (a, _) = run(&tiny_opts().with_jobs(1));
+        let (b, _) = run(&tiny_opts().with_jobs(8));
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!((x.benchmark.as_str(), x.config.as_str()), (y.benchmark.as_str(), y.config.as_str()));
+            assert_eq!(x.walks, y.walks);
+            assert_eq!(x.kernel, y.kernel);
+        }
+    }
+
+    #[test]
+    fn intensities_dedupe_the_zero_rate() {
+        assert_eq!(intensities(0.0), vec![0.0]);
+        assert_eq!(intensities(0.1), vec![0.0, 0.05, 0.1]);
+    }
+}

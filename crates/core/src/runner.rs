@@ -2,7 +2,7 @@
 //! TLB-config) simulation cells out across a scoped-thread worker pool.
 //!
 //! Every experiment driver is a sweep over cells that share nothing but
-//! a prepared workload, so the runner provides exactly two guarantees:
+//! a prepared workload, so the runner provides exactly three guarantees:
 //!
 //! 1. **Determinism** — results come back in submission order, and each
 //!    cell's simulation consumes only its own [`SimConfig`]-seeded RNG
@@ -12,6 +12,12 @@
 //!    benchmark) pair share one [`PreparedWorkload`], built once by
 //!    whichever worker gets there first and handed out as an `Arc`, so
 //!    e.g. Figure 18's four TLB modes pay for one aging pass, not four.
+//! 3. **Panic isolation** — via [`run_cells_outcomes`], a cell that
+//!    panics (or whose preparation fails) becomes a
+//!    [`CellOutcome::Failed`] while every other cell still completes;
+//!    the locks it held are recovered rather than left poisoned. The
+//!    legacy [`run_cells`]/[`run_tasks`] entry points keep the old
+//!    fail-fast contract by re-panicking on the first failure.
 //!
 //! Implementation is std-only (`std::thread::scope`, channels, locks):
 //! the build must work offline, so no rayon or crates.io dependency.
@@ -19,9 +25,11 @@
 use crate::sim::{self, SimConfig, SimResult};
 use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::BenchmarkSpec;
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// One unit of parallel work: a job run against a prepared workload.
@@ -87,6 +95,48 @@ impl<R> SweepTask<R> {
     }
 }
 
+/// What became of one sweep cell: its result, or a description of why it
+/// died while the rest of the sweep carried on.
+#[derive(Debug)]
+pub enum CellOutcome<R> {
+    /// The cell ran to completion.
+    Ok(R),
+    /// The cell's preparation failed or its job panicked; `payload` is
+    /// the panic message (or preparation error) for the failure report.
+    Failed {
+        /// Label of the failed cell ("fig18/Mcf/CoLT-All").
+        label: String,
+        /// Human-readable failure cause.
+        payload: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// The success value, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            CellOutcome::Ok(r) => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True when the cell failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+
+    /// Unwraps the success value, re-panicking with the recorded payload
+    /// — the fail-fast behaviour of the legacy entry points.
+    fn unwrap_or_panic(self) -> R {
+        match self {
+            CellOutcome::Ok(r) => r,
+            CellOutcome::Failed { label, payload } => {
+                panic!("sweep cell '{label}' failed: {payload}")
+            }
+        }
+    }
+}
+
 /// Timing record for one completed cell, for the throughput report.
 #[derive(Clone, Debug)]
 pub struct CellMetric {
@@ -107,47 +157,116 @@ pub struct CellMetric {
 
 static METRICS: Mutex<Vec<CellMetric>> = Mutex::new(Vec::new());
 
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Every runner structure is either append-only (metrics), a work queue
+/// whose items are consumed whole, or a prep slot that a failed builder
+/// leaves `None` (retryable) — so the data is consistent even after a
+/// mid-critical-section panic and poisoning carries no information.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a `catch_unwind` payload as the human-readable panic message.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Soft wall-clock budget for one cell, in seconds. Cells that run
+/// longer only earn a stderr warning — killing a thread mid-simulation
+/// would corrupt nothing but help nobody — but the warning makes hung
+/// cells visible in otherwise-silent long sweeps. Override with
+/// `COLT_CELL_SOFT_DEADLINE=<seconds>` (0 disables).
+fn cell_soft_deadline() -> f64 {
+    std::env::var("COLT_CELL_SOFT_DEADLINE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(120.0)
+}
+
+fn warn_if_over_deadline(label: &str, seconds: f64, deadline: f64) {
+    if deadline > 0.0 && seconds > deadline {
+        eprintln!(
+            "warning: cell '{label}' ran {seconds:.1}s (soft deadline {deadline:.0}s)"
+        );
+    }
+}
+
 /// Drains the metrics accumulated by every `run_cells`/`run_tasks` call
 /// since the last drain, in cell-submission order.
 pub fn take_metrics() -> Vec<CellMetric> {
-    std::mem::take(&mut METRICS.lock().expect("metrics lock"))
+    std::mem::take(&mut *relock(&METRICS))
 }
 
-type PrepSlot = Arc<OnceLock<Arc<PreparedWorkload>>>;
+/// A shared preparation slot. `None` until some worker succeeds; a
+/// failed build leaves it `None` so a later cell may retry (e.g. after
+/// a transient workload error), unlike a `OnceLock` which would wedge.
+type PrepSlot = Arc<Mutex<Option<Arc<PreparedWorkload>>>>;
 type PrepCache = Mutex<HashMap<String, PrepSlot>>;
 
 /// Builds (or fetches) the shared workload for one (scenario, spec)
-/// pair. Returns the seconds spent preparing — 0.0 on a cache hit.
-fn prepared(cache: &PrepCache, scenario: &Scenario, spec: &BenchmarkSpec) -> (Arc<PreparedWorkload>, f64) {
+/// pair. Returns the seconds spent preparing — 0.0 on a cache hit — or
+/// an error description if preparation failed (or panicked).
+fn prepared(
+    cache: &PrepCache,
+    scenario: &Scenario,
+    spec: &BenchmarkSpec,
+) -> Result<(Arc<PreparedWorkload>, f64), String> {
     let key = format!("{scenario:?}\u{1}{spec:?}");
     let slot = {
-        let mut map = cache.lock().expect("prep cache lock");
-        map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        let mut map = relock(cache);
+        map.entry(key).or_insert_with(|| Arc::new(Mutex::new(None))).clone()
     };
-    let mut prep_seconds = 0.0;
-    let workload = slot
-        .get_or_init(|| {
-            let start = Instant::now();
-            let w = scenario.prepare(spec).unwrap_or_else(|e| {
-                panic!("scenario '{}' failed for {}: {e}", scenario.name, spec.name)
-            });
-            prep_seconds = start.elapsed().as_secs_f64();
-            Arc::new(w)
-        })
-        .clone();
-    (workload, prep_seconds)
+    // Hold the slot lock across the build so concurrent cells wait for
+    // one preparation instead of duplicating it.
+    let mut guard = relock(&slot);
+    if let Some(w) = guard.as_ref() {
+        return Ok((Arc::clone(w), 0.0));
+    }
+    let start = Instant::now();
+    let built = catch_unwind(AssertUnwindSafe(|| scenario.prepare(spec)));
+    let workload = match built {
+        Ok(Ok(w)) => Arc::new(w),
+        Ok(Err(e)) => {
+            return Err(format!(
+                "scenario '{}' failed for {}: {e}",
+                scenario.name, spec.name
+            ));
+        }
+        Err(payload) => {
+            return Err(format!(
+                "scenario '{}' panicked for {}: {}",
+                scenario.name,
+                spec.name,
+                panic_message(payload)
+            ));
+        }
+    };
+    *guard = Some(Arc::clone(&workload));
+    let prep_seconds = start.elapsed().as_secs_f64();
+    Ok((workload, prep_seconds))
 }
 
-/// Runs every cell across at most `jobs` worker threads and returns the
-/// results in submission order. A panicking cell (e.g. workload OOM)
-/// propagates out of the scope exactly as it would sequentially.
-pub fn run_cells<R: Send>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
+/// Runs every cell across at most `jobs` worker threads and returns one
+/// [`CellOutcome`] per cell, in submission order. A panicking cell (or
+/// a failing preparation) yields `Failed` for that cell only; all other
+/// cells — including later ones popped by the same worker — complete.
+pub fn run_cells_outcomes<R: Send>(
+    cells: Vec<SweepCell<R>>,
+    jobs: usize,
+) -> Vec<CellOutcome<R>> {
     let n = cells.len();
     let workers = jobs.max(1).min(n.max(1));
+    let deadline = cell_soft_deadline();
     let queue: Mutex<VecDeque<(usize, SweepCell<R>)>> =
         Mutex::new(cells.into_iter().enumerate().collect());
     let cache: PrepCache = Mutex::new(HashMap::new());
-    let (tx, rx) = mpsc::channel::<(usize, R, CellMetric)>();
+    let (tx, rx) = mpsc::channel::<(usize, CellOutcome<R>, CellMetric)>();
 
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -156,23 +275,109 @@ pub fn run_cells<R: Send>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
             let cache = &cache;
             s.spawn(move || {
                 loop {
-                    let Some((idx, cell)) = queue.lock().expect("queue lock").pop_front()
-                    else {
+                    let Some((idx, cell)) = relock(queue).pop_front() else {
                         break;
                     };
-                    let (workload, prep_seconds) =
-                        prepared(cache, &cell.scenario, &cell.spec);
-                    let start = Instant::now();
-                    let result = (cell.job)(&workload);
-                    let metric = CellMetric {
-                        label: cell.label,
+                    let mut metric = CellMetric {
+                        label: cell.label.clone(),
                         benchmark: cell.spec.name.to_string(),
                         scenario: cell.scenario.name.clone(),
                         refs: cell.refs,
-                        prep_seconds,
-                        sim_seconds: start.elapsed().as_secs_f64(),
+                        prep_seconds: 0.0,
+                        sim_seconds: 0.0,
                     };
-                    if tx.send((idx, result, metric)).is_err() {
+                    let outcome = match prepared(cache, &cell.scenario, &cell.spec) {
+                        Err(payload) => {
+                            CellOutcome::Failed { label: cell.label, payload }
+                        }
+                        Ok((workload, prep_seconds)) => {
+                            metric.prep_seconds = prep_seconds;
+                            let job = cell.job;
+                            let start = Instant::now();
+                            let ran =
+                                catch_unwind(AssertUnwindSafe(|| job(&workload)));
+                            metric.sim_seconds = start.elapsed().as_secs_f64();
+                            warn_if_over_deadline(
+                                &metric.label,
+                                metric.sim_seconds,
+                                deadline,
+                            );
+                            match ran {
+                                Ok(result) => CellOutcome::Ok(result),
+                                Err(payload) => CellOutcome::Failed {
+                                    label: cell.label,
+                                    payload: panic_message(payload),
+                                },
+                            }
+                        }
+                    };
+                    if tx.send((idx, outcome, metric)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    collect(rx, n)
+}
+
+/// Runs every cell across at most `jobs` worker threads and returns the
+/// results in submission order. A failing cell (e.g. workload OOM)
+/// panics in the caller exactly as it would sequentially — use
+/// [`run_cells_outcomes`] for sweeps that must survive cell failures.
+pub fn run_cells<R: Send>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
+    run_cells_outcomes(cells, jobs)
+        .into_iter()
+        .map(CellOutcome::unwrap_or_panic)
+        .collect()
+}
+
+/// Runs self-contained tasks (no shared preparation) across at most
+/// `jobs` worker threads, returning one [`CellOutcome`] per task in
+/// submission order. A panicking task fails alone; the rest complete.
+pub fn run_tasks_outcomes<R: Send>(
+    tasks: Vec<SweepTask<R>>,
+    jobs: usize,
+) -> Vec<CellOutcome<R>> {
+    let n = tasks.len();
+    let workers = jobs.max(1).min(n.max(1));
+    let deadline = cell_soft_deadline();
+    let queue: Mutex<VecDeque<(usize, SweepTask<R>)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, CellOutcome<R>, CellMetric)>();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || {
+                loop {
+                    let Some((idx, task)) = relock(queue).pop_front() else {
+                        break;
+                    };
+                    let job = task.job;
+                    let start = Instant::now();
+                    let ran = catch_unwind(AssertUnwindSafe(job));
+                    let sim_seconds = start.elapsed().as_secs_f64();
+                    warn_if_over_deadline(&task.label, sim_seconds, deadline);
+                    let metric = CellMetric {
+                        label: task.label.clone(),
+                        benchmark: String::new(),
+                        scenario: String::new(),
+                        refs: task.refs,
+                        prep_seconds: 0.0,
+                        sim_seconds,
+                    };
+                    let outcome = match ran {
+                        Ok(result) => CellOutcome::Ok(result),
+                        Err(payload) => CellOutcome::Failed {
+                            label: task.label,
+                            payload: panic_message(payload),
+                        },
+                    };
+                    if tx.send((idx, outcome, metric)).is_err() {
                         break;
                     }
                 }
@@ -185,58 +390,32 @@ pub fn run_cells<R: Send>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
 }
 
 /// Runs self-contained tasks (no shared preparation) across at most
-/// `jobs` worker threads; results come back in submission order.
+/// `jobs` worker threads; results come back in submission order. A
+/// failing task panics in the caller — use [`run_tasks_outcomes`] for
+/// sweeps that must survive failures.
 pub fn run_tasks<R: Send>(tasks: Vec<SweepTask<R>>, jobs: usize) -> Vec<R> {
-    let n = tasks.len();
-    let workers = jobs.max(1).min(n.max(1));
-    let queue: Mutex<VecDeque<(usize, SweepTask<R>)>> =
-        Mutex::new(tasks.into_iter().enumerate().collect());
-    let (tx, rx) = mpsc::channel::<(usize, R, CellMetric)>();
-
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let queue = &queue;
-            s.spawn(move || {
-                loop {
-                    let Some((idx, task)) = queue.lock().expect("queue lock").pop_front()
-                    else {
-                        break;
-                    };
-                    let start = Instant::now();
-                    let result = (task.job)();
-                    let metric = CellMetric {
-                        label: task.label,
-                        benchmark: String::new(),
-                        scenario: String::new(),
-                        refs: task.refs,
-                        prep_seconds: 0.0,
-                        sim_seconds: start.elapsed().as_secs_f64(),
-                    };
-                    if tx.send((idx, result, metric)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-    });
-    drop(tx);
-
-    collect(rx, n)
+    run_tasks_outcomes(tasks, jobs)
+        .into_iter()
+        .map(CellOutcome::unwrap_or_panic)
+        .collect()
 }
 
 /// Reorders completion-order results into submission order and appends
 /// the metrics (also in submission order) to the global registry.
-fn collect<R>(rx: mpsc::Receiver<(usize, R, CellMetric)>, n: usize) -> Vec<R> {
-    let mut slots: Vec<Option<(R, CellMetric)>> = (0..n).map(|_| None).collect();
-    for (idx, result, metric) in rx {
-        slots[idx] = Some((result, metric));
+fn collect<R>(
+    rx: mpsc::Receiver<(usize, CellOutcome<R>, CellMetric)>,
+    n: usize,
+) -> Vec<CellOutcome<R>> {
+    let mut slots: Vec<Option<(CellOutcome<R>, CellMetric)>> =
+        (0..n).map(|_| None).collect();
+    for (idx, outcome, metric) in rx {
+        slots[idx] = Some((outcome, metric));
     }
     let mut results = Vec::with_capacity(n);
-    let mut metrics = METRICS.lock().expect("metrics lock");
+    let mut metrics = relock(&METRICS);
     for slot in slots {
-        let (result, metric) = slot.expect("every cell reports exactly once");
-        results.push(result);
+        let (outcome, metric) = slot.expect("every cell reports exactly once");
+        results.push(outcome);
         metrics.push(metric);
     }
     results
@@ -337,5 +516,102 @@ mod tests {
         let avg = run_cells(cells, 3);
         let _ = take_metrics();
         assert!(avg[0] >= 1.0);
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_alone_while_the_rest_complete() {
+        let _g = drain_lock();
+        let scenario = Scenario::default_linux();
+        let spec = benchmark("Gobmk").unwrap();
+        let mut cells: Vec<SweepCell<u64>> = (0..6)
+            .map(|i| {
+                SweepCell::new(format!("iso/ok{i}"), &scenario, &spec, 0, move |w| {
+                    w.contiguity().total_pages() + i
+                })
+            })
+            .collect();
+        cells.insert(
+            3,
+            SweepCell::new("iso/boom", &scenario, &spec, 0, |_| {
+                panic!("deliberate cell failure");
+            }),
+        );
+        let outcomes = run_cells_outcomes(cells, 4);
+        let _ = take_metrics();
+        assert_eq!(outcomes.len(), 7);
+        let failed: Vec<&CellOutcome<u64>> =
+            outcomes.iter().filter(|o| o.is_failed()).collect();
+        assert_eq!(failed.len(), 1, "exactly one cell fails");
+        match failed[0] {
+            CellOutcome::Failed { label, payload } => {
+                assert_eq!(label, "iso/boom");
+                assert!(payload.contains("deliberate cell failure"));
+            }
+            CellOutcome::Ok(_) => unreachable!(),
+        }
+        // Every other cell (including those queued after the panic on
+        // the same workers) completed and kept submission order.
+        let oks: Vec<u64> =
+            outcomes.into_iter().filter_map(CellOutcome::ok).collect();
+        assert_eq!(oks.len(), 6);
+        let base = oks[0];
+        assert_eq!(oks, (0..6).map(|i| base + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_task_fails_alone_while_the_rest_complete() {
+        let _g = drain_lock();
+        let tasks: Vec<SweepTask<usize>> = (0..8)
+            .map(|i| {
+                SweepTask::new(format!("tiso{i}"), 0, move || {
+                    if i == 5 {
+                        panic!("task {i} exploded");
+                    }
+                    i * 10
+                })
+            })
+            .collect();
+        let outcomes = run_tasks_outcomes(tasks, 3);
+        let _ = take_metrics();
+        assert_eq!(outcomes.iter().filter(|o| o.is_failed()).count(), 1);
+        match &outcomes[5] {
+            CellOutcome::Failed { label, payload } => {
+                assert_eq!(label, "tiso5");
+                assert!(payload.contains("task 5 exploded"));
+            }
+            CellOutcome::Ok(_) => panic!("task 5 should have failed"),
+        }
+        for (i, o) in outcomes.iter().enumerate() {
+            if i != 5 {
+                assert!(matches!(o, CellOutcome::Ok(v) if *v == i * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn failing_preparation_becomes_a_failed_outcome_not_a_panic() {
+        let _g = drain_lock();
+        // A scenario with fewer frames than memhog wants to pin cannot
+        // prepare; the cell must fail gracefully, and a healthy sibling
+        // cell in the same sweep must still run.
+        let broken = Scenario { nr_frames: 64, ..Scenario::default_linux() };
+        let healthy = Scenario::default_linux();
+        let spec = benchmark("Bzip2").unwrap();
+        let cells = vec![
+            SweepCell::new("prep-fail/broken", &broken, &spec, 0, |w| {
+                w.contiguity().total_pages()
+            }),
+            SweepCell::new("prep-fail/healthy", &healthy, &spec, 0, |w| {
+                w.contiguity().total_pages()
+            }),
+        ];
+        let outcomes = run_cells_outcomes(cells, 2);
+        let _ = take_metrics();
+        assert!(outcomes[0].is_failed(), "tiny scenario must fail to prepare");
+        match &outcomes[0] {
+            CellOutcome::Failed { label, .. } => assert_eq!(label, "prep-fail/broken"),
+            CellOutcome::Ok(_) => unreachable!(),
+        }
+        assert!(matches!(&outcomes[1], CellOutcome::Ok(pages) if *pages > 0));
     }
 }

@@ -22,6 +22,10 @@ pub struct CompactionStats {
     pub migrated: u64,
     /// Movable pages examined by the migrate scanner.
     pub scanned: u64,
+    /// The pass stopped because its migration budget ran out while
+    /// movable work remained (Linux's `COMPACT_PARTIAL`): the caller's
+    /// allocation may still fail and should back off before retrying.
+    pub aborted: bool,
 }
 
 /// How far a compaction pass runs before giving up.
@@ -117,6 +121,7 @@ pub fn compact_logged(
         }
         if let Some(max) = control.max_migrations {
             if stats.migrated >= max {
+                stats.aborted = true;
                 break;
             }
         }
@@ -255,6 +260,7 @@ mod tests {
         let (mut buddy, mut frames, mut procs) = build(1024, &movable, &[]);
         let stats = compact(&mut buddy, &mut frames, &mut procs);
         assert_eq!(stats.migrated, 16);
+        assert!(!stats.aborted, "an unbounded pass runs to completion");
         buddy.check_invariants();
         let counts = frames.counts();
         assert_eq!(counts.movable, 16);
@@ -358,6 +364,7 @@ mod tests {
         let (mut buddy, mut frames, mut procs) = build(1024, &allocated, &[]);
         let stats = compact_with(&mut buddy, &mut frames, &mut procs, CompactionControl::slice(3));
         assert_eq!(stats.migrated, 3);
+        assert!(stats.aborted, "the budget cut the pass short");
         buddy.check_invariants();
     }
 

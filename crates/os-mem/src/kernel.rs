@@ -11,6 +11,7 @@ use crate::buddy::{covering_order, BuddyAllocator, PfnRange};
 use crate::compaction::{self, CompactionControl, CompactionStats};
 use crate::contiguity::ContiguityReport;
 use crate::error::{MemError, MemResult};
+use crate::faults::{FaultConfig, FaultPlan};
 use crate::frames::{FrameDb, FrameState};
 use crate::page_table::{PageKind, Pte, PteFlags, Translation};
 use crate::process::Process;
@@ -72,6 +73,12 @@ pub struct KernelConfig {
     pub thp_split_puncture: bool,
     /// Per-process virtual address-space span in pages.
     pub va_limit_pages: u64,
+    /// Deterministic fault injection: when set, the kernel consults a
+    /// seeded [`FaultPlan`] at its failure-prone choice points and the
+    /// degradation machinery (deferred THP collapse, compaction backoff,
+    /// the OOM killer) engages. `None` (the default) keeps every
+    /// baseline table bit-identical to the fault-free kernel.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for KernelConfig {
@@ -86,6 +93,7 @@ impl Default for KernelConfig {
             max_alloc_order: 6,
             thp_split_puncture: true,
             va_limit_pages: 1 << 26,
+            faults: None,
         }
     }
 }
@@ -139,6 +147,14 @@ pub struct KernelStats {
     pub demand_faults: u64,
     /// Clean file-backed pages evicted by the reclaim path.
     pub pages_reclaimed: u64,
+    /// Processes torn down by the OOM killer.
+    pub oom_kills: u64,
+    /// Direct-compaction attempts skipped by the defer backoff.
+    pub compact_deferred: u64,
+    /// khugepaged collapse attempts on deferred THP regions.
+    pub thp_deferred_retries: u64,
+    /// Faults injected by the active [`FaultPlan`].
+    pub faults_injected: u64,
 }
 
 /// The simulated kernel.
@@ -169,12 +185,47 @@ pub struct Kernel {
     /// Per-VPN shootdown events for every page-table mutation, recorded
     /// only when enabled (the differential checker's hook).
     shootdowns: ShootdownLog,
+    /// The active fault-injection plan, if any.
+    faults: Option<FaultPlan>,
+    /// khugepaged's queue: regions that fell back to base pages, waiting
+    /// for a deferred collapse, with per-region retry counts.
+    thp_deferred: VecDeque<(Asid, Vpn, u32)>,
+    /// Compaction defer backoff (Linux `compact_defer_shift`): after a
+    /// failed direct compaction the next `1 << shift` attempts are
+    /// skipped instead of stalling the allocator again.
+    compact_defer_shift: u32,
+    /// Remaining direct-compaction attempts to skip.
+    compact_backoff: u64,
     stats: KernelStats,
 }
 
 /// Pages per PCP refill batch (Linux's per-cpu batch is the same order
 /// of magnitude).
 const PCP_BATCH: u64 = 32;
+
+/// Cap on the compaction defer backoff: at most `1 << 6` skipped
+/// attempts per deferral round (Linux `COMPACT_MAX_DEFER_SHIFT`).
+const COMPACT_MAX_DEFER_SHIFT: u32 = 6;
+
+/// khugepaged collapse attempts per deferred region before it is dropped
+/// from the queue.
+const THP_RETRY_BUDGET: u32 = 3;
+
+/// Bound on the deferred-collapse queue.
+const THP_DEFER_QUEUE_MAX: usize = 64;
+
+/// Deferred regions khugepaged rescans per [`Kernel::tick`].
+const COLLAPSES_PER_TICK: usize = 2;
+
+/// Outcome of one khugepaged collapse attempt.
+enum CollapseOutcome {
+    /// The region now maps one superpage.
+    Collapsed,
+    /// Transient failure (holes, no order-9 block): rescan later.
+    Retry,
+    /// The region can never collapse (freed, exited, already huge).
+    Gone,
+}
 
 impl Kernel {
     /// Boots a kernel over `config.nr_frames` of physical memory.
@@ -187,9 +238,33 @@ impl Kernel {
             live_superpages: VecDeque::new(),
             pcp: VecDeque::new(),
             shootdowns: ShootdownLog::new(),
+            faults: config.faults.map(FaultPlan::new),
+            thp_deferred: VecDeque::new(),
+            compact_defer_shift: 0,
+            compact_backoff: 0,
             stats: KernelStats::default(),
             config,
         }
+    }
+
+    /// Installs (or replaces) a fault-injection plan on a running kernel
+    /// — the SMP harness puts an already prepared machine under
+    /// injection this way.
+    pub fn set_fault_plan(&mut self, config: FaultConfig) {
+        self.config.faults = Some(config);
+        self.faults = Some(FaultPlan::new(config));
+    }
+
+    /// The active fault plan's parameters, if any.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.faults.as_ref().map(FaultPlan::config)
+    }
+
+    /// Frames parked in the per-CPU page list: owned by the allocator,
+    /// mapped nowhere. Free-memory conservation checks must count
+    /// `free_frames() + pcp_parked()`.
+    pub fn pcp_parked(&self) -> u64 {
+        self.pcp.len() as u64
     }
 
     /// Starts recording per-VPN [`ShootdownEvent`]s for every page-table
@@ -336,6 +411,31 @@ impl Kernel {
         kind: VmaKind,
         flags: PteFlags,
     ) -> MemResult<Vpn> {
+        match self.try_allocate(asid, pages, kind, flags) {
+            Err(e @ MemError::OutOfMemory { .. }) if self.faults.is_some() => {
+                // Emergency path: reclaim inside the allocator already
+                // failed. Kill the largest-RSS process (never the
+                // requester) and retry once before surfacing the error.
+                if self.oom_kill(Some(asid)).is_none() {
+                    return Err(e);
+                }
+                // The retry re-reserves; undo the failed attempt's
+                // counters so one malloc stays one allocation.
+                self.stats.allocations -= 1;
+                self.stats.pages_requested -= pages;
+                self.try_allocate(asid, pages, kind, flags)
+            }
+            other => other,
+        }
+    }
+
+    fn try_allocate(
+        &mut self,
+        asid: Asid,
+        pages: u64,
+        kind: VmaKind,
+        flags: PteFlags,
+    ) -> MemResult<Vpn> {
         let process = self
             .processes
             .get_mut(&asid)
@@ -354,6 +454,104 @@ impl Kernel {
         Ok(vma.start)
     }
 
+    /// Resident set size of `asid` in pages (0 for unknown processes).
+    pub fn rss_pages(&self, asid: Asid) -> u64 {
+        self.processes.get(&asid).map_or(0, |p| {
+            let s = p.page_table().stats();
+            s.base_pages + s.superpages * SUPERPAGE_PAGES
+        })
+    }
+
+    /// The OOM killer: tears down the live process with the largest RSS
+    /// (ties broken toward the lowest ASID, so the choice is
+    /// deterministic), excluding `exclude`. The victim's pages are
+    /// released through the ordinary exit path, emitting an `Unmap`
+    /// [`ShootdownEvent`] per mapping.
+    ///
+    /// Returns the victim, or `None` when no process had pages to give.
+    pub fn oom_kill(&mut self, exclude: Option<Asid>) -> Option<Asid> {
+        let (victim, rss) = self
+            .processes
+            .keys()
+            .copied()
+            .filter(|a| Some(*a) != exclude)
+            .map(|a| (a, self.rss_pages(a)))
+            .max_by(|(a1, r1), (a2, r2)| r1.cmp(r2).then(a2.cmp(a1)))?;
+        if rss == 0 {
+            return None;
+        }
+        self.exit(victim).expect("victim is live");
+        self.stats.oom_kills += 1;
+        Some(victim)
+    }
+
+    /// One fault-plan decision for a buddy allocation attempt.
+    fn inject_alloc_failure(&mut self) -> bool {
+        let fired = self.faults.as_mut().is_some_and(FaultPlan::fail_alloc);
+        if fired {
+            self.stats.faults_injected += 1;
+        }
+        fired
+    }
+
+    /// One fault-plan decision for a direct-compaction attempt.
+    fn inject_compaction_abort(&mut self) -> bool {
+        let fired = self.faults.as_mut().is_some_and(FaultPlan::abort_compaction);
+        if fired {
+            self.stats.faults_injected += 1;
+        }
+        fired
+    }
+
+    /// One fault-plan decision for background reclaim pressure.
+    fn take_reclaim_spike(&mut self) -> Option<u64> {
+        let spike = self.faults.as_mut().and_then(FaultPlan::reclaim_spike);
+        if spike.is_some() {
+            self.stats.faults_injected += 1;
+        }
+        spike
+    }
+
+    /// A buddy multi-page allocation under injection: a fired fault makes
+    /// the attempt fail spuriously, exercising the degradation path at
+    /// the call site.
+    fn buddy_alloc_pages(&mut self, pages: u64) -> Option<PfnRange> {
+        if self.inject_alloc_failure() {
+            return None;
+        }
+        self.buddy.alloc_pages(pages)
+    }
+
+    /// Whether a direct-compaction attempt may run now, consuming one
+    /// backoff credit when it may not.
+    fn direct_compaction_allowed(&mut self) -> bool {
+        if self.compact_backoff > 0 {
+            self.compact_backoff -= 1;
+            self.stats.compact_deferred += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Records a failed (or aborted) direct compaction: the next
+    /// `1 << shift` attempts are skipped, with the shift growing
+    /// exponentially up to a cap — Linux's `defer_compaction`. Engaged
+    /// only under fault injection so the fault-free kernel's compaction
+    /// behavior, and every baseline table, is unchanged.
+    fn defer_compaction(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        self.compact_backoff = 1 << self.compact_defer_shift;
+        self.compact_defer_shift = (self.compact_defer_shift + 1).min(COMPACT_MAX_DEFER_SHIFT);
+    }
+
+    /// A direct compaction satisfied its allocation: stop deferring.
+    fn reset_compaction_backoff(&mut self) {
+        self.compact_defer_shift = 0;
+        self.compact_backoff = 0;
+    }
+
     /// Populates `vma` with physical frames in as few contiguous runs as
     /// the buddy allocator permits, using THS for aligned 512-page chunks
     /// of anonymous areas.
@@ -370,6 +568,7 @@ impl Kernel {
                     continue;
                 }
                 self.stats.thp_fallbacks += 1;
+                self.note_thp_deferral(asid, vpn);
             }
             // Base-page chunk: stop at the next superpage boundary when a
             // later THS attempt is still possible, and at the per-request
@@ -393,14 +592,30 @@ impl Kernel {
     /// Linux behavior the paper leans on: "THS relies on the memory
     /// compaction daemon, triggering it more often" (§3.2.3).
     fn alloc_superpage_with_defrag(&mut self) -> Option<Pfn> {
+        if self.inject_alloc_failure() {
+            return None;
+        }
         if let Some(p) = thp::try_alloc_superpage(&mut self.buddy) {
             return Some(p);
         }
         if self.config.compaction == CompactionMode::Normal
             && self.buddy.free_frames() >= SUPERPAGE_PAGES
         {
-            self.compact_bounded(9, 8 * SUPERPAGE_PAGES);
-            return thp::try_alloc_superpage(&mut self.buddy);
+            if !self.direct_compaction_allowed() {
+                return None;
+            }
+            if self.inject_compaction_abort() {
+                self.defer_compaction();
+                return None;
+            }
+            let stats = self.compact_bounded(9, 8 * SUPERPAGE_PAGES);
+            let got = thp::try_alloc_superpage(&mut self.buddy);
+            if got.is_none() || stats.aborted {
+                self.defer_compaction();
+            } else {
+                self.reset_compaction_backoff();
+            }
+            return got;
         }
         None
     }
@@ -417,19 +632,27 @@ impl Kernel {
         }
         let mut compacted = false;
         loop {
-            if let Some(run) = self.buddy.alloc_pages(chunk) {
+            if let Some(run) = self.buddy_alloc_pages(chunk) {
                 return Ok(run);
             }
             // Direct compaction: the Linux defrag flag triggers the
             // daemon on allocation failure (paper §5.1.1). It stops as
-            // soon as a block of the needed order is free.
+            // soon as a block of the needed order is free. Under the
+            // defer backoff (or an injected abort) the attempt is
+            // skipped and the request degrades to smaller runs instead.
             if !compacted
                 && self.config.compaction == CompactionMode::Normal
                 && self.buddy.free_frames() >= chunk
             {
-                self.compact_bounded(covering_order(chunk), 4 * chunk.max(64));
                 compacted = true;
-                continue;
+                if self.direct_compaction_allowed() {
+                    if self.inject_compaction_abort() {
+                        self.defer_compaction();
+                    } else {
+                        self.compact_bounded(covering_order(chunk), 4 * chunk.max(64));
+                    }
+                    continue;
+                }
             }
             if chunk > 1 {
                 chunk /= 2;
@@ -438,6 +661,12 @@ impl Kernel {
             // Last resort before OOM: evict clean page cache.
             if self.reclaim_file_pages(PCP_BATCH * 4) > 0 {
                 continue;
+            }
+            // Terminal attempt, injection bypassed (GFP_MEMALLOC-style):
+            // a fired fault plan alone must never manufacture an OOM out
+            // of genuinely free memory.
+            if let Some(run) = self.buddy.alloc_pages(chunk) {
+                return Ok(run);
             }
             return Err(MemError::OutOfMemory { requested_pages: chunk });
         }
@@ -452,7 +681,7 @@ impl Kernel {
         let mut want = PCP_BATCH;
         let mut reclaimed = false;
         loop {
-            if let Some(run) = self.buddy.alloc_pages(want) {
+            if let Some(run) = self.buddy_alloc_pages(want) {
                 for p in run.iter() {
                     // Parked in the PCP: owned by the allocator, not yet
                     // mapped anywhere.
@@ -470,6 +699,14 @@ impl Kernel {
                 reclaimed = true;
                 want = PCP_BATCH;
                 continue;
+            }
+            // Terminal attempt, injection bypassed (GFP_MEMALLOC-style):
+            // see alloc_run_with_reclaim.
+            if let Some(run) = self.buddy.alloc_pages(1) {
+                let p = run.start;
+                self.frames.set(p, FrameState::Pinned);
+                self.pcp.push_back(p);
+                return Ok(self.pcp.pop_front().expect("just pushed"));
             }
             return Err(MemError::OutOfMemory { requested_pages: 1 });
         }
@@ -600,6 +837,7 @@ impl Kernel {
                     return Ok(());
                 }
                 self.stats.thp_fallbacks += 1;
+                self.note_thp_deferral(asid, huge_base);
             }
         }
         let pfn = self.alloc_single_via_pcp()?;
@@ -735,6 +973,10 @@ impl Kernel {
     /// configured threshold (kcompactd-style), and lets the THS pressure
     /// daemon split superpages when memory is low.
     pub fn tick(&mut self) {
+        // Injected pressure spike: kswapd wakes and evicts page cache.
+        if let Some(spike) = self.take_reclaim_spike() {
+            self.reclaim_file_pages(spike);
+        }
         // Background compaction exists to serve high-order (THP) demand:
         // with THS off it almost never wakes up (paper §6.2, "disabling
         // THS drastically reduces memory compaction daemon invocations").
@@ -744,18 +986,119 @@ impl Kernel {
             && (scattered
                 || self.buddy.fragmentation_index() > self.config.compaction_frag_threshold)
         {
-            let slice = (self.buddy.nr_frames() / 32).max(64);
-            let stats = compaction::compact_logged(
-                &mut self.buddy,
-                &mut self.frames,
-                &mut self.processes,
-                CompactionControl::slice(slice),
-                &mut self.shootdowns,
-            );
-            self.stats.compaction_runs += 1;
-            self.stats.pages_migrated += stats.migrated;
+            if self.inject_compaction_abort() {
+                // The daemon's slice is skipped this round.
+                self.stats.compact_deferred += 1;
+            } else {
+                let slice = (self.buddy.nr_frames() / 32).max(64);
+                let stats = compaction::compact_logged(
+                    &mut self.buddy,
+                    &mut self.frames,
+                    &mut self.processes,
+                    CompactionControl::slice(slice),
+                    &mut self.shootdowns,
+                );
+                self.stats.compaction_runs += 1;
+                self.stats.pages_migrated += stats.migrated;
+            }
         }
         self.maybe_split_under_pressure();
+        self.khugepaged_scan();
+    }
+
+    /// Queues a THP-fallback region for a deferred khugepaged collapse.
+    /// Part of the degradation model: inert unless a fault plan is
+    /// installed, keeping the fault-free kernel's behavior untouched.
+    fn note_thp_deferral(&mut self, asid: Asid, base_vpn: Vpn) {
+        if self.faults.is_none()
+            || self.thp_deferred.len() >= THP_DEFER_QUEUE_MAX
+            || self.thp_deferred.iter().any(|&(a, v, _)| a == asid && v == base_vpn)
+        {
+            return;
+        }
+        self.thp_deferred.push_back((asid, base_vpn, 0));
+    }
+
+    /// khugepaged: rescans a few deferred regions, collapsing those whose
+    /// 512 pages are all base-mapped into a freshly allocated superpage.
+    /// Transient failures are retried up to [`THP_RETRY_BUDGET`] times.
+    fn khugepaged_scan(&mut self) {
+        for _ in 0..COLLAPSES_PER_TICK {
+            let Some((asid, base_vpn, retries)) = self.thp_deferred.pop_front() else {
+                return;
+            };
+            self.stats.thp_deferred_retries += 1;
+            match self.try_collapse(asid, base_vpn) {
+                CollapseOutcome::Collapsed | CollapseOutcome::Gone => {}
+                CollapseOutcome::Retry => {
+                    if retries + 1 < THP_RETRY_BUDGET {
+                        self.thp_deferred.push_back((asid, base_vpn, retries + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One collapse attempt: migrate the 512 base pages at `base_vpn`
+    /// into a fresh naturally aligned block and remap them as one
+    /// superpage — khugepaged's copy+remap, costing one `Migrate`
+    /// shootdown per page.
+    fn try_collapse(&mut self, asid: Asid, base_vpn: Vpn) -> CollapseOutcome {
+        let Some(process) = self.processes.get(&asid) else {
+            return CollapseOutcome::Gone;
+        };
+        // The whole range must still sit inside one anonymous VMA.
+        let eligible = process.address_space.find(base_vpn).is_some_and(|vma| {
+            vma.kind == VmaKind::Anonymous
+                && base_vpn >= vma.start
+                && base_vpn.offset(SUPERPAGE_PAGES) <= vma.end()
+        });
+        if !eligible {
+            return CollapseOutcome::Gone;
+        }
+        match thp::collapse_scan(process, base_vpn) {
+            thp::CollapseScan::Ineligible => return CollapseOutcome::Gone,
+            thp::CollapseScan::Holes => return CollapseOutcome::Retry,
+            thp::CollapseScan::Ready => {}
+        }
+        // The target block is an allocation like any other: subject to
+        // injection, and to there simply being no order-9 block yet.
+        if self.inject_alloc_failure() {
+            return CollapseOutcome::Retry;
+        }
+        let Some(new_base) = thp::try_alloc_superpage(&mut self.buddy) else {
+            return CollapseOutcome::Retry;
+        };
+        let process = self.processes.get_mut(&asid).expect("checked above");
+        let mut flags: Option<PteFlags> = None;
+        for i in 0..SUPERPAGE_PAGES {
+            let vpn = base_vpn.offset(i);
+            let entry_addrs = if self.shootdowns.is_enabled() {
+                process.page_table.walk(vpn).map(|p| p.entry_addrs).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let old = process.page_table.unmap_base(vpn).expect("scan said base-mapped");
+            // The superpage PTE carries the union of the base flags (a
+            // dirty page keeps the collapsed region dirty).
+            flags = Some(flags.map_or(old.flags, |f| f.with(old.flags)));
+            self.shootdowns.record(ShootdownEvent {
+                asid,
+                vpn,
+                kind: ShootdownKind::Migrate,
+                entry_addrs,
+                old_pfn: Some(old.pfn),
+                new_pfn: Some(new_base.offset(i)),
+            });
+            self.frames.set(old.pfn, FrameState::Free);
+            self.buddy.free_block(old.pfn, 0);
+        }
+        let flags = flags.expect("512 pages merged");
+        process.page_table.map_super(base_vpn, Pte::new(new_base, flags));
+        thp::record_superpage_frames(&mut self.frames, asid, base_vpn, new_base);
+        self.live_superpages.push_back((asid, base_vpn));
+        self.stats.thp_allocs += 1;
+        CollapseOutcome::Collapsed
     }
 
     /// Splits oldest-first superpages while the free-memory watermark is
@@ -1194,6 +1537,233 @@ mod tests {
         assert!(matches!(err, MemError::OutOfMemory { .. }));
         // The failed allocation must not leak frames.
         assert_eq!(k.free_frames(), 56);
+    }
+
+    mod no_leak_properties {
+        use super::*;
+        use colt_quickprop::prelude::*;
+
+        proptest! {
+            /// Extends `oom_rolls_back_cleanly`: under any injected fault
+            /// sequence, a failed multi-frame/THP allocation leaves buddy
+            /// free-frame accounting and page-table state exactly as
+            /// before the attempt, and total memory stays conserved.
+            #[test]
+            fn failed_allocations_never_leak_under_injection(
+                seed in 0u64..1_000_000,
+                rate in 0.05f64..0.9,
+                window in 0u64..16,
+                sizes in prop::collection::vec(1u64..700, 1..12),
+            ) {
+                let mut k = Kernel::new(KernelConfig {
+                    nr_frames: 1024,
+                    faults: Some(FaultConfig { rate, window, seed }),
+                    ..KernelConfig::default()
+                });
+                let asid = k.spawn();
+                let mapped = |k: &Kernel| {
+                    let s = k.process(asid).unwrap().page_table().stats();
+                    s.base_pages + s.superpages * SUPERPAGE_PAGES
+                };
+                let mut live: Vec<Vpn> = Vec::new();
+                for (i, pages) in sizes.into_iter().enumerate() {
+                    let avail_before = k.free_frames() + k.pcp_parked();
+                    let mapped_before = mapped(&k);
+                    match k.malloc(asid, pages) {
+                        Ok(base) => live.push(base),
+                        Err(_) => {
+                            // Exact rollback: with one process there is no
+                            // reclaim prey and no OOM victim, so failure
+                            // must restore the books precisely.
+                            prop_assert_eq!(k.free_frames() + k.pcp_parked(), avail_before);
+                            prop_assert_eq!(mapped(&k), mapped_before);
+                        }
+                    }
+                    k.tick();
+                    if i % 3 == 2 && !live.is_empty() {
+                        k.free(asid, live.remove(0)).unwrap();
+                    }
+                    // Every frame is free, parked in the PCP, or mapped.
+                    prop_assert_eq!(k.free_frames() + k.pcp_parked() + mapped(&k), 1024);
+                    k.buddy().check_invariants();
+                }
+            }
+        }
+    }
+
+    fn faulty_config(rate: f64, window: u64, seed: u64) -> KernelConfig {
+        KernelConfig {
+            faults: Some(FaultConfig { rate, window, seed }),
+            ..KernelConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_failures_degrade_allocations_but_they_still_succeed() {
+        let mut k = Kernel::new(KernelConfig { nr_frames: 4096, ..faulty_config(0.3, 0, 11) });
+        let asid = k.spawn();
+        // Many sub-superpage mallocs: each takes several buddy-allocation
+        // decisions, so the plan fires with near-certainty — and every
+        // allocation must still come back fully mapped.
+        for _ in 0..16 {
+            let base = k.malloc(asid, 128).expect("free memory absorbs injected failures");
+            for i in 0..128 {
+                assert!(k.process(asid).unwrap().translate(base.offset(i)).is_some());
+            }
+        }
+        assert!(k.stats().faults_injected > 0, "the plan must have fired");
+        k.buddy().check_invariants();
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let script = |k: &mut Kernel| {
+            let asid = k.spawn();
+            let mut regions = Vec::new();
+            for pages in [600u64, 64, 300, 128, 512] {
+                if let Ok(base) = k.malloc(asid, pages) {
+                    regions.push(base);
+                }
+                k.tick();
+            }
+            if let Some(first) = regions.first() {
+                let _ = k.free(asid, *first);
+            }
+            k.tick();
+        };
+        let cfg = KernelConfig { nr_frames: 2048, ..faulty_config(0.25, 8, 99) };
+        let mut a = Kernel::new(cfg);
+        let mut b = Kernel::new(cfg);
+        script(&mut a);
+        script(&mut b);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.free_frames(), b.free_frames());
+        assert!(a.stats().faults_injected > 0);
+    }
+
+    #[test]
+    fn oom_killer_tears_down_the_largest_rss_process() {
+        // Rate 0 arms the degradation machinery without injecting any
+        // faults: the OOM here is real memory exhaustion.
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 512,
+            ths_enabled: false,
+            ..faulty_config(0.0, 0, 1)
+        });
+        let a = k.spawn();
+        let b = k.spawn();
+        k.malloc(a, 300).unwrap();
+        let first = k.malloc(b, 150).unwrap();
+        // 512 - 450 leaves too little: without the killer this fails.
+        let second = k.malloc(b, 150).expect("the OOM killer must rescue this");
+        assert_eq!(k.stats().oom_kills, 1);
+        assert!(k.process(a).is_err(), "largest-RSS process was killed");
+        for i in 0..150 {
+            assert!(k.process(b).unwrap().translate(first.offset(i)).is_some());
+            assert!(k.process(b).unwrap().translate(second.offset(i)).is_some());
+        }
+        k.buddy().check_invariants();
+    }
+
+    #[test]
+    fn oom_killer_never_kills_the_requester() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 256,
+            ths_enabled: false,
+            ..faulty_config(0.0, 0, 1)
+        });
+        let only = k.spawn();
+        k.malloc(only, 200).unwrap();
+        // The requester is the only (and largest) process; with no other
+        // victim the allocation must fail cleanly, exactly as before.
+        let err = k.malloc(only, 100).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+        assert_eq!(k.stats().oom_kills, 0);
+        assert!(k.process(only).is_ok());
+    }
+
+    #[test]
+    fn compaction_backoff_grows_exponentially_and_resets() {
+        let mut k = Kernel::new(faulty_config(0.0, 0, 1));
+        assert!(k.direct_compaction_allowed());
+        k.defer_compaction(); // backoff = 1, shift -> 1
+        assert!(!k.direct_compaction_allowed());
+        assert!(k.direct_compaction_allowed());
+        k.defer_compaction(); // backoff = 2, shift -> 2
+        assert!(!k.direct_compaction_allowed());
+        assert!(!k.direct_compaction_allowed());
+        assert!(k.direct_compaction_allowed());
+        assert_eq!(k.stats().compact_deferred, 3);
+        k.reset_compaction_backoff();
+        k.defer_compaction();
+        assert_eq!(k.compact_backoff, 1, "shift restarts after a success");
+    }
+
+    #[test]
+    fn backoff_is_inert_without_a_fault_plan() {
+        let mut k = small_kernel(true);
+        k.defer_compaction();
+        assert!(k.direct_compaction_allowed());
+        assert_eq!(k.stats().compact_deferred, 0);
+    }
+
+    #[test]
+    fn khugepaged_collapses_a_deferred_region_once_memory_frees_up() {
+        // THS on but compaction Low: a fragmented order-9 request cannot
+        // be rescued at malloc time, so it falls back and is queued.
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 2048,
+            compaction: CompactionMode::Low,
+            ..faulty_config(0.0, 0, 1)
+        });
+        let asid = k.spawn();
+        // Fill all of memory with 64-page file mappings, then free every
+        // other one: 1024 frames free, no order-9 block anywhere.
+        let files: Vec<Vpn> = (0..32).map(|_| k.mmap_file(asid, 64).unwrap()).collect();
+        for (i, f) in files.iter().enumerate() {
+            if i % 2 == 0 {
+                k.free(asid, *f).unwrap();
+            }
+        }
+        let base = k.malloc(asid, 512).unwrap();
+        assert_eq!(k.stats().thp_fallbacks, 1);
+        assert_eq!(k.live_superpage_count(), 0);
+        // Free the remaining file mappings: order-9 blocks exist again.
+        for (i, f) in files.iter().enumerate() {
+            if i % 2 == 1 {
+                k.free(asid, *f).unwrap();
+            }
+        }
+        k.tick();
+        assert!(k.stats().thp_deferred_retries >= 1);
+        assert_eq!(k.stats().thp_allocs, 1, "the region collapsed");
+        assert_eq!(k.live_superpage_count(), 1);
+        let t = k.process(asid).unwrap().translate(base.offset(100)).unwrap();
+        assert!(matches!(t.kind, PageKind::Super { .. }));
+        // Conservation: 512 mapped pages, everything else free.
+        assert_eq!(k.free_frames() + k.pcp_parked(), 2048 - 512);
+        k.buddy().check_invariants();
+    }
+
+    #[test]
+    fn collapse_of_a_freed_region_is_dropped() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 2048,
+            compaction: CompactionMode::Low,
+            ..faulty_config(0.0, 0, 1)
+        });
+        let asid = k.spawn();
+        let files: Vec<Vpn> = (0..32).map(|_| k.mmap_file(asid, 64).unwrap()).collect();
+        for (i, f) in files.iter().enumerate() {
+            if i % 2 == 0 {
+                k.free(asid, *f).unwrap();
+            }
+        }
+        let base = k.malloc(asid, 512).unwrap();
+        k.free(asid, base).unwrap();
+        k.tick();
+        assert_eq!(k.stats().thp_allocs, 0, "freed region must not collapse");
+        assert_eq!(k.thp_deferred.len(), 0);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod buddy;
 pub mod compaction;
 pub mod contiguity;
 pub mod error;
+pub mod faults;
 pub mod frames;
 pub mod kernel;
 pub mod memhog;
@@ -47,4 +48,5 @@ pub mod vma;
 pub use addr::{Asid, Pfn, PhysAddr, VirtAddr, Vpn};
 pub use contiguity::ContiguityReport;
 pub use error::{MemError, MemResult};
+pub use faults::{DeliveryFault, FaultConfig, FaultPlan};
 pub use kernel::{Kernel, KernelConfig};

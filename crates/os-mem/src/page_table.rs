@@ -341,6 +341,15 @@ impl PageTable {
         assert!(pte.pfn.is_aligned(9), "superpage pfn {} misaligned", pte.pfn);
         let node = self.node_at_mut(base_vpn, 1);
         let idx = level_index(base_vpn, 1);
+        // A PTE table emptied by unmaps is reclaimed on the spot: the
+        // khugepaged collapse path unmaps all 512 base pages and then
+        // installs the superpage leaf in their place.
+        let mut freed_table = false;
+        if matches!(&node.entries[idx], Entry::Table(child) if child.live == 0) {
+            node.entries[idx] = Entry::Empty;
+            node.live -= 1;
+            freed_table = true;
+        }
         match node.entries[idx] {
             Entry::Empty => {
                 node.entries[idx] = Entry::LeafSuper(pte);
@@ -348,6 +357,9 @@ impl PageTable {
                 self.superpages += 1;
             }
             _ => panic!("superpage slot at {base_vpn} already occupied"),
+        }
+        if freed_table {
+            self.nodes -= 1;
         }
     }
 

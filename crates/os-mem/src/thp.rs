@@ -9,6 +9,7 @@
 use crate::addr::{Asid, Pfn, Vpn, SUPERPAGE_PAGES};
 use crate::buddy::BuddyAllocator;
 use crate::frames::{FrameDb, FrameState};
+use crate::page_table::PageKind;
 use crate::process::Process;
 
 /// Attempts to allocate one naturally aligned 512-frame block for a
@@ -41,6 +42,42 @@ pub fn split_superpage(process: &mut Process, frames: &mut FrameDb, base_vpn: Vp
 pub fn record_superpage_frames(frames: &mut FrameDb, owner: Asid, base_vpn: Vpn, base_pfn: Pfn) {
     for i in 0..SUPERPAGE_PAGES {
         frames.set(base_pfn.offset(i), FrameState::Huge { owner, base_vpn });
+    }
+}
+
+/// khugepaged's eligibility verdict for collapsing the 512 pages at
+/// `base_vpn` into one superpage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollapseScan {
+    /// Every page is base-mapped: ready to collapse.
+    Ready,
+    /// Unpopulated holes remain; worth rescanning later (demand-mode
+    /// pages may still fault in).
+    Holes,
+    /// A superpage already covers part of the range, or the base VPN is
+    /// misaligned: never collapsible.
+    Ineligible,
+}
+
+/// Scans `base_vpn..base_vpn+512` the way khugepaged would before a
+/// collapse. The backing frames need not be contiguous — collapse
+/// migrates them into a fresh naturally aligned block.
+pub fn collapse_scan(process: &Process, base_vpn: Vpn) -> CollapseScan {
+    if !base_vpn.is_aligned(9) {
+        return CollapseScan::Ineligible;
+    }
+    let mut holes = false;
+    for i in 0..SUPERPAGE_PAGES {
+        match process.page_table.translate(base_vpn.offset(i)) {
+            Some(t) if t.kind == PageKind::Base => {}
+            Some(_) => return CollapseScan::Ineligible,
+            None => holes = true,
+        }
+    }
+    if holes {
+        CollapseScan::Holes
+    } else {
+        CollapseScan::Ready
     }
 }
 
@@ -107,6 +144,24 @@ mod tests {
         let mut frames = FrameDb::new(64);
         let mut proc = Process::new(Asid(1), 1 << 20);
         assert!(!split_superpage(&mut proc, &mut frames, Vpn::new(512)));
+    }
+
+    #[test]
+    fn collapse_scan_distinguishes_ready_holes_and_ineligible() {
+        let mut proc = Process::new(Asid(1), 1 << 20);
+        let base = Vpn::new(512);
+        assert_eq!(collapse_scan(&proc, Vpn::new(3)), CollapseScan::Ineligible);
+        assert_eq!(collapse_scan(&proc, base), CollapseScan::Holes);
+        for i in 0..SUPERPAGE_PAGES {
+            proc.page_table
+                .map_base(base.offset(i), Pte::new(Pfn::new(i), PteFlags::user_data()));
+        }
+        assert_eq!(collapse_scan(&proc, base), CollapseScan::Ready);
+        // A range under an existing superpage is never a candidate.
+        let huge = Vpn::new(1024);
+        proc.page_table
+            .map_super(huge, Pte::new(Pfn::new(1024), PteFlags::user_data()));
+        assert_eq!(collapse_scan(&proc, huge), CollapseScan::Ineligible);
     }
 
     #[test]

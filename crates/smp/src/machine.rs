@@ -164,6 +164,20 @@ impl SmpMachine {
         &self.multi.kernel
     }
 
+    /// Arms deterministic fault injection in the shared kernel. Called
+    /// after construction so workload preparation (aging, memhog, the
+    /// allocation phase) matches the fault-free machine bit for bit and
+    /// only the simulated phase degrades.
+    pub fn install_fault_plan(&mut self, config: colt_os_mem::faults::FaultConfig) {
+        self.multi.kernel.set_fault_plan(config);
+    }
+
+    /// The shared kernel's counters (fault-injection and degradation
+    /// totals included).
+    pub fn kernel_stats(&self) -> colt_os_mem::kernel::KernelStats {
+        self.multi.kernel.stats()
+    }
+
     /// Core `c`'s TLB hierarchy (read-only inspection).
     pub fn core_tlb(&self, c: usize) -> &TlbHierarchy {
         &self.cores[c].tlb

@@ -14,6 +14,7 @@ use crate::spec::{BenchmarkSpec, PopulatePolicy};
 use colt_os_mem::addr::{Asid, Vpn};
 use colt_os_mem::contiguity::ContiguityReport;
 use colt_os_mem::error::MemResult;
+use colt_os_mem::faults::FaultConfig;
 use colt_os_mem::kernel::{CompactionMode, Kernel, KernelConfig};
 use colt_os_mem::memhog::{Memhog, MemhogConfig};
 use colt_os_mem::vma::VmaKind;
@@ -52,6 +53,10 @@ pub struct Scenario {
     pub dirty_fraction: f64,
     /// Master seed (aging, memhog, interferer, allocation mixing).
     pub seed: u64,
+    /// Deterministic memory-pressure fault injection for the kernel this
+    /// scenario boots (`None` keeps preparation bit-identical to the
+    /// fault-free baseline).
+    pub faults: Option<FaultConfig>,
 }
 
 impl Scenario {
@@ -66,7 +71,15 @@ impl Scenario {
             pressure_split_fraction: 0.85,
             dirty_fraction: 0.0,
             seed: 0xC011_7E57,
+            faults: None,
         }
+    }
+
+    /// Enables fault injection in the kernel this scenario prepares.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Marks a fraction of the benchmark's pages dirty after allocation.
@@ -171,6 +184,7 @@ impl Scenario {
             nr_frames: self.nr_frames,
             ths_enabled: self.ths,
             compaction: self.compaction,
+            faults: self.faults,
             ..KernelConfig::default()
         });
         age_system(&mut kernel, self.aging, self.seed)?;
@@ -194,6 +208,16 @@ impl Scenario {
             }
         }
         kernel.tick();
+        // An injected reclaim spike in that tick may have evicted clean
+        // file-backed footprint pages; fault them back in (the
+        // simulation assumes a fully mapped footprint).
+        if self.faults.is_some() {
+            for (_, asid, footprint) in &parts {
+                for &vpn in footprint.iter() {
+                    kernel.touch(*asid, vpn)?;
+                }
+            }
+        }
         for (_, asid, footprint) in &parts {
             self.mark_dirty_fraction(&mut kernel, *asid, footprint);
         }
@@ -216,6 +240,7 @@ impl Scenario {
             nr_frames: self.nr_frames,
             ths_enabled: self.ths,
             compaction: self.compaction,
+            faults: self.faults,
             ..KernelConfig::default()
         });
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA6E5);
@@ -238,6 +263,14 @@ impl Scenario {
             kernel.touch(asid, vpn)?;
         }
         kernel.tick();
+        // An injected reclaim spike in that tick may have evicted clean
+        // file-backed footprint pages; fault them back in (the
+        // simulation assumes a fully mapped footprint).
+        if self.faults.is_some() {
+            for &vpn in &footprint {
+                kernel.touch(asid, vpn)?;
+            }
+        }
 
         // 5. Write traffic: dirty a deterministic subset of pages.
         self.mark_dirty_fraction(&mut kernel, asid, &footprint);
@@ -580,6 +613,21 @@ mod tests {
             let r = g.next_ref();
             assert!(multi.parts[1].2.contains(&r.vpn));
         }
+    }
+
+    #[test]
+    fn faulty_preparation_completes_and_is_deterministic() {
+        let spec = benchmark("Gobmk").unwrap();
+        let scen = Scenario::default_linux().with_faults(FaultConfig::default());
+        let a = scen.prepare(&spec).unwrap();
+        let b = scen.prepare(&spec).unwrap();
+        assert!(a.kernel.stats().faults_injected > 0, "the plan must fire");
+        assert_eq!(a.footprint, b.footprint);
+        assert_eq!(a.kernel.stats(), b.kernel.stats());
+        // Same scenario without the plan allocates differently-degraded
+        // memory but the same footprint VPNs.
+        let clean = Scenario::default_linux().prepare(&spec).unwrap();
+        assert_eq!(clean.kernel.stats().faults_injected, 0);
     }
 
     #[test]

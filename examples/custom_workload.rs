@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pressure_split_fraction: 0.9,
         dirty_fraction: 0.0,
         seed: 7,
+        faults: None,
     };
 
     let workload = scenario.prepare(&spec)?;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification: offline release build, the whole test suite, a
-# quick 4-core SMP smoke run, and a quick parallel smoke sweep with a
-# throughput regression gate.
+# quick 4-core SMP smoke run, a fault-injection pressure smoke (sweep
+# plus oracle fuzz under a seeded fault plan), and a quick parallel
+# smoke sweep with a throughput regression gate.
 #
 # The gate compares the smoke sweep's aggregate refs/sec against the
 # committed results/BENCH_sweep.json baseline and fails on a >20% drop.
@@ -54,6 +55,35 @@ if ! grep -q '"mode": "tagged"' results/BENCH_smp.json; then
     echo "FAIL: results/BENCH_smp.json is missing tagged-mode rows" >&2
     exit 1
 fi
+
+# Fault-injection smoke: a quick pressure sweep with a seeded fault
+# plan. Every cell must complete (panic isolation reports failures in
+# the json instead of aborting the sweep, and a non-empty failure list
+# exits nonzero), injection must actually fire, and THP base-page
+# fallback must engage. Also fuzzes the translation oracle with the
+# same plan armed. Runs before the smoke sweep so $BASELINE still ends
+# up holding the single-core perf-gate numbers.
+FAULT_ARGS=(--quick --jobs "$(nproc)" --faults rate=0.05,window=0,seed=7 pressure)
+echo "== fault-injection smoke: repro ${FAULT_ARGS[*]} =="
+./target/release/repro "${FAULT_ARGS[@]}" > /dev/null
+if [[ ! -f results/BENCH_pressure.json ]]; then
+    echo "FAIL: pressure smoke did not write results/BENCH_pressure.json" >&2
+    exit 1
+fi
+if ! grep -q '"failures": \[\]' results/BENCH_pressure.json; then
+    echo "FAIL: results/BENCH_pressure.json reports failed sweep cells" >&2
+    exit 1
+fi
+for counter in faults_injected thp_fallbacks; do
+    if ! grep -o "\"$counter\": [0-9]*" results/BENCH_pressure.json \
+            | awk '{ sum += $2 } END { exit !(sum > 0) }'; then
+        echo "FAIL: fault-injection smoke never incremented $counter" >&2
+        exit 1
+    fi
+done
+echo "== fault-injection oracle fuzz: repro pressure --check =="
+./target/release/repro pressure --check --seeds 2 --events 120 \
+    --jobs "$(nproc)" --faults rate=0.05,window=0,seed=7
 
 echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 # The sweep rewrites $BASELINE with this run's numbers; the baseline

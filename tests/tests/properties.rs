@@ -55,6 +55,7 @@ fn small_scenario(ths: bool, low_compaction: bool, seed: u64) -> Scenario {
         pressure_split_fraction: 0.85,
         dirty_fraction: 0.0,
         seed,
+        faults: None,
     }
 }
 
