@@ -1,0 +1,493 @@
+//! Result-file plumbing: building and *safely* writing the
+//! machine-readable `results/BENCH_*.json` artifacts.
+//!
+//! Three guarantees the `repro` binary used to lack:
+//!
+//! 1. **Atomic writes** — [`atomic_write_json`] writes a temp file,
+//!    fsyncs it, renames it over the destination, and fsyncs the
+//!    directory, so a crash at any instant leaves either the old file
+//!    or the new file, never a truncated hybrid.
+//! 2. **Verified writes** — after the rename the file is read back and
+//!    parsed; an unparseable read-back (disk lying, torn write) is an
+//!    error, and every write error is a *nonzero exit* in `repro`, not
+//!    a swallowed warning.
+//! 3. **Corruption quarantine** — [`quarantine_if_corrupt`] checks an
+//!    existing artifact before a run would overwrite it; invalid JSON
+//!    is moved aside to `<file>.corrupt-<n>` and reported, never
+//!    silently clobbered.
+//!
+//! The JSON builders (`sweep_json`, `smp_json`, `pressure_json`) live
+//! here rather than in the binary so the resume-equivalence tests can
+//! assert byte-identical artifacts without shelling out.
+
+use crate::experiments::pressure::PressureReport;
+use crate::experiments::smp::SmpRow;
+use crate::runner::CellMetric;
+use colt_os_mem::faults::FaultConfig;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON well-formedness scanner (the offline build has no
+// serde). Validates structure only — enough to catch truncation,
+// torn writes, and garbage, which is what crash safety needs.
+// ---------------------------------------------------------------------
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit()
+                || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    self.pos += 1; // escaped char (good enough for \uXXXX too)
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Checks that `text` is one well-formed JSON value (plus trailing
+/// whitespace). Structure only; no data model is built.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut s = Scanner { bytes: text.as_bytes(), pos: 0 };
+    s.value()?;
+    s.skip_ws();
+    if s.pos != s.bytes.len() {
+        return Err(format!("trailing bytes after JSON value at byte {}", s.pos));
+    }
+    Ok(())
+}
+
+/// First free `<path>.corrupt-<n>` sibling.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut n = 1;
+    loop {
+        let candidate = PathBuf::from(format!("{}.corrupt-{n}", path.display()));
+        if !candidate.exists() {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+/// If `path` exists but does not parse as JSON, moves it to
+/// `<path>.corrupt-<n>` and returns the quarantine path. A healthy or
+/// absent file returns `Ok(None)`.
+pub fn quarantine_if_corrupt(path: &Path) -> io::Result<Option<PathBuf>> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut text = String::new();
+    match File::open(path).and_then(|mut f| f.read_to_string(&mut text)) {
+        Ok(_) => {}
+        Err(_) => text.clear(), // unreadable == corrupt
+    }
+    if validate_json(&text).is_ok() {
+        return Ok(None);
+    }
+    let dest = quarantine_path(path);
+    std::fs::rename(path, &dest)?;
+    Ok(Some(dest))
+}
+
+/// Atomically writes `json` to `path` (temp file + fsync + rename +
+/// directory fsync), then reads it back and re-validates. Returns the
+/// display path. Any failure — including an unparseable read-back — is
+/// an error the caller must surface as a nonzero exit.
+pub fn atomic_write_json(path: &Path, json: &str) -> io::Result<String> {
+    validate_json(json).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("refusing to write invalid JSON: {e}"))
+    })?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let tmp = PathBuf::from(format!("{}.tmp-{}", path.display(), std::process::id()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.flush()?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_data();
+    }
+    // Read-back verification: the bytes on disk must round-trip.
+    let mut back = String::new();
+    File::open(path)?.read_to_string(&mut back)?;
+    if back != json {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("read-back of {} does not match what was written", path.display()),
+        ));
+    }
+    validate_json(&back).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("read-back of {} is not valid JSON: {e}", path.display()),
+        )
+    })?;
+    Ok(path.display().to_string())
+}
+
+// ---------------------------------------------------------------------
+// BENCH_*.json builders (hand-rolled: the offline build has no serde).
+// ---------------------------------------------------------------------
+
+/// Sum of every cell's preparation and simulation time — what one
+/// worker thread would have spent, since results are identical at any
+/// width and prep sharing happens at every width too.
+pub fn serial_seconds_estimate(metrics: &[CellMetric]) -> f64 {
+    metrics.iter().map(|m| m.prep_seconds + m.sim_seconds).sum()
+}
+
+/// Machine-readable sweep throughput report (`BENCH_sweep.json`). The
+/// timing fields are wall-clock measurements: on a resumed run,
+/// replayed cells carry their original (journaled, bit-exact) timings
+/// while re-run cells time anew, so everything except timing is
+/// reproducible byte-for-byte.
+pub fn sweep_json(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> String {
+    let total_refs: u64 = metrics.iter().map(|m| m.refs).sum();
+    let serial = serial_seconds_estimate(metrics);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
+    out.push_str(&format!("  \"total_refs\": {total_refs},\n"));
+    out.push_str(&format!(
+        "  \"aggregate_refs_per_sec\": {:.1},\n",
+        total_refs as f64 / wall_seconds.max(1e-9)
+    ));
+    out.push_str(&format!("  \"serial_seconds_estimate\": {serial:.6},\n"));
+    out.push_str(&format!(
+        "  \"speedup_vs_1_thread_estimate\": {:.3},\n",
+        serial / wall_seconds.max(1e-9)
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"benchmark\": \"{}\", \"scenario\": \"{}\", \
+             \"refs\": {}, \"prep_seconds\": {:.6}, \"sim_seconds\": {:.6}, \
+             \"refs_per_sec\": {:.1}}}{}\n",
+            json_escape(&m.label),
+            json_escape(&m.benchmark),
+            json_escape(&m.scenario),
+            m.refs,
+            m.prep_seconds,
+            m.sim_seconds,
+            m.refs as f64 / (m.prep_seconds + m.sim_seconds).max(1e-9),
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Machine-readable SMP report (`BENCH_smp.json`): one record per
+/// (mix, mode, cores) row of the `smp_*` experiments. Fully
+/// deterministic — a resumed run reproduces it byte-for-byte.
+pub fn smp_json(rows: &[SmpRow], cores_flag: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cores_flag\": {cores_flag},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"mix\": \"{}\", \"mode\": \"{}\", \
+             \"cores\": {}, \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \
+             \"full_flushes\": {}, \"flushes_avoided\": {}, \"ipis_sent\": {}, \
+             \"ipis_received\": {}, \"remote_invalidations\": {}, \
+             \"ipi_cycles\": {}}}{}\n",
+            json_escape(r.experiment),
+            json_escape(&r.mix),
+            json_escape(r.mode),
+            r.cores,
+            r.accesses,
+            r.l1_misses,
+            r.walks,
+            r.full_flushes,
+            r.flushes_avoided,
+            r.ipis_sent,
+            r.ipis_received,
+            r.remote_invalidations,
+            r.ipi_cycles,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Machine-readable pressure report (`BENCH_pressure.json`): every cell
+/// row, the SMP leg, and the failure list (partial results survive
+/// failed cells). Fully deterministic — the crash-recovery smoke stage
+/// diffs it byte-for-byte against an uninterrupted reference run.
+pub fn pressure_json(
+    report: &PressureReport,
+    cfg: FaultConfig,
+    cores_flag: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"fault_rate\": {}, \"fault_window\": {}, \"fault_seed\": {},\n",
+        cfg.rate, cfg.window, cfg.seed
+    ));
+    out.push_str(&format!("  \"cores_flag\": {cores_flag},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"rate\": {}, \
+             \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \"walk_cycles\": {}, \
+             \"faults_injected\": {}, \"thp_fallbacks\": {}, \
+             \"thp_deferred_retries\": {}, \"compact_deferred\": {}, \
+             \"oom_kills\": {}}}{}\n",
+            json_escape(&r.benchmark),
+            json_escape(&r.config),
+            r.rate,
+            r.accesses,
+            r.l1_misses,
+            r.walks,
+            r.walk_cycles,
+            r.kernel.faults_injected,
+            r.kernel.thp_fallbacks,
+            r.kernel.thp_deferred_retries,
+            r.kernel.compact_deferred,
+            r.kernel.oom_kills,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"smp_rows\": [\n");
+    for (i, r) in report.smp_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rate\": {}, \"cores\": {}, \"accesses\": {}, \"walks\": {}, \
+             \"ipis_sent\": {}, \"faults_injected\": {}, \"thp_fallbacks\": {}, \
+             \"oom_kills\": {}}}{}\n",
+            r.rate,
+            r.cores,
+            r.accesses,
+            r.walks,
+            r.ipis_sent,
+            r.kernel.faults_injected,
+            r.kernel.thp_fallbacks,
+            r.kernel.oom_kills,
+            if i + 1 == report.smp_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    if report.failures.is_empty() {
+        // Inline so a clean run greps as `"failures": []` (verify.sh
+        // gates on exactly that).
+        out.push_str("  \"failures\": []\n}\n");
+        return out;
+    }
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in report.failures.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"cause\": \"{}\", \"attempts\": {}}}{}\n",
+            json_escape(&f.label),
+            json_escape(&f.payload),
+            f.attempts,
+            if i + 1 == report.failures.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_real_shapes_and_rejects_corruption() {
+        assert!(validate_json("{}").is_ok());
+        assert!(validate_json("{\"a\": [1, -2.5e3, \"x\\\"y\"], \"b\": null}\n").is_ok());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{\"a\": 1").is_err(), "truncated object");
+        assert!(validate_json("{\"a\": 1}garbage").is_err(), "trailing bytes");
+        assert!(validate_json("{\"a\": 01x}").is_err(), "bad number");
+        assert!(validate_json("{\"a\": \"unterminated}").is_err());
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_quarantine_moves_corruption_aside() {
+        let dir = std::env::temp_dir()
+            .join(format!("colt-artifact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+
+        atomic_write_json(&path, "{\"ok\": true}\n").unwrap();
+        assert_eq!(quarantine_if_corrupt(&path).unwrap(), None);
+
+        std::fs::write(&path, "{\"truncated\": ").unwrap();
+        let q = quarantine_if_corrupt(&path).unwrap().expect("must quarantine");
+        assert!(q.display().to_string().contains("corrupt-1"));
+        assert!(!path.exists(), "corrupt file moved aside, not clobbered");
+        assert!(q.exists());
+
+        // No temp litter after a successful write.
+        atomic_write_json(&path, "{}\n").unwrap();
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(litter.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_payload_is_refused_before_touching_the_file() {
+        let dir = std::env::temp_dir()
+            .join(format!("colt-artifact-refuse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_refuse.json");
+        atomic_write_json(&path, "{\"good\": 1}").unwrap();
+        assert!(atomic_write_json(&path, "{\"bad\": ").is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"good\": 1}", "failed write must not damage the old file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--jobs N] [--csv] <experiment>...
 //! repro pressure [--faults rate=R,window=W,seed=S] [--cores N]
+//! repro <experiment> --resume [--retries N]
 //! repro --check [--seeds N] [--events N] [--jobs N] [--faults SPEC]
 //!
 //! experiments:
@@ -32,6 +33,13 @@
 //!                 for width)
 //! ```
 //!
+//! Every experiment journals each finished sweep cell (checksummed,
+//! fsynced) to `results/journal/<experiment>.jsonl`; after a crash,
+//! `--resume` with the *same flags* replays the journal and runs only
+//! the missing cells, reproducing the deterministic result files
+//! byte-for-byte. `--retries N` (default 1) retries failing cells with
+//! backoff before quarantining them.
+//!
 //! `--check` runs the differential translation oracle + coalescing
 //! invariant fuzzer ([`colt_core::check`]) instead of experiments:
 //! every TLB configuration is fuzzed with interleaved kernel events and
@@ -47,10 +55,14 @@ use colt_core::experiments::{
     related_work, smp, summary, table1, virtualization, ExperimentOptions,
     ExperimentOutput,
 };
+use colt_core::artifact;
+use colt_core::journal::Journal;
 use colt_core::report::Table;
 use colt_core::runner::{self, CellMetric};
 use colt_os_mem::faults::FaultConfig;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Every experiment name `repro` accepts (besides the `all` alias).
@@ -71,13 +83,19 @@ const ALL: [&str; 17] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--faults SPEC] [--csv] [--bars] <experiment>...\n\
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--faults SPEC] [--resume] [--retries N] [--csv] [--bars] <experiment>...\n\
          \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N] [--faults SPEC]\n\
          --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
          \u{20}           then the machine's available parallelism); results are\n\
          \u{20}           identical at any value\n\
          --cores N  simulated cores for the smp_* experiments, the pressure\n\
          \u{20}           SMP leg, and the cross-core --check oracle (default 1)\n\
+         --resume   replay results/journal/<experiment>.jsonl: completed\n\
+         \u{20}           cells (same flags, verified checksum) are skipped,\n\
+         \u{20}           only missing or failed cells re-run; the result\n\
+         \u{20}           files come out byte-identical to an uninterrupted run\n\
+         --retries N  retries per failing sweep cell before it is\n\
+         \u{20}           quarantined (default 1; 0 = fail on first error)\n\
          --faults SPEC  deterministic fault injection, SPEC =\n\
          \u{20}           rate=R,window=W,seed=S (each key optional; defaults\n\
          \u{20}           rate=0.05, window=0 = always armed, seed=7); consumed\n\
@@ -108,13 +126,19 @@ fn clamp_flag(flag: &str, n: u64) -> u64 {
 fn main() -> ExitCode {
     let mut opts = ExperimentOptions::default();
     if let Ok(jobs) = std::env::var("COLT_JOBS") {
-        opts.jobs = jobs
-            .parse::<u64>()
-            .map_or(opts.jobs, |j| clamp_flag("COLT_JOBS", j) as usize);
+        match jobs.parse::<u64>() {
+            Ok(j) => opts.jobs = clamp_flag("COLT_JOBS", j) as usize,
+            Err(_) => eprintln!(
+                "warning: COLT_JOBS='{jobs}' is not a number; using {} worker \
+                 thread(s) instead",
+                opts.jobs
+            ),
+        }
     }
     let mut csv = false;
     let mut bars = false;
     let mut check = false;
+    let mut resume = false;
     let mut seeds = 4u64;
     let mut events_per_case = 160usize;
     let mut experiments: Vec<String> = Vec::new();
@@ -124,6 +148,11 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => opts.accesses = ExperimentOptions::quick().accesses,
             "--check" => check = true,
+            "--resume" => resume = true,
+            "--retries" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.retries = n.parse::<u32>().unwrap_or_else(|_| usage());
+            }
             "--seeds" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 seeds = clamp_flag("--seeds", n.parse::<u64>().unwrap_or_else(|_| usage()));
@@ -213,11 +242,59 @@ fn main() -> ExitCode {
         experiments = ALL.iter().map(|s| s.to_string()).collect();
     }
 
+    // Before writing anything, inspect the result files a previous run
+    // left behind: a corrupt file is quarantined (never clobbered) and
+    // reported, so partial writes from a crash are evidence, not traps.
+    for name in ["BENCH_sweep.json", "BENCH_smp.json", "BENCH_pressure.json"] {
+        let path = Path::new("results").join(name);
+        match artifact::quarantine_if_corrupt(&path) {
+            Ok(Some(q)) => eprintln!(
+                "warning: existing {} is not valid JSON (likely a crashed run); \
+                 quarantined to {}",
+                path.display(),
+                q.display()
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: could not inspect {}: {e}", path.display()),
+        }
+    }
+
     let _ = runner::take_metrics();
     let wall_start = Instant::now();
     let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
     let mut pressure_report: Option<pressure::PressureReport> = None;
+    let journal_dir = Path::new("results").join("journal");
     for exp in &experiments {
+        // Each experiment gets its own durable journal; completed cells
+        // are fsynced as they finish, and --resume replays them here.
+        let mut opts = opts.clone();
+        match Journal::open(&journal_dir, exp, opts.fingerprint(exp), resume) {
+            Ok(journal) => {
+                if resume && !csv {
+                    let r = journal.open_report();
+                    println!(
+                        "resume({exp}): {} cell(s) replayed from {}, {} to re-run \
+                         ({} failed, {} flag-mismatched, {} corrupt, {} wrong-version)",
+                        r.replayed,
+                        journal.path().display(),
+                        r.failed_records
+                            + r.fingerprint_mismatches
+                            + r.corrupt_lines
+                            + r.version_skipped,
+                        r.failed_records,
+                        r.fingerprint_mismatches,
+                        r.corrupt_lines,
+                        r.version_skipped,
+                    );
+                }
+                opts.journal = Some(Arc::new(journal));
+            }
+            Err(e) => eprintln!(
+                "warning: could not open journal {}: {e}; running '{exp}' without \
+                 crash-safe progress",
+                journal_dir.join(format!("{exp}.jsonl")).display()
+            ),
+        }
         let output: ExperimentOutput = match exp.as_str() {
             "table1" => table1::run(&opts).1,
             "fig7-9" => contiguity::run(contiguity::ContiguityConfig::ThsOn, &opts).1,
@@ -278,41 +355,46 @@ fn main() -> ExitCode {
 
     let wall_seconds = wall_start.elapsed().as_secs_f64();
     let metrics = runner::take_metrics();
+    // All three result files go through the same atomic, read-back
+    // verified write; a failed write is a failed run, never a warning
+    // that exits 0.
+    let mut write_failed = false;
+    let mut write_result = |path: &str, json: &str, what: &str| {
+        let _ = std::fs::create_dir_all("results");
+        match artifact::atomic_write_json(Path::new(path), json) {
+            Ok(written) => {
+                if !csv {
+                    println!("{what} written to {written}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                write_failed = true;
+            }
+        }
+    };
     if !metrics.is_empty() {
         if !csv {
             println!("{}", throughput_table(&metrics, opts.jobs, wall_seconds).render());
         }
-        let json = sweep_json(&metrics, opts.jobs, wall_seconds);
-        match write_sweep_json(&json) {
-            Ok(path) => {
-                if !csv {
-                    println!("throughput details written to {path}");
-                }
-            }
-            Err(e) => eprintln!("warning: could not write results/BENCH_sweep.json: {e}"),
-        }
+        let json = artifact::sweep_json(&metrics, opts.jobs, wall_seconds);
+        write_result("results/BENCH_sweep.json", &json, "throughput details");
     }
     if !smp_rows.is_empty() {
-        let json = smp_json(&smp_rows, opts.cores);
-        match write_smp_json(&json) {
-            Ok(path) => {
-                if !csv {
-                    println!("SMP details written to {path}");
-                }
-            }
-            Err(e) => eprintln!("warning: could not write results/BENCH_smp.json: {e}"),
-        }
+        let json = artifact::smp_json(&smp_rows, opts.cores);
+        write_result("results/BENCH_smp.json", &json, "SMP details");
     }
     if let Some(report) = &pressure_report {
-        let json = pressure_json(report, opts.faults.unwrap_or_default(), opts.cores);
-        match write_pressure_json(&json) {
-            Ok(path) => {
-                if !csv {
-                    println!("pressure details written to {path}");
-                }
-            }
-            Err(e) => eprintln!("warning: could not write results/BENCH_pressure.json: {e}"),
-        }
+        let json =
+            artifact::pressure_json(report, opts.faults.unwrap_or_default(), opts.cores);
+        write_result("results/BENCH_pressure.json", &json, "pressure details");
+    }
+    drop(write_result);
+    if write_failed {
+        eprintln!("one or more result files could not be written; failing the run");
+        return ExitCode::FAILURE;
+    }
+    if let Some(report) = &pressure_report {
         if !report.failures.is_empty() {
             eprintln!(
                 "pressure sweep completed with {} failed cell(s) (see the failure \
@@ -392,13 +474,6 @@ fn run_check_mode(
     ExitCode::FAILURE
 }
 
-/// Sum of every cell's preparation and simulation time — what one
-/// worker thread would have spent, since results are identical at any
-/// width and prep sharing happens at every width too.
-fn serial_seconds_estimate(metrics: &[CellMetric]) -> f64 {
-    metrics.iter().map(|m| m.prep_seconds + m.sim_seconds).sum()
-}
-
 /// One row per experiment (cells grouped by label prefix up to the
 /// first '/'), plus an aggregate row.
 fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> Table {
@@ -431,7 +506,7 @@ fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> T
         ]);
     }
     let total_refs: u64 = metrics.iter().map(|m| m.refs).sum();
-    let serial = serial_seconds_estimate(metrics);
+    let serial = artifact::serial_seconds_estimate(metrics);
     table.add_row(vec![
         "TOTAL".to_string(),
         metrics.len().to_string(),
@@ -447,181 +522,4 @@ fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> T
         format!("{:.2}x", serial / wall_seconds.max(1e-9)),
     ]);
     table
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
-        .replace('\r', "\\r")
-        .replace('\t', "\\t")
-}
-
-/// Machine-readable sweep report (hand-rolled: the offline build has no
-/// serde).
-fn sweep_json(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> String {
-    let total_refs: u64 = metrics.iter().map(|m| m.refs).sum();
-    let serial = serial_seconds_estimate(metrics);
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"jobs\": {jobs},\n"));
-    out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
-    out.push_str(&format!("  \"total_refs\": {total_refs},\n"));
-    out.push_str(&format!(
-        "  \"aggregate_refs_per_sec\": {:.1},\n",
-        total_refs as f64 / wall_seconds.max(1e-9)
-    ));
-    out.push_str(&format!("  \"serial_seconds_estimate\": {serial:.6},\n"));
-    out.push_str(&format!(
-        "  \"speedup_vs_1_thread_estimate\": {:.3},\n",
-        serial / wall_seconds.max(1e-9)
-    ));
-    out.push_str("  \"cells\": [\n");
-    for (i, m) in metrics.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"benchmark\": \"{}\", \"scenario\": \"{}\", \
-             \"refs\": {}, \"prep_seconds\": {:.6}, \"sim_seconds\": {:.6}, \
-             \"refs_per_sec\": {:.1}}}{}\n",
-            json_escape(&m.label),
-            json_escape(&m.benchmark),
-            json_escape(&m.scenario),
-            m.refs,
-            m.prep_seconds,
-            m.sim_seconds,
-            m.refs as f64 / (m.prep_seconds + m.sim_seconds).max(1e-9),
-            if i + 1 == metrics.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-fn write_sweep_json(json: &str) -> std::io::Result<String> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join("BENCH_sweep.json");
-    std::fs::write(&path, json)?;
-    Ok(path.display().to_string())
-}
-
-/// Machine-readable SMP report: one record per (mix, mode, cores) row
-/// of the `smp_*` experiments.
-fn smp_json(rows: &[colt_core::experiments::smp::SmpRow], cores_flag: usize) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"cores_flag\": {cores_flag},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"experiment\": \"{}\", \"mix\": \"{}\", \"mode\": \"{}\", \
-             \"cores\": {}, \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \
-             \"full_flushes\": {}, \"flushes_avoided\": {}, \"ipis_sent\": {}, \
-             \"ipis_received\": {}, \"remote_invalidations\": {}, \
-             \"ipi_cycles\": {}}}{}\n",
-            json_escape(r.experiment),
-            json_escape(&r.mix),
-            json_escape(r.mode),
-            r.cores,
-            r.accesses,
-            r.l1_misses,
-            r.walks,
-            r.full_flushes,
-            r.flushes_avoided,
-            r.ipis_sent,
-            r.ipis_received,
-            r.remote_invalidations,
-            r.ipi_cycles,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-fn write_smp_json(json: &str) -> std::io::Result<String> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join("BENCH_smp.json");
-    std::fs::write(&path, json)?;
-    Ok(path.display().to_string())
-}
-
-/// Machine-readable pressure report: every cell row, the SMP leg, and
-/// the failure list (partial results survive failed cells).
-fn pressure_json(
-    report: &pressure::PressureReport,
-    cfg: FaultConfig,
-    cores_flag: usize,
-) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"fault_rate\": {}, \"fault_window\": {}, \"fault_seed\": {},\n",
-        cfg.rate, cfg.window, cfg.seed
-    ));
-    out.push_str(&format!("  \"cores_flag\": {cores_flag},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in report.rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"rate\": {}, \
-             \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \"walk_cycles\": {}, \
-             \"faults_injected\": {}, \"thp_fallbacks\": {}, \
-             \"thp_deferred_retries\": {}, \"compact_deferred\": {}, \
-             \"oom_kills\": {}}}{}\n",
-            json_escape(&r.benchmark),
-            json_escape(&r.config),
-            r.rate,
-            r.accesses,
-            r.l1_misses,
-            r.walks,
-            r.walk_cycles,
-            r.kernel.faults_injected,
-            r.kernel.thp_fallbacks,
-            r.kernel.thp_deferred_retries,
-            r.kernel.compact_deferred,
-            r.kernel.oom_kills,
-            if i + 1 == report.rows.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"smp_rows\": [\n");
-    for (i, r) in report.smp_rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"rate\": {}, \"cores\": {}, \"accesses\": {}, \"walks\": {}, \
-             \"ipis_sent\": {}, \"faults_injected\": {}, \"thp_fallbacks\": {}, \
-             \"oom_kills\": {}}}{}\n",
-            r.rate,
-            r.cores,
-            r.accesses,
-            r.walks,
-            r.ipis_sent,
-            r.kernel.faults_injected,
-            r.kernel.thp_fallbacks,
-            r.kernel.oom_kills,
-            if i + 1 == report.smp_rows.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ],\n");
-    if report.failures.is_empty() {
-        // Inline so a clean run greps as `"failures": []` (verify.sh
-        // gates on exactly that).
-        out.push_str("  \"failures\": []\n}\n");
-        return out;
-    }
-    out.push_str("  \"failures\": [\n");
-    for (i, f) in report.failures.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"cause\": \"{}\"}}{}\n",
-            json_escape(&f.label),
-            json_escape(&f.payload),
-            if i + 1 == report.failures.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-fn write_pressure_json(json: &str) -> std::io::Result<String> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join("BENCH_pressure.json");
-    std::fs::write(&path, json)?;
-    Ok(path.display().to_string())
 }

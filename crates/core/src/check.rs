@@ -475,7 +475,7 @@ pub fn run_smp_check_with_faults(
                 let translations =
                     machine.result().aggregate().counters.accesses;
                 CaseReport {
-                    label,
+                    label: label.clone(),
                     seed: case_seed,
                     violations,
                     minimized: Vec::new(),
@@ -885,7 +885,7 @@ pub fn run_check_with_faults(
                         })
                     };
                     CaseReport {
-                        label: case_label,
+                        label: case_label.clone(),
                         seed: case_seed,
                         violations: outcome.violations,
                         minimized,

@@ -54,7 +54,7 @@ fn average_elimination_with(
             ));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let mut sums = vec![(0.0f64, 0.0f64); variants.len()];
     for chunk in results.chunks_exact(variants.len() + 1) {
         let baseline = &chunk[0];

@@ -53,7 +53,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<AssocRow>, ExperimentOutput) {
             cells.push(SweepCell::sim(format!("fig20/{}/v{i}", spec.name), &scenario, spec, cfg));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<AssocRow> = specs
         .iter()
         .zip(results.chunks_exact(4))

@@ -50,7 +50,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<ContextSwitchRow>, ExperimentOutput
             }
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<ContextSwitchRow> = specs
         .iter()
         .zip(results.chunks_exact(8))

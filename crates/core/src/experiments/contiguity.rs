@@ -70,6 +70,34 @@ pub struct ContiguityRow {
     pub over_512: f64,
 }
 
+impl crate::journal::JournalPayload for ContiguityRow {
+    fn encode(&self) -> String {
+        let mut e = crate::journal::Enc::new("contig1")
+            .s(self.name)
+            .f(self.average)
+            .f(self.paper_average)
+            .u(self.cdf.len() as u64);
+        for &point in &self.cdf {
+            e = e.f(point);
+        }
+        e.f(self.over_512).done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = crate::journal::Dec::new(s, "contig1")?;
+        // The &'static name comes back through the benchmark registry.
+        let name = colt_workloads::spec::benchmark(&d.s()?)?.name;
+        let average = d.f()?;
+        let paper_average = d.f()?;
+        let n = usize::try_from(d.u()?).ok()?;
+        let mut cdf = Vec::with_capacity(n);
+        for _ in 0..n {
+            cdf.push(d.f()?);
+        }
+        let row = ContiguityRow { name, average, paper_average, cdf, over_512: d.f()? };
+        d.exhausted().then_some(row)
+    }
+}
+
 /// Runs the contiguity characterization for one kernel configuration.
 pub fn run(config: ContiguityConfig, opts: &ExperimentOptions) -> (Vec<ContiguityRow>, ExperimentOutput) {
     let scenario = config.scenario();
@@ -97,7 +125,7 @@ pub fn run(config: ContiguityConfig, opts: &ExperimentOptions) -> (Vec<Contiguit
             )
         })
         .collect();
-    let rows = runner::run_cells(cells, opts.jobs);
+    let rows = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
 
     let mut headers = vec!["Benchmark", "avg", "paper avg"];
     let tick_labels: Vec<String> =

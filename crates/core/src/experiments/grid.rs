@@ -39,7 +39,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<GridRow>, ExperimentOutput) {
             ));
         }
     }
-    let averages = runner::run_cells(cells, opts.jobs);
+    let averages = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let mut rows = Vec::new();
     for (scenario, avgs) in scenarios.iter().zip(averages.chunks_exact(specs.len().max(1))) {
         let coalescible = avgs.iter().filter(|&&a| a >= 4.0).count() as f64

@@ -57,7 +57,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<ShiftRow>, ExperimentOutput) {
             cells.push(SweepCell::sim(format!("fig19/{}/{label}", spec.name), &scenario, spec, cfg));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<ShiftRow> = specs
         .iter()
         .zip(results.chunks_exact(4))

@@ -56,7 +56,7 @@ pub fn run_figure(ths: bool, opts: &ExperimentOptions) -> MemhogFigure {
             ));
         }
     }
-    let averages = runner::run_cells(cells, opts.jobs);
+    let averages = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<MemhogRow> = specs
         .iter()
         .zip(averages.chunks_exact(3))

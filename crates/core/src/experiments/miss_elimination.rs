@@ -62,7 +62,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<EliminationRow>, ExperimentOutput) 
             cells.push(SweepCell::sim(format!("fig18/{}/{label}", spec.name), &scenario, spec, cfg));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<EliminationRow> = specs
         .iter()
         .zip(results.chunks_exact(4))

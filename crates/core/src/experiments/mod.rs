@@ -43,9 +43,12 @@ pub mod summary;
 pub mod table1;
 pub mod virtualization;
 
+use crate::journal::Journal;
 use crate::report::Table;
+use crate::runner::SweepOptions;
 use colt_os_mem::faults::FaultConfig;
 use colt_workloads::spec::{all_benchmarks, BenchmarkSpec};
+use std::sync::Arc;
 
 /// Options shared by all experiment drivers.
 #[derive(Clone, Debug)]
@@ -67,6 +70,14 @@ pub struct ExperimentOptions {
     /// `--check` runs under injection (`None` everywhere else — the
     /// paper experiments never see a fault).
     pub faults: Option<FaultConfig>,
+    /// Retries per failing sweep cell beyond the first attempt
+    /// (`repro --retries N`). A cell that exhausts its retries is
+    /// quarantined instead of failing the whole sweep.
+    pub retries: u32,
+    /// Durable cell journal for this experiment run. `Some` when the
+    /// `repro` binary wants crash-safe progress (always, for journaled
+    /// experiments); replayed on `--resume`.
+    pub journal: Option<Arc<Journal>>,
 }
 
 impl Default for ExperimentOptions {
@@ -78,6 +89,8 @@ impl Default for ExperimentOptions {
             jobs: default_jobs(),
             cores: 1,
             faults: None,
+            retries: 1,
+            journal: None,
         }
     }
 }
@@ -112,6 +125,42 @@ impl ExperimentOptions {
     pub fn with_benchmarks(mut self, names: &[&str]) -> Self {
         self.benchmarks = Some(names.iter().map(|s| s.to_string()).collect());
         self
+    }
+
+    /// The sweep supervision policy these options describe, for the
+    /// runner's `run_cells_sweep`/`run_tasks_sweep` entry points.
+    pub fn sweep(&self) -> SweepOptions<'_> {
+        SweepOptions {
+            jobs: self.jobs,
+            retries: self.retries,
+            hard_deadline: None,
+            journal: self.journal.as_deref(),
+        }
+    }
+
+    /// Fingerprint of this invocation for `experiment`: a checksum over
+    /// every flag that changes results. Journal records carrying a
+    /// different fingerprint are never replayed.
+    pub fn fingerprint(&self, experiment: &str) -> String {
+        let benchmarks = match &self.benchmarks {
+            None => "all".to_string(),
+            Some(names) => names.join("+"),
+        };
+        let faults = match &self.faults {
+            None => "none".to_string(),
+            Some(f) => format!(
+                "rate={:016x},window={},seed={}",
+                f.rate.to_bits(),
+                f.window,
+                f.seed
+            ),
+        };
+        let canonical = format!(
+            "{experiment};accesses={};seed={};benchmarks={benchmarks};cores={};\
+             faults={faults}",
+            self.accesses, self.seed, self.cores
+        );
+        crate::journal::fingerprint_of(&canonical)
     }
 
     /// The benchmark models this run covers.

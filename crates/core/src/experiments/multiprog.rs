@@ -34,6 +34,27 @@ pub struct MultiprogRow {
     pub elim: f64,
 }
 
+impl crate::journal::JournalPayload for MultiprogRow {
+    fn encode(&self) -> String {
+        crate::journal::Enc::new("mprog1")
+            .s(&self.pair)
+            .u(self.baseline_walks)
+            .u(self.colt_walks)
+            .f(self.elim)
+            .done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = crate::journal::Dec::new(s, "mprog1")?;
+        let row = MultiprogRow {
+            pair: d.s()?,
+            baseline_walks: d.u()?,
+            colt_walks: d.u()?,
+            elim: d.f()?,
+        };
+        d.exhausted().then_some(row)
+    }
+}
+
 /// Runs the multiprogramming study.
 pub fn run(opts: &ExperimentOptions) -> (Vec<MultiprogRow>, ExperimentOutput) {
     let quantum = 10_000;
@@ -74,7 +95,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<MultiprogRow>, ExperimentOutput) {
             })
         })
         .collect();
-    let rows = runner::run_tasks(tasks, opts.jobs);
+    let rows = runner::expect_all(runner::run_tasks_sweep(tasks, &opts.sweep()));
 
     let mut table = Table::new(
         "Multiprogramming (extension): two benchmarks sharing one machine, 10k-access quanta",

@@ -55,7 +55,7 @@ fn elim_for(
             ));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let mut sums = [0.0f64; 3];
     for chunk in results.chunks_exact(4) {
         for (i, r) in chunk[1..].iter().enumerate() {

@@ -53,7 +53,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<PerfRow>, ExperimentOutput) {
             ));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<PerfRow> = specs
         .iter()
         .zip(results.chunks_exact(4))

@@ -16,9 +16,12 @@
 //!   miss-elimination headline survives when superpage allocation keeps
 //!   failing underneath it.
 //!
-//! The sweep runs through [`runner::run_cells_outcomes`], so a cell
-//! that dies reports as a failure row instead of killing the sweep —
-//! the BENCH json carries partial results plus the failure report.
+//! The sweep runs through [`runner::run_cells_sweep`], so a cell that
+//! dies is retried (`--retries`), then quarantined as a failure row
+//! instead of killing the sweep — the BENCH json carries partial
+//! results plus the failure report. With a journal in the options the
+//! sweep is also crash-safe: finished cells are fsynced to
+//! `results/journal/pressure.jsonl` and `--resume` replays them.
 //!
 //! With `--cores N` (N > 1) an SMP leg rides along: the light
 //! eight-benchmark mix on N ASID-tagged cores, with the fault plan
@@ -80,13 +83,41 @@ pub struct SmpPressureRow {
     pub kernel: KernelStats,
 }
 
-/// A sweep cell that died (panic or failed preparation).
+impl crate::journal::JournalPayload for SmpPressureRow {
+    fn encode(&self) -> String {
+        let e = crate::journal::Enc::new("smpress1")
+            .f(self.rate)
+            .u(self.cores as u64)
+            .u(self.accesses)
+            .u(self.walks)
+            .u(self.ipis_sent);
+        crate::journal::enc_kernel(e, &self.kernel).done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = crate::journal::Dec::new(s, "smpress1")?;
+        let row = SmpPressureRow {
+            rate: d.f()?,
+            cores: usize::try_from(d.u()?).ok()?,
+            accesses: d.u()?,
+            walks: d.u()?,
+            ipis_sent: d.u()?,
+            kernel: crate::journal::dec_kernel(&mut d)?,
+        };
+        d.exhausted().then_some(row)
+    }
+}
+
+/// A sweep cell that died (panic, failed preparation, or hard-deadline
+/// expiry) on every attempt the watchdog allowed it.
 #[derive(Clone, Debug)]
 pub struct FailedCell {
     /// Label of the failed cell.
     pub label: String,
-    /// Panic message or preparation error.
+    /// Panic message, preparation error, or deadline report.
     pub payload: String,
+    /// Attempts consumed (1 = failed its only try; >1 = quarantined
+    /// after retries).
+    pub attempts: u32,
 }
 
 /// Everything the pressure sweep produced: per-cell rows, the SMP leg,
@@ -152,7 +183,7 @@ pub fn run(opts: &ExperimentOptions) -> (PressureReport, ExperimentOutput) {
 
     let mut report = PressureReport::default();
     for (outcome, (bench, cname, rate)) in
-        runner::run_cells_outcomes(cells, opts.jobs).into_iter().zip(meta)
+        runner::run_cells_sweep(cells, &opts.sweep()).into_iter().zip(meta)
     {
         match outcome {
             CellOutcome::Ok((sim, kernel)) => report.rows.push(PressureRow {
@@ -166,7 +197,10 @@ pub fn run(opts: &ExperimentOptions) -> (PressureReport, ExperimentOutput) {
                 kernel,
             }),
             CellOutcome::Failed { label, payload } => {
-                report.failures.push(FailedCell { label, payload });
+                report.failures.push(FailedCell { label, payload, attempts: 1 });
+            }
+            CellOutcome::Quarantined { label, attempts, reason } => {
+                report.failures.push(FailedCell { label, payload: reason, attempts });
             }
         }
     }
@@ -229,11 +263,14 @@ fn run_smp_leg(
             })
         })
         .collect();
-    for outcome in runner::run_tasks_outcomes(tasks, opts.jobs) {
+    for outcome in runner::run_tasks_sweep(tasks, &opts.sweep()) {
         match outcome {
             CellOutcome::Ok(row) => report.smp_rows.push(row),
             CellOutcome::Failed { label, payload } => {
-                report.failures.push(FailedCell { label, payload });
+                report.failures.push(FailedCell { label, payload, attempts: 1 });
+            }
+            CellOutcome::Quarantined { label, attempts, reason } => {
+                report.failures.push(FailedCell { label, payload: reason, attempts });
             }
         }
     }
@@ -305,12 +342,14 @@ fn smp_table(rows: &[SmpPressureRow]) -> Table {
 }
 
 fn failure_table(failures: &[FailedCell]) -> Table {
-    let mut table =
-        Table::new("Failed cells (sweep completed around them)".to_string(), &["cell", "cause"]);
+    let mut table = Table::new(
+        "Failed cells (sweep completed around them)".to_string(),
+        &["cell", "attempts", "cause"],
+    );
     for f in failures {
         let mut cause = f.payload.clone();
         cause.truncate(80);
-        table.add_row(vec![f.label.clone(), cause]);
+        table.add_row(vec![f.label.clone(), f.attempts.to_string(), cause]);
     }
     table
 }

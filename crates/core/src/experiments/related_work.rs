@@ -61,7 +61,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<RelatedWorkRow>, ExperimentOutput) 
             cells.push(SweepCell::sim(format!("related/{}/{label}", spec.name), &scenario, spec, cfg));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<RelatedWorkRow> = specs
         .iter()
         .zip(results.chunks_exact(4))

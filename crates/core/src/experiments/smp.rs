@@ -65,6 +65,58 @@ pub struct SmpRow {
     pub ipi_cycles: u64,
 }
 
+impl crate::journal::JournalPayload for SmpRow {
+    fn encode(&self) -> String {
+        crate::journal::Enc::new("smp1")
+            .s(self.experiment)
+            .s(&self.mix)
+            .s(self.mode)
+            .u(self.cores as u64)
+            .u(self.accesses)
+            .u(self.l1_misses)
+            .u(self.walks)
+            .u(self.full_flushes)
+            .u(self.flushes_avoided)
+            .u(self.ipis_sent)
+            .u(self.ipis_received)
+            .u(self.remote_invalidations)
+            .u(self.ipi_cycles)
+            .done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = crate::journal::Dec::new(s, "smp1")?;
+        // The two &'static str fields come back through a closed-world
+        // match: an unknown value means a foreign payload, not a guess.
+        let experiment = match d.s()?.as_str() {
+            "smp_mix" => "smp_mix",
+            "smp_scaling" => "smp_scaling",
+            _ => return None,
+        };
+        let mix = d.s()?;
+        let mode = match d.s()?.as_str() {
+            "tagged" => "tagged",
+            "untagged" => "untagged",
+            _ => return None,
+        };
+        let row = SmpRow {
+            experiment,
+            mix,
+            mode,
+            cores: usize::try_from(d.u()?).ok()?,
+            accesses: d.u()?,
+            l1_misses: d.u()?,
+            walks: d.u()?,
+            full_flushes: d.u()?,
+            flushes_avoided: d.u()?,
+            ipis_sent: d.u()?,
+            ipis_received: d.u()?,
+            remote_invalidations: d.u()?,
+            ipi_cycles: d.u()?,
+        };
+        d.exhausted().then_some(row)
+    }
+}
+
 fn measure(
     experiment: &'static str,
     mix_name: &str,
@@ -152,7 +204,7 @@ pub fn run_mix(opts: &ExperimentOptions) -> (Vec<SmpRow>, ExperimentOutput) {
         })
         .collect();
     let rows: Vec<SmpRow> =
-        runner::run_tasks(tasks, opts.jobs).into_iter().flatten().collect();
+        runner::expect_all(runner::run_tasks_sweep(tasks, &opts.sweep())).into_iter().flatten().collect();
     let table = mix_table(
         format!(
             "SMP mixes (extension): {cores} core(s), CoLT-All per core, shared LLC, \
@@ -185,7 +237,7 @@ pub fn run_scaling(opts: &ExperimentOptions) -> (Vec<SmpRow>, ExperimentOutput) 
             })
         })
         .collect();
-    let rows = runner::run_tasks(tasks, opts.jobs);
+    let rows = runner::expect_all(runner::run_tasks_sweep(tasks, &opts.sweep()));
     let table = mix_table(
         "SMP scaling (extension): light8 mix, ASID-tagged CoLT-All, cores swept".to_string(),
         &rows,

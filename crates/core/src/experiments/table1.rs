@@ -58,7 +58,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<Table1Row>, ExperimentOutput) {
             ));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let mut rows = Vec::new();
     for (spec, r) in specs.iter().zip(results.chunks_exact(2)) {
         let measured = [r[0].l1_mpmi(), r[0].l2_mpmi(), r[1].l1_mpmi(), r[1].l2_mpmi()];

@@ -54,7 +54,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<VirtRow>, ExperimentOutput) {
             cells.push(SweepCell::sim(format!("virt/{}/{label}", spec.name), &scenario, spec, cfg));
         }
     }
-    let results = runner::run_cells(cells, opts.jobs);
+    let results = runner::expect_all(runner::run_cells_sweep(cells, &opts.sweep()));
     let rows: Vec<VirtRow> = specs
         .iter()
         .zip(results.chunks_exact(4))

@@ -1,0 +1,1045 @@
+//! Durable cell journal: crash-safe progress for long sweeps.
+//!
+//! Every sweep run through the journaled runner entry points appends
+//! one self-describing record per *finished* cell to
+//! `results/journal/<experiment>.jsonl`, flushed and fsynced per record
+//! so completed work survives `SIGKILL`, OOM, or a machine reboot.
+//! `repro <experiment> --resume` replays the journal, skips completed
+//! cells, and re-runs only the missing or failed ones; a fresh run and
+//! a kill-at-any-point-then-resume run produce byte-identical result
+//! files because the replayed payloads are lossless.
+//!
+//! ## Record format (one JSON object per line)
+//!
+//! ```text
+//! {"v":1,"fp":"9f3a01bc","seq":4,"label":"pressure/Mcf/Baseline/r0.000",
+//!  "outcome":"ok","attempts":1,"reason":"","refs":11000,
+//!  "prep":"3fb99999a0000000","sim":"3f847ae140000000",
+//!  "payload":"sim1|11000|...","crc":"d1c529a7"}
+//! ```
+//!
+//! * `v` — record format version; records with any other version are
+//!   quarantined, never interpreted.
+//! * `fp` — fingerprint of the producing invocation (experiment name +
+//!   every flag that changes results: accesses, seed, benchmarks,
+//!   cores, faults). A record whose fingerprint does not match the
+//!   current invocation is ignored with a loud note — mismatched flags
+//!   are never silently reused.
+//! * `seq` — append sequence number, for auditing.
+//! * `outcome` — `ok`, `failed`, or `quarantined`; only `ok` records
+//!   are replayed, the others are re-run on resume.
+//! * `prep`/`sim` — the cell's wall-clock seconds as IEEE-754 bit
+//!   patterns (hex), so replayed throughput metrics are bit-exact.
+//! * `payload` — the cell's result, encoded by [`JournalPayload`]
+//!   (lossless: u64s as decimal, f64s as bit patterns).
+//! * `crc` — CRC32 (IEEE) over every byte of the line before the
+//!   `,"crc"` key. A truncated line, flipped bit, or garbage bytes fail
+//!   the checksum and the record is quarantined, never trusted.
+//!
+//! Corrupt lines found at open are moved to `<journal>.corrupt-<n>`
+//! (first free `n`) and the journal is rewritten with only the valid
+//! records, so nothing is silently lost and nothing corrupt lingers.
+//!
+//! `COLT_CRASH_AFTER_CELLS=<k>` aborts the process (no destructors, no
+//! flushing — `SIGKILL`-equivalent) immediately after the `k`-th record
+//! of the run is fsynced: the deterministic mid-sweep kill the
+//! crash-recovery smoke stage of `scripts/verify.sh` is built on.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal record format version. Bump when the record schema or any
+/// payload encoding changes shape; old records are then quarantined
+/// instead of misread.
+pub const RECORD_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven — the build is offline, so no
+// crates.io checksum dependency.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Fingerprint of a canonical configuration string: 8 hex digits.
+pub fn fingerprint_of(canonical: &str) -> String {
+    format!("{:08x}", crc32(canonical.as_bytes()))
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding: lossless, versioned through RECORD_VERSION.
+// ---------------------------------------------------------------------
+
+/// A value that can ride in a journal record's `payload` field and be
+/// reconstructed bit-exactly on resume. Implemented by every result
+/// type the experiment drivers sweep over.
+pub trait JournalPayload: Sized {
+    /// Serializes the value. Must be lossless: a resumed sweep renders
+    /// byte-identical result files from decoded payloads.
+    fn encode(&self) -> String;
+    /// Parses a payload produced by [`JournalPayload::encode`]. `None`
+    /// on any mismatch — the cell is then re-run, never guessed at.
+    fn decode(s: &str) -> Option<Self>;
+}
+
+/// Builder for `|`-separated payload fields, tag-prefixed so a payload
+/// of the wrong type never decodes by accident.
+pub struct Enc(String);
+
+impl Enc {
+    /// Starts a payload with a type tag (e.g. `"sim1"`).
+    pub fn new(tag: &str) -> Self {
+        Enc(tag.to_string())
+    }
+
+    /// Appends a u64 field.
+    #[must_use]
+    pub fn u(mut self, v: u64) -> Self {
+        self.0.push('|');
+        self.0.push_str(&v.to_string());
+        self
+    }
+
+    /// Appends an f64 field as its IEEE-754 bit pattern (lossless).
+    #[must_use]
+    pub fn f(mut self, v: f64) -> Self {
+        self.0.push('|');
+        self.0.push_str(&format!("{:016x}", v.to_bits()));
+        self
+    }
+
+    /// Appends a string field, escaping the separators.
+    #[must_use]
+    pub fn s(mut self, v: &str) -> Self {
+        self.0.push('|');
+        for ch in v.chars() {
+            match ch {
+                '\\' => self.0.push_str("\\\\"),
+                '|' => self.0.push_str("\\b"),
+                ';' => self.0.push_str("\\c"),
+                c => self.0.push(c),
+            }
+        }
+        self
+    }
+
+    /// Finishes the payload.
+    pub fn done(self) -> String {
+        self.0
+    }
+}
+
+/// Reader over an [`Enc`]-built payload.
+pub struct Dec<'a> {
+    parts: std::str::Split<'a, char>,
+}
+
+impl<'a> Dec<'a> {
+    /// Opens a payload, checking the type tag.
+    pub fn new(s: &'a str, tag: &str) -> Option<Self> {
+        let mut parts = s.split('|');
+        if parts.next()? != tag {
+            return None;
+        }
+        Some(Dec { parts })
+    }
+
+    /// Reads the next u64 field.
+    pub fn u(&mut self) -> Option<u64> {
+        self.parts.next()?.parse().ok()
+    }
+
+    /// Reads the next f64 field (bit pattern).
+    pub fn f(&mut self) -> Option<f64> {
+        Some(f64::from_bits(u64::from_str_radix(self.parts.next()?, 16).ok()?))
+    }
+
+    /// Reads the next string field, unescaping.
+    pub fn s(&mut self) -> Option<String> {
+        let raw = self.parts.next()?;
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars();
+        while let Some(ch) = chars.next() {
+            if ch == '\\' {
+                match chars.next()? {
+                    '\\' => out.push('\\'),
+                    'b' => out.push('|'),
+                    'c' => out.push(';'),
+                    _ => return None,
+                }
+            } else {
+                out.push(ch);
+            }
+        }
+        Some(out)
+    }
+
+    /// True when every field has been consumed (decode sanity check).
+    pub fn exhausted(mut self) -> bool {
+        self.parts.next().is_none()
+    }
+}
+
+impl JournalPayload for u64 {
+    fn encode(&self) -> String {
+        Enc::new("u1").u(*self).done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = Dec::new(s, "u1")?;
+        let v = d.u()?;
+        d.exhausted().then_some(v)
+    }
+}
+
+impl JournalPayload for f64 {
+    fn encode(&self) -> String {
+        Enc::new("f1").f(*self).done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = Dec::new(s, "f1")?;
+        let v = d.f()?;
+        d.exhausted().then_some(v)
+    }
+}
+
+/// Vectors journal as `vecN;elem;elem;...` — element payloads escape
+/// `;`, so the join is unambiguous.
+impl<T: JournalPayload> JournalPayload for Vec<T> {
+    fn encode(&self) -> String {
+        let mut out = format!("vec{}", self.len());
+        for item in self {
+            out.push(';');
+            out.push_str(&item.encode());
+        }
+        out
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut parts = s.split(';');
+        let head = parts.next()?;
+        let n: usize = head.strip_prefix("vec")?.parse().ok()?;
+        let items: Vec<T> = parts.map(T::decode).collect::<Option<Vec<T>>>()?;
+        (items.len() == n).then_some(items)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload impls for the simulation result types every driver sweeps
+// over. Encodings are flat field lists — bump RECORD_VERSION (or the
+// type tag) whenever a struct gains or loses a counter.
+// ---------------------------------------------------------------------
+
+pub(crate) fn enc_sim(mut e: Enc, r: &crate::sim::SimResult) -> Enc {
+    let t = &r.tlb;
+    e = e
+        .u(t.accesses)
+        .u(t.l1_hits)
+        .u(t.l1_misses)
+        .u(t.l2_hits)
+        .u(t.l2_misses)
+        .u(t.fills)
+        .u(t.superpage_fills)
+        .u(t.pb_hits);
+    for bucket in t.coalesce_hist {
+        e = e.u(bucket);
+    }
+    e.u(t.coalesce_overflow)
+        .u(t.asid_flushes)
+        .u(t.asid_entries_flushed)
+        .u(r.walker.walks)
+        .u(r.walker.total_latency)
+        .u(r.walker.faults)
+        .u(r.instructions)
+        .u(r.walk_cycles)
+        .u(r.data_stall_cycles)
+        .u(r.l2_tlb_cycles)
+        .u(r.oracle_mismatches)
+}
+
+pub(crate) fn dec_sim(d: &mut Dec<'_>) -> Option<crate::sim::SimResult> {
+    let tlb = colt_tlb::stats::HierarchyStats {
+        accesses: d.u()?,
+        l1_hits: d.u()?,
+        l1_misses: d.u()?,
+        l2_hits: d.u()?,
+        l2_misses: d.u()?,
+        fills: d.u()?,
+        superpage_fills: d.u()?,
+        pb_hits: d.u()?,
+        coalesce_hist: {
+            let mut hist = [0u64; 8];
+            for bucket in &mut hist {
+                *bucket = d.u()?;
+            }
+            hist
+        },
+        coalesce_overflow: d.u()?,
+        asid_flushes: d.u()?,
+        asid_entries_flushed: d.u()?,
+    };
+    let walker = colt_memsim::walker::WalkerStats {
+        walks: d.u()?,
+        total_latency: d.u()?,
+        faults: d.u()?,
+    };
+    Some(crate::sim::SimResult {
+        tlb,
+        walker,
+        instructions: d.u()?,
+        walk_cycles: d.u()?,
+        data_stall_cycles: d.u()?,
+        l2_tlb_cycles: d.u()?,
+        oracle_mismatches: d.u()?,
+    })
+}
+
+pub(crate) fn enc_kernel(e: Enc, k: &colt_os_mem::kernel::KernelStats) -> Enc {
+    e.u(k.allocations)
+        .u(k.pages_requested)
+        .u(k.pages_populated)
+        .u(k.physical_runs)
+        .u(k.thp_allocs)
+        .u(k.thp_fallbacks)
+        .u(k.thp_splits)
+        .u(k.compaction_runs)
+        .u(k.pages_migrated)
+        .u(k.demand_faults)
+        .u(k.pages_reclaimed)
+        .u(k.oom_kills)
+        .u(k.compact_deferred)
+        .u(k.thp_deferred_retries)
+        .u(k.faults_injected)
+}
+
+pub(crate) fn dec_kernel(d: &mut Dec<'_>) -> Option<colt_os_mem::kernel::KernelStats> {
+    Some(colt_os_mem::kernel::KernelStats {
+        allocations: d.u()?,
+        pages_requested: d.u()?,
+        pages_populated: d.u()?,
+        physical_runs: d.u()?,
+        thp_allocs: d.u()?,
+        thp_fallbacks: d.u()?,
+        thp_splits: d.u()?,
+        compaction_runs: d.u()?,
+        pages_migrated: d.u()?,
+        demand_faults: d.u()?,
+        pages_reclaimed: d.u()?,
+        oom_kills: d.u()?,
+        compact_deferred: d.u()?,
+        thp_deferred_retries: d.u()?,
+        faults_injected: d.u()?,
+    })
+}
+
+impl JournalPayload for crate::sim::SimResult {
+    fn encode(&self) -> String {
+        enc_sim(Enc::new("sim1"), self).done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = Dec::new(s, "sim1")?;
+        let r = dec_sim(&mut d)?;
+        d.exhausted().then_some(r)
+    }
+}
+
+impl JournalPayload for (crate::sim::SimResult, colt_os_mem::kernel::KernelStats) {
+    fn encode(&self) -> String {
+        enc_kernel(enc_sim(Enc::new("simker1"), &self.0), &self.1).done()
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = Dec::new(s, "simker1")?;
+        let sim = dec_sim(&mut d)?;
+        let kernel = dec_kernel(&mut d)?;
+        d.exhausted().then_some((sim, kernel))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record codec.
+// ---------------------------------------------------------------------
+
+/// One parsed journal record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Fingerprint of the producing invocation.
+    pub fp: String,
+    /// Append sequence number.
+    pub seq: u64,
+    /// Cell label — the journal key within one experiment.
+    pub label: String,
+    /// `"ok"`, `"failed"`, or `"quarantined"`.
+    pub outcome: String,
+    /// Attempts the cell consumed (1 = first try).
+    pub attempts: u64,
+    /// Failure/quarantine reason ("" for `ok`).
+    pub reason: String,
+    /// Memory references the cell simulated (throughput metric).
+    pub refs: u64,
+    /// Seconds spent preparing the shared workload.
+    pub prep_seconds: f64,
+    /// Seconds the job ran.
+    pub sim_seconds: f64,
+    /// Encoded result ("" unless `ok`).
+    pub payload: String,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    Some(out)
+}
+
+/// Extracts a quoted string field's raw (still escaped) bytes.
+fn raw_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // Find the closing quote, skipping escaped characters.
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&rest[..i]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    unesc(raw_str_field(line, key)?)
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+fn f64_bits_field(line: &str, key: &str) -> Option<f64> {
+    Some(f64::from_bits(u64::from_str_radix(&str_field(line, key)?, 16).ok()?))
+}
+
+/// Serializes one record as a single JSONL line (no trailing newline).
+/// The `crc` field is CRC32 over every byte before the `,"crc"` key.
+pub fn encode_record(r: &Record) -> String {
+    let body = format!(
+        "{{\"v\":{RECORD_VERSION},\"fp\":\"{}\",\"seq\":{},\"label\":\"{}\",\
+         \"outcome\":\"{}\",\"attempts\":{},\"reason\":\"{}\",\"refs\":{},\
+         \"prep\":\"{:016x}\",\"sim\":\"{:016x}\",\"payload\":\"{}\"",
+        esc(&r.fp),
+        r.seq,
+        esc(&r.label),
+        esc(&r.outcome),
+        r.attempts,
+        esc(&r.reason),
+        r.refs,
+        r.prep_seconds.to_bits(),
+        r.sim_seconds.to_bits(),
+        esc(&r.payload),
+    );
+    format!("{body},\"crc\":\"{:08x}\"}}", crc32(body.as_bytes()))
+}
+
+/// Why a journal line could not be used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineError {
+    /// Structurally broken, truncated, or checksum mismatch.
+    Corrupt(String),
+    /// Valid checksum but a record version this build does not speak.
+    Version(u64),
+}
+
+/// Parses one journal line, verifying structure and checksum.
+pub fn parse_record(line: &str) -> Result<Record, LineError> {
+    let line = line.trim_end_matches(['\r']);
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err(LineError::Corrupt("not a JSON object".to_string()));
+    }
+    let Some(split) = line.rfind(",\"crc\":\"") else {
+        return Err(LineError::Corrupt("missing crc field".to_string()));
+    };
+    let body = &line[..split];
+    let tail = &line[split + ",\"crc\":\"".len()..];
+    let Some(stored) = tail.strip_suffix("\"}").and_then(|h| u32::from_str_radix(h, 16).ok())
+    else {
+        return Err(LineError::Corrupt("malformed crc field".to_string()));
+    };
+    let actual = crc32(body.as_bytes());
+    if stored != actual {
+        return Err(LineError::Corrupt(format!(
+            "checksum mismatch (stored {stored:08x}, computed {actual:08x})"
+        )));
+    }
+    let v = u64_field(body, "v")
+        .ok_or_else(|| LineError::Corrupt("missing version".to_string()))?;
+    if v != RECORD_VERSION {
+        return Err(LineError::Version(v));
+    }
+    let field = |key: &str| {
+        str_field(body, key)
+            .ok_or_else(|| LineError::Corrupt(format!("missing field '{key}'")))
+    };
+    let num = |key: &str| {
+        u64_field(body, key)
+            .ok_or_else(|| LineError::Corrupt(format!("missing field '{key}'")))
+    };
+    Ok(Record {
+        fp: field("fp")?,
+        seq: num("seq")?,
+        label: field("label")?,
+        outcome: field("outcome")?,
+        attempts: num("attempts")?,
+        reason: field("reason")?,
+        refs: num("refs")?,
+        prep_seconds: f64_bits_field(body, "prep")
+            .ok_or_else(|| LineError::Corrupt("missing field 'prep'".to_string()))?,
+        sim_seconds: f64_bits_field(body, "sim")
+            .ok_or_else(|| LineError::Corrupt("missing field 'sim'".to_string()))?,
+        payload: field("payload")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The journal itself.
+// ---------------------------------------------------------------------
+
+/// A completed cell replayed from the journal.
+#[derive(Clone, Debug)]
+pub struct Replayed {
+    /// Encoded result payload.
+    pub payload: String,
+    /// Memory references the original run simulated.
+    pub refs: u64,
+    /// Original preparation seconds (bit-exact).
+    pub prep_seconds: f64,
+    /// Original job seconds (bit-exact).
+    pub sim_seconds: f64,
+}
+
+/// What `Journal::open` found in an existing journal.
+#[derive(Clone, Debug, Default)]
+pub struct OpenReport {
+    /// `ok` records with a matching fingerprint — replayable.
+    pub replayed: usize,
+    /// Valid records ignored because their fingerprint differs from
+    /// this invocation's flags.
+    pub fingerprint_mismatches: usize,
+    /// `failed`/`quarantined` records (their cells re-run on resume).
+    pub failed_records: usize,
+    /// Lines that failed structure or checksum validation.
+    pub corrupt_lines: usize,
+    /// Valid-checksum lines with an unsupported record version.
+    pub version_skipped: usize,
+    /// Where the unusable lines were quarantined (if any were).
+    pub quarantined_to: Option<PathBuf>,
+}
+
+impl OpenReport {
+    /// True when the open had anything noteworthy to report.
+    pub fn noisy(&self) -> bool {
+        self.fingerprint_mismatches > 0
+            || self.corrupt_lines > 0
+            || self.version_skipped > 0
+    }
+}
+
+struct Inner {
+    file: File,
+    seq: u64,
+    appended: u64,
+    seen: HashSet<String>,
+}
+
+/// Append-only, fsync-per-record journal for one experiment's sweep.
+pub struct Journal {
+    path: PathBuf,
+    fingerprint: String,
+    replayed: HashMap<String, Replayed>,
+    report: OpenReport,
+    crash_after: Option<u64>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("fingerprint", &self.fingerprint)
+            .field("replayed", &self.replayed.len())
+            .finish()
+    }
+}
+
+/// First free `<path>.corrupt-<n>` sibling.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut n = 1;
+    loop {
+        let candidate = PathBuf::from(format!("{}.corrupt-{n}", path.display()));
+        if !candidate.exists() {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+fn parse_crash_after() -> Option<u64> {
+    let raw = std::env::var("COLT_CRASH_AFTER_CELLS").ok()?;
+    match raw.parse::<u64>() {
+        Ok(0) | Err(_) => {
+            eprintln!(
+                "warning: COLT_CRASH_AFTER_CELLS='{raw}' is not a positive integer; \
+                 crash injection disabled"
+            );
+            None
+        }
+        Ok(n) => Some(n),
+    }
+}
+
+impl Journal {
+    /// Opens (resume) or starts fresh (non-resume) the journal for
+    /// `experiment` under `dir`, validating every existing line.
+    ///
+    /// On resume, corrupt/version-bumped lines are quarantined to
+    /// `<journal>.corrupt-<n>`, the journal is rewritten with only the
+    /// valid records, and `ok` records matching `fingerprint` become
+    /// replayable. On a fresh open an existing journal is truncated
+    /// (after whole-file quarantine if it contained corruption, so
+    /// evidence is never clobbered).
+    pub fn open(
+        dir: &Path,
+        experiment: &str,
+        fingerprint: String,
+        resume: bool,
+    ) -> std::io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{experiment}.jsonl"));
+        let mut report = OpenReport::default();
+        let mut replayed = HashMap::new();
+        let mut kept_lines: Vec<String> = Vec::new();
+        let mut bad_lines: Vec<String> = Vec::new();
+
+        if path.exists() {
+            let mut raw = String::new();
+            File::open(&path)?.read_to_string(&mut raw)?;
+            for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+                match parse_record(line) {
+                    Ok(rec) => {
+                        if !resume {
+                            continue;
+                        }
+                        kept_lines.push(line.to_string());
+                        if rec.fp != fingerprint {
+                            report.fingerprint_mismatches += 1;
+                            if report.fingerprint_mismatches <= 3 {
+                                eprintln!(
+                                    "note: --resume ignoring journal record for \
+                                     '{}': fingerprint {} does not match this \
+                                     invocation ({}) — flags differ, cell will \
+                                     re-run",
+                                    rec.label, rec.fp, fingerprint
+                                );
+                            }
+                        } else if rec.outcome == "ok" {
+                            report.replayed += 1;
+                            replayed.insert(
+                                rec.label.clone(),
+                                Replayed {
+                                    payload: rec.payload,
+                                    refs: rec.refs,
+                                    prep_seconds: rec.prep_seconds,
+                                    sim_seconds: rec.sim_seconds,
+                                },
+                            );
+                        } else {
+                            report.failed_records += 1;
+                            eprintln!(
+                                "note: --resume re-running cell '{}' (journaled \
+                                 outcome: {}, attempts {}, reason: {})",
+                                rec.label, rec.outcome, rec.attempts, rec.reason
+                            );
+                        }
+                    }
+                    Err(LineError::Corrupt(why)) => {
+                        report.corrupt_lines += 1;
+                        bad_lines.push(line.to_string());
+                        eprintln!(
+                            "warning: corrupt journal line in {} ({why}); \
+                             quarantining, cell will re-run",
+                            path.display()
+                        );
+                    }
+                    Err(LineError::Version(v)) => {
+                        report.version_skipped += 1;
+                        bad_lines.push(line.to_string());
+                        eprintln!(
+                            "warning: journal record version {v} in {} is not \
+                             supported by this build (wants {RECORD_VERSION}); \
+                             quarantining, cell will re-run",
+                            path.display()
+                        );
+                    }
+                }
+            }
+            if report.fingerprint_mismatches > 3 {
+                eprintln!(
+                    "note: --resume ignored {} fingerprint-mismatched record(s) \
+                     in total",
+                    report.fingerprint_mismatches
+                );
+            }
+            if !bad_lines.is_empty() {
+                let qpath = quarantine_path(&path);
+                let mut qf = File::create(&qpath)?;
+                for line in &bad_lines {
+                    writeln!(qf, "{line}")?;
+                }
+                qf.sync_data()?;
+                eprintln!(
+                    "warning: {} unusable journal line(s) quarantined to {}",
+                    bad_lines.len(),
+                    qpath.display()
+                );
+                report.quarantined_to = Some(qpath);
+            }
+        }
+
+        // Rewrite the journal to exactly the kept records (empty on a
+        // fresh run), via temp file + rename so a crash here cannot
+        // produce a half-written journal.
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut tf = File::create(&tmp)?;
+            for line in &kept_lines {
+                writeln!(tf, "{line}")?;
+            }
+            tf.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            fingerprint,
+            replayed,
+            report,
+            crash_after: parse_crash_after(),
+            inner: Mutex::new(Inner {
+                file,
+                seq: kept_lines.len() as u64,
+                appended: 0,
+                seen: HashSet::new(),
+            }),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What the open pass found (resume statistics).
+    pub fn open_report(&self) -> &OpenReport {
+        &self.report
+    }
+
+    /// Number of records appended by *this* process.
+    pub fn appended(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).appended
+    }
+
+    /// The journaled result for `label`, if a valid matching `ok`
+    /// record was replayed at open.
+    pub fn completed(&self, label: &str) -> Option<&Replayed> {
+        self.replayed.get(label)
+    }
+
+    /// Appends one finished-cell record, fsyncing before returning, so
+    /// the record survives any subsequent process death. `outcome` is
+    /// `"ok"` (with `payload`) or `"failed"`/`"quarantined"` (with
+    /// `reason`).
+    pub fn append(
+        &self,
+        label: &str,
+        outcome: &str,
+        attempts: u64,
+        reason: &str,
+        payload: &str,
+        refs: u64,
+        prep_seconds: f64,
+        sim_seconds: f64,
+    ) -> std::io::Result<()> {
+        let mut inner =
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !inner.seen.insert(label.to_string()) {
+            eprintln!(
+                "warning: journal {} saw cell label '{label}' twice in one run; \
+                 resume keys on labels, the later record wins",
+                self.path.display()
+            );
+        }
+        let rec = Record {
+            fp: self.fingerprint.clone(),
+            seq: inner.seq,
+            label: label.to_string(),
+            outcome: outcome.to_string(),
+            attempts,
+            reason: reason.to_string(),
+            refs,
+            prep_seconds,
+            sim_seconds,
+            payload: payload.to_string(),
+        };
+        let line = encode_record(&rec);
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.write_all(b"\n")?;
+        inner.file.flush()?;
+        inner.file.sync_data()?;
+        inner.seq += 1;
+        inner.appended += 1;
+        if Some(inner.appended) == self.crash_after {
+            eprintln!(
+                "COLT_CRASH_AFTER_CELLS: aborting after {} journaled cell(s)",
+                inner.appended
+            );
+            std::process::abort();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("colt-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn append_ok(j: &Journal, label: &str, payload: &str) {
+        j.append(label, "ok", 1, "", payload, 1000, 0.5, 0.25).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_everything() {
+        let rec = Record {
+            fp: "deadbeef".to_string(),
+            seq: 7,
+            label: "exp/Mcf/CoLT-All/r0.050".to_string(),
+            outcome: "ok".to_string(),
+            attempts: 2,
+            reason: "a \"quoted\"\nreason\twith|specials;".to_string(),
+            refs: 11_000,
+            prep_seconds: 0.1 + 0.2, // not exactly representable — bit-exact anyway
+            sim_seconds: 3.25,
+            payload: "sim1|1|2|3".to_string(),
+        };
+        let line = encode_record(&rec);
+        let back = parse_record(&line).unwrap();
+        assert_eq!(back.fp, rec.fp);
+        assert_eq!(back.seq, rec.seq);
+        assert_eq!(back.label, rec.label);
+        assert_eq!(back.outcome, rec.outcome);
+        assert_eq!(back.attempts, rec.attempts);
+        assert_eq!(back.reason, rec.reason);
+        assert_eq!(back.refs, rec.refs);
+        assert_eq!(back.prep_seconds.to_bits(), rec.prep_seconds.to_bits());
+        assert_eq!(back.sim_seconds.to_bits(), rec.sim_seconds.to_bits());
+        assert_eq!(back.payload, rec.payload);
+    }
+
+    #[test]
+    fn payload_helpers_roundtrip_losslessly() {
+        let s = Enc::new("t1").u(42).f(0.1 + 0.2).s("a|b;c\\d").done();
+        let mut d = Dec::new(&s, "t1").unwrap();
+        assert_eq!(d.u(), Some(42));
+        assert_eq!(d.f().map(f64::to_bits), Some((0.1f64 + 0.2).to_bits()));
+        assert_eq!(d.s().as_deref(), Some("a|b;c\\d"));
+        assert!(d.exhausted());
+        assert!(Dec::new(&s, "t2").is_none(), "wrong tag must not decode");
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::decode(&v.encode()), Some(v));
+    }
+
+    #[test]
+    fn truncated_garbage_flipped_crc_and_version_bump_are_quarantined() {
+        let dir = tmpdir("robust");
+        {
+            let j = Journal::open(&dir, "exp", "aaaa0001".into(), false).unwrap();
+            append_ok(&j, "cell/one", "u1|1");
+            append_ok(&j, "cell/two", "u1|2");
+        }
+        let path = dir.join("exp.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        // Flip a checksum digit on line 2, add garbage, a truncated
+        // line (simulated mid-write kill), and a version-bumped record.
+        let mut flipped = lines[1].to_string();
+        let pos = flipped.rfind("\"crc\":\"").unwrap() + "\"crc\":\"".len();
+        let old = flipped.as_bytes()[pos];
+        let new = if old == b'0' { b'1' } else { b'0' };
+        unsafe { flipped.as_bytes_mut()[pos] = new };
+
+        let vrec = Record {
+            fp: "aaaa0001".into(),
+            seq: 9,
+            label: "cell/future".into(),
+            outcome: "ok".into(),
+            attempts: 1,
+            reason: String::new(),
+            refs: 0,
+            prep_seconds: 0.0,
+            sim_seconds: 0.0,
+            payload: "u1|9".into(),
+        };
+        let vline = encode_record(&vrec);
+        // Re-stamp the version while keeping the checksum valid.
+        let body = vline[..vline.rfind(",\"crc\"").unwrap()]
+            .replacen("{\"v\":1,", "{\"v\":99,", 1);
+        let vline = format!("{body},\"crc\":\"{:08x}\"}}", crc32(body.as_bytes()));
+
+        let truncated = &lines[0][..lines[0].len() / 2];
+        let doctored = format!(
+            "{}\n{}\nnot json at all\n{}\n{}\n",
+            lines[0], flipped, vline, truncated
+        );
+        std::fs::write(&path, doctored).unwrap();
+
+        let j = Journal::open(&dir, "exp", "aaaa0001".into(), true).unwrap();
+        let report = j.open_report();
+        assert_eq!(report.replayed, 1, "only the intact record replays");
+        assert!(j.completed("cell/one").is_some());
+        assert!(j.completed("cell/two").is_none(), "flipped checksum never reused");
+        assert!(j.completed("cell/future").is_none(), "version bump never reused");
+        assert_eq!(report.corrupt_lines, 3, "flipped + garbage + truncated");
+        assert_eq!(report.version_skipped, 1);
+        let qpath = report.quarantined_to.clone().expect("quarantine file written");
+        let quarantined = std::fs::read_to_string(&qpath).unwrap();
+        assert_eq!(quarantined.lines().count(), 4);
+        // The journal itself was rewritten corruption-free.
+        let clean = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(clean.lines().count(), 1);
+        parse_record(clean.lines().next().unwrap()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_ignored_never_reused() {
+        let dir = tmpdir("fp");
+        {
+            let j = Journal::open(&dir, "exp", "aaaa0001".into(), false).unwrap();
+            append_ok(&j, "cell/one", "u1|1");
+        }
+        let j = Journal::open(&dir, "exp", "bbbb0002".into(), true).unwrap();
+        assert_eq!(j.open_report().fingerprint_mismatches, 1);
+        assert!(j.completed("cell/one").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_and_quarantined_records_rerun_on_resume() {
+        let dir = tmpdir("failed");
+        {
+            let j = Journal::open(&dir, "exp", "aaaa0001".into(), false).unwrap();
+            append_ok(&j, "cell/good", "u1|1");
+            j.append("cell/bad", "failed", 1, "boom", "", 0, 0.0, 0.0).unwrap();
+            j.append("cell/worse", "quarantined", 3, "deadline", "", 0, 0.0, 0.0)
+                .unwrap();
+        }
+        let j = Journal::open(&dir, "exp", "aaaa0001".into(), true).unwrap();
+        assert_eq!(j.open_report().replayed, 1);
+        assert_eq!(j.open_report().failed_records, 2);
+        assert!(j.completed("cell/bad").is_none());
+        assert!(j.completed("cell/worse").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_truncates_but_resume_keeps() {
+        let dir = tmpdir("fresh");
+        {
+            let j = Journal::open(&dir, "exp", "aaaa0001".into(), false).unwrap();
+            append_ok(&j, "cell/one", "u1|1");
+        }
+        {
+            let j = Journal::open(&dir, "exp", "aaaa0001".into(), true).unwrap();
+            assert_eq!(j.open_report().replayed, 1);
+        }
+        let j = Journal::open(&dir, "exp", "aaaa0001".into(), false).unwrap();
+        assert_eq!(j.open_report().replayed, 0);
+        assert!(j.completed("cell/one").is_none());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("exp.jsonl")).unwrap().len(),
+            0,
+            "fresh open starts an empty journal"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

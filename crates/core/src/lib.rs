@@ -12,7 +12,12 @@
 //! * [`experiments`] — one driver per table/figure (Table 1, Figures
 //!   7–21, plus the §7.1.3 ablation and extras),
 //! * [`runner`] — the parallel sweep runner the drivers fan out on
-//!   (deterministic results, shared workload preparation),
+//!   (deterministic results, shared workload preparation, retry +
+//!   quarantine supervision),
+//! * [`journal`] — the durable, checksummed cell journal behind
+//!   `repro --resume` crash recovery,
+//! * [`artifact`] — atomic, verified result-file writes and the
+//!   `BENCH_*.json` builders,
 //! * [`report`] / [`metrics`] — output formatting and comparisons.
 //!
 //! The `repro` binary regenerates any experiment:
@@ -35,8 +40,10 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod check;
 pub mod experiments;
+pub mod journal;
 pub mod metrics;
 pub mod perf;
 pub mod report;

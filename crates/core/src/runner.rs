@@ -2,26 +2,44 @@
 //! TLB-config) simulation cells out across a scoped-thread worker pool.
 //!
 //! Every experiment driver is a sweep over cells that share nothing but
-//! a prepared workload, so the runner provides exactly three guarantees:
+//! a prepared workload, so the runner provides exactly four guarantees:
 //!
 //! 1. **Determinism** — results come back in submission order, and each
 //!    cell's simulation consumes only its own [`SimConfig`]-seeded RNG
 //!    streams, so the rendered tables are byte-identical regardless of
-//!    `jobs`.
+//!    `jobs` (and regardless of how many cells were replayed from a
+//!    journal rather than executed).
 //! 2. **Shared preparation** — cells that name the same (scenario,
 //!    benchmark) pair share one [`PreparedWorkload`], built once by
 //!    whichever worker gets there first and handed out as an `Arc`, so
 //!    e.g. Figure 18's four TLB modes pay for one aging pass, not four.
-//! 3. **Panic isolation** — via [`run_cells_outcomes`], a cell that
-//!    panics (or whose preparation fails) becomes a
-//!    [`CellOutcome::Failed`] while every other cell still completes;
-//!    the locks it held are recovered rather than left poisoned. The
-//!    legacy [`run_cells`]/[`run_tasks`] entry points keep the old
-//!    fail-fast contract by re-panicking on the first failure.
+//! 3. **Supervised failure** — a cell that panics, whose preparation
+//!    fails, or that exceeds the hard deadline is *retried* up to
+//!    `retries` times with exponential backoff and a
+//!    perturbed-but-deterministic requeue position; a cell that
+//!    exhausts its retries becomes [`CellOutcome::Quarantined`] while
+//!    every other cell still completes. The legacy
+//!    [`run_cells`]/[`run_tasks`] entry points keep the old fail-fast,
+//!    zero-retry contract.
+//! 4. **Durable progress** — the `*_sweep` entry points append one
+//!    checksummed record per finished cell to the experiment's
+//!    [`Journal`](crate::journal), fsynced before the result is even
+//!    reported, so a `SIGKILL` at any instant loses at most the cells
+//!    in flight; `--resume` replays the journal and runs only the rest.
+//!
+//! Deadlines: `COLT_CELL_SOFT_DEADLINE` (default 120 s, 0 disables)
+//! only warns — killing a thread mid-simulation would corrupt nothing
+//! but help nobody. `COLT_CELL_HARD_DEADLINE` (default 0 = off) arms
+//! the watchdog: the attempt runs on a supervised thread and is
+//! abandoned (then retried, then quarantined) when it exceeds the
+//! budget. A garbage value in either variable earns one loud stderr
+//! note naming the variable and the value actually used — never a
+//! silent fallback.
 //!
 //! Implementation is std-only (`std::thread::scope`, channels, locks):
 //! the build must work offline, so no rayon or crates.io dependency.
 
+use crate::journal::{Journal, JournalPayload};
 use crate::sim::{self, SimConfig, SimResult};
 use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::BenchmarkSpec;
@@ -29,10 +47,12 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError};
+use std::time::{Duration, Instant};
 
 /// One unit of parallel work: a job run against a prepared workload.
+/// The job is an `Arc<dyn Fn>` (not `FnOnce`) so the supervisor can
+/// re-run it on retry and hand it to a watchdog thread.
 pub struct SweepCell<R> {
     label: String,
     scenario: Scenario,
@@ -40,7 +60,7 @@ pub struct SweepCell<R> {
     /// Memory references the job will simulate (0 for analysis-only
     /// cells such as contiguity scans) — feeds the throughput report.
     refs: u64,
-    job: Box<dyn FnOnce(&PreparedWorkload) -> R + Send>,
+    job: Arc<dyn Fn(&PreparedWorkload) -> R + Send + Sync>,
 }
 
 impl<R> SweepCell<R> {
@@ -50,14 +70,14 @@ impl<R> SweepCell<R> {
         scenario: &Scenario,
         spec: &BenchmarkSpec,
         refs: u64,
-        job: impl FnOnce(&PreparedWorkload) -> R + Send + 'static,
+        job: impl Fn(&PreparedWorkload) -> R + Send + Sync + 'static,
     ) -> Self {
         Self {
             label: label.into(),
             scenario: scenario.clone(),
             spec: spec.clone(),
             refs,
-            job: Box::new(job),
+            job: Arc::new(job),
         }
     }
 }
@@ -81,7 +101,7 @@ impl SweepCell<SimResult> {
 pub struct SweepTask<R> {
     label: String,
     refs: u64,
-    job: Box<dyn FnOnce() -> R + Send>,
+    job: Arc<dyn Fn() -> R + Send + Sync>,
 }
 
 impl<R> SweepTask<R> {
@@ -89,25 +109,37 @@ impl<R> SweepTask<R> {
     pub fn new(
         label: impl Into<String>,
         refs: u64,
-        job: impl FnOnce() -> R + Send + 'static,
+        job: impl Fn() -> R + Send + Sync + 'static,
     ) -> Self {
-        Self { label: label.into(), refs, job: Box::new(job) }
+        Self { label: label.into(), refs, job: Arc::new(job) }
     }
 }
 
-/// What became of one sweep cell: its result, or a description of why it
-/// died while the rest of the sweep carried on.
+/// What became of one sweep cell: its result, or a description of why
+/// it died while the rest of the sweep carried on.
 #[derive(Debug)]
 pub enum CellOutcome<R> {
-    /// The cell ran to completion.
+    /// The cell ran to completion (or was replayed from the journal).
     Ok(R),
-    /// The cell's preparation failed or its job panicked; `payload` is
-    /// the panic message (or preparation error) for the failure report.
+    /// The cell's only attempt failed (zero-retry sweeps): preparation
+    /// failed or the job panicked; `payload` is the cause.
     Failed {
         /// Label of the failed cell ("fig18/Mcf/CoLT-All").
         label: String,
         /// Human-readable failure cause.
         payload: String,
+    },
+    /// The cell failed every attempt the watchdog allowed it and was
+    /// quarantined: the sweep completed around it, the journal records
+    /// it, and the run exits nonzero.
+    Quarantined {
+        /// Label of the quarantined cell.
+        label: String,
+        /// Attempts consumed (first try + retries).
+        attempts: u32,
+        /// Cause of the final failure (panic message, preparation
+        /// error, or hard-deadline expiry).
+        reason: String,
     },
 }
 
@@ -116,16 +148,16 @@ impl<R> CellOutcome<R> {
     pub fn ok(self) -> Option<R> {
         match self {
             CellOutcome::Ok(r) => Some(r),
-            CellOutcome::Failed { .. } => None,
+            CellOutcome::Failed { .. } | CellOutcome::Quarantined { .. } => None,
         }
     }
 
-    /// True when the cell failed.
+    /// True when the cell failed or was quarantined.
     pub fn is_failed(&self) -> bool {
-        matches!(self, CellOutcome::Failed { .. })
+        !matches!(self, CellOutcome::Ok(_))
     }
 
-    /// Unwraps the success value, re-panicking with the recorded payload
+    /// Unwraps the success value, re-panicking with the recorded cause
     /// — the fail-fast behaviour of the legacy entry points.
     fn unwrap_or_panic(self) -> R {
         match self {
@@ -133,8 +165,19 @@ impl<R> CellOutcome<R> {
             CellOutcome::Failed { label, payload } => {
                 panic!("sweep cell '{label}' failed: {payload}")
             }
+            CellOutcome::Quarantined { label, attempts, reason } => {
+                panic!(
+                    "sweep cell '{label}' quarantined after {attempts} attempt(s): {reason}"
+                )
+            }
         }
     }
+}
+
+/// Unwraps every outcome, panicking on the first failed/quarantined
+/// cell — for drivers whose sweeps must be all-or-nothing.
+pub fn expect_all<R>(outcomes: Vec<CellOutcome<R>>) -> Vec<R> {
+    outcomes.into_iter().map(CellOutcome::unwrap_or_panic).collect()
 }
 
 /// Timing record for one completed cell, for the throughput report.
@@ -177,16 +220,46 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// Parses a non-negative seconds value from `var`, printing one loud
+/// note (per variable, per process) when the value is garbage instead
+/// of silently falling back.
+fn env_seconds(var: &'static str, default: f64, warned: &'static Once) -> f64 {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(v) if v >= 0.0 && v.is_finite() => v,
+            _ => {
+                warned.call_once(|| {
+                    eprintln!(
+                        "warning: {var}='{raw}' is not a non-negative number of \
+                         seconds; using the default of {default} instead"
+                    );
+                });
+                default
+            }
+        },
+    }
+}
+
+static SOFT_WARNED: Once = Once::new();
+static HARD_WARNED: Once = Once::new();
+
 /// Soft wall-clock budget for one cell, in seconds. Cells that run
 /// longer only earn a stderr warning — killing a thread mid-simulation
 /// would corrupt nothing but help nobody — but the warning makes hung
 /// cells visible in otherwise-silent long sweeps. Override with
 /// `COLT_CELL_SOFT_DEADLINE=<seconds>` (0 disables).
 fn cell_soft_deadline() -> f64 {
-    std::env::var("COLT_CELL_SOFT_DEADLINE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(120.0)
+    env_seconds("COLT_CELL_SOFT_DEADLINE", 120.0, &SOFT_WARNED)
+}
+
+/// Hard wall-clock budget for one cell attempt, in seconds. 0 (the
+/// default) disables the watchdog; any positive value runs each job on
+/// a supervised thread that is abandoned on expiry, which counts as a
+/// failed attempt (retried, then quarantined). Override with
+/// `COLT_CELL_HARD_DEADLINE=<seconds>`.
+fn cell_hard_deadline() -> f64 {
+    env_seconds("COLT_CELL_HARD_DEADLINE", 0.0, &HARD_WARNED)
 }
 
 fn warn_if_over_deadline(label: &str, seconds: f64, deadline: f64) {
@@ -197,15 +270,39 @@ fn warn_if_over_deadline(label: &str, seconds: f64, deadline: f64) {
     }
 }
 
-/// Drains the metrics accumulated by every `run_cells`/`run_tasks` call
-/// since the last drain, in cell-submission order.
+/// Drains the metrics accumulated by every runner call since the last
+/// drain, in cell-submission order.
 pub fn take_metrics() -> Vec<CellMetric> {
     std::mem::take(&mut *relock(&METRICS))
 }
 
+/// Supervision policy for one sweep: worker width, the watchdog's
+/// retry budget and hard deadline, and the durable journal (if the
+/// invocation wants crash-safe progress).
+pub struct SweepOptions<'a> {
+    /// Worker threads. Results are identical at any value.
+    pub jobs: usize,
+    /// Retries per failing cell beyond its first attempt (so a cell
+    /// runs at most `retries + 1` times). `repro --retries N`,
+    /// default 1.
+    pub retries: u32,
+    /// Hard per-attempt deadline in seconds; `None` reads
+    /// `COLT_CELL_HARD_DEADLINE` (default 0 = off).
+    pub hard_deadline: Option<f64>,
+    /// Durable cell journal for crash-safe progress and `--resume`.
+    pub journal: Option<&'a Journal>,
+}
+
+impl SweepOptions<'_> {
+    /// A plain policy: `jobs` workers, no retries, no journal.
+    pub fn jobs_only(jobs: usize) -> Self {
+        SweepOptions { jobs, retries: 0, hard_deadline: None, journal: None }
+    }
+}
+
 /// A shared preparation slot. `None` until some worker succeeds; a
-/// failed build leaves it `None` so a later cell may retry (e.g. after
-/// a transient workload error), unlike a `OnceLock` which would wedge.
+/// failed build leaves it `None` so a later cell (or a retry of the
+/// same cell) may retry, unlike a `OnceLock` which would wedge.
 type PrepSlot = Arc<Mutex<Option<Arc<PreparedWorkload>>>>;
 type PrepCache = Mutex<HashMap<String, PrepSlot>>;
 
@@ -252,21 +349,224 @@ fn prepared(
     Ok((workload, prep_seconds))
 }
 
-/// Runs every cell across at most `jobs` worker threads and returns one
-/// [`CellOutcome`] per cell, in submission order. A panicking cell (or
-/// a failing preparation) yields `Failed` for that cell only; all other
-/// cells — including later ones popped by the same worker — complete.
-pub fn run_cells_outcomes<R: Send>(
-    cells: Vec<SweepCell<R>>,
+/// Runs `run` under the hard deadline: on a supervised thread whose
+/// result is awaited for at most `hard` seconds, after which the
+/// attempt is abandoned (the thread keeps running — a thread cannot be
+/// safely killed — but its eventual result is discarded). With the
+/// deadline off the job runs inline under `catch_unwind`.
+///
+/// The deadline covers only the job, not shared preparation:
+/// preparation is a critical section other cells wait on, and
+/// abandoning a thread inside it would wedge the whole sweep.
+fn run_with_deadline<R: Send + 'static>(
+    run: Box<dyn FnOnce() -> R + Send>,
+    hard: f64,
+) -> Result<R, String> {
+    if hard <= 0.0 {
+        return catch_unwind(AssertUnwindSafe(run)).map_err(panic_message);
+    }
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("colt-cell-attempt".to_string())
+        .spawn(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(run)));
+        });
+    if let Err(e) = spawned {
+        return Err(format!("could not spawn watchdog attempt thread: {e}"));
+    }
+    match rx.recv_timeout(Duration::from_secs_f64(hard)) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(payload)) => Err(panic_message(payload)),
+        Err(_) => Err(format!(
+            "exceeded hard deadline {hard:.1}s (COLT_CELL_HARD_DEADLINE); \
+             attempt abandoned"
+        )),
+    }
+}
+
+/// Exponential backoff before retry `attempt` (the attempt number that
+/// just failed): 25 ms doubling per attempt, capped at 1 s. Pure
+/// function of the attempt number — deterministic.
+fn backoff_for(attempt: u32) -> Duration {
+    Duration::from_millis((25u64 << (attempt.min(6) - 1)).min(1_000))
+}
+
+/// Deterministically perturbed requeue position for a retry: a hash of
+/// (label, attempt) modulo the queue length, so a retried cell does
+/// not land behind the exact co-scheduling that just failed it, yet
+/// any two runs requeue identically.
+fn requeue_position(label: &str, attempt: u32, queue_len: usize) -> usize {
+    let h = crate::journal::crc32(label.as_bytes()) as usize + attempt as usize;
+    h % (queue_len + 1)
+}
+
+fn encode_of<R: JournalPayload>(r: &R) -> String {
+    r.encode()
+}
+
+fn decode_of<R: JournalPayload>(s: &str) -> Option<R> {
+    R::decode(s)
+}
+
+/// Journal plumbing for one sweep: where to append finished cells and
+/// how to (de)serialize the result payloads.
+struct Hook<'a, R> {
+    journal: &'a Journal,
+    encode: fn(&R) -> String,
+    decode: fn(&str) -> Option<R>,
+}
+
+struct EngineOpts<'a, R> {
     jobs: usize,
+    retries: u32,
+    hard: f64,
+    hook: Option<Hook<'a, R>>,
+}
+
+impl<'a, R: JournalPayload> EngineOpts<'a, R> {
+    fn from_sweep(opts: &SweepOptions<'a>) -> Self {
+        EngineOpts {
+            jobs: opts.jobs,
+            retries: opts.retries,
+            hard: opts.hard_deadline.unwrap_or_else(cell_hard_deadline),
+            hook: opts.journal.map(|journal| Hook {
+                journal,
+                encode: encode_of::<R>,
+                decode: decode_of::<R>,
+            }),
+        }
+    }
+}
+
+impl<R> EngineOpts<'_, R> {
+    fn plain(jobs: usize) -> Self {
+        EngineOpts { jobs, retries: 0, hard: cell_hard_deadline(), hook: None }
+    }
+}
+
+/// The work a queue item performs per attempt.
+enum Work<R> {
+    Cell {
+        scenario: Scenario,
+        spec: BenchmarkSpec,
+        job: Arc<dyn Fn(&PreparedWorkload) -> R + Send + Sync>,
+    },
+    Task {
+        job: Arc<dyn Fn() -> R + Send + Sync>,
+    },
+}
+
+struct Item<R> {
+    idx: usize,
+    attempt: u32,
+    label: String,
+    benchmark: String,
+    scenario_name: String,
+    refs: u64,
+    work: Work<R>,
+}
+
+/// Journals one finished cell (no-op without a journal). A journal
+/// write failure is loud but non-fatal: the in-memory sweep result is
+/// still correct, only resumability of this cell is lost.
+fn journal_outcome<R>(
+    hook: &Option<Hook<'_, R>>,
+    item: &Item<R>,
+    outcome: &CellOutcome<R>,
+    metric: &CellMetric,
+) {
+    let Some(h) = hook else { return };
+    let appended = match outcome {
+        CellOutcome::Ok(r) => h.journal.append(
+            &item.label,
+            "ok",
+            item.attempt as u64,
+            "",
+            &(h.encode)(r),
+            metric.refs,
+            metric.prep_seconds,
+            metric.sim_seconds,
+        ),
+        CellOutcome::Failed { payload, .. } => h.journal.append(
+            &item.label,
+            "failed",
+            item.attempt as u64,
+            payload,
+            "",
+            metric.refs,
+            metric.prep_seconds,
+            metric.sim_seconds,
+        ),
+        CellOutcome::Quarantined { attempts, reason, .. } => h.journal.append(
+            &item.label,
+            "quarantined",
+            u64::from(*attempts),
+            reason,
+            "",
+            metric.refs,
+            metric.prep_seconds,
+            metric.sim_seconds,
+        ),
+    };
+    if let Err(e) = appended {
+        eprintln!(
+            "warning: could not journal cell '{}' to {}: {e} (sweep continues; \
+             this cell will not be resumable)",
+            item.label,
+            h.journal.path().display()
+        );
+    }
+}
+
+/// The sweep engine: replays journaled cells, fans the rest out across
+/// `jobs` workers with retry + quarantine supervision, and returns one
+/// outcome per item in submission order.
+fn engine<R: Send + 'static>(
+    items: Vec<Item<R>>,
+    opts: EngineOpts<'_, R>,
 ) -> Vec<CellOutcome<R>> {
-    let n = cells.len();
-    let workers = jobs.max(1).min(n.max(1));
-    let deadline = cell_soft_deadline();
-    let queue: Mutex<VecDeque<(usize, SweepCell<R>)>> =
-        Mutex::new(cells.into_iter().enumerate().collect());
+    let n = items.len();
+    let mut slots: Vec<Option<(CellOutcome<R>, CellMetric)>> =
+        (0..n).map(|_| None).collect();
+
+    // Replay pass: cells the journal already holds never re-run.
+    let mut pending: VecDeque<Item<R>> = VecDeque::new();
+    for item in items {
+        if let Some(hook) = &opts.hook {
+            if let Some(rep) = hook.journal.completed(&item.label) {
+                match (hook.decode)(&rep.payload) {
+                    Some(r) => {
+                        let metric = CellMetric {
+                            label: item.label.clone(),
+                            benchmark: item.benchmark.clone(),
+                            scenario: item.scenario_name.clone(),
+                            refs: rep.refs,
+                            prep_seconds: rep.prep_seconds,
+                            sim_seconds: rep.sim_seconds,
+                        };
+                        slots[item.idx] = Some((CellOutcome::Ok(r), metric));
+                        continue;
+                    }
+                    None => {
+                        eprintln!(
+                            "note: journal record for '{}' does not decode as this \
+                             sweep's result type; re-running the cell",
+                            item.label
+                        );
+                    }
+                }
+            }
+        }
+        pending.push_back(item);
+    }
+
+    let remaining = pending.len();
+    let workers = opts.jobs.max(1).min(remaining.max(1));
+    let soft = cell_soft_deadline();
+    let queue: Mutex<VecDeque<Item<R>>> = Mutex::new(pending);
     let cache: PrepCache = Mutex::new(HashMap::new());
     let (tx, rx) = mpsc::channel::<(usize, CellOutcome<R>, CellMetric)>();
+    let opts = &opts;
 
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -275,43 +575,86 @@ pub fn run_cells_outcomes<R: Send>(
             let cache = &cache;
             s.spawn(move || {
                 loop {
-                    let Some((idx, cell)) = relock(queue).pop_front() else {
+                    let Some(item) = relock(queue).pop_front() else {
                         break;
                     };
                     let mut metric = CellMetric {
-                        label: cell.label.clone(),
-                        benchmark: cell.spec.name.to_string(),
-                        scenario: cell.scenario.name.clone(),
-                        refs: cell.refs,
+                        label: item.label.clone(),
+                        benchmark: item.benchmark.clone(),
+                        scenario: item.scenario_name.clone(),
+                        refs: item.refs,
                         prep_seconds: 0.0,
                         sim_seconds: 0.0,
                     };
-                    let outcome = match prepared(cache, &cell.scenario, &cell.spec) {
-                        Err(payload) => {
-                            CellOutcome::Failed { label: cell.label, payload }
+                    // One attempt: shared preparation (cells only) on
+                    // this worker, then the job under the watchdog.
+                    let ran: Result<R, String> = match &item.work {
+                        Work::Cell { scenario, spec, job } => {
+                            match prepared(cache, scenario, spec) {
+                                Err(e) => Err(e),
+                                Ok((workload, prep_seconds)) => {
+                                    metric.prep_seconds = prep_seconds;
+                                    let job = Arc::clone(job);
+                                    let start = Instant::now();
+                                    let out = run_with_deadline(
+                                        Box::new(move || job(&workload)),
+                                        opts.hard,
+                                    );
+                                    metric.sim_seconds =
+                                        start.elapsed().as_secs_f64();
+                                    out
+                                }
+                            }
                         }
-                        Ok((workload, prep_seconds)) => {
-                            metric.prep_seconds = prep_seconds;
-                            let job = cell.job;
+                        Work::Task { job } => {
+                            let job = Arc::clone(job);
                             let start = Instant::now();
-                            let ran =
-                                catch_unwind(AssertUnwindSafe(|| job(&workload)));
+                            let out =
+                                run_with_deadline(Box::new(move || job()), opts.hard);
                             metric.sim_seconds = start.elapsed().as_secs_f64();
-                            warn_if_over_deadline(
-                                &metric.label,
-                                metric.sim_seconds,
-                                deadline,
-                            );
-                            match ran {
-                                Ok(result) => CellOutcome::Ok(result),
-                                Err(payload) => CellOutcome::Failed {
-                                    label: cell.label,
-                                    payload: panic_message(payload),
-                                },
+                            out
+                        }
+                    };
+                    warn_if_over_deadline(&item.label, metric.sim_seconds, soft);
+
+                    let outcome = match ran {
+                        Ok(result) => CellOutcome::Ok(result),
+                        Err(reason) => {
+                            if item.attempt <= opts.retries {
+                                eprintln!(
+                                    "warning: cell '{}' attempt {} failed ({reason}); \
+                                     retrying after backoff",
+                                    item.label, item.attempt
+                                );
+                                std::thread::sleep(backoff_for(item.attempt));
+                                let mut q = relock(queue);
+                                let pos = requeue_position(
+                                    &item.label,
+                                    item.attempt,
+                                    q.len(),
+                                );
+                                q.insert(
+                                    pos,
+                                    Item { attempt: item.attempt + 1, ..item },
+                                );
+                                continue;
+                            }
+                            if item.attempt > 1 {
+                                CellOutcome::Quarantined {
+                                    label: item.label.clone(),
+                                    attempts: item.attempt,
+                                    reason,
+                                }
+                            } else {
+                                CellOutcome::Failed {
+                                    label: item.label.clone(),
+                                    payload: reason,
+                                }
                             }
                         }
                     };
-                    if tx.send((idx, outcome, metric)).is_err() {
+                    journal_outcome(&opts.hook, &item, &outcome, &metric);
+                    if tx.send((item.idx, outcome, metric)).is_err() {
                         break;
                     }
                 }
@@ -320,94 +663,6 @@ pub fn run_cells_outcomes<R: Send>(
     });
     drop(tx);
 
-    collect(rx, n)
-}
-
-/// Runs every cell across at most `jobs` worker threads and returns the
-/// results in submission order. A failing cell (e.g. workload OOM)
-/// panics in the caller exactly as it would sequentially — use
-/// [`run_cells_outcomes`] for sweeps that must survive cell failures.
-pub fn run_cells<R: Send>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
-    run_cells_outcomes(cells, jobs)
-        .into_iter()
-        .map(CellOutcome::unwrap_or_panic)
-        .collect()
-}
-
-/// Runs self-contained tasks (no shared preparation) across at most
-/// `jobs` worker threads, returning one [`CellOutcome`] per task in
-/// submission order. A panicking task fails alone; the rest complete.
-pub fn run_tasks_outcomes<R: Send>(
-    tasks: Vec<SweepTask<R>>,
-    jobs: usize,
-) -> Vec<CellOutcome<R>> {
-    let n = tasks.len();
-    let workers = jobs.max(1).min(n.max(1));
-    let deadline = cell_soft_deadline();
-    let queue: Mutex<VecDeque<(usize, SweepTask<R>)>> =
-        Mutex::new(tasks.into_iter().enumerate().collect());
-    let (tx, rx) = mpsc::channel::<(usize, CellOutcome<R>, CellMetric)>();
-
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let queue = &queue;
-            s.spawn(move || {
-                loop {
-                    let Some((idx, task)) = relock(queue).pop_front() else {
-                        break;
-                    };
-                    let job = task.job;
-                    let start = Instant::now();
-                    let ran = catch_unwind(AssertUnwindSafe(job));
-                    let sim_seconds = start.elapsed().as_secs_f64();
-                    warn_if_over_deadline(&task.label, sim_seconds, deadline);
-                    let metric = CellMetric {
-                        label: task.label.clone(),
-                        benchmark: String::new(),
-                        scenario: String::new(),
-                        refs: task.refs,
-                        prep_seconds: 0.0,
-                        sim_seconds,
-                    };
-                    let outcome = match ran {
-                        Ok(result) => CellOutcome::Ok(result),
-                        Err(payload) => CellOutcome::Failed {
-                            label: task.label,
-                            payload: panic_message(payload),
-                        },
-                    };
-                    if tx.send((idx, outcome, metric)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-    });
-    drop(tx);
-
-    collect(rx, n)
-}
-
-/// Runs self-contained tasks (no shared preparation) across at most
-/// `jobs` worker threads; results come back in submission order. A
-/// failing task panics in the caller — use [`run_tasks_outcomes`] for
-/// sweeps that must survive failures.
-pub fn run_tasks<R: Send>(tasks: Vec<SweepTask<R>>, jobs: usize) -> Vec<R> {
-    run_tasks_outcomes(tasks, jobs)
-        .into_iter()
-        .map(CellOutcome::unwrap_or_panic)
-        .collect()
-}
-
-/// Reorders completion-order results into submission order and appends
-/// the metrics (also in submission order) to the global registry.
-fn collect<R>(
-    rx: mpsc::Receiver<(usize, CellOutcome<R>, CellMetric)>,
-    n: usize,
-) -> Vec<CellOutcome<R>> {
-    let mut slots: Vec<Option<(CellOutcome<R>, CellMetric)>> =
-        (0..n).map(|_| None).collect();
     for (idx, outcome, metric) in rx {
         slots[idx] = Some((outcome, metric));
     }
@@ -421,11 +676,106 @@ fn collect<R>(
     results
 }
 
+fn cell_items<R>(cells: Vec<SweepCell<R>>) -> Vec<Item<R>> {
+    cells
+        .into_iter()
+        .enumerate()
+        .map(|(idx, cell)| Item {
+            idx,
+            attempt: 1,
+            label: cell.label,
+            benchmark: cell.spec.name.to_string(),
+            scenario_name: cell.scenario.name.clone(),
+            refs: cell.refs,
+            work: Work::Cell {
+                scenario: cell.scenario,
+                spec: cell.spec,
+                job: cell.job,
+            },
+        })
+        .collect()
+}
+
+fn task_items<R>(tasks: Vec<SweepTask<R>>) -> Vec<Item<R>> {
+    tasks
+        .into_iter()
+        .enumerate()
+        .map(|(idx, task)| Item {
+            idx,
+            attempt: 1,
+            label: task.label,
+            benchmark: String::new(),
+            scenario_name: String::new(),
+            refs: task.refs,
+            work: Work::Task { job: task.job },
+        })
+        .collect()
+}
+
+/// Runs every cell under the full supervision policy — retries with
+/// backoff, hard-deadline watchdog, quarantine, and (when the policy
+/// carries a journal) durable crash-safe progress with replay on
+/// resume. One [`CellOutcome`] per cell, in submission order.
+pub fn run_cells_sweep<R: Send + JournalPayload + 'static>(
+    cells: Vec<SweepCell<R>>,
+    opts: &SweepOptions<'_>,
+) -> Vec<CellOutcome<R>> {
+    engine(cell_items(cells), EngineOpts::from_sweep(opts))
+}
+
+/// Runs self-contained tasks under the full supervision policy; see
+/// [`run_cells_sweep`].
+pub fn run_tasks_sweep<R: Send + JournalPayload + 'static>(
+    tasks: Vec<SweepTask<R>>,
+    opts: &SweepOptions<'_>,
+) -> Vec<CellOutcome<R>> {
+    engine(task_items(tasks), EngineOpts::from_sweep(opts))
+}
+
+/// Runs every cell across at most `jobs` worker threads and returns one
+/// [`CellOutcome`] per cell, in submission order. Zero retries, no
+/// journal: a panicking cell (or a failing preparation) yields `Failed`
+/// for that cell only; all other cells still complete.
+pub fn run_cells_outcomes<R: Send + 'static>(
+    cells: Vec<SweepCell<R>>,
+    jobs: usize,
+) -> Vec<CellOutcome<R>> {
+    engine(cell_items(cells), EngineOpts::plain(jobs))
+}
+
+/// Runs every cell across at most `jobs` worker threads and returns the
+/// results in submission order. A failing cell (e.g. workload OOM)
+/// panics in the caller exactly as it would sequentially — use
+/// [`run_cells_outcomes`] or [`run_cells_sweep`] for sweeps that must
+/// survive cell failures.
+pub fn run_cells<R: Send + 'static>(cells: Vec<SweepCell<R>>, jobs: usize) -> Vec<R> {
+    expect_all(run_cells_outcomes(cells, jobs))
+}
+
+/// Runs self-contained tasks (no shared preparation) across at most
+/// `jobs` worker threads, returning one [`CellOutcome`] per task in
+/// submission order. Zero retries, no journal.
+pub fn run_tasks_outcomes<R: Send + 'static>(
+    tasks: Vec<SweepTask<R>>,
+    jobs: usize,
+) -> Vec<CellOutcome<R>> {
+    engine(task_items(tasks), EngineOpts::plain(jobs))
+}
+
+/// Runs self-contained tasks (no shared preparation) across at most
+/// `jobs` worker threads; results come back in submission order. A
+/// failing task panics in the caller — use [`run_tasks_outcomes`] or
+/// [`run_tasks_sweep`] for sweeps that must survive failures.
+pub fn run_tasks<R: Send + 'static>(tasks: Vec<SweepTask<R>>, jobs: usize) -> Vec<R> {
+    expect_all(run_tasks_outcomes(tasks, jobs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use colt_tlb::config::TlbConfig;
     use colt_workloads::spec::benchmark;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn quick_cfg(tlb: TlbConfig) -> SimConfig {
         SimConfig { pattern_seed: 0x5EED, ..SimConfig::new(tlb).with_accesses(10_000) }
@@ -532,7 +882,7 @@ mod tests {
             .collect();
         cells.insert(
             3,
-            SweepCell::new("iso/boom", &scenario, &spec, 0, |_| {
+            SweepCell::new("iso/boom", &scenario, &spec, 0, |_| -> u64 {
                 panic!("deliberate cell failure");
             }),
         );
@@ -547,7 +897,7 @@ mod tests {
                 assert_eq!(label, "iso/boom");
                 assert!(payload.contains("deliberate cell failure"));
             }
-            CellOutcome::Ok(_) => unreachable!(),
+            _ => panic!("zero-retry failure must be Failed, not Quarantined"),
         }
         // Every other cell (including those queued after the panic on
         // the same workers) completed and kept submission order.
@@ -579,7 +929,7 @@ mod tests {
                 assert_eq!(label, "tiso5");
                 assert!(payload.contains("task 5 exploded"));
             }
-            CellOutcome::Ok(_) => panic!("task 5 should have failed"),
+            _ => panic!("task 5 should have failed"),
         }
         for (i, o) in outcomes.iter().enumerate() {
             if i != 5 {
@@ -610,8 +960,136 @@ mod tests {
         assert!(outcomes[0].is_failed(), "tiny scenario must fail to prepare");
         match &outcomes[0] {
             CellOutcome::Failed { label, .. } => assert_eq!(label, "prep-fail/broken"),
-            CellOutcome::Ok(_) => unreachable!(),
+            _ => panic!("expected a Failed outcome"),
         }
         assert!(matches!(&outcomes[1], CellOutcome::Ok(pages) if *pages > 0));
+    }
+
+    #[test]
+    fn a_flaky_task_recovers_on_retry() {
+        let _g = drain_lock();
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let tasks = vec![SweepTask::new("flaky/one", 0, move || {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure");
+            }
+            77u64
+        })];
+        let opts =
+            SweepOptions { retries: 1, ..SweepOptions::jobs_only(2) };
+        let outcomes = run_tasks_sweep(tasks, &opts);
+        let _ = take_metrics();
+        assert!(matches!(outcomes[0], CellOutcome::Ok(77)));
+        assert_eq!(tries.load(Ordering::SeqCst), 2, "first try + one retry");
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_with_attempt_count() {
+        let _g = drain_lock();
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let tasks = vec![
+            SweepTask::new("quar/dead", 0, move || -> u64 {
+                t.fetch_add(1, Ordering::SeqCst);
+                panic!("always fails");
+            }),
+            SweepTask::new("quar/alive", 0, || 5u64),
+        ];
+        let opts = SweepOptions { retries: 2, ..SweepOptions::jobs_only(2) };
+        let outcomes = run_tasks_sweep(tasks, &opts);
+        let _ = take_metrics();
+        match &outcomes[0] {
+            CellOutcome::Quarantined { label, attempts, reason } => {
+                assert_eq!(label, "quar/dead");
+                assert_eq!(*attempts, 3, "first try + two retries");
+                assert!(reason.contains("always fails"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert!(matches!(outcomes[1], CellOutcome::Ok(5)));
+    }
+
+    #[test]
+    fn hard_deadline_quarantines_a_hung_task() {
+        let _g = drain_lock();
+        let tasks = vec![
+            SweepTask::new("wd/hung", 0, || {
+                std::thread::sleep(Duration::from_secs(30));
+                1u64
+            }),
+            SweepTask::new("wd/fast", 0, || 2u64),
+        ];
+        let opts = SweepOptions {
+            retries: 1,
+            hard_deadline: Some(0.05),
+            ..SweepOptions::jobs_only(2)
+        };
+        let start = Instant::now();
+        let outcomes = run_tasks_sweep(tasks, &opts);
+        let _ = take_metrics();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "the watchdog must reclaim the sweep long before the hung cell ends"
+        );
+        match &outcomes[0] {
+            CellOutcome::Quarantined { attempts, reason, .. } => {
+                assert_eq!(*attempts, 2);
+                assert!(reason.contains("hard deadline"), "{reason}");
+            }
+            other => panic!("expected deadline quarantine, got {other:?}"),
+        }
+        assert!(matches!(outcomes[1], CellOutcome::Ok(2)));
+    }
+
+    #[test]
+    fn journaled_sweep_replays_completed_cells_without_rerunning() {
+        let _g = drain_lock();
+        let dir = std::env::temp_dir()
+            .join(format!("colt-runner-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let runs = Arc::new(AtomicU32::new(0));
+        let make_tasks = |runs: &Arc<AtomicU32>| {
+            (0..4u64)
+                .map(|i| {
+                    let r = Arc::clone(runs);
+                    SweepTask::new(format!("jrnl/t{i}"), 0, move || {
+                        r.fetch_add(1, Ordering::SeqCst);
+                        i * 100
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let journal =
+            Journal::open(&dir, "jrnl", "cafe0001".to_string(), false).unwrap();
+        let opts = SweepOptions {
+            journal: Some(&journal),
+            ..SweepOptions::jobs_only(2)
+        };
+        let first = expect_all(run_tasks_sweep(make_tasks(&runs), &opts));
+        let _ = take_metrics();
+        assert_eq!(first, vec![0, 100, 200, 300]);
+        assert_eq!(runs.load(Ordering::SeqCst), 4);
+        assert_eq!(journal.appended(), 4);
+
+        // Resume: every cell replays, nothing executes, results and
+        // submission order are identical.
+        let journal =
+            Journal::open(&dir, "jrnl", "cafe0001".to_string(), true).unwrap();
+        assert_eq!(journal.open_report().replayed, 4);
+        let opts = SweepOptions {
+            journal: Some(&journal),
+            ..SweepOptions::jobs_only(2)
+        };
+        let second = expect_all(run_tasks_sweep(make_tasks(&runs), &opts));
+        let _ = take_metrics();
+        assert_eq!(second, first);
+        assert_eq!(runs.load(Ordering::SeqCst), 4, "no cell re-ran");
+        assert_eq!(journal.appended(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

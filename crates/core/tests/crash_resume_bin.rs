@@ -1,0 +1,101 @@
+//! Binary-level crash/recovery: SIGKILL-equivalent death mid-sweep
+//! (via `COLT_CRASH_AFTER_CELLS`, which `abort()`s right after a
+//! journal fsync), then `repro ... --resume` must finish the sweep and
+//! write byte-identical results to an uninterrupted run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Faults armed in release; rate 0 in debug, where the three prepared
+/// fault scenarios dominate the unoptimized runtime. Crash/resume
+/// behavior is identical either way, and the `verify.sh` crash smoke
+/// covers the faults-armed path with the release binary.
+const FAULTS: &str = if cfg!(debug_assertions) {
+    "rate=0,window=50,seed=11"
+} else {
+    "rate=0.3,window=50,seed=11"
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("colt-repro-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repro(dir: &PathBuf, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.current_dir(dir)
+        .args([
+            // Tiny access budget: crash/resume byte-identity does not
+            // depend on sweep length, and unoptimized test builds run
+            // this sweep three times.
+            "--accesses",
+            "4000",
+            "--bench",
+            "FastaProt",
+            "--faults",
+            FAULTS,
+            "--jobs",
+            "2",
+            "pressure",
+            "--csv",
+        ])
+        .args(extra)
+        // Keep the child deterministic regardless of the test env.
+        .env_remove("COLT_CRASH_AFTER_CELLS")
+        .env_remove("COLT_JOBS");
+    cmd
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_results() {
+    // Uninterrupted reference.
+    let ref_dir = tmpdir("ref");
+    let out = repro(&ref_dir, &[]).output().expect("spawn repro");
+    assert!(out.status.success(), "reference run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let ref_json = std::fs::read(ref_dir.join("results/BENCH_pressure.json")).unwrap();
+    let ref_csv = out.stdout.clone();
+
+    // Crash after the 3rd journaled cell: the process must die (abort,
+    // not a clean exit), leaving exactly 3 fsynced records behind and
+    // no BENCH_pressure.json.
+    let dir = tmpdir("crash");
+    let crashed = repro(&dir, &[])
+        .env("COLT_CRASH_AFTER_CELLS", "3")
+        .output()
+        .expect("spawn crashing repro");
+    assert!(!crashed.status.success(), "crash injection must kill the run");
+    let journal = std::fs::read_to_string(dir.join("results/journal/pressure.jsonl")).unwrap();
+    assert_eq!(journal.lines().count(), 3, "exactly the fsynced records survive");
+    assert!(
+        !dir.join("results/BENCH_pressure.json").exists(),
+        "no result file may exist after the crash"
+    );
+
+    // Resume with the same flags: finishes the sweep and reproduces the
+    // reference byte-for-byte (result file and CSV output alike).
+    let resumed = repro(&dir, &["--resume"]).output().expect("spawn resuming repro");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let json = std::fs::read(dir.join("results/BENCH_pressure.json")).unwrap();
+    assert_eq!(json, ref_json, "resumed BENCH_pressure.json must be byte-identical");
+    assert_eq!(resumed.stdout, ref_csv, "resumed CSV output must be byte-identical");
+    let final_journal =
+        std::fs::read_to_string(dir.join("results/journal/pressure.jsonl")).unwrap();
+    assert_eq!(
+        final_journal.lines().count(),
+        std::fs::read_to_string(ref_dir.join("results/journal/pressure.jsonl"))
+            .unwrap()
+            .lines()
+            .count(),
+        "resumed journal must cover the full sweep"
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: offline release build, the whole test suite, a
 # quick 4-core SMP smoke run, a fault-injection pressure smoke (sweep
-# plus oracle fuzz under a seeded fault plan), and a quick parallel
-# smoke sweep with a throughput regression gate.
+# plus oracle fuzz under a seeded fault plan), a crash-recovery smoke
+# (kill a sweep mid-run, --resume, diff against an uninterrupted
+# reference), and a quick parallel smoke sweep with a throughput
+# regression gate.
 #
 # The gate compares the smoke sweep's aggregate refs/sec against the
 # committed results/BENCH_sweep.json baseline and fails on a >20% drop.
@@ -84,6 +86,42 @@ done
 echo "== fault-injection oracle fuzz: repro pressure --check =="
 ./target/release/repro pressure --check --seeds 2 --events 120 \
     --jobs "$(nproc)" --faults rate=0.05,window=0,seed=7
+
+# Crash-recovery smoke: run a pressure sweep in a scratch directory,
+# kill it mid-sweep (COLT_CRASH_AFTER_CELLS aborts right after the k-th
+# journal fsync — a SIGKILL-equivalent death), then finish it with
+# --resume. The resumed run must leave BENCH_pressure.json and the CSV
+# output byte-identical to an uninterrupted reference run, with exactly
+# the k fsynced journal records surviving the crash.
+CRASH_DIR=$(mktemp -d)
+trap 'rm -rf "$CRASH_DIR"' EXIT
+CRASH_ARGS=(--quick --bench Sjeng --faults rate=0.3,window=50,seed=11
+            --jobs "$(nproc)" pressure --csv)
+REPRO="$PWD/target/release/repro"
+echo "== crash-recovery smoke: kill mid-sweep, then --resume =="
+(cd "$CRASH_DIR" && "$REPRO" "${CRASH_ARGS[@]}" > ref.csv)
+cp "$CRASH_DIR/results/BENCH_pressure.json" "$CRASH_DIR/ref_pressure.json"
+rm -rf "$CRASH_DIR/results"
+if (cd "$CRASH_DIR" && COLT_CRASH_AFTER_CELLS=5 "$REPRO" "${CRASH_ARGS[@]}" \
+        > crash.csv 2> crash.err); then
+    echo "FAIL: crash injection did not kill the sweep" >&2
+    exit 1
+fi
+crash_lines=$(wc -l < "$CRASH_DIR/results/journal/pressure.jsonl")
+if [[ "$crash_lines" -ne 5 ]]; then
+    echo "FAIL: expected 5 fsynced journal records after the crash, got $crash_lines" >&2
+    exit 1
+fi
+(cd "$CRASH_DIR" && "$REPRO" "${CRASH_ARGS[@]}" --resume > resume.csv)
+if ! cmp -s "$CRASH_DIR/ref_pressure.json" "$CRASH_DIR/results/BENCH_pressure.json"; then
+    echo "FAIL: resumed BENCH_pressure.json differs from the uninterrupted run" >&2
+    exit 1
+fi
+if ! cmp -s "$CRASH_DIR/ref.csv" "$CRASH_DIR/resume.csv"; then
+    echo "FAIL: resumed CSV output differs from the uninterrupted run" >&2
+    exit 1
+fi
+echo "crash-recovery smoke passed (5 journaled cells survived, resume byte-identical)"
 
 echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 # The sweep rewrites $BASELINE with this run's numbers; the baseline
