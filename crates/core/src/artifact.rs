@@ -275,11 +275,26 @@ pub fn atomic_write_json(path: &Path, json: &str) -> io::Result<String> {
 // BENCH_*.json builders (hand-rolled: the offline build has no serde).
 // ---------------------------------------------------------------------
 
-/// Sum of every cell's preparation and simulation time — what one
-/// worker thread would have spent, since results are identical at any
-/// width and prep sharing happens at every width too.
+/// Sum of every cell's preparation and simulation wall-clock — what one
+/// worker thread would have spent *with the same snapshot-cache state*,
+/// since results are identical at any width, prep sharing happens at
+/// every width, and cache-hit cells record the (near-zero) time the hit
+/// actually cost rather than the build it avoided.
 pub fn serial_seconds_estimate(metrics: &[CellMetric]) -> f64 {
     metrics.iter().map(|m| m.prep_seconds + m.sim_seconds).sum()
+}
+
+/// Aggregate simulation-only throughput: refs per second once
+/// preparation is amortized away (i.e. the steady-state rate a warm
+/// cache converges to). Zero-ref cells — contiguity probes that prepare
+/// a kernel but simulate nothing — are excluded from both numerator and
+/// denominator so they cannot drag the figure toward zero.
+pub fn prep_amortized_refs_per_sec(metrics: &[CellMetric]) -> f64 {
+    let (refs, sim): (u64, f64) = metrics
+        .iter()
+        .filter(|m| m.refs > 0)
+        .fold((0, 0.0), |(r, s), m| (r + m.refs, s + m.sim_seconds));
+    refs as f64 / sim.max(1e-9)
 }
 
 /// Machine-readable sweep throughput report (`BENCH_sweep.json`). The
@@ -287,9 +302,22 @@ pub fn serial_seconds_estimate(metrics: &[CellMetric]) -> f64 {
 /// replayed cells carry their original (journaled, bit-exact) timings
 /// while re-run cells time anew, so everything except timing is
 /// reproducible byte-for-byte.
-pub fn sweep_json(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> String {
+///
+/// `speedup_vs_1_thread_estimate` compares the sum of per-cell
+/// (prep + sim) wall-clock against the sweep's wall time — an honest
+/// estimate because cache-hit cells contribute the prep they actually
+/// paid, not the build they skipped. The separately labeled
+/// `prep_amortized_refs_per_sec` reports sim-only throughput over the
+/// cells that simulate anything (refs > 0).
+pub fn sweep_json(
+    metrics: &[CellMetric],
+    jobs: usize,
+    wall_seconds: f64,
+    cache: &crate::snapshot_cache::CacheStats,
+) -> String {
     let total_refs: u64 = metrics.iter().map(|m| m.refs).sum();
     let serial = serial_seconds_estimate(metrics);
+    let prep_total: f64 = metrics.iter().map(|m| m.prep_seconds).sum();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
@@ -297,6 +325,17 @@ pub fn sweep_json(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> Str
     out.push_str(&format!(
         "  \"aggregate_refs_per_sec\": {:.1},\n",
         total_refs as f64 / wall_seconds.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"prep_amortized_refs_per_sec\": {:.1},\n",
+        prep_amortized_refs_per_sec(metrics)
+    ));
+    out.push_str(&format!("  \"prep_seconds_total\": {prep_total:.6},\n"));
+    out.push_str(&format!("  \"prep_cache_hits\": {},\n", cache.hits()));
+    out.push_str(&format!("  \"prep_cache_misses\": {},\n", cache.misses));
+    out.push_str(&format!(
+        "  \"snapshot_seconds\": {:.6},\n",
+        cache.snapshot_seconds
     ));
     out.push_str(&format!("  \"serial_seconds_estimate\": {serial:.6},\n"));
     out.push_str(&format!(
@@ -437,6 +476,46 @@ pub fn pressure_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_json_reports_cache_stats_and_amortizes_prep_over_sim_cells() {
+        let metrics = vec![
+            CellMetric {
+                label: "fig18/colt_all".into(),
+                benchmark: "Gobmk".into(),
+                scenario: "default".into(),
+                refs: 1000,
+                prep_seconds: 0.5,
+                sim_seconds: 0.25,
+            },
+            // A contiguity probe: prepares a kernel, simulates nothing.
+            // Its sim time must not dilute the amortized throughput.
+            CellMetric {
+                label: "contiguity/default".into(),
+                benchmark: "Gobmk".into(),
+                scenario: "default".into(),
+                refs: 0,
+                prep_seconds: 0.1,
+                sim_seconds: 42.0,
+            },
+        ];
+        let cache = crate::snapshot_cache::CacheStats {
+            mem_hits: 3,
+            disk_hits: 1,
+            misses: 2,
+            snapshot_seconds: 0.125,
+        };
+        let json = sweep_json(&metrics, 8, 0.5, &cache);
+        validate_json(&json).expect("sweep report is valid JSON");
+        assert!(json.contains("\"prep_cache_hits\": 4"), "{json}");
+        assert!(json.contains("\"prep_cache_misses\": 2"), "{json}");
+        assert!(json.contains("\"snapshot_seconds\": 0.125000"), "{json}");
+        assert!(json.contains("\"prep_seconds_total\": 0.600000"), "{json}");
+        // 1000 refs / 0.25 sim seconds; the zero-ref cell is excluded.
+        assert!(json.contains("\"prep_amortized_refs_per_sec\": 4000.0"), "{json}");
+        // (0.5 + 0.25 + 0.1 + 42.0) / 0.5 wall.
+        assert!(json.contains("\"speedup_vs_1_thread_estimate\": 85.700"), "{json}");
+    }
 
     #[test]
     fn validator_accepts_real_shapes_and_rejects_corruption() {

@@ -59,6 +59,7 @@ use colt_core::artifact;
 use colt_core::journal::Journal;
 use colt_core::report::Table;
 use colt_core::runner::{self, CellMetric};
+use colt_core::snapshot_cache;
 use colt_os_mem::faults::FaultConfig;
 use std::path::Path;
 use std::process::ExitCode;
@@ -83,11 +84,16 @@ const ALL: [&str; 17] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--faults SPEC] [--resume] [--retries N] [--csv] [--bars] <experiment>...\n\
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--faults SPEC] [--resume] [--retries N] [--no-snapshot-cache] [--csv] [--bars] <experiment>...\n\
          \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N] [--faults SPEC]\n\
          --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
          \u{20}           then the machine's available parallelism); results are\n\
          \u{20}           identical at any value\n\
+         --no-snapshot-cache  disable the preparation snapshot cache (both\n\
+         \u{20}           the in-memory layer and results/snapshots/ on disk);\n\
+         \u{20}           every cell re-prepares from scratch — use it to time\n\
+         \u{20}           cold preparation or bypass a suspect snapshot; set\n\
+         \u{20}           $COLT_SNAPSHOT_DIR to relocate the on-disk snapshots\n\
          --cores N  simulated cores for the smp_* experiments, the pressure\n\
          \u{20}           SMP leg, and the cross-core --check oracle (default 1)\n\
          --resume   replay results/journal/<experiment>.jsonl: completed\n\
@@ -124,6 +130,9 @@ fn clamp_flag(flag: &str, n: u64) -> u64 {
 }
 
 fn main() -> ExitCode {
+    // The CLI wants preparation snapshots to survive the process (the
+    // library default is memory-only, keeping test binaries hermetic).
+    snapshot_cache::set_disk_persistence(true);
     let mut opts = ExperimentOptions::default();
     if let Ok(jobs) = std::env::var("COLT_JOBS") {
         match jobs.parse::<u64>() {
@@ -192,6 +201,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--no-snapshot-cache" => snapshot_cache::set_enabled(false),
             "--csv" => csv = true,
             "--bars" => bars = true,
             "--help" | "-h" => usage(),
@@ -260,6 +270,7 @@ fn main() -> ExitCode {
     }
 
     let _ = runner::take_metrics();
+    let _ = snapshot_cache::take_stats();
     let wall_start = Instant::now();
     let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
     let mut pressure_report: Option<pressure::PressureReport> = None;
@@ -355,6 +366,7 @@ fn main() -> ExitCode {
 
     let wall_seconds = wall_start.elapsed().as_secs_f64();
     let metrics = runner::take_metrics();
+    let cache = snapshot_cache::take_stats();
     // All three result files go through the same atomic, read-back
     // verified write; a failed write is a failed run, never a warning
     // that exits 0.
@@ -375,9 +387,12 @@ fn main() -> ExitCode {
     };
     if !metrics.is_empty() {
         if !csv {
-            println!("{}", throughput_table(&metrics, opts.jobs, wall_seconds).render());
+            println!(
+                "{}",
+                throughput_table(&metrics, opts.jobs, wall_seconds, &cache).render()
+            );
         }
-        let json = artifact::sweep_json(&metrics, opts.jobs, wall_seconds);
+        let json = artifact::sweep_json(&metrics, opts.jobs, wall_seconds, &cache);
         write_result("results/BENCH_sweep.json", &json, "throughput details");
     }
     if !smp_rows.is_empty() {
@@ -475,8 +490,20 @@ fn run_check_mode(
 }
 
 /// One row per experiment (cells grouped by label prefix up to the
-/// first '/'), plus an aggregate row.
-fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> Table {
+/// first '/'), plus aggregate rows.
+///
+/// The speedup row estimates one thread's wall-clock as the sum of what
+/// every cell actually paid (prep + sim) — with a warm snapshot cache
+/// the prep terms are near zero, so the estimate stays honest instead
+/// of crediting the cache's savings to parallelism. Steady-state
+/// simulation throughput is labeled separately (prep-amortized), over
+/// only the cells that simulate anything (refs > 0).
+fn throughput_table(
+    metrics: &[CellMetric],
+    jobs: usize,
+    wall_seconds: f64,
+    cache: &snapshot_cache::CacheStats,
+) -> Table {
     let mut table = Table::new(
         format!("Sweep throughput: {jobs} worker thread(s), {wall_seconds:.2}s wall"),
         &["experiment", "cells", "refs", "cpu seconds", "refs/sec (cpu)"],
@@ -513,6 +540,23 @@ fn throughput_table(metrics: &[CellMetric], jobs: usize, wall_seconds: f64) -> T
         total_refs.to_string(),
         format!("{serial:.2}"),
         format!("{:.0}", total_refs as f64 / wall_seconds.max(1e-9)),
+    ]);
+    let sim_cells = metrics.iter().filter(|m| m.refs > 0).count();
+    let sim_secs: f64 =
+        metrics.iter().filter(|m| m.refs > 0).map(|m| m.sim_seconds).sum();
+    table.add_row(vec![
+        "refs/sec (prep-amortized)".to_string(),
+        sim_cells.to_string(),
+        total_refs.to_string(),
+        format!("{sim_secs:.2} sim"),
+        format!("{:.0}", artifact::prep_amortized_refs_per_sec(metrics)),
+    ]);
+    table.add_row(vec![
+        "prep cache".to_string(),
+        format!("{} hit(s)", cache.hits()),
+        format!("{} miss(es)", cache.misses),
+        format!("{:.2} snap", cache.snapshot_seconds),
+        "-".to_string(),
     ]);
     table.add_row(vec![
         "speedup vs 1 thread (est)".to_string(),

@@ -16,6 +16,9 @@
 //!   quarantine supervision),
 //! * [`journal`] — the durable, checksummed cell journal behind
 //!   `repro --resume` crash recovery,
+//! * [`snapshot_cache`] — the process-global preparation cache whose
+//!   durable snapshots let a warm `repro` invocation skip workload
+//!   preparation entirely,
 //! * [`artifact`] — atomic, verified result-file writes and the
 //!   `BENCH_*.json` builders,
 //! * [`report`] / [`metrics`] — output formatting and comparisons.
@@ -49,6 +52,7 @@ pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod sim;
+pub mod snapshot_cache;
 
 pub use experiments::{ExperimentOptions, ExperimentOutput};
 pub use perf::PerfModel;

@@ -1,5 +1,6 @@
 //! Parallel sweep runner: fans independent (benchmark × scenario ×
-//! TLB-config) simulation cells out across a scoped-thread worker pool.
+//! TLB-config) simulation cells out across a work-stealing scheduler
+//! on scoped threads.
 //!
 //! Every experiment driver is a sweep over cells that share nothing but
 //! a prepared workload, so the runner provides exactly four guarantees:
@@ -9,10 +10,17 @@
 //!    streams, so the rendered tables are byte-identical regardless of
 //!    `jobs` (and regardless of how many cells were replayed from a
 //!    journal rather than executed).
-//! 2. **Shared preparation** — cells that name the same (scenario,
-//!    benchmark) pair share one [`PreparedWorkload`], built once by
-//!    whichever worker gets there first and handed out as an `Arc`, so
-//!    e.g. Figure 18's four TLB modes pay for one aging pass, not four.
+//! 2. **Shared preparation, no convoying** — cells that name the same
+//!    (scenario, benchmark) pair share one [`PreparedWorkload`], built
+//!    once (or decoded from the process-global
+//!    [`snapshot_cache`](crate::snapshot_cache)) by whichever worker
+//!    gets there first and handed out as an `Arc`. A cell that finds
+//!    its preparation *in flight* parks on the slot instead of
+//!    blocking its worker: the worker steals other cells in the
+//!    meantime, and the parked cells are requeued the moment the build
+//!    lands. Work distribution is per-worker deques (pop-front own
+//!    work, steal-back others'), so one slow preparation never idles
+//!    the rest of the pool.
 //! 3. **Supervised failure** — a cell that panics, whose preparation
 //!    fails, or that exceeds the hard deadline is *retried* up to
 //!    `retries` times with exponential backoff and a
@@ -41,13 +49,14 @@
 
 use crate::journal::{Journal, JournalPayload};
 use crate::sim::{self, SimConfig, SimResult};
+use crate::snapshot_cache;
 use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::BenchmarkSpec;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One unit of parallel work: a job run against a prepared workload.
@@ -300,54 +309,31 @@ impl SweepOptions<'_> {
     }
 }
 
-/// A shared preparation slot. `None` until some worker succeeds; a
-/// failed build leaves it `None` so a later cell (or a retry of the
-/// same cell) may retry, unlike a `OnceLock` which would wedge.
-type PrepSlot = Arc<Mutex<Option<Arc<PreparedWorkload>>>>;
-type PrepCache = Mutex<HashMap<String, PrepSlot>>;
-
-/// Builds (or fetches) the shared workload for one (scenario, spec)
-/// pair. Returns the seconds spent preparing — 0.0 on a cache hit — or
-/// an error description if preparation failed (or panicked).
-fn prepared(
-    cache: &PrepCache,
-    scenario: &Scenario,
-    spec: &BenchmarkSpec,
-) -> Result<(Arc<PreparedWorkload>, f64), String> {
-    let key = format!("{scenario:?}\u{1}{spec:?}");
-    let slot = {
-        let mut map = relock(cache);
-        map.entry(key).or_insert_with(|| Arc::new(Mutex::new(None))).clone()
-    };
-    // Hold the slot lock across the build so concurrent cells wait for
-    // one preparation instead of duplicating it.
-    let mut guard = relock(&slot);
-    if let Some(w) = guard.as_ref() {
-        return Ok((Arc::clone(w), 0.0));
-    }
-    let start = Instant::now();
-    let built = catch_unwind(AssertUnwindSafe(|| scenario.prepare(spec)));
-    let workload = match built {
-        Ok(Ok(w)) => Arc::new(w),
-        Ok(Err(e)) => {
-            return Err(format!(
-                "scenario '{}' failed for {}: {e}",
-                scenario.name, spec.name
-            ));
-        }
-        Err(payload) => {
-            return Err(format!(
-                "scenario '{}' panicked for {}: {}",
-                scenario.name,
-                spec.name,
-                panic_message(payload)
-            ));
-        }
-    };
-    *guard = Some(Arc::clone(&workload));
-    let prep_seconds = start.elapsed().as_secs_f64();
-    Ok((workload, prep_seconds))
+/// One sweep-local preparation slot. The slot exists so that, within a
+/// sweep, exactly one worker builds each (scenario, spec) pair while
+/// cells that arrive during the build *park* on the slot (their worker
+/// moves on to other work) instead of blocking behind a lock. The
+/// actual build — memory cache, disk snapshot, or a fresh
+/// `Scenario::prepare` — is delegated to [`snapshot_cache`].
+enum SlotState {
+    /// Nobody has built this pair yet (or the last build failed, which
+    /// leaves the slot retryable rather than wedged).
+    Empty,
+    /// A worker is building right now; arriving cells park in `waiting`.
+    Building,
+    /// The workload is ready for every future cell of the sweep.
+    Ready(Arc<PreparedWorkload>),
 }
+
+struct PrepSlot<R> {
+    state: SlotState,
+    /// Cells parked until the in-flight build lands; the builder drains
+    /// them into the injector (success and failure alike — after a
+    /// failure one of them becomes the next builder).
+    waiting: Vec<Item<R>>,
+}
+
+type SlotMap<R> = Mutex<HashMap<String, Arc<Mutex<PrepSlot<R>>>>>;
 
 /// Runs `run` under the hard deadline: on a supervised thread whose
 /// result is awaited for at most `hard` seconds, after which the
@@ -518,6 +504,177 @@ fn journal_outcome<R>(
     }
 }
 
+/// Finds the next runnable item for worker `me`: own deque front, then
+/// the shared injector, then a steal from the back of a sibling's deque
+/// (scanned round-robin from `me + 1` so victims are spread evenly).
+fn steal_work<R>(
+    me: usize,
+    deques: &[Mutex<VecDeque<Item<R>>>],
+    injector: &Mutex<VecDeque<Item<R>>>,
+) -> Option<Item<R>> {
+    if let Some(item) = relock(&deques[me]).pop_front() {
+        return Some(item);
+    }
+    if let Some(item) = relock(injector).pop_front() {
+        return Some(item);
+    }
+    for k in 1..deques.len() {
+        let victim = (me + k) % deques.len();
+        if let Some(item) = relock(&deques[victim]).pop_back() {
+            return Some(item);
+        }
+    }
+    None
+}
+
+/// What came of trying to obtain a cell's shared preparation.
+enum Acquired<R> {
+    /// Another worker is mid-build; the item is parked on the slot and
+    /// this worker should pick up other work.
+    Parked,
+    /// This worker built (or fetched) the workload.
+    Ready {
+        item: Item<R>,
+        workload: Arc<PreparedWorkload>,
+        /// Seconds this cell spent building or decoding the workload
+        /// (0 when another cell, sweep, or invocation already paid).
+        prep_seconds: f64,
+    },
+    /// The build failed (or panicked); the attempt is charged to this
+    /// cell and the slot is left retryable.
+    Failed { item: Item<R>, reason: String },
+}
+
+/// Obtains the shared workload for a cell without ever blocking the
+/// worker: a ready slot is a free hit, an in-flight slot parks the
+/// item, an empty slot makes this worker the builder (delegating to
+/// the process-global [`snapshot_cache`]). Whichever way the build
+/// ends, parked items are drained into the injector and sleeping
+/// workers are woken.
+fn acquire_prepared<R>(
+    slots: &SlotMap<R>,
+    injector: &Mutex<VecDeque<Item<R>>>,
+    idle_cv: &Condvar,
+    item: Item<R>,
+) -> Acquired<R> {
+    let Work::Cell { scenario, spec, .. } = &item.work else {
+        unreachable!("acquire_prepared is only called for cells")
+    };
+    let key = snapshot_cache::prep_key(scenario, spec);
+    let slot = {
+        let mut map = relock(slots);
+        Arc::clone(map.entry(key).or_insert_with(|| {
+            Arc::new(Mutex::new(PrepSlot { state: SlotState::Empty, waiting: Vec::new() }))
+        }))
+    };
+    {
+        let mut st = relock(&slot);
+        match &st.state {
+            SlotState::Ready(w) => {
+                return Acquired::Ready {
+                    workload: Arc::clone(w),
+                    prep_seconds: 0.0,
+                    item,
+                };
+            }
+            SlotState::Building => {
+                st.waiting.push(item);
+                return Acquired::Parked;
+            }
+            SlotState::Empty => st.state = SlotState::Building,
+        }
+    }
+    // This worker is the builder; the slot lock is *not* held across
+    // the build — arriving cells park instead of blocking.
+    let Work::Cell { scenario, spec, .. } = &item.work else {
+        unreachable!("cell items stay cells")
+    };
+    let built = snapshot_cache::get_or_prepare(scenario, spec);
+    let mut st = relock(&slot);
+    let (result, woken) = match built {
+        Ok(p) => {
+            st.state = SlotState::Ready(Arc::clone(&p.workload));
+            let woken = std::mem::take(&mut st.waiting);
+            (
+                Acquired::Ready {
+                    workload: p.workload,
+                    prep_seconds: p.prep_seconds,
+                    item,
+                },
+                woken,
+            )
+        }
+        Err(reason) => {
+            // Leave the slot retryable; a parked cell (or a retry of
+            // this one) becomes the next builder.
+            st.state = SlotState::Empty;
+            let woken = std::mem::take(&mut st.waiting);
+            (Acquired::Failed { item, reason }, woken)
+        }
+    };
+    drop(st);
+    if !woken.is_empty() {
+        let mut inj = relock(injector);
+        for it in woken {
+            inj.push_back(it);
+        }
+    }
+    idle_cv.notify_all();
+    result
+}
+
+/// Concludes one attempt: requeues it (deterministic position in the
+/// injector, after backoff) when retries remain, otherwise journals
+/// the final outcome, bumps the completed count, wakes idle workers,
+/// and reports the result.
+#[allow(clippy::too_many_arguments)]
+fn finish_attempt<R>(
+    item: Item<R>,
+    ran: Result<R, String>,
+    metric: CellMetric,
+    opts: &EngineOpts<'_, R>,
+    injector: &Mutex<VecDeque<Item<R>>>,
+    idle_cv: &Condvar,
+    completed: &Mutex<usize>,
+    soft: f64,
+    tx: &mpsc::Sender<(usize, CellOutcome<R>, CellMetric)>,
+) {
+    warn_if_over_deadline(&item.label, metric.sim_seconds, soft);
+    let outcome = match ran {
+        Ok(result) => CellOutcome::Ok(result),
+        Err(reason) => {
+            if item.attempt <= opts.retries {
+                eprintln!(
+                    "warning: cell '{}' attempt {} failed ({reason}); \
+                     retrying after backoff",
+                    item.label, item.attempt
+                );
+                std::thread::sleep(backoff_for(item.attempt));
+                {
+                    let mut inj = relock(injector);
+                    let pos = requeue_position(&item.label, item.attempt, inj.len());
+                    inj.insert(pos, Item { attempt: item.attempt + 1, ..item });
+                }
+                idle_cv.notify_all();
+                return;
+            }
+            if item.attempt > 1 {
+                CellOutcome::Quarantined {
+                    label: item.label.clone(),
+                    attempts: item.attempt,
+                    reason,
+                }
+            } else {
+                CellOutcome::Failed { label: item.label.clone(), payload: reason }
+            }
+        }
+    };
+    journal_outcome(&opts.hook, &item, &outcome, &metric);
+    *relock(completed) += 1;
+    idle_cv.notify_all();
+    let _ = tx.send((item.idx, outcome, metric));
+}
+
 /// The sweep engine: replays journaled cells, fans the rest out across
 /// `jobs` workers with retry + quarantine supervision, and returns one
 /// outcome per item in submission order.
@@ -560,23 +717,52 @@ fn engine<R: Send + 'static>(
         pending.push_back(item);
     }
 
-    let remaining = pending.len();
-    let workers = opts.jobs.max(1).min(remaining.max(1));
+    let total = pending.len();
+    let workers = opts.jobs.max(1).min(total.max(1));
     let soft = cell_soft_deadline();
-    let queue: Mutex<VecDeque<Item<R>>> = Mutex::new(pending);
-    let cache: PrepCache = Mutex::new(HashMap::new());
+
+    // Work-stealing state: items are dealt round-robin across per-worker
+    // deques; a worker pops the front of its own deque, then the shared
+    // injector (retries and un-parked cells land there), then steals
+    // from the back of a sibling's deque. Termination is by completed
+    // count — queue emptiness proves nothing while cells are parked on
+    // building prep slots or sleeping through a retry backoff.
+    let mut deques: Vec<Mutex<VecDeque<Item<R>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in pending.into_iter().enumerate() {
+        deques[i % workers]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(item);
+    }
+    let deques: &[Mutex<VecDeque<Item<R>>>] = &deques;
+    let injector: &Mutex<VecDeque<Item<R>>> = &Mutex::new(VecDeque::new());
+    let prep_slots: &SlotMap<R> = &Mutex::new(HashMap::new());
+    let completed: &Mutex<usize> = &Mutex::new(0);
+    let idle_cv: &Condvar = &Condvar::new();
     let (tx, rx) = mpsc::channel::<(usize, CellOutcome<R>, CellMetric)>();
     let opts = &opts;
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for me in 0..workers {
             let tx = tx.clone();
-            let queue = &queue;
-            let cache = &cache;
             s.spawn(move || {
                 loop {
-                    let Some(item) = relock(queue).pop_front() else {
-                        break;
+                    let Some(item) = steal_work(me, deques, injector) else {
+                        // Nothing runnable anywhere. Done — or waiting on
+                        // an in-flight preparation or a retry backoff:
+                        // park until the injector is fed (the timeout
+                        // bounds any lost-wakeup race).
+                        let done = relock(completed);
+                        if *done >= total {
+                            break;
+                        }
+                        drop(
+                            idle_cv
+                                .wait_timeout(done, Duration::from_millis(5))
+                                .unwrap_or_else(PoisonError::into_inner),
+                        );
+                        continue;
                     };
                     let mut metric = CellMetric {
                         label: item.label.clone(),
@@ -586,77 +772,43 @@ fn engine<R: Send + 'static>(
                         prep_seconds: 0.0,
                         sim_seconds: 0.0,
                     };
-                    // One attempt: shared preparation (cells only) on
-                    // this worker, then the job under the watchdog.
-                    let ran: Result<R, String> = match &item.work {
-                        Work::Cell { scenario, spec, job } => {
-                            match prepared(cache, scenario, spec) {
-                                Err(e) => Err(e),
-                                Ok((workload, prep_seconds)) => {
+                    // One attempt: obtain the shared preparation (cells
+                    // only) without blocking this worker, then run the
+                    // job under the watchdog.
+                    let (item, ran): (Item<R>, Result<R, String>) =
+                        if matches!(item.work, Work::Cell { .. }) {
+                            match acquire_prepared(prep_slots, injector, idle_cv, item) {
+                                Acquired::Parked => continue,
+                                Acquired::Failed { item, reason } => (item, Err(reason)),
+                                Acquired::Ready { item, workload, prep_seconds } => {
                                     metric.prep_seconds = prep_seconds;
+                                    let Work::Cell { job, .. } = &item.work else {
+                                        unreachable!("cell items stay cells")
+                                    };
                                     let job = Arc::clone(job);
                                     let start = Instant::now();
                                     let out = run_with_deadline(
                                         Box::new(move || job(&workload)),
                                         opts.hard,
                                     );
-                                    metric.sim_seconds =
-                                        start.elapsed().as_secs_f64();
-                                    out
+                                    metric.sim_seconds = start.elapsed().as_secs_f64();
+                                    (item, out)
                                 }
                             }
-                        }
-                        Work::Task { job } => {
+                        } else {
+                            let Work::Task { job } = &item.work else {
+                                unreachable!("non-cell items are tasks")
+                            };
                             let job = Arc::clone(job);
                             let start = Instant::now();
                             let out =
                                 run_with_deadline(Box::new(move || job()), opts.hard);
                             metric.sim_seconds = start.elapsed().as_secs_f64();
-                            out
-                        }
-                    };
-                    warn_if_over_deadline(&item.label, metric.sim_seconds, soft);
-
-                    let outcome = match ran {
-                        Ok(result) => CellOutcome::Ok(result),
-                        Err(reason) => {
-                            if item.attempt <= opts.retries {
-                                eprintln!(
-                                    "warning: cell '{}' attempt {} failed ({reason}); \
-                                     retrying after backoff",
-                                    item.label, item.attempt
-                                );
-                                std::thread::sleep(backoff_for(item.attempt));
-                                let mut q = relock(queue);
-                                let pos = requeue_position(
-                                    &item.label,
-                                    item.attempt,
-                                    q.len(),
-                                );
-                                q.insert(
-                                    pos,
-                                    Item { attempt: item.attempt + 1, ..item },
-                                );
-                                continue;
-                            }
-                            if item.attempt > 1 {
-                                CellOutcome::Quarantined {
-                                    label: item.label.clone(),
-                                    attempts: item.attempt,
-                                    reason,
-                                }
-                            } else {
-                                CellOutcome::Failed {
-                                    label: item.label.clone(),
-                                    payload: reason,
-                                }
-                            }
-                        }
-                    };
-                    journal_outcome(&opts.hook, &item, &outcome, &metric);
-                    if tx.send((item.idx, outcome, metric)).is_err() {
-                        break;
-                    }
+                            (item, out)
+                        };
+                    finish_attempt(
+                        item, ran, metric, opts, injector, idle_cv, completed, soft, &tx,
+                    );
                 }
             });
         }
@@ -821,7 +973,9 @@ mod tests {
     #[test]
     fn preparation_is_shared_within_one_sweep() {
         let _g = drain_lock();
-        let scenario = Scenario::default_linux();
+        // A seed no other test uses: the process-global snapshot cache
+        // must miss, so that exactly this sweep pays the preparation.
+        let scenario = Scenario::default_linux().with_seed(0x5EED_5EED);
         let spec = benchmark("Povray").unwrap();
         let cells = vec![
             SweepCell::sim("prep-share/a", &scenario, &spec, quick_cfg(TlbConfig::baseline())),
@@ -842,6 +996,40 @@ mod tests {
         assert_eq!(metrics[0].label, "prep-share/a");
         assert_eq!(metrics[1].label, "prep-share/b");
         assert!(metrics.iter().all(|m| m.refs == 11_000));
+    }
+
+    #[test]
+    fn parked_cells_complete_when_the_shared_build_lands() {
+        let _g = drain_lock();
+        // Eight cells, one cold (scenario, benchmark) pair, four
+        // workers: one worker builds while the others park their cells
+        // on the slot and go steal; every cell must still complete with
+        // exactly one build. A scheduler that loses parked items hangs
+        // here; one that blocks workers merely serializes.
+        let scenario = Scenario::default_linux().with_seed(0xBA1C_0DE5);
+        let spec = benchmark("Povray").unwrap();
+        let cells: Vec<SweepCell<u64>> = (0..8)
+            .map(|i| {
+                SweepCell::new(format!("park/c{i}"), &scenario, &spec, 0, move |w| {
+                    w.contiguity().total_pages() + i
+                })
+            })
+            .collect();
+        let _ = take_metrics();
+        let out = run_cells(cells, 4);
+        let metrics: Vec<CellMetric> = take_metrics()
+            .into_iter()
+            .filter(|m| m.label.starts_with("park/"))
+            .collect();
+        assert_eq!(out.len(), 8);
+        let base = out[0];
+        assert_eq!(out, (0..8).map(|i| base + i).collect::<Vec<u64>>());
+        assert_eq!(metrics.len(), 8);
+        assert_eq!(
+            metrics.iter().filter(|m| m.prep_seconds > 0.0).count(),
+            1,
+            "exactly one cell builds; the parked ones ride along free"
+        );
     }
 
     #[test]
@@ -1090,6 +1278,88 @@ mod tests {
         assert_eq!(second, first);
         assert_eq!(runs.load(Ordering::SeqCst), 4, "no cell re-ran");
         assert_eq!(journal.appended(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_second_sweep_hits_the_cache_and_reproduces_results_byte_for_byte() {
+        let _g = drain_lock();
+        // A seed no other test uses, so the first sweep is the one that
+        // populates the process-global cache.
+        let scenario = Scenario::default_linux().with_seed(0x0CAC_4E01);
+        let spec = benchmark("Gobmk").unwrap();
+        let make_cells = || {
+            vec![
+                SweepCell::sim("warmcache/base", &scenario, &spec, quick_cfg(TlbConfig::baseline())),
+                SweepCell::sim("warmcache/all", &scenario, &spec, quick_cfg(TlbConfig::colt_all())),
+            ]
+        };
+        let _ = take_metrics();
+        let cold = run_cells(make_cells(), 2);
+        let cold_metrics: Vec<CellMetric> = take_metrics()
+            .into_iter()
+            .filter(|m| m.label.starts_with("warmcache/"))
+            .collect();
+        assert_eq!(
+            cold_metrics.iter().filter(|m| m.prep_seconds > 0.0).count(),
+            1,
+            "the cold sweep builds the pair exactly once"
+        );
+
+        // Same sweep again: served entirely from the in-memory snapshot
+        // cache (prepare-then-clone), and byte-identical to preparing
+        // from scratch (prepare-twice).
+        let warm = run_cells(make_cells(), 2);
+        let warm_metrics: Vec<CellMetric> = take_metrics()
+            .into_iter()
+            .filter(|m| m.label.starts_with("warmcache/"))
+            .collect();
+        assert!(
+            warm_metrics.iter().all(|m| m.prep_seconds == 0.0),
+            "a warm sweep pays no preparation at all: {warm_metrics:?}"
+        );
+        let cold_bytes: Vec<String> = cold.iter().map(JournalPayload::encode).collect();
+        let warm_bytes: Vec<String> = warm.iter().map(JournalPayload::encode).collect();
+        assert_eq!(cold_bytes, warm_bytes, "cache hits must not change any result");
+    }
+
+    #[test]
+    fn resume_with_a_warm_cache_stays_byte_identical() {
+        let _g = drain_lock();
+        let dir = std::env::temp_dir()
+            .join(format!("colt-runner-warm-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let scenario = Scenario::default_linux().with_seed(0x00D1_5C01);
+        let spec = benchmark("Bzip2").unwrap();
+        let make_cells = || {
+            vec![
+                SweepCell::sim("resume-warm/sa", &scenario, &spec, quick_cfg(TlbConfig::colt_sa())),
+                SweepCell::sim("resume-warm/fa", &scenario, &spec, quick_cfg(TlbConfig::colt_fa())),
+            ]
+        };
+
+        // First invocation: journaled to completion (the cache is warm
+        // from here on, as after a killed run that finished some cells).
+        let journal = Journal::open(&dir, "warm", "beef0002".to_string(), false).unwrap();
+        let opts = SweepOptions { journal: Some(&journal), ..SweepOptions::jobs_only(2) };
+        let first = expect_all(run_cells_sweep(make_cells(), &opts));
+        let _ = take_metrics();
+        assert_eq!(journal.appended(), 2);
+
+        // Resume against the same journal with the warm cache: every
+        // cell replays from the journal, nothing re-prepares or
+        // re-simulates, and the payloads are byte-identical.
+        let journal = Journal::open(&dir, "warm", "beef0002".to_string(), true).unwrap();
+        assert_eq!(journal.open_report().replayed, 2);
+        let opts = SweepOptions { journal: Some(&journal), ..SweepOptions::jobs_only(2) };
+        let second = expect_all(run_cells_sweep(make_cells(), &opts));
+        let _ = take_metrics();
+        assert_eq!(journal.appended(), 0, "replayed cells are not re-journaled");
+        let first_bytes: Vec<String> = first.iter().map(JournalPayload::encode).collect();
+        let second_bytes: Vec<String> = second.iter().map(JournalPayload::encode).collect();
+        assert_eq!(first_bytes, second_bytes);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,523 @@
+//! Process-global workload-preparation cache with durable snapshots.
+//!
+//! Preparing one (scenario, benchmark) pair — booting a kernel, aging
+//! it, running memhog and the allocation phase — costs ~100 ms, two
+//! orders of magnitude more than simulating a sweep cell against it.
+//! The runner already shares preparations *within* one sweep; this
+//! module extends the sharing to the whole process and, through disk
+//! snapshots, to future invocations:
+//!
+//! 1. **Memory layer** — one `Arc<PreparedWorkload>` per preparation
+//!    key, shared by every sweep the process runs. Working sets are a
+//!    few dozen pairs, so the map is never evicted.
+//! 2. **Disk layer** — `results/snapshots/<fingerprint>.snap` (override
+//!    with `COLT_SNAPSHOT_DIR`), written atomically after each fresh
+//!    preparation, so a second `repro` invocation decodes the prepared
+//!    kernel instead of rebuilding it.
+//!
+//! Snapshot files carry a magic, a format version, a CRC32 over the
+//! body, and the full preparation key. A corrupt or version-bumped file
+//! is quarantined to `<file>.corrupt-<n>` — exactly the journal's
+//! policy — and the pair is re-prepared; a file whose stored key
+//! differs (a fingerprint collision or stale flags) is simply ignored
+//! and overwritten. Decoded workloads are bit-equivalent to freshly
+//! prepared ones (see `colt_os_mem::snapshot`), so cache hits cannot
+//! change any result table.
+//!
+//! `repro --no-snapshot-cache` (→ [`set_enabled`]) disables both
+//! layers; intra-sweep sharing in the runner is unaffected.
+
+use crate::journal::{crc32, fingerprint_of};
+use colt_os_mem::snapshot::{Dec, Enc};
+use colt_workloads::scenario::{PreparedWorkload, Scenario};
+use colt_workloads::spec::BenchmarkSpec;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Instant;
+
+/// Snapshot file format version. Bump whenever any `Snapshot` impl in
+/// the substrate changes shape; old files are then quarantined instead
+/// of misread.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File magic: identifies a CoLT preparation snapshot.
+const MAGIC: &[u8; 8] = b"COLTSNAP";
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static DISK: AtomicBool = AtomicBool::new(false);
+static MEM: Mutex<BTreeMap<String, Arc<PreparedWorkload>>> = Mutex::new(BTreeMap::new());
+static STATS: Mutex<CacheStats> = Mutex::new(CacheStats::zero());
+
+/// Enables or disables the cache (both layers). `repro
+/// --no-snapshot-cache` turns it off for operators who suspect a stale
+/// snapshot or want to time cold preparation.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Opts this process into the disk layer. Off by default so library
+/// consumers — `cargo test` binaries above all — stay hermetic: they
+/// share preparations in memory but never read stale snapshots from
+/// (or write multi-megabyte files into) whatever directory they happen
+/// to run in. The `repro` binary opts in at startup.
+pub fn set_disk_persistence(enabled: bool) {
+    DISK.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether the cache is consulted at all.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Counters for the throughput report (`prep_cache_hits`,
+/// `snapshot_seconds` in `BENCH_sweep.json`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheStats {
+    /// Preparations served from the in-memory map.
+    pub mem_hits: u64,
+    /// Preparations decoded from a disk snapshot.
+    pub disk_hits: u64,
+    /// Preparations actually built with `Scenario::prepare`.
+    pub misses: u64,
+    /// Wall-clock seconds spent encoding, writing, reading and decoding
+    /// disk snapshots.
+    pub snapshot_seconds: f64,
+}
+
+impl CacheStats {
+    const fn zero() -> Self {
+        CacheStats { mem_hits: 0, disk_hits: 0, misses: 0, snapshot_seconds: 0.0 }
+    }
+
+    /// Cache hits of either layer.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+fn bump(f: impl FnOnce(&mut CacheStats)) {
+    f(&mut relock(&STATS));
+}
+
+/// Drains the counters accumulated since the last drain.
+pub fn take_stats() -> CacheStats {
+    std::mem::take(&mut *relock(&STATS))
+}
+
+fn relock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The canonical preparation key: every field of the scenario and the
+/// benchmark spec that can change the prepared state.
+pub fn prep_key(scenario: &Scenario, spec: &BenchmarkSpec) -> String {
+    format!("{scenario:?}\u{1}{spec:?}")
+}
+
+/// How `get_or_prepare` obtained the workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrepSource {
+    /// Served from the in-memory map (or the runner's sweep slot).
+    Memory,
+    /// Decoded from a disk snapshot.
+    Disk,
+    /// Built fresh with `Scenario::prepare`.
+    Built,
+}
+
+/// A prepared workload plus how long this call spent obtaining it.
+pub struct Prepared {
+    /// The shared workload.
+    pub workload: Arc<PreparedWorkload>,
+    /// Seconds this call spent building or decoding (0 on a memory hit).
+    pub prep_seconds: f64,
+    /// Where the workload came from.
+    pub source: PrepSource,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Fetches (memory, then disk) or builds the prepared workload for one
+/// (scenario, spec) pair, persisting fresh builds to disk.
+///
+/// # Errors
+/// A human-readable description when preparation fails or panics (cache
+/// failures are never errors — they fall back to preparing).
+pub fn get_or_prepare(
+    scenario: &Scenario,
+    spec: &BenchmarkSpec,
+) -> Result<Prepared, String> {
+    let key = prep_key(scenario, spec);
+    if enabled() {
+        if let Some(w) = relock(&MEM).get(&key).map(Arc::clone) {
+            bump(|s| s.mem_hits += 1);
+            return Ok(Prepared { workload: w, prep_seconds: 0.0, source: PrepSource::Memory });
+        }
+        if let Some(dir) = disk_layer() {
+            let start = Instant::now();
+            if let Some(w) = load_from(&dir, &key, spec) {
+                let secs = start.elapsed().as_secs_f64();
+                let w = Arc::new(w);
+                relock(&MEM).insert(key, Arc::clone(&w));
+                bump(|s| {
+                    s.disk_hits += 1;
+                    s.snapshot_seconds += secs;
+                });
+                return Ok(Prepared {
+                    workload: w,
+                    prep_seconds: secs,
+                    source: PrepSource::Disk,
+                });
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let workload = match catch_unwind(AssertUnwindSafe(|| scenario.prepare(spec))) {
+        Ok(Ok(w)) => Arc::new(w),
+        Ok(Err(e)) => {
+            return Err(format!("scenario '{}' failed for {}: {e}", scenario.name, spec.name));
+        }
+        Err(payload) => {
+            return Err(format!(
+                "scenario '{}' panicked for {}: {}",
+                scenario.name,
+                spec.name,
+                panic_message(payload)
+            ));
+        }
+    };
+    let prep_seconds = start.elapsed().as_secs_f64();
+    bump(|s| s.misses += 1);
+
+    if enabled() {
+        relock(&MEM).insert(key.clone(), Arc::clone(&workload));
+        if let Some(dir) = disk_layer() {
+            let start = Instant::now();
+            if let Err(e) = store_to(&dir, &key, &workload) {
+                eprintln!(
+                    "warning: could not persist preparation snapshot for '{}'/{} \
+                     under {} ({e}); the sweep continues, the next invocation \
+                     re-prepares",
+                    scenario.name,
+                    spec.name,
+                    dir.display()
+                );
+            }
+            bump(|s| s.snapshot_seconds += start.elapsed().as_secs_f64());
+        }
+    }
+    Ok(Prepared { workload, prep_seconds, source: PrepSource::Built })
+}
+
+/// The disk layer as seen by `get_or_prepare`: the snapshot directory
+/// when this process opted in via [`set_disk_persistence`], else
+/// `None`. The binary's cold/warm disk behavior is exercised by
+/// `scripts/verify.sh`, and the store/load functions are unit-tested
+/// directly against scratch directories.
+fn disk_layer() -> Option<PathBuf> {
+    if !DISK.load(Ordering::SeqCst) {
+        return None;
+    }
+    snapshot_dir()
+}
+
+static DIR_WARNED: Once = Once::new();
+
+/// The snapshot directory: `COLT_SNAPSHOT_DIR` when set (a garbage or
+/// unusable value earns one loud warning, then disk persistence is
+/// skipped — never a silent fallback to the default), otherwise
+/// `results/snapshots`. `None` when the directory cannot be created.
+fn snapshot_dir() -> Option<PathBuf> {
+    let dir = match std::env::var("COLT_SNAPSHOT_DIR") {
+        Ok(raw) if raw.trim().is_empty() => {
+            DIR_WARNED.call_once(|| {
+                eprintln!(
+                    "warning: COLT_SNAPSHOT_DIR is set but empty; snapshot \
+                     persistence disabled (unset it to use results/snapshots)"
+                );
+            });
+            return None;
+        }
+        Ok(raw) => PathBuf::from(raw),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            DIR_WARNED.call_once(|| {
+                eprintln!(
+                    "warning: COLT_SNAPSHOT_DIR is not valid UTF-8; snapshot \
+                     persistence disabled (unset it to use results/snapshots)"
+                );
+            });
+            return None;
+        }
+        Err(std::env::VarError::NotPresent) => PathBuf::from("results/snapshots"),
+    };
+    match std::fs::create_dir_all(&dir) {
+        Ok(()) => Some(dir),
+        Err(e) => {
+            DIR_WARNED.call_once(|| {
+                eprintln!(
+                    "warning: snapshot directory {} is unusable ({e}); snapshot \
+                     persistence disabled for this run",
+                    dir.display()
+                );
+            });
+            None
+        }
+    }
+}
+
+fn snapshot_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{}.snap", fingerprint_of(key)))
+}
+
+/// Serializes and atomically writes one preparation snapshot, fsynced
+/// so a later crash cannot leave a torn file behind the rename.
+pub(crate) fn store_to(
+    dir: &Path,
+    key: &str,
+    workload: &PreparedWorkload,
+) -> std::io::Result<()> {
+    let mut enc = Enc::new();
+    enc.str(key);
+    workload.encode_snapshot(&mut enc);
+    let body = enc.finish();
+    let path = snapshot_path(dir, key);
+    let tmp = dir.join(format!(
+        "{}.snap.tmp-{}",
+        fingerprint_of(key),
+        std::process::id()
+    ));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.write_all(&body)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Loads one preparation snapshot. `None` on: no file, a stored key
+/// that differs from `key` (stale or colliding — silently treated as a
+/// miss and later overwritten), or corruption (quarantined loudly).
+pub(crate) fn load_from(
+    dir: &Path,
+    key: &str,
+    spec: &BenchmarkSpec,
+) -> Option<PreparedWorkload> {
+    let path = snapshot_path(dir, key);
+    let bytes = std::fs::read(&path).ok()?;
+    match parse_snapshot(&bytes, key, spec) {
+        Ok(found) => found,
+        Err(why) => {
+            quarantine(&path, &why);
+            None
+        }
+    }
+}
+
+fn parse_snapshot(
+    bytes: &[u8],
+    key: &str,
+    spec: &BenchmarkSpec,
+) -> Result<Option<PreparedWorkload>, String> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(format!("truncated header ({} bytes)", bytes.len()));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err("bad magic — not a CoLT snapshot".to_string());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot format version {version}; this build speaks {SNAPSHOT_VERSION}"
+        ));
+    }
+    let stored = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let body = &bytes[16..];
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(format!("checksum mismatch (stored {stored:08x}, computed {actual:08x})"));
+    }
+    let mut dec = Dec::new(body);
+    let stored_key = dec.str().map_err(|e| e.to_string())?;
+    if stored_key != key {
+        // A valid snapshot for some other configuration that fingerprints
+        // to the same name — not corruption, just a miss.
+        return Ok(None);
+    }
+    let workload =
+        PreparedWorkload::decode_snapshot(&mut dec, spec).map_err(|e| e.to_string())?;
+    dec.finish().map_err(|e| e.to_string())?;
+    Ok(Some(workload))
+}
+
+/// Moves an unusable snapshot to the first free `<file>.corrupt-<n>`
+/// sibling — evidence is preserved, nothing corrupt is ever trusted or
+/// silently deleted.
+fn quarantine(path: &Path, why: &str) {
+    let mut n = 1;
+    let qpath = loop {
+        let candidate = PathBuf::from(format!("{}.corrupt-{n}", path.display()));
+        if !candidate.exists() {
+            break candidate;
+        }
+        n += 1;
+    };
+    match std::fs::rename(path, &qpath) {
+        Ok(()) => eprintln!(
+            "warning: unusable preparation snapshot {} ({why}); quarantined to {}, \
+             the pair re-prepares",
+            path.display(),
+            qpath.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: unusable preparation snapshot {} ({why}); quarantine rename \
+             failed too ({e}), the pair re-prepares",
+            path.display()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_workloads::spec::benchmark;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("colt-snapcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn prepared_pair() -> (Scenario, BenchmarkSpec, PreparedWorkload) {
+        let scenario = Scenario::default_linux().with_seed(0x5AFE_CAFE);
+        let spec = benchmark("Povray").unwrap();
+        let w = scenario.prepare(&spec).unwrap();
+        (scenario, spec, w)
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        let back = load_from(&dir, &key, &spec).expect("snapshot loads");
+        assert_eq!(back.scenario_name, w.scenario_name);
+        assert_eq!(back.footprint, w.footprint);
+        assert_eq!(back.kernel.stats(), w.kernel.stats());
+        assert_eq!(
+            back.contiguity().average_contiguity(),
+            w.contiguity().average_contiguity()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_is_a_silent_miss_not_corruption() {
+        let dir = tmpdir("keymiss");
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        // Forge a file under a different key's name holding this body.
+        let other_key = "something else entirely";
+        std::fs::rename(snapshot_path(&dir, &key), snapshot_path(&dir, other_key))
+            .unwrap();
+        assert!(load_from(&dir, other_key, &spec).is_none());
+        // The mismatched file is left in place (a miss, not quarantined).
+        assert!(snapshot_path(&dir, other_key).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_and_version_bumps_are_quarantined() {
+        let dir = tmpdir("corrupt");
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        let path = snapshot_path(&dir, &key);
+
+        // Flip one body byte: checksum fails, file is quarantined.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_from(&dir, &key, &spec).is_none());
+        assert!(!path.exists(), "corrupt file must be moved away");
+        assert!(PathBuf::from(format!("{}.corrupt-1", path.display())).exists());
+
+        // A version-bumped file (checksum valid) is quarantined too.
+        store_to(&dir, &key, &w).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_from(&dir, &key, &spec).is_none());
+        assert!(PathBuf::from(format!("{}.corrupt-2", path.display())).exists());
+
+        // Truncation and garbage never parse.
+        std::fs::write(&path, b"COLT").unwrap();
+        assert!(load_from(&dir, &key, &spec).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_overwrites_atomically() {
+        let dir = tmpdir("overwrite");
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        store_to(&dir, &key, &w).unwrap();
+        assert!(load_from(&dir, &key, &spec).is_some());
+        // No stray temp files left behind.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "temp files must be renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prep_keys_separate_scenarios_and_benchmarks() {
+        let a = Scenario::default_linux();
+        let b = Scenario::no_ths();
+        let gob = benchmark("Gobmk").unwrap();
+        let bzip = benchmark("Bzip2").unwrap();
+        assert_ne!(prep_key(&a, &gob), prep_key(&b, &gob));
+        assert_ne!(prep_key(&a, &gob), prep_key(&a, &bzip));
+        assert_ne!(
+            prep_key(&a, &gob),
+            prep_key(&a.clone().with_seed(1), &gob),
+            "the seed is part of the key"
+        );
+        assert_ne!(
+            prep_key(&a, &gob),
+            prep_key(&a.clone().with_faults(Default::default()), &gob),
+            "fault injection is part of the key"
+        );
+    }
+}

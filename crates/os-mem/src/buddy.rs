@@ -8,6 +8,7 @@
 //! frames — the intermediate contiguity CoLT exploits.
 
 use crate::addr::Pfn;
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use std::collections::BTreeSet;
 
 /// Highest buddy order (blocks of `2^MAX_ORDER` = 1024 pages = 4MB),
@@ -334,6 +335,38 @@ impl BuddyAllocator {
             }
         }
         assert_eq!(counted, self.free_frames, "free frame count drifted");
+    }
+}
+
+impl Snapshot for BuddyAllocator {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.nr_frames);
+        self.free_lists.encode(enc);
+        enc.u64(self.free_frames);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        let nr_frames = dec.u64()?;
+        let free_lists = Vec::<BTreeSet<u64>>::decode(dec)?;
+        let free_frames = dec.u64()?;
+        if nr_frames == 0 || free_lists.len() != (MAX_ORDER + 1) as usize {
+            return Err(SnapshotError(format!(
+                "buddy allocator shape invalid: {nr_frames} frames, {} free lists",
+                free_lists.len()
+            )));
+        }
+        Ok(Self { nr_frames, free_lists, free_frames })
+    }
+}
+
+impl Snapshot for PfnRange {
+    fn encode(&self, enc: &mut Enc) {
+        self.start.encode(enc);
+        enc.u64(self.pages);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self { start: Pfn::decode(dec)?, pages: dec.u64()? })
     }
 }
 

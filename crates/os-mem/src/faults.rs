@@ -13,6 +13,7 @@
 //! compaction backoff, emergency reclaim, the OOM killer) decide what
 //! happens next. See DESIGN.md §10.
 
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use colt_prng::rngs::SmallRng;
 use colt_prng::{Rng, SeedableRng};
 
@@ -192,6 +193,40 @@ impl FaultPlan {
     }
 }
 
+impl Snapshot for FaultConfig {
+    fn encode(&self, enc: &mut Enc) {
+        enc.f64(self.rate);
+        enc.u64(self.window);
+        enc.u64(self.seed);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        let rate = dec.f64()?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(SnapshotError(format!("fault rate {rate} outside [0, 1]")));
+        }
+        Ok(Self { rate, window: dec.u64()?, seed: dec.u64()? })
+    }
+}
+
+impl Snapshot for FaultPlan {
+    fn encode(&self, enc: &mut Enc) {
+        self.config.encode(enc);
+        self.rng.state().encode(enc);
+        enc.u64(self.decisions);
+        enc.u64(self.injected);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            config: FaultConfig::decode(dec)?,
+            rng: SmallRng::from_state(<[u64; 4]>::decode(dec)?),
+            decisions: dec.u64()?,
+            injected: dec.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +298,25 @@ mod tests {
         let a: Vec<bool> = (0..64).map(|_| kernel_plan.fail_alloc()).collect();
         let b: Vec<bool> = (0..64).map(|_| delivery_plan.fail_alloc()).collect();
         assert_ne!(a, b, "sibling streams must differ");
+    }
+
+    #[test]
+    fn snapshot_mid_stream_resumes_identically() {
+        let cfg = FaultConfig { rate: 0.4, window: 8, seed: 31 };
+        let mut plan = FaultPlan::new(cfg);
+        for _ in 0..37 {
+            plan.fail_alloc();
+        }
+        let mut enc = Enc::new();
+        plan.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut back = FaultPlan::decode(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(back.decisions(), plan.decisions());
+        assert_eq!(back.injected(), plan.injected());
+        for _ in 0..200 {
+            assert_eq!(back.fail_alloc(), plan.fail_alloc());
+            assert_eq!(back.delivery_fault(), plan.delivery_fault());
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! usually are not").
 
 use crate::addr::{Asid, Pfn, Vpn};
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 
 /// The state of one physical page frame.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -171,6 +172,54 @@ impl FrameDb {
             .iter()
             .enumerate()
             .map(|(i, &s)| (Pfn::new(i as u64), s))
+    }
+}
+
+impl Snapshot for FrameState {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            FrameState::Free => enc.u8(0),
+            FrameState::Movable { owner, vpn } => {
+                enc.u8(1);
+                owner.encode(enc);
+                vpn.encode(enc);
+            }
+            FrameState::Huge { owner, base_vpn } => {
+                enc.u8(2);
+                owner.encode(enc);
+                base_vpn.encode(enc);
+            }
+            FrameState::Pinned => enc.u8(3),
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        match dec.u8()? {
+            0 => Ok(FrameState::Free),
+            1 => Ok(FrameState::Movable { owner: Asid::decode(dec)?, vpn: Vpn::decode(dec)? }),
+            2 => Ok(FrameState::Huge { owner: Asid::decode(dec)?, base_vpn: Vpn::decode(dec)? }),
+            3 => Ok(FrameState::Pinned),
+            b => Err(SnapshotError(format!("invalid FrameState tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for FrameDb {
+    fn encode(&self, enc: &mut Enc) {
+        self.states.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        // The occupancy cache is derived state; rebuild it instead of
+        // trusting (and having to cross-check) a stored copy.
+        let states = Vec::<FrameState>::decode(dec)?;
+        let mut block_occupancy = vec![0u32; states.len().div_ceil(BLOCK_PAGES as usize)];
+        for (i, s) in states.iter().enumerate() {
+            if !s.is_free() {
+                block_occupancy[i / BLOCK_PAGES as usize] += 1;
+            }
+        }
+        Ok(Self { states, block_occupancy })
     }
 }
 

@@ -16,6 +16,7 @@ use crate::frames::{FrameDb, FrameState};
 use crate::page_table::{PageKind, Pte, PteFlags, Translation};
 use crate::process::Process;
 use crate::shootdown::{ShootdownEvent, ShootdownKind, ShootdownLog};
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use crate::thp;
 use crate::vma::{Vma, VmaKind};
 use std::collections::{BTreeMap, VecDeque};
@@ -168,7 +169,7 @@ pub struct KernelStats {
 /// assert!(t.flags.contains(colt_os_mem::page_table::PteFlags::USER));
 /// # Ok::<(), colt_os_mem::error::MemError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Kernel {
     config: KernelConfig,
     buddy: BuddyAllocator,
@@ -1287,6 +1288,150 @@ impl Kernel {
     }
 }
 
+impl Snapshot for CompactionMode {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            CompactionMode::Normal => 0,
+            CompactionMode::Low => 1,
+        });
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        match dec.u8()? {
+            0 => Ok(CompactionMode::Normal),
+            1 => Ok(CompactionMode::Low),
+            b => Err(SnapshotError(format!("invalid CompactionMode tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for PopulateMode {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            PopulateMode::Eager => 0,
+            PopulateMode::Demand => 1,
+        });
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        match dec.u8()? {
+            0 => Ok(PopulateMode::Eager),
+            1 => Ok(PopulateMode::Demand),
+            b => Err(SnapshotError(format!("invalid PopulateMode tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for KernelConfig {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.nr_frames);
+        enc.bool(self.ths_enabled);
+        self.compaction.encode(enc);
+        self.populate.encode(enc);
+        enc.f64(self.compaction_frag_threshold);
+        enc.f64(self.thp_split_watermark);
+        enc.u32(self.max_alloc_order);
+        enc.bool(self.thp_split_puncture);
+        enc.u64(self.va_limit_pages);
+        self.faults.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            nr_frames: dec.u64()?,
+            ths_enabled: dec.bool()?,
+            compaction: CompactionMode::decode(dec)?,
+            populate: PopulateMode::decode(dec)?,
+            compaction_frag_threshold: dec.f64()?,
+            thp_split_watermark: dec.f64()?,
+            max_alloc_order: dec.u32()?,
+            thp_split_puncture: dec.bool()?,
+            va_limit_pages: dec.u64()?,
+            faults: Option::decode(dec)?,
+        })
+    }
+}
+
+impl Snapshot for KernelStats {
+    fn encode(&self, enc: &mut Enc) {
+        for v in [
+            self.allocations,
+            self.pages_requested,
+            self.pages_populated,
+            self.physical_runs,
+            self.thp_allocs,
+            self.thp_fallbacks,
+            self.thp_splits,
+            self.compaction_runs,
+            self.pages_migrated,
+            self.demand_faults,
+            self.pages_reclaimed,
+            self.oom_kills,
+            self.compact_deferred,
+            self.thp_deferred_retries,
+            self.faults_injected,
+        ] {
+            enc.u64(v);
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            allocations: dec.u64()?,
+            pages_requested: dec.u64()?,
+            pages_populated: dec.u64()?,
+            physical_runs: dec.u64()?,
+            thp_allocs: dec.u64()?,
+            thp_fallbacks: dec.u64()?,
+            thp_splits: dec.u64()?,
+            compaction_runs: dec.u64()?,
+            pages_migrated: dec.u64()?,
+            demand_faults: dec.u64()?,
+            pages_reclaimed: dec.u64()?,
+            oom_kills: dec.u64()?,
+            compact_deferred: dec.u64()?,
+            thp_deferred_retries: dec.u64()?,
+            faults_injected: dec.u64()?,
+        })
+    }
+}
+
+impl Snapshot for Kernel {
+    fn encode(&self, enc: &mut Enc) {
+        self.config.encode(enc);
+        self.buddy.encode(enc);
+        self.frames.encode(enc);
+        self.processes.encode(enc);
+        enc.u32(self.next_asid);
+        self.live_superpages.encode(enc);
+        self.pcp.encode(enc);
+        self.shootdowns.encode(enc);
+        self.faults.encode(enc);
+        self.thp_deferred.encode(enc);
+        enc.u32(self.compact_defer_shift);
+        enc.u64(self.compact_backoff);
+        self.stats.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            config: KernelConfig::decode(dec)?,
+            buddy: BuddyAllocator::decode(dec)?,
+            frames: FrameDb::decode(dec)?,
+            processes: BTreeMap::decode(dec)?,
+            next_asid: dec.u32()?,
+            live_superpages: VecDeque::decode(dec)?,
+            pcp: VecDeque::decode(dec)?,
+            shootdowns: ShootdownLog::decode(dec)?,
+            faults: Option::decode(dec)?,
+            thp_deferred: VecDeque::decode(dec)?,
+            compact_defer_shift: dec.u32()?,
+            compact_backoff: dec.u64()?,
+            stats: KernelStats::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1998,5 +2143,58 @@ mod tests {
         assert!(t.flags.contains(PteFlags::DIRTY));
         let t0 = k.process(asid).unwrap().translate(base).unwrap();
         assert!(!t0.flags.contains(PteFlags::DIRTY));
+    }
+
+    /// Drives a kernel through an aging-style workout and asserts that a
+    /// snapshot round trip reproduces every observable: stats, free
+    /// frames, translations, walk addresses, and — critically — *future*
+    /// behavior (the decoded kernel must allocate and fault-inject
+    /// exactly like the original from here on).
+    #[test]
+    fn kernel_snapshot_round_trip_is_bit_equivalent() {
+        let mut k = Kernel::new(KernelConfig {
+            nr_frames: 8192,
+            faults: Some(FaultConfig { rate: 0.1, window: 16, seed: 5 }),
+            ..KernelConfig::default()
+        });
+        let asid = k.spawn();
+        let big = k.malloc(asid, 1024).unwrap();
+        let small = k.malloc(asid, 37).unwrap();
+        k.mmap_file(asid, 64).unwrap();
+        k.split_superpages(1);
+        k.tick();
+        k.free(asid, small).unwrap();
+
+        let mut enc = Enc::new();
+        k.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes);
+        let mut back = Kernel::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.stats(), k.stats());
+        assert_eq!(back.free_frames(), k.free_frames());
+        for i in [0u64, 100, 511, 1023] {
+            assert_eq!(
+                back.process(asid).unwrap().translate(big.offset(i)),
+                k.process(asid).unwrap().translate(big.offset(i))
+            );
+            assert_eq!(
+                back.process(asid).unwrap().page_table().walk(big.offset(i)),
+                k.process(asid).unwrap().page_table().walk(big.offset(i))
+            );
+        }
+
+        // Divergence test: both kernels must do the same things next.
+        for _ in 0..8 {
+            let a = k.malloc(asid, 96);
+            let b = back.malloc(asid, 96);
+            assert_eq!(a, b);
+            k.tick();
+            back.tick();
+        }
+        assert_eq!(back.stats(), k.stats());
+        assert_eq!(back.free_frames(), k.free_frames());
+        assert_eq!(back.stats().faults_injected, k.stats().faults_injected);
     }
 }

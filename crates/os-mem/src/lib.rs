@@ -42,6 +42,7 @@ pub mod memhog;
 pub mod page_table;
 pub mod process;
 pub mod shootdown;
+pub mod snapshot;
 pub mod thp;
 pub mod vma;
 
@@ -50,3 +51,4 @@ pub use contiguity::ContiguityReport;
 pub use error::{MemError, MemResult};
 pub use faults::{DeliveryFault, FaultConfig, FaultPlan};
 pub use kernel::{Kernel, KernelConfig};
+pub use snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};

@@ -9,6 +9,7 @@
 use crate::buddy::PfnRange;
 use crate::error::MemResult;
 use crate::kernel::Kernel;
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot};
 use colt_prng::rngs::StdRng;
 use colt_prng::{Rng, SeedableRng};
 
@@ -38,7 +39,7 @@ impl Default for MemhogConfig {
 }
 
 /// A running memhog instance holding its pinned memory.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Memhog {
     held: Vec<PfnRange>,
     claimed_pages: u64,
@@ -94,6 +95,17 @@ impl Memhog {
         for r in self.held {
             kernel.free_pinned(r);
         }
+    }
+}
+
+impl Snapshot for Memhog {
+    fn encode(&self, enc: &mut Enc) {
+        self.held.encode(enc);
+        enc.u64(self.claimed_pages);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self { held: Vec::decode(dec)?, claimed_pages: dec.u64()? })
     }
 }
 

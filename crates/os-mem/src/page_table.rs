@@ -8,6 +8,7 @@
 //! §4.1.4). Superpages are leaves at the second-lowest level (2MB).
 
 use crate::addr::{Pfn, PhysAddr, Vpn, PTES_PER_LINE, PT_FANOUT, PT_LEVELS, SUPERPAGE_PAGES};
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use std::fmt;
 
 /// Simulated physical region where page-table nodes live, placed far above
@@ -181,7 +182,7 @@ impl PteLine {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Entry {
     Empty,
     Table(Box<Node>),
@@ -189,7 +190,7 @@ enum Entry {
     LeafSuper(Pte),
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Node {
     /// Simulated physical base address of this 4KB table node.
     phys: PhysAddr,
@@ -240,7 +241,7 @@ pub struct PageTableStats {
 /// let t = pt.translate(Vpn::new(1)).expect("mapped");
 /// assert_eq!(t.pfn, Pfn::new(58));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PageTable {
     root: Node,
     next_node_id: u64,
@@ -582,6 +583,121 @@ impl PageTable {
     }
 }
 
+impl Snapshot for PteFlags {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u16(self.0);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(PteFlags(dec.u16()?))
+    }
+}
+
+impl Snapshot for Pte {
+    fn encode(&self, enc: &mut Enc) {
+        self.pfn.encode(enc);
+        self.flags.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self { pfn: Pfn::decode(dec)?, flags: PteFlags::decode(dec)? })
+    }
+}
+
+// The node graph is serialized *structurally* — each node carries its
+// simulated physical address — rather than rebuilt through map_base():
+// node-id assignment order determines walk entry addresses, and those
+// feed the cache model, so a reconstruction that allocated ids in a
+// different order would change simulation results.
+impl Snapshot for Entry {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            Entry::Empty => enc.u8(0),
+            Entry::Table(node) => {
+                enc.u8(1);
+                node.encode(enc);
+            }
+            Entry::LeafBase(pte) => {
+                enc.u8(2);
+                pte.encode(enc);
+            }
+            Entry::LeafSuper(pte) => {
+                enc.u8(3);
+                pte.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        match dec.u8()? {
+            0 => Ok(Entry::Empty),
+            1 => Ok(Entry::Table(Box::new(Node::decode(dec)?))),
+            2 => Ok(Entry::LeafBase(Pte::decode(dec)?)),
+            3 => Ok(Entry::LeafSuper(Pte::decode(dec)?)),
+            b => Err(SnapshotError(format!("invalid page-table Entry tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for Node {
+    fn encode(&self, enc: &mut Enc) {
+        self.phys.encode(enc);
+        enc.u16(self.live);
+        // Sparse encoding: most of a node's 512 slots are Empty, so store
+        // only the occupied (index, entry) pairs.
+        let occupied: Vec<(usize, &Entry)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !matches!(e, Entry::Empty))
+            .collect();
+        enc.usize(occupied.len());
+        for (idx, entry) in occupied {
+            enc.u16(idx as u16);
+            entry.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        let phys = PhysAddr::decode(dec)?;
+        let live = dec.u16()?;
+        let n = dec.len("page-table node entries")?;
+        if n > PT_FANOUT as usize {
+            return Err(SnapshotError(format!("node with {n} occupied entries")));
+        }
+        let mut entries = Vec::with_capacity(PT_FANOUT as usize);
+        entries.resize_with(PT_FANOUT as usize, || Entry::Empty);
+        for _ in 0..n {
+            let idx = dec.u16()? as usize;
+            if idx >= PT_FANOUT as usize {
+                return Err(SnapshotError(format!("node entry index {idx} out of range")));
+            }
+            entries[idx] = Entry::decode(dec)?;
+        }
+        Ok(Self { phys, entries, live })
+    }
+}
+
+impl Snapshot for PageTable {
+    fn encode(&self, enc: &mut Enc) {
+        self.root.encode(enc);
+        enc.u64(self.next_node_id);
+        enc.u64(self.base_pages);
+        enc.u64(self.superpages);
+        enc.u64(self.nodes);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            root: Node::decode(dec)?,
+            next_node_id: dec.u64()?,
+            base_pages: dec.u64()?,
+            superpages: dec.u64()?,
+            nodes: dec.u64()?,
+        })
+    }
+}
+
 fn collect_base(node: &Node, level: usize, prefix: u64, out: &mut Vec<(Vpn, Pte)>) {
     for (idx, entry) in node.entries.iter().enumerate() {
         let vpn_bits = prefix | ((idx as u64) << (9 * level));
@@ -780,6 +896,34 @@ mod tests {
         pt.map_super(Vpn::new(512 * 5), Pte::new(Pfn::new(512), flags()));
         let got: Vec<u64> = pt.iter_super().map(|(v, _)| v.raw()).collect();
         assert_eq!(got, vec![512, 512 * 5]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_walk_addresses() {
+        let mut pt = PageTable::new();
+        for i in 0..64u64 {
+            pt.map_base(Vpn::new(0x4000 + i), Pte::new(Pfn::new(900 + i), flags()));
+        }
+        pt.map_super(Vpn::new(512), Pte::new(Pfn::new(1024), flags()));
+        pt.unmap_base(Vpn::new(0x4000 + 7));
+
+        let mut enc = Enc::new();
+        pt.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes);
+        let back = PageTable::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.stats(), pt.stats());
+        for vpn in [Vpn::new(0x4000), Vpn::new(0x4000 + 63), Vpn::new(512 + 13)] {
+            let a = pt.walk(vpn).unwrap();
+            let b = back.walk(vpn).unwrap();
+            assert_eq!(a.entry_addrs, b.entry_addrs, "walk addresses must survive");
+            assert_eq!(a.translation, b.translation);
+        }
+        assert!(back.walk(Vpn::new(0x4000 + 7)).is_none());
+        // Future node allocation continues from the same id.
+        assert_eq!(back.next_node_id, pt.next_node_id);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::addr::{Asid, Vpn};
 use crate::page_table::{PageTable, Translation};
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot};
 use crate::vma::AddressSpace;
 
 /// One simulated process.
@@ -9,7 +10,7 @@ use crate::vma::AddressSpace;
 /// Construction and memory operations go through
 /// [`Kernel`](crate::kernel::Kernel); the process object itself only
 /// exposes read access to its translation state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Process {
     asid: Asid,
     pub(crate) address_space: AddressSpace,
@@ -43,6 +44,22 @@ impl Process {
     /// Translates a virtual page (convenience passthrough).
     pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
         self.page_table.translate(vpn)
+    }
+}
+
+impl Snapshot for Process {
+    fn encode(&self, enc: &mut Enc) {
+        self.asid.encode(enc);
+        self.address_space.encode(enc);
+        self.page_table.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            asid: Asid::decode(dec)?,
+            address_space: AddressSpace::decode(dec)?,
+            page_table: PageTable::decode(dec)?,
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 //! invalidate per-VPN walker cache state instead of flushing wholesale.
 
 use crate::addr::{Asid, Pfn, PhysAddr, Vpn};
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 
 /// Which kernel mutation triggered the shootdown.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -101,6 +102,62 @@ impl ShootdownLog {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+impl Snapshot for ShootdownKind {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            ShootdownKind::Migrate => 0,
+            ShootdownKind::Unmap => 1,
+            ShootdownKind::SuperSplit => 2,
+            ShootdownKind::Puncture => 3,
+            ShootdownKind::Reclaim => 4,
+        });
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        match dec.u8()? {
+            0 => Ok(ShootdownKind::Migrate),
+            1 => Ok(ShootdownKind::Unmap),
+            2 => Ok(ShootdownKind::SuperSplit),
+            3 => Ok(ShootdownKind::Puncture),
+            4 => Ok(ShootdownKind::Reclaim),
+            b => Err(SnapshotError(format!("invalid ShootdownKind tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for ShootdownEvent {
+    fn encode(&self, enc: &mut Enc) {
+        self.asid.encode(enc);
+        self.vpn.encode(enc);
+        self.kind.encode(enc);
+        self.entry_addrs.encode(enc);
+        self.old_pfn.encode(enc);
+        self.new_pfn.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            asid: Asid::decode(dec)?,
+            vpn: Vpn::decode(dec)?,
+            kind: ShootdownKind::decode(dec)?,
+            entry_addrs: Vec::decode(dec)?,
+            old_pfn: Option::decode(dec)?,
+            new_pfn: Option::decode(dec)?,
+        })
+    }
+}
+
+impl Snapshot for ShootdownLog {
+    fn encode(&self, enc: &mut Enc) {
+        enc.bool(self.enabled);
+        self.events.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self { enabled: dec.bool()?, events: Vec::decode(dec)? })
     }
 }
 

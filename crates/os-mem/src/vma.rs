@@ -9,6 +9,7 @@
 use crate::addr::{Vpn, SUPERPAGE_PAGES};
 use crate::error::{MemError, MemResult};
 use crate::page_table::PteFlags;
+use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use std::collections::BTreeMap;
 
 /// What backs a virtual memory area.
@@ -145,6 +146,57 @@ impl AddressSpace {
     /// Total mapped layout size in pages.
     pub fn total_pages(&self) -> u64 {
         self.vmas.values().map(|v| v.pages).sum()
+    }
+}
+
+impl Snapshot for VmaKind {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            VmaKind::Anonymous => 0,
+            VmaKind::FileBacked => 1,
+        });
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        match dec.u8()? {
+            0 => Ok(VmaKind::Anonymous),
+            1 => Ok(VmaKind::FileBacked),
+            b => Err(SnapshotError(format!("invalid VmaKind tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for Vma {
+    fn encode(&self, enc: &mut Enc) {
+        self.start.encode(enc);
+        enc.u64(self.pages);
+        self.kind.encode(enc);
+        self.flags.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            start: Vpn::decode(dec)?,
+            pages: dec.u64()?,
+            kind: VmaKind::decode(dec)?,
+            flags: PteFlags::decode(dec)?,
+        })
+    }
+}
+
+impl Snapshot for AddressSpace {
+    fn encode(&self, enc: &mut Enc) {
+        self.vmas.encode(enc);
+        enc.u64(self.next_vpn);
+        enc.u64(self.limit_vpn);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            vmas: BTreeMap::decode(dec)?,
+            next_vpn: dec.u64()?,
+            limit_vpn: dec.u64()?,
+        })
     }
 }
 

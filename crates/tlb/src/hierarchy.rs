@@ -232,6 +232,32 @@ impl TlbHierarchy {
         None
     }
 
+    /// Batched lookup for the simulation hot path: translates the
+    /// leading run of *hits* in `vpns`, appending one [`TlbHit`] per hit
+    /// to `hits`, and returns the length `n` of that run.
+    ///
+    /// When `n < vpns.len()`, the lookup for `vpns[n]` was **also
+    /// performed and missed** — its miss counters and prefetch-buffer
+    /// miss notification are already applied, exactly as after a
+    /// `None`-returning [`TlbHierarchy::lookup`] — and the caller must
+    /// walk the page table and [`TlbHierarchy::fill`] for it before
+    /// resuming with `vpns[n + 1..]`.
+    ///
+    /// Stopping at the first miss is what keeps batching byte-identical
+    /// to the per-reference loop: lookups never touch the data caches,
+    /// so a run of hits can be translated ahead of its data accesses,
+    /// but a miss's page walk *does* go through the caches and must not
+    /// be reordered past them.
+    pub fn lookup_batch(&mut self, vpns: &[Vpn], hits: &mut Vec<TlbHit>) -> usize {
+        for (i, &vpn) in vpns.iter().enumerate() {
+            match self.lookup(vpn) {
+                Some(hit) => hits.push(hit),
+                None => return i,
+            }
+        }
+        vpns.len()
+    }
+
     /// Installs the result of a page walk, applying the mode's coalescing
     /// and placement policy. Must be called with the same `vpn` that
     /// missed.
@@ -652,6 +678,63 @@ mod tests {
         assert_eq!(flushy.l1().probe(Vpn::new(10)), None);
         assert_eq!(graceful.l1().probe(Vpn::new(10)), Some(Pfn::new(102)));
         assert_eq!(graceful.l1().probe(Vpn::new(9)), None, "victim gone");
+    }
+
+    #[test]
+    fn lookup_batch_stops_at_the_first_miss_with_it_counted() {
+        let pt = contiguous_pt(8);
+        let mut tlb = TlbHierarchy::new(TlbConfig::colt_sa());
+        miss_walk_fill(&mut tlb, &pt, Vpn::new(8)); // group 8..12 resident
+        let vpns: Vec<Vpn> = [8, 11, 9, 12, 10].map(Vpn::new).to_vec();
+        let mut hits = Vec::new();
+        let n = tlb.lookup_batch(&vpns, &mut hits);
+        assert_eq!(n, 3, "8, 11, 9 hit; 12 is outside the coalesced group");
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.level == TlbLevel::L1));
+        // The miss at vpns[3] was performed and counted, exactly like a
+        // None-returning lookup; vpns[4] was NOT touched.
+        let s = tlb.stats();
+        assert_eq!(s.accesses, 1 + 3 + 1, "initial miss + 3 hits + 1 miss");
+        assert_eq!(s.l2_misses, 2);
+        // After the caller fills, the batch resumes on the tail.
+        tlb.fill(Vpn::new(12), &WalkFill::Base { line: pt.pte_line(Vpn::new(12)) });
+        let mut tail = Vec::new();
+        assert_eq!(tlb.lookup_batch(&vpns[4..], &mut tail), 1);
+        assert_eq!(tail[0].pfn, Pfn::new(102));
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_lookups() {
+        let pt = contiguous_pt(8);
+        let mut seq = TlbHierarchy::new(TlbConfig::colt_all());
+        let mut batched = seq.clone();
+        let vpns: Vec<Vpn> = [8, 9, 15, 10, 13, 8, 14].map(Vpn::new).to_vec();
+        // Drive the sequential reference loop.
+        let mut expected = Vec::new();
+        for &v in &vpns {
+            match seq.lookup(v) {
+                Some(h) => expected.push(h),
+                None => seq.fill(v, &WalkFill::Base { line: pt.pte_line(v) }),
+            }
+        }
+        // Drive the batched loop over the same stream.
+        let mut got = Vec::new();
+        let mut rest: &[Vpn] = &vpns;
+        while !rest.is_empty() {
+            let n = batched.lookup_batch(rest, &mut got);
+            if n < rest.len() {
+                let v = rest[n];
+                batched.fill(v, &WalkFill::Base { line: pt.pte_line(v) });
+                rest = &rest[n + 1..];
+            } else {
+                rest = &[];
+            }
+        }
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats(), seq.stats());
+        assert_eq!(batched.l1_stats(), seq.l1_stats());
+        assert_eq!(batched.l2_stats(), seq.l2_stats());
+        assert_eq!(batched.sp_stats(), seq.sp_stats());
     }
 
     #[test]

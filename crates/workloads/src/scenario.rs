@@ -17,6 +17,7 @@ use colt_os_mem::error::MemResult;
 use colt_os_mem::faults::FaultConfig;
 use colt_os_mem::kernel::{CompactionMode, Kernel, KernelConfig};
 use colt_os_mem::memhog::{Memhog, MemhogConfig};
+use colt_os_mem::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use colt_os_mem::vma::VmaKind;
 use colt_prng::rngs::StdRng;
 use colt_prng::{Rng, SeedableRng};
@@ -426,7 +427,7 @@ impl Scenario {
 
 /// Several benchmarks allocated in *one* kernel, for multiprogrammed
 /// simulation (round-robin scheduling with TLB flushes at switches).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MultiWorkload {
     /// Name of the scenario that produced this workload.
     pub scenario_name: String,
@@ -460,7 +461,12 @@ impl MultiWorkload {
 }
 
 /// A benchmark allocated and ready to run under one scenario.
-#[derive(Debug)]
+///
+/// Cloning is a fast deep copy of the prepared kernel (the footprint is
+/// `Arc`-shared): the sweep runner prepares once and hands clones to
+/// cells instead of re-booting, and the snapshot cache persists the
+/// preparation across `repro` invocations.
+#[derive(Clone, Debug)]
 pub struct PreparedWorkload {
     /// Name of the scenario that produced this workload.
     pub scenario_name: String,
@@ -493,6 +499,44 @@ impl PreparedWorkload {
     /// Instructions represented by `accesses` memory references.
     pub fn instructions(&self, accesses: u64) -> u64 {
         accesses * self.spec.instructions_per_access
+    }
+
+    /// Serializes the prepared state for the on-disk snapshot cache.
+    ///
+    /// The benchmark spec itself is *not* serialized — it holds static
+    /// table references — so [`PreparedWorkload::decode_snapshot`] takes
+    /// the spec back from the caller and only checks the recorded name.
+    pub fn encode_snapshot(&self, enc: &mut Enc) {
+        enc.str(&self.scenario_name);
+        enc.str(self.spec.name);
+        self.kernel.encode(enc);
+        self.asid.encode(enc);
+        self.footprint.as_ref().encode(enc);
+        self._memhog.encode(enc);
+    }
+
+    /// Rebuilds a prepared workload from [`Self::encode_snapshot`] bytes.
+    ///
+    /// # Errors
+    /// Malformed bytes, or a snapshot recorded for a different benchmark
+    /// than `spec`.
+    pub fn decode_snapshot(dec: &mut Dec<'_>, spec: &BenchmarkSpec) -> SnapResult<Self> {
+        let scenario_name = dec.str()?;
+        let spec_name = dec.str()?;
+        if spec_name != spec.name {
+            return Err(SnapshotError(format!(
+                "snapshot is for benchmark '{spec_name}', expected '{}'",
+                spec.name
+            )));
+        }
+        Ok(Self {
+            scenario_name,
+            spec: spec.clone(),
+            kernel: Kernel::decode(dec)?,
+            asid: Asid::decode(dec)?,
+            footprint: Arc::new(Vec::decode(dec)?),
+            _memhog: Option::decode(dec)?,
+        })
     }
 }
 
@@ -628,6 +672,49 @@ mod tests {
         // memory but the same footprint VPNs.
         let clean = Scenario::default_linux().prepare(&spec).unwrap();
         assert_eq!(clean.kernel.stats().faults_injected, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_reproduces_the_prepared_workload() {
+        let spec = benchmark("Gobmk").unwrap();
+        let w = Scenario::default_with_memhog(0.25).prepare(&spec).unwrap();
+        let mut enc = Enc::new();
+        w.encode_snapshot(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes);
+        let back = PreparedWorkload::decode_snapshot(&mut dec, &spec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.scenario_name, w.scenario_name);
+        assert_eq!(back.asid, w.asid);
+        assert_eq!(back.footprint, w.footprint);
+        assert_eq!(back.kernel.stats(), w.kernel.stats());
+        assert_eq!(back.kernel.free_frames(), w.kernel.free_frames());
+        let (a, b) = (w.contiguity(), back.contiguity());
+        assert_eq!(a.average_contiguity(), b.average_contiguity());
+        // Walk a sample of pages: identical translations and PTE addresses.
+        let proc_a = w.kernel.process(w.asid).unwrap();
+        let proc_b = back.kernel.process(back.asid).unwrap();
+        for &vpn in w.footprint.iter().step_by(37) {
+            assert_eq!(proc_a.translate(vpn), proc_b.translate(vpn));
+        }
+        // Decoding against the wrong spec is refused.
+        let other = benchmark("Bzip2").unwrap();
+        assert!(PreparedWorkload::decode_snapshot(&mut Dec::new(&bytes), &other).is_err());
+    }
+
+    #[test]
+    fn clone_is_deep_for_the_kernel() {
+        let spec = benchmark("Povray").unwrap();
+        let w = Scenario::default_linux().prepare(&spec).unwrap();
+        let mut c = w.clone();
+        let before = w.kernel.stats();
+        // Mutating the clone must not disturb the original.
+        c.kernel.tick();
+        let extra = c.kernel.spawn();
+        c.kernel.malloc(extra, 64).unwrap();
+        assert_eq!(w.kernel.stats(), before);
+        assert!(w.kernel.process(extra).is_err());
+        assert_eq!(w.footprint, c.footprint);
     }
 
     #[test]
