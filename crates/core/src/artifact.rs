@@ -27,6 +27,23 @@ use colt_os_mem::faults::FaultConfig;
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic per-process counter distinguishing concurrent tmp files.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A tmp-file name unique across processes (PID) *and* across threads
+/// and repeated calls within one process (counter). A fixed
+/// `.tmp-<pid>` suffix would let two server shards — same PID, same
+/// target — clobber each other's tmp mid-write.
+pub(crate) fn unique_tmp(path: &Path) -> PathBuf {
+    PathBuf::from(format!(
+        "{}.tmp-{}-{}",
+        path.display(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 /// Escapes a string for embedding in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -242,26 +259,29 @@ pub fn atomic_write_json(path: &Path, json: &str) -> io::Result<String> {
     })?;
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     std::fs::create_dir_all(dir)?;
-    let tmp = PathBuf::from(format!("{}.tmp-{}", path.display(), std::process::id()));
-    {
+    let tmp = unique_tmp(path);
+    let written = (|| {
         let mut f = File::create(&tmp)?;
         f.write_all(json.as_bytes())?;
         f.flush()?;
         f.sync_data()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)?;
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_data();
     }
-    // Read-back verification: the bytes on disk must round-trip.
+    // Read-back verification: the bytes on disk must parse. With a
+    // single writer they are this call's own bytes; with concurrent
+    // writers racing one target the read-back may legitimately be
+    // another writer's *complete* rename — still atomic, still valid —
+    // so differing bytes are only an error when they fail to parse
+    // (a torn write or a lying disk).
     let mut back = String::new();
     File::open(path)?.read_to_string(&mut back)?;
-    if back != json {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("read-back of {} does not match what was written", path.display()),
-        ));
-    }
     validate_json(&back).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -333,6 +353,10 @@ pub fn sweep_json(
     out.push_str(&format!("  \"prep_seconds_total\": {prep_total:.6},\n"));
     out.push_str(&format!("  \"prep_cache_hits\": {},\n", cache.hits()));
     out.push_str(&format!("  \"prep_cache_misses\": {},\n", cache.misses));
+    out.push_str(&format!(
+        "  \"prep_cache_evictions\": {},\n",
+        cache.mem_evictions
+    ));
     out.push_str(&format!(
         "  \"snapshot_seconds\": {:.6},\n",
         cache.snapshot_seconds
@@ -503,12 +527,14 @@ mod tests {
             mem_hits: 3,
             disk_hits: 1,
             misses: 2,
+            mem_evictions: 1,
             snapshot_seconds: 0.125,
         };
         let json = sweep_json(&metrics, 8, 0.5, &cache);
         validate_json(&json).expect("sweep report is valid JSON");
         assert!(json.contains("\"prep_cache_hits\": 4"), "{json}");
         assert!(json.contains("\"prep_cache_misses\": 2"), "{json}");
+        assert!(json.contains("\"prep_cache_evictions\": 1"), "{json}");
         assert!(json.contains("\"snapshot_seconds\": 0.125000"), "{json}");
         assert!(json.contains("\"prep_seconds_total\": 0.600000"), "{json}");
         // 1000 refs / 0.25 sim seconds; the zero-ref cell is excluded.
@@ -554,6 +580,56 @@ mod tests {
             .collect();
         assert!(litter.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_clobber_each_other_or_litter_tmp_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("colt-artifact-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_race.json");
+
+        // Eight writers × twenty rounds hammering one target, each with
+        // a distinct payload. With the old fixed `.tmp-<pid>` name, two
+        // same-process writers shared a tmp file and one renamed the
+        // other's half-written bytes into place.
+        let payloads: Vec<String> =
+            (0..8).map(|i| format!("{{\"writer\": {i}, \"padding\": \"{}\"}}\n", "x".repeat(512 * i))).collect();
+        std::thread::scope(|s| {
+            for payload in &payloads {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        atomic_write_json(&path, payload).unwrap();
+                    }
+                });
+            }
+        });
+
+        // The survivor is exactly one writer's complete payload.
+        let final_text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            payloads.iter().any(|p| *p == final_text),
+            "final file must be one complete payload, got: {final_text:?}"
+        );
+        validate_json(&final_text).unwrap();
+        // And every tmp file was renamed or cleaned up.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(litter.is_empty(), "tmp litter: {litter:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unique_tmp_names_differ_across_calls() {
+        let p = Path::new("results/BENCH_x.json");
+        let a = unique_tmp(p);
+        let b = unique_tmp(p);
+        assert_ne!(a, b, "same path, same process — the counter must differ");
+        assert!(a.display().to_string().starts_with("results/BENCH_x.json.tmp-"));
     }
 
     #[test]

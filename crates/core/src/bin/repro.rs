@@ -5,6 +5,8 @@
 //! repro pressure [--faults rate=R,window=W,seed=S] [--cores N]
 //! repro <experiment> --resume [--retries N]
 //! repro --check [--seeds N] [--events N] [--jobs N] [--faults SPEC]
+//! repro serve [--port N] [--port-file PATH] [--jobs N] [--quota N] ...
+//! repro serve-bench --port N [--conns N] [--requests N] [--verify-sweep] ...
 //!
 //! experiments:
 //!   table1        Table 1   real-system MPMIs, THS on/off
@@ -50,10 +52,7 @@
 //! dropped/duplicated shootdown deliveries.
 
 use colt_core::experiments::{
-    ablation, associativity, context_switch, contiguity, grid, index_shift,
-    memhog_load, miss_elimination, multiprog, noise, performance, pressure,
-    related_work, smp, summary, table1, virtualization, ExperimentOptions,
-    ExperimentOutput,
+    pressure, run_named, smp, ExperimentOptions,
 };
 use colt_core::artifact;
 use colt_core::journal::Journal;
@@ -112,6 +111,11 @@ fn usage() -> ! {
          \u{20}           case, default 160); with --cores > 1 the cross-core\n\
          \u{20}           SMP oracle runs too; 'repro pressure --check' arms\n\
          \u{20}           fault injection under the same oracle\n\
+         subcommands:\n\
+         \u{20} serve        long-running translation/sweep server over TCP\n\
+         \u{20}              (line-delimited JSON; 'repro serve --help')\n\
+         \u{20} serve-bench  load generator + determinism checker for serve;\n\
+         \u{20}              writes results/BENCH_serve.json\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
@@ -133,6 +137,13 @@ fn main() -> ExitCode {
     // The CLI wants preparation snapshots to survive the process (the
     // library default is memory-only, keeping test binaries hermetic).
     snapshot_cache::set_disk_persistence(true);
+    // The serve subcommands own their argument lists entirely.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => return colt_core::serve::cli(&raw[1..]),
+        Some("serve-bench") => return colt_core::serve_bench::cli(&raw[1..]),
+        _ => {}
+    }
     let mut opts = ExperimentOptions::default();
     if let Ok(jobs) = std::env::var("COLT_JOBS") {
         match jobs.parse::<u64>() {
@@ -306,43 +317,13 @@ fn main() -> ExitCode {
                 journal_dir.join(format!("{exp}.jsonl")).display()
             ),
         }
-        let output: ExperimentOutput = match exp.as_str() {
-            "table1" => table1::run(&opts).1,
-            "fig7-9" => contiguity::run(contiguity::ContiguityConfig::ThsOn, &opts).1,
-            "fig10-12" => contiguity::run(contiguity::ContiguityConfig::ThsOff, &opts).1,
-            "fig13-15" => {
-                contiguity::run(contiguity::ContiguityConfig::LowCompaction, &opts).1
-            }
-            "fig16-17" => memhog_load::run(&opts).1,
-            "fig18" => miss_elimination::run(&opts).1,
-            "fig19" => index_shift::run(&opts).1,
-            "fig20" => associativity::run(&opts).1,
-            "fig21" => performance::run(&opts).1,
-            "ablation" => ablation::run(&opts).1,
-            "virt" => virtualization::run(&opts).1,
-            "related" => related_work::run(&opts).1,
-            "ctxswitch" => context_switch::run(&opts).1,
-            "summary" => summary::run(&opts).1,
-            "grid" => grid::run(&opts).1,
-            "noise" => noise::run(&opts).1,
-            "multiprog" => multiprog::run(&opts).1,
-            "smp_mix" => {
-                let (rows, out) = smp::run_mix(&opts);
-                smp_rows.extend(rows);
-                out
-            }
-            "smp_scaling" => {
-                let (rows, out) = smp::run_scaling(&opts);
-                smp_rows.extend(rows);
-                out
-            }
-            "pressure" => {
-                let (report, out) = pressure::run(&opts);
-                pressure_report = Some(report);
-                out
-            }
-            other => unreachable!("experiment '{other}' passed validation"),
-        };
+        let run = run_named(exp, &opts)
+            .unwrap_or_else(|| unreachable!("experiment '{exp}' passed validation"));
+        smp_rows.extend(run.smp_rows);
+        if let Some(report) = run.pressure {
+            pressure_report = Some(report);
+        }
+        let output = run.output;
         if csv {
             for table in &output.tables {
                 println!("{}", table.to_csv());

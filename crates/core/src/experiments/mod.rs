@@ -192,9 +192,77 @@ impl ExperimentOutput {
     }
 }
 
+/// The result of [`run_named`]: the rendered output plus the structured
+/// side products some experiments produce (the binary feeds them into
+/// `BENCH_smp.json` / `BENCH_pressure.json`; `repro serve` only needs
+/// the tables).
+pub struct NamedRun {
+    /// The experiment's tables.
+    pub output: ExperimentOutput,
+    /// SMP rows (non-empty only for `smp_mix` / `smp_scaling`).
+    pub smp_rows: Vec<smp::SmpRow>,
+    /// The pressure report (`Some` only for `pressure`).
+    pub pressure: Option<pressure::PressureReport>,
+}
+
+/// Dispatches one experiment by its CLI name (`fig18`, `table1`, …).
+/// `None` for an unknown name — no side effects, no partial run. This
+/// is the single name→driver table; the `repro` binary and the serve
+/// dispatcher both route through it so a sweep served over a socket is
+/// the same code path as one run directly.
+pub fn run_named(name: &str, opts: &ExperimentOptions) -> Option<NamedRun> {
+    let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
+    let mut pressure_report: Option<pressure::PressureReport> = None;
+    let output: ExperimentOutput = match name {
+        "table1" => table1::run(opts).1,
+        "fig7-9" => contiguity::run(contiguity::ContiguityConfig::ThsOn, opts).1,
+        "fig10-12" => contiguity::run(contiguity::ContiguityConfig::ThsOff, opts).1,
+        "fig13-15" => {
+            contiguity::run(contiguity::ContiguityConfig::LowCompaction, opts).1
+        }
+        "fig16-17" => memhog_load::run(opts).1,
+        "fig18" => miss_elimination::run(opts).1,
+        "fig19" => index_shift::run(opts).1,
+        "fig20" => associativity::run(opts).1,
+        "fig21" => performance::run(opts).1,
+        "ablation" => ablation::run(opts).1,
+        "virt" => virtualization::run(opts).1,
+        "related" => related_work::run(opts).1,
+        "ctxswitch" => context_switch::run(opts).1,
+        "summary" => summary::run(opts).1,
+        "grid" => grid::run(opts).1,
+        "noise" => noise::run(opts).1,
+        "multiprog" => multiprog::run(opts).1,
+        "smp_mix" => {
+            let (rows, out) = smp::run_mix(opts);
+            smp_rows.extend(rows);
+            out
+        }
+        "smp_scaling" => {
+            let (rows, out) = smp::run_scaling(opts);
+            smp_rows.extend(rows);
+            out
+        }
+        "pressure" => {
+            let (report, out) = pressure::run(opts);
+            pressure_report = Some(report);
+            out
+        }
+        _ => return None,
+    };
+    Some(NamedRun { output, smp_rows, pressure: pressure_report })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_named_rejects_unknown_names_without_side_effects() {
+        let opts = ExperimentOptions::quick();
+        assert!(run_named("not-an-experiment", &opts).is_none());
+        assert!(run_named("", &opts).is_none());
+    }
 
     #[test]
     fn options_select_benchmarks() {

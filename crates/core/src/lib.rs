@@ -21,6 +21,11 @@
 //!   preparation entirely,
 //! * [`artifact`] — atomic, verified result-file writes and the
 //!   `BENCH_*.json` builders,
+//! * [`serve`] / [`serve_bench`] — the resident `repro serve`
+//!   translation/sweep server (sharded prepared-instance pools, batched
+//!   dispatch, LRU result cache, backpressure and quotas) and its load
+//!   generator, [`lru`] the bounded map they and the snapshot cache
+//!   share,
 //! * [`report`] / [`metrics`] — output formatting and comparisons.
 //!
 //! The `repro` binary regenerates any experiment:
@@ -47,10 +52,13 @@ pub mod artifact;
 pub mod check;
 pub mod experiments;
 pub mod journal;
+pub mod lru;
 pub mod metrics;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod serve;
+pub mod serve_bench;
 pub mod sim;
 pub mod snapshot_cache;
 

@@ -407,6 +407,12 @@ struct EngineOpts<'a, R> {
     retries: u32,
     hard: f64,
     hook: Option<Hook<'a, R>>,
+    /// Whether finished cells push their [`CellMetric`]s into the
+    /// process-global registry. Sweeps do (the BENCH reports drain it);
+    /// service dispatches must not — a resident server batching forever
+    /// would grow the registry without bound, and nothing drains it on
+    /// that path.
+    collect_metrics: bool,
 }
 
 impl<'a, R: JournalPayload> EngineOpts<'a, R> {
@@ -420,13 +426,24 @@ impl<'a, R: JournalPayload> EngineOpts<'a, R> {
                 encode: encode_of::<R>,
                 decode: decode_of::<R>,
             }),
+            collect_metrics: true,
         }
     }
 }
 
 impl<R> EngineOpts<'_, R> {
     fn plain(jobs: usize) -> Self {
-        EngineOpts { jobs, retries: 0, hard: cell_hard_deadline(), hook: None }
+        EngineOpts {
+            jobs,
+            retries: 0,
+            hard: cell_hard_deadline(),
+            hook: None,
+            collect_metrics: true,
+        }
+    }
+
+    fn service(jobs: usize) -> Self {
+        EngineOpts { collect_metrics: false, ..Self::plain(jobs) }
     }
 }
 
@@ -819,11 +836,18 @@ fn engine<R: Send + 'static>(
         slots[idx] = Some((outcome, metric));
     }
     let mut results = Vec::with_capacity(n);
-    let mut metrics = relock(&METRICS);
-    for slot in slots {
-        let (outcome, metric) = slot.expect("every cell reports exactly once");
-        results.push(outcome);
-        metrics.push(metric);
+    if opts.collect_metrics {
+        let mut metrics = relock(&METRICS);
+        for slot in slots {
+            let (outcome, metric) = slot.expect("every cell reports exactly once");
+            results.push(outcome);
+            metrics.push(metric);
+        }
+    } else {
+        for slot in slots {
+            let (outcome, _) = slot.expect("every cell reports exactly once");
+            results.push(outcome);
+        }
     }
     results
 }
@@ -922,6 +946,19 @@ pub fn run_tasks<R: Send + 'static>(tasks: Vec<SweepTask<R>>, jobs: usize) -> Ve
     expect_all(run_tasks_outcomes(tasks, jobs))
 }
 
+/// [`run_tasks_outcomes`] for resident services (`repro serve`): same
+/// work-stealing dispatch, panic isolation, and submission-order
+/// results, but finished cells do *not* accumulate in the global
+/// metrics registry — a server dispatching batches forever would grow
+/// it without bound, and only sweep entry points have a matching
+/// [`take_metrics`] drain.
+pub fn run_tasks_service<R: Send + 'static>(
+    tasks: Vec<SweepTask<R>>,
+    jobs: usize,
+) -> Vec<CellOutcome<R>> {
+    engine(task_items(tasks), EngineOpts::service(jobs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -939,6 +976,29 @@ mod tests {
 
     fn drain_lock() -> std::sync::MutexGuard<'static, ()> {
         DRAIN.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn service_entry_point_records_no_global_metrics() {
+        let _g = drain_lock();
+        let _ = take_metrics();
+        let tasks: Vec<SweepTask<u32>> = (0..6)
+            .map(|i| SweepTask::new(format!("svc-{i}"), 0, move || i * 2))
+            .collect();
+        let out = run_tasks_service(tasks, 3);
+        assert_eq!(out.len(), 6);
+        for (i, o) in out.into_iter().enumerate() {
+            assert_eq!(o.ok(), Some(i as u32 * 2));
+        }
+        assert!(
+            take_metrics().is_empty(),
+            "service dispatch must not leak into the sweep metrics registry"
+        );
+        // The sweep path still records (BENCH reports depend on it).
+        let plain: Vec<SweepTask<u32>> =
+            vec![SweepTask::new("plain".to_string(), 0, || 7)];
+        let _ = run_tasks(plain, 1);
+        assert_eq!(take_metrics().len(), 1);
     }
 
     #[test]

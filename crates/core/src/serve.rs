@@ -1,0 +1,1144 @@
+//! `repro serve` — a resident translation/sweep server over TCP.
+//!
+//! The ROADMAP's north star is a production-scale system serving heavy
+//! traffic; this module is the serving leg. A long-running process
+//! (std-only threads + TCP, line-delimited JSON requests and responses)
+//! holds a pool of prepared simulation instances sharded by
+//! configuration fingerprint and answers two kinds of work:
+//!
+//! * **translate** — simulate one (benchmark, TLB config, scenario)
+//!   cell. Requests are pulled off a *bounded* dispatch queue in
+//!   batches, unique preparations are resolved once per batch through
+//!   the per-shard pools (backed by [`snapshot_cache`] for warm prep
+//!   and disk snapshots), and the batch fans out onto the existing
+//!   work-stealing runner via [`runner::run_tasks_service`].
+//! * **sweep** — run a full named experiment (`fig18`, `table1`, …) and
+//!   return its CSV bytes. Responses are cached in an LRU keyed by the
+//!   sweep fingerprint ([`ExperimentOptions::fingerprint`]), identical
+//!   in-flight requests are coalesced behind a single leader
+//!   (single-flight), and the bytes carry a determinism guarantee: a
+//!   sweep served over the socket is byte-identical to the same sweep
+//!   run directly (`repro <exp> --csv`), because both route through
+//!   [`run_named`] and [`sweep_csv`].
+//!
+//! Resource lifetime is the design center — a resident process cannot
+//! rely on dying before its caches matter:
+//!
+//! * every cache is a bounded [`LruMap`] (shard pools, result cache,
+//!   and the snapshot cache's own `COLT_SNAPSHOT_MEM_CAP` bound),
+//! * the dispatch queue is bounded; a full queue is a *polite* `busy`
+//!   rejection, not an unbounded pile-up (backpressure),
+//! * each connection has a request quota; past it, requests are
+//!   politely rejected with `"rejected": "quota"`,
+//! * runner metrics and snapshot-cache stats are drained after every
+//!   batch/sweep into fixed-size counters, so nothing grows with
+//!   uptime.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in, one JSON object per line out:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"translate","benchmark":"Gobmk","config":"colt_all",
+//!  "scenario":"default","accesses":20000,"seed":24301}
+//! {"op":"sweep","experiment":"fig18","accesses":30000,
+//!  "bench":"Gobmk,Bzip2","cores":1}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every response carries `"ok": true|false`; rejections carry
+//! `"rejected": "quota"|"busy"` so clients can distinguish overload
+//! from errors. See DESIGN.md §13 for the architecture discussion and
+//! `repro serve-bench` ([`crate::serve_bench`]) for the load generator.
+
+use crate::experiments::{run_named, ExperimentOptions};
+use crate::journal::{fingerprint_bucket, fingerprint_of};
+use crate::lru::LruMap;
+use crate::runner::{self, CellOutcome, SweepTask};
+use crate::sim::{self, SimConfig, SimResult};
+use crate::snapshot_cache;
+use colt_tlb::config::TlbConfig;
+use colt_workloads::scenario::{PreparedWorkload, Scenario};
+use colt_workloads::spec::{benchmark, BenchmarkSpec};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub mod json;
+
+fn relock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Server tuning. Every bound exists because the process is resident:
+/// an unbounded queue, pool, or cache is a slow-motion OOM under heavy
+/// traffic.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// TCP port (0 = ephemeral; the chosen port is printed and written
+    /// to `port_file`).
+    pub port: u16,
+    /// Where to write the bound port (for scripts that start the server
+    /// with `--port 0` and need to find it).
+    pub port_file: Option<PathBuf>,
+    /// Worker threads for batched dispatch and sweeps.
+    pub jobs: usize,
+    /// Requests each connection may issue before polite rejection.
+    pub quota: u64,
+    /// Bound on the translate dispatch queue; a full queue rejects with
+    /// `"rejected": "busy"` (backpressure, not buffering).
+    pub queue_cap: usize,
+    /// Concurrent connections accepted before rejecting new ones.
+    pub max_conns: usize,
+    /// Prepared-pool shards (locks); unrelated configurations hash to
+    /// different shards and never contend.
+    pub shards: usize,
+    /// Prepared instances each shard retains (LRU).
+    pub shard_cap: usize,
+    /// Sweep results retained in the LRU result cache.
+    pub result_cache_cap: usize,
+    /// Translate requests dispatched per batch.
+    pub batch_max: usize,
+    /// Upper bound on per-request access budgets (a client asking for
+    /// billions of references is clamped, loudly, in the response).
+    pub max_accesses: u64,
+    /// Suppress the listening/summary lines (tests).
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            port_file: None,
+            jobs: crate::experiments::default_jobs(),
+            quota: 1_000_000,
+            queue_cap: 256,
+            max_conns: 64,
+            shards: 8,
+            shard_cap: 8,
+            result_cache_cap: 64,
+            batch_max: 64,
+            max_accesses: 10_000_000,
+            quiet: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn normalized(mut self) -> Self {
+        self.jobs = self.jobs.max(1);
+        self.shards = self.shards.max(1);
+        self.shard_cap = self.shard_cap.max(1);
+        self.result_cache_cap = self.result_cache_cap.max(1);
+        self.batch_max = self.batch_max.max(1);
+        self.max_conns = self.max_conns.max(1);
+        self.max_accesses = self.max_accesses.max(1);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server state
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    translates: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_cache_hits: AtomicU64,
+    sweep_coalesced: AtomicU64,
+    sweep_cache_evictions: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_busy: AtomicU64,
+    rejected_conns: AtomicU64,
+    failed_cells: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    prep_mem_hits: AtomicU64,
+    prep_disk_hits: AtomicU64,
+    prep_misses: AtomicU64,
+    prep_evictions: AtomicU64,
+    shard_hits: AtomicU64,
+    shard_evictions: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl Counters {
+    fn add(&self, field: &AtomicU64, n: u64) {
+        let _ = self;
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One coalesced in-flight sweep: the leader computes, followers wait
+/// on the condvar and share the leader's bytes.
+struct Flight {
+    done: Mutex<Option<Result<Arc<String>, String>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { done: Mutex::new(None), cv: Condvar::new() }
+    }
+}
+
+/// One queued translate request: the work plus where to send its result.
+struct TranslateJob {
+    scenario: Scenario,
+    spec: BenchmarkSpec,
+    sim_cfg: SimConfig,
+    reply: mpsc::Sender<Result<SimResult, String>>,
+}
+
+/// Shared server state; everything handler, dispatcher, and accept
+/// threads touch.
+pub struct ServerState {
+    cfg: ServeConfig,
+    port: u16,
+    shards: Vec<Mutex<LruMap<Arc<PreparedWorkload>>>>,
+    results: Mutex<LruMap<Arc<String>>>,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    /// Sweeps run one at a time: the experiment drivers push into the
+    /// process-global metrics registry, and serializing them keeps the
+    /// drain attributable (and the peak footprint bounded).
+    sweep_gate: Mutex<()>,
+    queue: Mutex<VecDeque<TranslateJob>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    active_conns: AtomicU64,
+    c: Counters,
+}
+
+impl ServerState {
+    /// The port the server bound.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    fn absorb_cache_stats(&self) {
+        let s = snapshot_cache::take_stats();
+        self.c.add(&self.c.prep_mem_hits, s.mem_hits);
+        self.c.add(&self.c.prep_disk_hits, s.disk_hits);
+        self.c.add(&self.c.prep_misses, s.misses);
+        self.c.add(&self.c.prep_evictions, s.mem_evictions);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The determinism anchor
+// ---------------------------------------------------------------------
+
+/// The exact bytes `repro <experiment> --csv` prints: each table's CSV
+/// followed by one newline. The serve determinism guarantee is stated
+/// against this function — the socket path and the direct path both
+/// call it, so they cannot drift apart.
+///
+/// # Errors
+/// A message for an unknown experiment name (nothing runs).
+pub fn sweep_csv(experiment: &str, opts: &ExperimentOptions) -> Result<String, String> {
+    let run = run_named(experiment, opts)
+        .ok_or_else(|| format!("unknown experiment '{experiment}'"))?;
+    let mut out = String::new();
+    for table in &run.output.tables {
+        out.push_str(&table.to_csv());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The experiment options a sweep request resolves to. Shared with
+/// `serve-bench --verify-sweep`, which must build the *identical*
+/// options for its direct in-process run.
+pub fn sweep_options(
+    accesses: Option<u64>,
+    bench: Option<&str>,
+    cores: Option<u64>,
+    jobs: usize,
+    max_accesses: u64,
+) -> ExperimentOptions {
+    let mut opts = ExperimentOptions { jobs: jobs.max(1), ..ExperimentOptions::default() };
+    if let Some(a) = accesses {
+        opts.accesses = a.clamp(1, max_accesses);
+    }
+    if let Some(list) = bench {
+        let names: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if !names.is_empty() {
+            opts.benchmarks = Some(names);
+        }
+    }
+    if let Some(c) = cores {
+        opts.cores = (c.max(1)) as usize;
+    }
+    opts
+}
+
+/// The result-cache key for one sweep request. The fingerprint alone is
+/// an 8-hex CRC32 — cheap, but collisions are conceivable — so the key
+/// keeps the experiment name alongside it.
+fn sweep_key(experiment: &str, opts: &ExperimentOptions) -> String {
+    format!("{experiment};{}", opts.fingerprint(experiment))
+}
+
+// ---------------------------------------------------------------------
+// Startup / shutdown
+// ---------------------------------------------------------------------
+
+/// A started server: the bound port plus the threads to join.
+pub struct ServerHandle {
+    /// The port actually bound (useful with `port: 0`).
+    pub port: u16,
+    state: Arc<ServerState>,
+    accept: std::thread::JoinHandle<()>,
+    dispatcher: std::thread::JoinHandle<()>,
+}
+
+/// What the server did over its lifetime, printed at clean shutdown.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    /// Total requests parsed (all ops).
+    pub requests: u64,
+    /// Translate cells simulated.
+    pub translates: u64,
+    /// Sweeps requested (cached or computed).
+    pub sweeps: u64,
+    /// Sweeps answered from the LRU result cache.
+    pub sweep_cache_hits: u64,
+    /// Sweeps coalesced behind an identical in-flight leader.
+    pub sweep_coalesced: u64,
+    /// Requests politely rejected over the per-connection quota.
+    pub rejected_quota: u64,
+    /// Requests politely rejected under backpressure (full queue).
+    pub rejected_busy: u64,
+    /// Dispatched cells that failed or were quarantined.
+    pub failed_cells: u64,
+}
+
+impl ServeSummary {
+    /// The shutdown report `scripts/verify.sh` greps ("clean shutdown",
+    /// "quarantined cells: N").
+    pub fn render(&self) -> String {
+        format!(
+            "repro serve: clean shutdown — {} request(s): {} translate(s), \
+             {} sweep(s) ({} cached, {} coalesced), {} quota-rejected, \
+             {} busy-rejected, quarantined cells: {}",
+            self.requests,
+            self.translates,
+            self.sweeps,
+            self.sweep_cache_hits,
+            self.sweep_coalesced,
+            self.rejected_quota,
+            self.rejected_busy,
+            self.failed_cells
+        )
+    }
+}
+
+impl ServerHandle {
+    /// Blocks until the server shuts down (a client sent
+    /// `{"op":"shutdown"}`), then returns the lifetime summary.
+    pub fn wait(self) -> ServeSummary {
+        let _ = self.accept.join();
+        let _ = self.dispatcher.join();
+        // Handler threads exit within one read-timeout tick of the
+        // shutdown flag; give stragglers a bounded grace period.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.state.active_conns.load(Ordering::SeqCst) > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let c = &self.state.c;
+        ServeSummary {
+            requests: c.requests.load(Ordering::Relaxed),
+            translates: c.translates.load(Ordering::Relaxed),
+            sweeps: c.sweeps.load(Ordering::Relaxed),
+            sweep_cache_hits: c.sweep_cache_hits.load(Ordering::Relaxed),
+            sweep_coalesced: c.sweep_coalesced.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
+            failed_cells: c.failed_cells.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Binds, spawns the accept and dispatcher threads, and returns. The
+/// caller drives [`ServerHandle::wait`] for the summary.
+///
+/// # Errors
+/// Propagates bind/port-file I/O errors; nothing is left running then.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let cfg = cfg.normalized();
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let port = listener.local_addr()?.port();
+    if let Some(path) = &cfg.port_file {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, format!("{port}\n"))?;
+    }
+    let shards = (0..cfg.shards)
+        .map(|_| Mutex::new(LruMap::bounded(cfg.shard_cap)))
+        .collect();
+    let state = Arc::new(ServerState {
+        results: Mutex::new(LruMap::bounded(cfg.result_cache_cap)),
+        shards,
+        inflight: Mutex::new(HashMap::new()),
+        sweep_gate: Mutex::new(()),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        active_conns: AtomicU64::new(0),
+        c: Counters::default(),
+        port,
+        cfg,
+    });
+
+    let dispatcher = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("serve-dispatch".into())
+            .spawn(move || dispatch_loop(&state))?
+    };
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &state))?
+    };
+    Ok(ServerHandle { port, state, accept, dispatcher })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            // The self-connect nudge (or a late client) after shutdown.
+            return;
+        }
+        if state.active_conns.load(Ordering::SeqCst) >= state.cfg.max_conns as u64 {
+            state.c.add(&state.c.rejected_conns, 1);
+            let mut s = stream;
+            let _ = s.write_all(
+                b"{\"ok\": false, \"error\": \"too many connections\", \"rejected\": \"busy\"}\n",
+            );
+            continue;
+        }
+        state.active_conns.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(state);
+        let _ = std::thread::Builder::new().name("serve-conn".into()).spawn(move || {
+            handle_connection(stream, &state);
+            state.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Wakes everything blocked on I/O or condvars so shutdown converges.
+fn nudge_shutdown(state: &ServerState) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    state.queue_cv.notify_all();
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(("127.0.0.1", state.port));
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+/// Reads one `\n`-terminated line, tolerating read timeouts (used to
+/// poll the shutdown flag). `read_until` keeps partial bytes in `buf`
+/// across timeouts, so slow writers are reassembled, not dropped.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    state: &ServerState,
+) -> Option<String> {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => {
+                // EOF; any partial bytes are the (unterminated) last line.
+                if buf.is_empty() {
+                    return None;
+                }
+                let line = String::from_utf8_lossy(buf).into_owned();
+                buf.clear();
+                return Some(line);
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    let line = String::from_utf8_lossy(buf).trim_end().to_string();
+                    buf.clear();
+                    return Some(line);
+                }
+                // Delimiter not reached (EOF mid-line); next read
+                // returns Ok(0) and flushes it.
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn err_line(msg: &str) -> String {
+    format!("{{\"ok\": false, \"error\": \"{}\"}}", crate::artifact::json_escape(msg))
+}
+
+fn reject_line(kind: &str, msg: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": \"{}\", \"rejected\": \"{kind}\"}}",
+        crate::artifact::json_escape(msg)
+    )
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut served: u64 = 0;
+    while let Some(line) = read_line(&mut reader, &mut buf, state) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        state.c.add(&state.c.requests, 1);
+        let request = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                state.c.add(&state.c.bad_requests, 1);
+                let _ =
+                    writeln!(writer, "{}", err_line(&format!("bad request JSON: {e}")));
+                continue;
+            }
+        };
+        let op = request.get("op").and_then(json::Json::as_str).unwrap_or("");
+        served += 1;
+        // Quota: past the per-connection budget, everything except
+        // shutdown is politely rejected (the connection stays usable
+        // for the operator's shutdown).
+        if served > state.cfg.quota && op != "shutdown" {
+            state.c.add(&state.c.rejected_quota, 1);
+            let _ = writeln!(
+                writer,
+                "{}",
+                reject_line(
+                    "quota",
+                    &format!("request quota of {} exhausted", state.cfg.quota)
+                )
+            );
+            continue;
+        }
+        let response = match op {
+            "ping" => "{\"ok\": true, \"op\": \"ping\"}".to_string(),
+            "stats" => stats_line(state),
+            "translate" => handle_translate(state, &request),
+            "sweep" => handle_sweep(state, &request),
+            "shutdown" => {
+                let _ = writeln!(writer, "{{\"ok\": true, \"op\": \"shutdown\"}}");
+                let _ = writer.flush();
+                nudge_shutdown(state);
+                return;
+            }
+            other => {
+                state.c.add(&state.c.bad_requests, 1);
+                err_line(&format!(
+                    "unknown op '{other}' (valid: ping stats translate sweep shutdown)"
+                ))
+            }
+        };
+        if writeln!(writer, "{response}").is_err() {
+            return;
+        }
+    }
+}
+
+fn stats_line(state: &ServerState) -> String {
+    let c = &state.c;
+    let load = |f: &AtomicU64| f.load(Ordering::Relaxed);
+    format!(
+        "{{\"ok\": true, \"op\": \"stats\", \"requests\": {}, \"translates\": {}, \
+         \"sweeps\": {}, \"sweep_cache_hits\": {}, \"sweep_coalesced\": {}, \
+         \"sweep_cache_evictions\": {}, \"rejected_quota\": {}, \"rejected_busy\": {}, \
+         \"rejected_conns\": {}, \"failed_cells\": {}, \"batches\": {}, \
+         \"batched_requests\": {}, \"prep_mem_hits\": {}, \"prep_disk_hits\": {}, \
+         \"prep_misses\": {}, \"prep_evictions\": {}, \"shard_hits\": {}, \
+         \"shard_evictions\": {}, \"bad_requests\": {}, \"active_conns\": {}, \
+         \"result_cache_len\": {}, \"snapshot_mem_len\": {}, \"shards\": {}, \
+         \"jobs\": {}}}",
+        load(&c.requests),
+        load(&c.translates),
+        load(&c.sweeps),
+        load(&c.sweep_cache_hits),
+        load(&c.sweep_coalesced),
+        load(&c.sweep_cache_evictions),
+        load(&c.rejected_quota),
+        load(&c.rejected_busy),
+        load(&c.rejected_conns),
+        load(&c.failed_cells),
+        load(&c.batches),
+        load(&c.batched_requests),
+        load(&c.prep_mem_hits),
+        load(&c.prep_disk_hits),
+        load(&c.prep_misses),
+        load(&c.prep_evictions),
+        load(&c.shard_hits),
+        load(&c.shard_evictions),
+        load(&c.bad_requests),
+        state.active_conns.load(Ordering::SeqCst),
+        relock(&state.results).len(),
+        snapshot_cache::mem_len(),
+        state.cfg.shards,
+        state.cfg.jobs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// translate: bounded queue -> batched dispatch onto the runner
+// ---------------------------------------------------------------------
+
+fn parse_scenario(name: &str) -> Result<Scenario, String> {
+    match name {
+        "" | "default" => Ok(Scenario::default_linux()),
+        "no_ths" => Ok(Scenario::no_ths()),
+        "no_ths_low_compaction" => Ok(Scenario::no_ths_low_compaction()),
+        other => Err(format!(
+            "unknown scenario '{other}' (valid: default no_ths no_ths_low_compaction)"
+        )),
+    }
+}
+
+fn parse_tlb(name: &str) -> Result<TlbConfig, String> {
+    match name {
+        "baseline" => Ok(TlbConfig::baseline()),
+        "colt_sa" => Ok(TlbConfig::colt_sa()),
+        "colt_fa" => Ok(TlbConfig::colt_fa()),
+        "" | "colt_all" => Ok(TlbConfig::colt_all()),
+        other => Err(format!(
+            "unknown config '{other}' (valid: baseline colt_sa colt_fa colt_all)"
+        )),
+    }
+}
+
+fn handle_translate(state: &Arc<ServerState>, request: &json::Json) -> String {
+    let bench_name = match request.get("benchmark").and_then(json::Json::as_str) {
+        Some(b) => b,
+        None => return err_line("translate needs a \"benchmark\""),
+    };
+    let spec = match benchmark(bench_name) {
+        Some(s) => s,
+        None => return err_line(&format!("unknown benchmark '{bench_name}'")),
+    };
+    let tlb = match parse_tlb(request.get("config").and_then(json::Json::as_str).unwrap_or(""))
+    {
+        Ok(t) => t,
+        Err(e) => return err_line(&e),
+    };
+    let scenario = match parse_scenario(
+        request.get("scenario").and_then(json::Json::as_str).unwrap_or(""),
+    ) {
+        Ok(s) => s,
+        Err(e) => return err_line(&e),
+    };
+    let accesses = request
+        .get("accesses")
+        .and_then(json::Json::as_u64)
+        .unwrap_or(20_000)
+        .clamp(1, state.cfg.max_accesses);
+    let mut sim_cfg = SimConfig::new(tlb).with_accesses(accesses);
+    if let Some(seed) = request.get("seed").and_then(json::Json::as_u64) {
+        sim_cfg.pattern_seed = seed;
+    }
+
+    let (reply, result_rx) = mpsc::channel();
+    {
+        let mut q = relock(&state.queue);
+        if q.len() >= state.cfg.queue_cap {
+            state.c.add(&state.c.rejected_busy, 1);
+            return reject_line(
+                "busy",
+                &format!("dispatch queue full ({} queued)", state.cfg.queue_cap),
+            );
+        }
+        q.push_back(TranslateJob { scenario, spec, sim_cfg, reply });
+    }
+    state.queue_cv.notify_one();
+
+    match result_rx.recv_timeout(Duration::from_secs(600)) {
+        Ok(Ok(r)) => {
+            state.c.add(&state.c.translates, 1);
+            format!(
+                "{{\"ok\": true, \"op\": \"translate\", \"benchmark\": \"{}\", \
+                 \"accesses\": {}, \"l1_misses\": {}, \"l2_misses\": {}, \
+                 \"walks\": {}, \"walk_cycles\": {}, \"superpage_fills\": {}}}",
+                crate::artifact::json_escape(bench_name),
+                r.tlb.accesses,
+                r.tlb.l1_misses,
+                r.tlb.l2_misses,
+                r.walker.walks,
+                r.walk_cycles,
+                r.tlb.superpage_fills,
+            )
+        }
+        Ok(Err(e)) => {
+            state.c.add(&state.c.failed_cells, 1);
+            err_line(&e)
+        }
+        Err(_) => err_line("translate timed out (dispatcher overloaded or gone)"),
+    }
+}
+
+fn dispatch_loop(state: &Arc<ServerState>) {
+    loop {
+        let batch: Vec<TranslateJob> = {
+            let mut q = relock(&state.queue);
+            while q.is_empty() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = state
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(200))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+            }
+            let n = q.len().min(state.cfg.batch_max);
+            q.drain(..n).collect()
+        };
+        run_batch(state, batch);
+        state.absorb_cache_stats();
+    }
+}
+
+/// Fetches (or prepares) the workload for one (scenario, spec) pair via
+/// the fingerprint-sharded pools, falling back to the snapshot cache's
+/// memory/disk/build path on a shard miss.
+fn shard_get_or_prepare(
+    state: &ServerState,
+    scenario: &Scenario,
+    spec: &BenchmarkSpec,
+) -> Result<Arc<PreparedWorkload>, String> {
+    let key = snapshot_cache::prep_key(scenario, spec);
+    let shard = fingerprint_bucket(&fingerprint_of(&key), state.cfg.shards);
+    if let Some(w) = relock(&state.shards[shard]).get(&key).map(Arc::clone) {
+        state.c.add(&state.c.shard_hits, 1);
+        return Ok(w);
+    }
+    let prepared = snapshot_cache::get_or_prepare(scenario, spec)?;
+    let evicted =
+        relock(&state.shards[shard]).insert(key, Arc::clone(&prepared.workload));
+    state.c.add(&state.c.shard_evictions, evicted);
+    Ok(prepared.workload)
+}
+
+/// Resolves each *unique* preparation once, then fans the whole batch
+/// out onto the work-stealing runner. This is the request-coalescing
+/// payoff: sixty queued translates against four configurations cost
+/// four preparations, not sixty.
+fn run_batch(state: &Arc<ServerState>, batch: Vec<TranslateJob>) {
+    state.c.add(&state.c.batches, 1);
+    state.c.add(&state.c.batched_requests, batch.len() as u64);
+
+    let mut prepared: BTreeMap<String, Result<Arc<PreparedWorkload>, String>> =
+        BTreeMap::new();
+    for job in &batch {
+        let key = snapshot_cache::prep_key(&job.scenario, &job.spec);
+        prepared.entry(key).or_insert_with(|| {
+            shard_get_or_prepare(state, &job.scenario, &job.spec)
+        });
+    }
+
+    let mut tasks: Vec<SweepTask<SimResult>> = Vec::new();
+    let mut replies: Vec<mpsc::Sender<Result<SimResult, String>>> = Vec::new();
+    for (i, job) in batch.into_iter().enumerate() {
+        let key = snapshot_cache::prep_key(&job.scenario, &job.spec);
+        match &prepared[&key] {
+            Ok(workload) => {
+                let workload = Arc::clone(workload);
+                let sim_cfg = job.sim_cfg;
+                tasks.push(SweepTask::new(
+                    format!("serve/{}/{i}", job.spec.name),
+                    sim_cfg.accesses,
+                    move || sim::run(&workload, &sim_cfg),
+                ));
+                replies.push(job.reply);
+            }
+            Err(e) => {
+                let _ = job.reply.send(Err(e.clone()));
+            }
+        }
+    }
+    if tasks.is_empty() {
+        return;
+    }
+    let outcomes = runner::run_tasks_service(tasks, state.cfg.jobs);
+    for (outcome, reply) in outcomes.into_iter().zip(replies) {
+        let msg = match outcome {
+            CellOutcome::Ok(r) => Ok(r),
+            CellOutcome::Failed { label, payload } => {
+                Err(format!("cell {label} failed: {payload}"))
+            }
+            CellOutcome::Quarantined { label, attempts, reason } => {
+                Err(format!("cell {label} quarantined after {attempts} attempt(s): {reason}"))
+            }
+        };
+        let _ = reply.send(msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// sweep: LRU result cache + single-flight + serialized compute
+// ---------------------------------------------------------------------
+
+fn sweep_response(
+    experiment: &str,
+    fingerprint: &str,
+    cached: bool,
+    coalesced: bool,
+    bytes: &str,
+) -> String {
+    format!(
+        "{{\"ok\": true, \"op\": \"sweep\", \"experiment\": \"{}\", \
+         \"fingerprint\": \"{fingerprint}\", \"cached\": {cached}, \
+         \"coalesced\": {coalesced}, \"bytes\": \"{}\"}}",
+        crate::artifact::json_escape(experiment),
+        crate::artifact::json_escape(bytes)
+    )
+}
+
+fn handle_sweep(state: &Arc<ServerState>, request: &json::Json) -> String {
+    let experiment = match request.get("experiment").and_then(json::Json::as_str) {
+        Some(e) => e.to_string(),
+        None => return err_line("sweep needs an \"experiment\""),
+    };
+    let opts = sweep_options(
+        request.get("accesses").and_then(json::Json::as_u64),
+        request.get("bench").and_then(json::Json::as_str),
+        request.get("cores").and_then(json::Json::as_u64),
+        state.cfg.jobs,
+        state.cfg.max_accesses,
+    );
+    let fingerprint = opts.fingerprint(&experiment);
+    let key = sweep_key(&experiment, &opts);
+    state.c.add(&state.c.sweeps, 1);
+
+    // Bind the lookup so the results guard drops before the (possibly
+    // large) response is escaped and formatted.
+    let cached = relock(&state.results).get(&key).map(Arc::clone);
+    if let Some(bytes) = cached {
+        state.c.add(&state.c.sweep_cache_hits, 1);
+        return sweep_response(&experiment, &fingerprint, true, false, &bytes);
+    }
+
+    // Single-flight: one leader computes, identical concurrent requests
+    // wait for its bytes instead of burning a second run.
+    let (flight, leader) = {
+        let mut inflight = relock(&state.inflight);
+        match inflight.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(Flight::new());
+                inflight.insert(key.clone(), Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+
+    if !leader {
+        state.c.add(&state.c.sweep_coalesced, 1);
+        let deadline = Instant::now() + Duration::from_secs(600);
+        let mut done = relock(&flight.done);
+        loop {
+            if let Some(outcome) = done.clone() {
+                return match outcome {
+                    Ok(bytes) => {
+                        sweep_response(&experiment, &fingerprint, true, true, &bytes)
+                    }
+                    Err(e) => err_line(&e),
+                };
+            }
+            if Instant::now() >= deadline {
+                return err_line("coalesced sweep timed out waiting for its leader");
+            }
+            let (guard, _) = flight
+                .cv
+                .wait_timeout(done, Duration::from_millis(200))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            done = guard;
+        }
+    }
+
+    let outcome: Result<Arc<String>, String> = {
+        let _gate = relock(&state.sweep_gate);
+        // A just-finished leader for the same key may have filled the
+        // cache while this one waited on the gate. The lookup is bound
+        // *before* the branch: an `if let` on the locked map would keep
+        // the results guard alive through the else arm (scrutinee
+        // temporaries live for the whole expression), and the insert
+        // below would then self-deadlock.
+        let already = relock(&state.results).get(&key).map(Arc::clone);
+        if let Some(bytes) = already {
+            state.c.add(&state.c.sweep_cache_hits, 1);
+            Ok(bytes)
+        } else {
+            let computed =
+                catch_unwind(AssertUnwindSafe(|| sweep_csv(&experiment, &opts)));
+            // Sweeps run with metrics collection on (the drivers use the
+            // sweep entry points); drain the registry so a resident
+            // server stays memory-flat.
+            let _ = runner::take_metrics();
+            state.absorb_cache_stats();
+            match computed {
+                Ok(Ok(bytes)) => {
+                    let bytes = Arc::new(bytes);
+                    let evicted =
+                        relock(&state.results).insert(key.clone(), Arc::clone(&bytes));
+                    state.c.add(&state.c.sweep_cache_evictions, evicted);
+                    Ok(bytes)
+                }
+                Ok(Err(e)) => Err(e),
+                Err(payload) => {
+                    state.c.add(&state.c.failed_cells, 1);
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| {
+                            payload.downcast_ref::<&str>().map(|s| (*s).to_string())
+                        })
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(format!("sweep '{experiment}' panicked: {msg}"))
+                }
+            }
+        }
+    };
+
+    {
+        let mut done = relock(&flight.done);
+        *done = Some(outcome.clone());
+        flight.cv.notify_all();
+    }
+    relock(&state.inflight).remove(&key);
+
+    match outcome {
+        Ok(bytes) => sweep_response(&experiment, &fingerprint, false, false, &bytes),
+        Err(e) => err_line(&e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+fn serve_usage() -> String {
+    "usage: repro serve [--port N] [--port-file PATH] [--jobs N] [--quota N]\n\
+     \u{20}                  [--queue-cap N] [--max-conns N] [--shards N]\n\
+     \u{20}                  [--shard-cap N] [--result-cache N] [--batch-max N]\n\
+     \u{20}                  [--max-accesses N] [--mem-cap N] [--quiet]\n\
+     --port N         TCP port (default 0 = ephemeral; bound port is printed\n\
+     \u{20}                and written to --port-file)\n\
+     --quota N        requests per connection before polite rejection\n\
+     --queue-cap N    translate dispatch queue bound (backpressure)\n\
+     --shards N       prepared-pool lock shards, --shard-cap entries each\n\
+     --result-cache N LRU-cached sweep results\n\
+     --batch-max N    translate requests dispatched per batch\n\
+     --mem-cap N      snapshot-cache memory entries (COLT_SNAPSHOT_MEM_CAP)\n\
+     protocol: one JSON object per line; ops: ping stats translate sweep shutdown"
+        .to_string()
+}
+
+fn parse_num(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<u64>().map_err(|_| format!("{flag} {raw}: not a number"))
+}
+
+/// `repro serve` entry point.
+pub fn cli(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = args.get(i + 1);
+        let mut took_value = true;
+        let numeric = |flag: &str| parse_num(flag, value);
+        match arg {
+            "--port" => match numeric("--port") {
+                Ok(n) if n <= u64::from(u16::MAX) => cfg.port = n as u16,
+                _ => {
+                    eprintln!("--port must be 0..=65535");
+                    return ExitCode::from(2);
+                }
+            },
+            "--port-file" => match value {
+                Some(p) => cfg.port_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--port-file needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" | "--quota" | "--queue-cap" | "--max-conns" | "--shards"
+            | "--shard-cap" | "--result-cache" | "--batch-max" | "--max-accesses"
+            | "--mem-cap" => match numeric(arg) {
+                Ok(n) => match arg {
+                    "--jobs" => cfg.jobs = n.max(1) as usize,
+                    "--quota" => cfg.quota = n.max(1),
+                    "--queue-cap" => cfg.queue_cap = n as usize,
+                    "--max-conns" => cfg.max_conns = n.max(1) as usize,
+                    "--shards" => cfg.shards = n.max(1) as usize,
+                    "--shard-cap" => cfg.shard_cap = n.max(1) as usize,
+                    "--result-cache" => cfg.result_cache_cap = n.max(1) as usize,
+                    "--batch-max" => cfg.batch_max = n.max(1) as usize,
+                    "--max-accesses" => cfg.max_accesses = n.max(1),
+                    "--mem-cap" => snapshot_cache::set_mem_capacity(n as usize),
+                    _ => unreachable!(),
+                },
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => {
+                cfg.quiet = true;
+                took_value = false;
+            }
+            "--help" | "-h" => {
+                println!("{}", serve_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown serve flag '{other}'\n{}", serve_usage());
+                return ExitCode::from(2);
+            }
+        }
+        i += if took_value { 2 } else { 1 };
+    }
+
+    let quiet = cfg.quiet;
+    let handle = match start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("repro serve: could not start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        println!("repro serve: listening on 127.0.0.1:{}", handle.port);
+    }
+    let summary = handle.wait();
+    if !quiet {
+        println!("{}", summary.render());
+    }
+    if summary.failed_cells > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_options_build_deterministic_fingerprints() {
+        let a = sweep_options(Some(30_000), Some("Gobmk,Bzip2"), Some(1), 4, 10_000_000);
+        let b = sweep_options(Some(30_000), Some("Gobmk,Bzip2"), Some(1), 8, 10_000_000);
+        // Jobs never enter the fingerprint: results are identical at
+        // any width, so a 4-job server and an 8-job direct run must
+        // share a cache key.
+        assert_eq!(a.fingerprint("fig18"), b.fingerprint("fig18"));
+        assert_ne!(
+            a.fingerprint("fig18"),
+            sweep_options(Some(40_000), Some("Gobmk,Bzip2"), Some(1), 4, 10_000_000)
+                .fingerprint("fig18"),
+            "the access budget changes results, so it changes the key"
+        );
+        assert_ne!(a.fingerprint("fig18"), a.fingerprint("fig19"));
+    }
+
+    #[test]
+    fn sweep_options_clamp_and_parse_bench_lists() {
+        let o = sweep_options(Some(u64::MAX), Some(" Gobmk , ,Bzip2 "), Some(0), 0, 1000);
+        assert_eq!(o.accesses, 1000, "clamped to max_accesses");
+        assert_eq!(o.cores, 1, "cores 0 clamps to 1");
+        assert_eq!(o.jobs, 1, "jobs 0 clamps to 1");
+        assert_eq!(
+            o.benchmarks,
+            Some(vec!["Gobmk".to_string(), "Bzip2".to_string()]),
+            "blank entries dropped"
+        );
+        let none = sweep_options(None, Some(" , "), None, 2, 1000);
+        assert_eq!(none.benchmarks, None, "an all-blank list means all benchmarks");
+    }
+
+    #[test]
+    fn sweep_csv_rejects_unknown_experiments() {
+        let opts = ExperimentOptions::quick();
+        assert!(sweep_csv("no-such-experiment", &opts).is_err());
+    }
+
+    #[test]
+    fn scenario_and_tlb_names_round_trip() {
+        assert!(parse_scenario("default").is_ok());
+        assert!(parse_scenario("").is_ok());
+        assert!(parse_scenario("no_ths").is_ok());
+        assert!(parse_scenario("no_ths_low_compaction").is_ok());
+        assert!(parse_scenario("memhog").is_err());
+        for name in ["baseline", "colt_sa", "colt_fa", "colt_all", ""] {
+            assert!(parse_tlb(name).is_ok(), "{name}");
+        }
+        assert!(parse_tlb("colt").is_err());
+    }
+
+    #[test]
+    fn rejection_lines_carry_the_machine_readable_kind() {
+        let quota = reject_line("quota", "over budget");
+        crate::artifact::validate_json(&quota).unwrap();
+        assert!(quota.contains("\"rejected\": \"quota\""));
+        let busy = reject_line("busy", "queue full");
+        assert!(busy.contains("\"rejected\": \"busy\""));
+        crate::artifact::validate_json(&err_line("with \"quotes\" and \\slashes")).unwrap();
+    }
+}

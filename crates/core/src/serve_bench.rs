@@ -1,0 +1,589 @@
+//! `repro serve-bench` — the load generator for [`crate::serve`].
+//!
+//! Opens N client connections against a running `repro serve`, drives a
+//! mixed translate/sweep workload through them, and publishes
+//! `results/BENCH_serve.json` with the serving numbers the ROADMAP
+//! cares about: p50/p99 request latency, requests per second, and the
+//! sweep cache hit rate. With `--verify-sweep` it also proves the
+//! determinism guarantee end to end: the sweep is requested twice over
+//! the socket (the second answer must be served from the LRU cache and
+//! be byte-identical) and compared against the same sweep run directly
+//! in-process via [`serve::sweep_csv`] — three byte-identical copies or
+//! a non-zero exit.
+
+use crate::artifact;
+use crate::serve::{self, json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters (one flag each; see `--help`).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Server host.
+    pub host: String,
+    /// Server port (resolved from `--port-file` when 0).
+    pub port: u16,
+    /// File to read the port from (written by `repro serve --port-file`).
+    pub port_file: Option<PathBuf>,
+    /// Client connections, one thread each.
+    pub conns: usize,
+    /// Translate requests per connection.
+    pub requests: u64,
+    /// Access budget per translate request.
+    pub accesses: u64,
+    /// Experiment for the sweep requests.
+    pub sweep: String,
+    /// Issue a sweep request every N translates per connection (0 = no
+    /// in-traffic sweeps; `--verify-sweep` still runs its own).
+    pub sweep_every: u64,
+    /// Access budget for sweep requests.
+    pub sweep_accesses: u64,
+    /// Benchmark rotation for translates and the sweep's `bench` list.
+    pub bench: String,
+    /// Run the determinism check (served twice + direct in-process run).
+    pub verify_sweep: bool,
+    /// Send `{"op":"shutdown"}` when done.
+    pub shutdown: bool,
+    /// Artifact path.
+    pub out: PathBuf,
+    /// Suppress progress lines.
+    pub quiet: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            port_file: None,
+            conns: 4,
+            requests: 100,
+            accesses: 5_000,
+            sweep: "fig18".to_string(),
+            sweep_every: 0,
+            sweep_accesses: 20_000,
+            bench: "Gobmk".to_string(),
+            verify_sweep: false,
+            shutdown: false,
+            out: PathBuf::from("results/BENCH_serve.json"),
+            quiet: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client plumbing
+// ---------------------------------------------------------------------
+
+/// One protocol connection: write a request line, read a response line.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with retries (the server may still be binding when a
+    /// script launches both sides together).
+    fn connect(host: &str, port: u16) -> Result<Self, String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect((host, port)) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| format!("clone stream: {e}"))?;
+                    return Ok(Client { writer, reader: BufReader::new(stream) });
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("connect {host}:{port}: {e}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Result<json::Json, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        json::parse(response.trim()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+/// `p`-th percentile (0..=100) of an unsorted sample, by the
+/// nearest-rank method on a sorted copy. 0.0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    sorted[rank.round() as usize]
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_busy: AtomicU64,
+    errors: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_cache_hits: AtomicU64,
+}
+
+fn classify(tally: &Tally, response: &json::Json) -> bool {
+    if response.get("ok").and_then(json::Json::as_bool) == Some(true) {
+        tally.ok.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    match response.get("rejected").and_then(json::Json::as_str) {
+        Some("quota") => tally.rejected_quota.fetch_add(1, Ordering::Relaxed),
+        Some("busy") => tally.rejected_busy.fetch_add(1, Ordering::Relaxed),
+        _ => tally.errors.fetch_add(1, Ordering::Relaxed),
+    };
+    false
+}
+
+// ---------------------------------------------------------------------
+// The bench run
+// ---------------------------------------------------------------------
+
+const CONFIG_ROTATION: [&str; 4] = ["baseline", "colt_sa", "colt_fa", "colt_all"];
+
+fn translate_line(cfg: &BenchConfig, bench: &str, config: &str) -> String {
+    format!(
+        "{{\"op\": \"translate\", \"benchmark\": \"{}\", \"config\": \"{config}\", \
+         \"accesses\": {}}}",
+        artifact::json_escape(bench),
+        cfg.accesses
+    )
+}
+
+fn sweep_line(cfg: &BenchConfig) -> String {
+    format!(
+        "{{\"op\": \"sweep\", \"experiment\": \"{}\", \"accesses\": {}, \
+         \"bench\": \"{}\"}}",
+        artifact::json_escape(&cfg.sweep),
+        cfg.sweep_accesses,
+        artifact::json_escape(&cfg.bench)
+    )
+}
+
+fn worker(
+    cfg: &BenchConfig,
+    benches: &[String],
+    tally: &Tally,
+    worker_index: usize,
+) -> Result<Vec<f64>, String> {
+    let mut client = Client::connect(&cfg.host, cfg.port)?;
+    let mut latencies_ms = Vec::with_capacity(cfg.requests as usize);
+    for i in 0..cfg.requests {
+        // Spread the rotation across workers so concurrent connections
+        // ask for the same few configurations at the same time — that is
+        // what batching + coalesced preparation are for.
+        let step = worker_index as u64 + i;
+        let bench = &benches[(step as usize) % benches.len()];
+        let config = CONFIG_ROTATION[(step as usize) % CONFIG_ROTATION.len()];
+        let line = translate_line(cfg, bench, config);
+        let start = Instant::now();
+        let response = client.request(&line)?;
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        classify(tally, &response);
+
+        if cfg.sweep_every > 0 && (i + 1) % cfg.sweep_every == 0 {
+            let start = Instant::now();
+            let response = client.request(&sweep_line(cfg))?;
+            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            if classify(tally, &response) {
+                tally.sweeps.fetch_add(1, Ordering::Relaxed);
+                let cached = response.get("cached").and_then(json::Json::as_bool)
+                    == Some(true)
+                    || response.get("coalesced").and_then(json::Json::as_bool)
+                        == Some(true);
+                if cached {
+                    tally.sweep_cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    Ok(latencies_ms)
+}
+
+/// The determinism check: the sweep served twice (second from cache)
+/// must be byte-identical, and both must match the direct in-process
+/// run with identical options.
+fn verify_sweep(cfg: &BenchConfig, tally: &Tally) -> Result<(), String> {
+    let mut client = Client::connect(&cfg.host, cfg.port)?;
+    let line = sweep_line(cfg);
+    let first = client.request(&line)?;
+    let second = client.request(&line)?;
+    for (which, response) in [("first", &first), ("second", &second)] {
+        if response.get("ok").and_then(json::Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{which} verification sweep failed: {}",
+                response
+                    .get("error")
+                    .and_then(json::Json::as_str)
+                    .unwrap_or("unknown error")
+            ));
+        }
+        tally.sweeps.fetch_add(1, Ordering::Relaxed);
+    }
+    let first_bytes = first
+        .get("bytes")
+        .and_then(json::Json::as_str)
+        .ok_or("first sweep response carried no bytes")?;
+    let second_bytes = second
+        .get("bytes")
+        .and_then(json::Json::as_str)
+        .ok_or("second sweep response carried no bytes")?;
+    if second.get("cached").and_then(json::Json::as_bool) != Some(true) {
+        return Err(
+            "second identical sweep was not served from the result cache".to_string()
+        );
+    }
+    tally.sweep_cache_hits.fetch_add(1, Ordering::Relaxed);
+    if first_bytes != second_bytes {
+        return Err("cached sweep bytes differ from the originally served bytes".to_string());
+    }
+
+    // The server clamps with its own max_accesses; the direct run here
+    // uses the default bound, which only diverges if the operator asked
+    // for more than 10M accesses per cell — keep verification budgets
+    // below that.
+    let opts = serve::sweep_options(
+        Some(cfg.sweep_accesses),
+        Some(&cfg.bench),
+        None,
+        1,
+        crate::serve::ServeConfig::default().max_accesses,
+    );
+    let direct = serve::sweep_csv(&cfg.sweep, &opts)?;
+    if first_bytes != direct {
+        return Err(format!(
+            "served sweep bytes differ from the direct run ({} vs {} bytes) — \
+             determinism guarantee violated",
+            first_bytes.len(),
+            direct.len()
+        ));
+    }
+    Ok(())
+}
+
+/// The `BENCH_serve.json` payload.
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    cfg: &BenchConfig,
+    tally: &Tally,
+    latencies_ms: &[f64],
+    wall_seconds: f64,
+    verified: Option<bool>,
+) -> String {
+    let load = |f: &AtomicU64| f.load(Ordering::Relaxed);
+    let total = latencies_ms.len() as u64;
+    let sweeps = load(&tally.sweeps);
+    let hits = load(&tally.sweep_cache_hits);
+    let hit_rate = if sweeps > 0 { hits as f64 / sweeps as f64 } else { 0.0 };
+    let rps = if wall_seconds > 0.0 { total as f64 / wall_seconds } else { 0.0 };
+    format!
+    (
+        "{{\n  \"schema\": \"colt-bench-serve/v1\",\n  \"conns\": {},\n  \
+         \"requests\": {total},\n  \"ok\": {},\n  \"rejected_quota\": {},\n  \
+         \"rejected_busy\": {},\n  \"errors\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"requests_per_sec\": {:.3},\n  \"p50_latency_ms\": {:.3},\n  \
+         \"p99_latency_ms\": {:.3},\n  \"translate_accesses\": {},\n  \
+         \"sweep_experiment\": \"{}\",\n  \"sweep_requests\": {sweeps},\n  \
+         \"sweep_cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \
+         \"verified\": {}\n}}",
+        cfg.conns,
+        load(&tally.ok),
+        load(&tally.rejected_quota),
+        load(&tally.rejected_busy),
+        load(&tally.errors),
+        wall_seconds,
+        rps,
+        percentile(latencies_ms, 50.0),
+        percentile(latencies_ms, 99.0),
+        cfg.accesses,
+        artifact::json_escape(&cfg.sweep),
+        match verified {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        }
+    )
+}
+
+/// Runs the bench against a live server and writes the artifact.
+///
+/// # Errors
+/// Connection failures, protocol errors, a failed determinism check, or
+/// an artifact-write failure — each with a description.
+pub fn run(cfg: &BenchConfig) -> Result<String, String> {
+    let benches: Vec<String> = cfg
+        .bench
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if benches.is_empty() {
+        return Err("--bench needs at least one benchmark name".to_string());
+    }
+
+    let tally = Arc::new(Tally::default());
+    let start = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut worker_errors: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..cfg.conns.max(1) {
+            let tally = Arc::clone(&tally);
+            let benches = &benches;
+            handles.push(scope.spawn(move || worker(cfg, benches, &tally, w)));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(lat)) => latencies_ms.extend(lat),
+                Ok(Err(e)) => worker_errors.push(e),
+                Err(_) => worker_errors.push("bench worker panicked".to_string()),
+            }
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    if let Some(e) = worker_errors.first() {
+        return Err(format!(
+            "{} of {} bench worker(s) failed; first error: {e}",
+            worker_errors.len(),
+            cfg.conns
+        ));
+    }
+
+    let verified = if cfg.verify_sweep {
+        verify_sweep(cfg, &tally)?;
+        Some(true)
+    } else {
+        None
+    };
+
+    if cfg.shutdown {
+        let mut client = Client::connect(&cfg.host, cfg.port)?;
+        let response = client.request("{\"op\": \"shutdown\"}")?;
+        if response.get("ok").and_then(json::Json::as_bool) != Some(true) {
+            return Err("shutdown request was not acknowledged".to_string());
+        }
+    }
+
+    let payload = bench_json(cfg, &tally, &latencies_ms, wall_seconds, verified);
+    if let Some(moved) = artifact::quarantine_if_corrupt(&cfg.out)
+        .map_err(|e| format!("inspect {}: {e}", cfg.out.display()))?
+    {
+        eprintln!(
+            "serve-bench: WARNING: corrupt {} quarantined to {}",
+            cfg.out.display(),
+            moved.display()
+        );
+    }
+    artifact::atomic_write_json(&cfg.out, &payload)
+        .map_err(|e| format!("write {}: {e}", cfg.out.display()))?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+fn bench_usage() -> String {
+    "usage: repro serve-bench --port N | --port-file PATH [--host H] [--conns N]\n\
+     \u{20}                        [--requests N] [--accesses N] [--sweep EXP]\n\
+     \u{20}                        [--sweep-every N] [--sweep-accesses N]\n\
+     \u{20}                        [--bench A,B] [--verify-sweep] [--shutdown]\n\
+     \u{20}                        [--out PATH] [--quiet]\n\
+     --requests N      translate requests per connection\n\
+     --sweep-every N   interleave a sweep request every N translates\n\
+     --verify-sweep    request the sweep twice (second must be a cache hit)\n\
+     \u{20}                 and compare byte-for-byte with a direct in-process run\n\
+     --shutdown        send {\"op\":\"shutdown\"} when done\n\
+     --out PATH        artifact path (default results/BENCH_serve.json)"
+        .to_string()
+}
+
+fn resolve_port(cfg: &mut BenchConfig) -> Result<(), String> {
+    if cfg.port != 0 {
+        return Ok(());
+    }
+    let Some(path) = &cfg.port_file else {
+        return Err("need --port or --port-file".to_string());
+    };
+    // The server writes the file after binding; a script may start both
+    // sides at once, so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                if port != 0 {
+                    cfg.port = port;
+                    return Ok(());
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("no usable port in {} after 10s", path.display()));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// `repro serve-bench` entry point.
+pub fn cli(args: &[String]) -> ExitCode {
+    let mut cfg = BenchConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = args.get(i + 1);
+        let mut took_value = true;
+        let numeric = || -> Result<u64, String> {
+            let raw = value.ok_or_else(|| format!("{arg} needs a value"))?;
+            raw.parse::<u64>().map_err(|_| format!("{arg} {raw}: not a number"))
+        };
+        let text = || -> Result<String, String> {
+            value.cloned().ok_or_else(|| format!("{arg} needs a value"))
+        };
+        let outcome: Result<(), String> = match arg {
+            "--host" => text().map(|v| cfg.host = v),
+            "--port" => numeric().and_then(|n| {
+                if n == 0 || n > u64::from(u16::MAX) {
+                    Err("--port must be 1..=65535".to_string())
+                } else {
+                    cfg.port = n as u16;
+                    Ok(())
+                }
+            }),
+            "--port-file" => text().map(|v| cfg.port_file = Some(PathBuf::from(v))),
+            "--conns" => numeric().map(|n| cfg.conns = n.max(1) as usize),
+            "--requests" => numeric().map(|n| cfg.requests = n),
+            "--accesses" => numeric().map(|n| cfg.accesses = n.max(1)),
+            "--sweep" => text().map(|v| cfg.sweep = v),
+            "--sweep-every" => numeric().map(|n| cfg.sweep_every = n),
+            "--sweep-accesses" => numeric().map(|n| cfg.sweep_accesses = n.max(1)),
+            "--bench" => text().map(|v| cfg.bench = v),
+            "--out" => text().map(|v| cfg.out = PathBuf::from(v)),
+            "--verify-sweep" => {
+                took_value = false;
+                cfg.verify_sweep = true;
+                Ok(())
+            }
+            "--shutdown" => {
+                took_value = false;
+                cfg.shutdown = true;
+                Ok(())
+            }
+            "--quiet" => {
+                took_value = false;
+                cfg.quiet = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{}", bench_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown serve-bench flag '{other}'\n{}", bench_usage())),
+        };
+        if let Err(e) = outcome {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        i += if took_value { 2 } else { 1 };
+    }
+    if let Err(e) = resolve_port(&mut cfg) {
+        eprintln!("serve-bench: {e}");
+        return ExitCode::from(2);
+    }
+    if !cfg.quiet {
+        println!(
+            "serve-bench: {} conn(s) x {} request(s) against {}:{}",
+            cfg.conns, cfg.requests, cfg.host, cfg.port
+        );
+    }
+    match run(&cfg) {
+        Ok(payload) => {
+            if !cfg.quiet {
+                println!("{payload}");
+                println!("serve-bench: wrote {}", cfg.out.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve-bench: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank_on_a_sorted_copy() {
+        let unsorted = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert!((percentile(&unsorted, 50.0) - 3.0).abs() < 1e-12);
+        assert!((percentile(&unsorted, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&unsorted, 100.0) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!((percentile(&[7.5], 99.0) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_carries_the_headline_fields() {
+        let cfg = BenchConfig::default();
+        let tally = Tally::default();
+        tally.ok.store(10, Ordering::Relaxed);
+        tally.sweeps.store(4, Ordering::Relaxed);
+        tally.sweep_cache_hits.store(3, Ordering::Relaxed);
+        let payload =
+            bench_json(&cfg, &tally, &[1.0, 2.0, 3.0, 4.0], 2.0, Some(true));
+        artifact::validate_json(&payload).unwrap();
+        assert!(payload.contains("\"requests_per_sec\": 2.000"));
+        assert!(payload.contains("\"cache_hit_rate\": 0.7500"));
+        assert!(payload.contains("\"p50_latency_ms\""));
+        assert!(payload.contains("\"p99_latency_ms\""));
+        assert!(payload.contains("\"verified\": true"));
+        let unverified = bench_json(&cfg, &Tally::default(), &[], 0.0, None);
+        artifact::validate_json(&unverified).unwrap();
+        assert!(unverified.contains("\"verified\": null"));
+        assert!(unverified.contains("\"cache_hit_rate\": 0.0000"));
+    }
+
+    #[test]
+    fn request_lines_are_valid_protocol_json() {
+        let cfg = BenchConfig::default();
+        let t = translate_line(&cfg, "Gobmk", "colt_all");
+        let parsed = json::parse(&t).unwrap();
+        assert_eq!(parsed.get("op").and_then(json::Json::as_str), Some("translate"));
+        let s = sweep_line(&cfg);
+        let parsed = json::parse(&s).unwrap();
+        assert_eq!(parsed.get("op").and_then(json::Json::as_str), Some("sweep"));
+        assert_eq!(
+            parsed.get("accesses").and_then(json::Json::as_u64),
+            Some(cfg.sweep_accesses)
+        );
+    }
+}

@@ -8,8 +8,12 @@
 //! snapshots, to future invocations:
 //!
 //! 1. **Memory layer** — one `Arc<PreparedWorkload>` per preparation
-//!    key, shared by every sweep the process runs. Working sets are a
-//!    few dozen pairs, so the map is never evicted.
+//!    key, shared by every sweep the process runs. The map is a
+//!    capacity-bounded LRU (`COLT_SNAPSHOT_MEM_CAP`, default
+//!    64 entries): one-shot invocations never come near the bound, but
+//!    a resident `repro serve` process cycling through configurations
+//!    would otherwise grow it forever. Evictions are counted in
+//!    [`CacheStats::mem_evictions`], never silent.
 //! 2. **Disk layer** — `results/snapshots/<fingerprint>.snap` (override
 //!    with `COLT_SNAPSHOT_DIR`), written atomically after each fresh
 //!    preparation, so a second `repro` invocation decodes the prepared
@@ -28,10 +32,11 @@
 //! layers; intra-sweep sharing in the runner is unaffected.
 
 use crate::journal::{crc32, fingerprint_of};
+use crate::lru::LruMap;
 use colt_os_mem::snapshot::{Dec, Enc};
 use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::BenchmarkSpec;
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -47,10 +52,19 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// File magic: identifies a CoLT preparation snapshot.
 const MAGIC: &[u8; 8] = b"COLTSNAP";
 
+/// Default in-memory cache bound: a few dozen multi-megabyte prepared
+/// workloads — comfortably more than any one experiment's working set,
+/// small enough that a resident server cannot OOM on stale pairs.
+pub const DEFAULT_MEM_CAP: usize = 64;
+
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static DISK: AtomicBool = AtomicBool::new(false);
-static MEM: Mutex<BTreeMap<String, Arc<PreparedWorkload>>> = Mutex::new(BTreeMap::new());
+static MEM: Mutex<LruMap<Arc<PreparedWorkload>>> = Mutex::new(LruMap::unbounded());
+static MEM_CAP_RESOLVED: Once = Once::new();
 static STATS: Mutex<CacheStats> = Mutex::new(CacheStats::zero());
+/// Snapshot directories whose disk layer failed a store and is disabled
+/// for the rest of the process (one loud warning per directory).
+static DISK_FAILED: Mutex<BTreeSet<PathBuf>> = Mutex::new(BTreeSet::new());
 
 /// Enables or disables the cache (both layers). `repro
 /// --no-snapshot-cache` turns it off for operators who suspect a stale
@@ -83,6 +97,10 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Preparations actually built with `Scenario::prepare`.
     pub misses: u64,
+    /// Prepared workloads evicted from the in-memory LRU layer
+    /// (capacity `COLT_SNAPSHOT_MEM_CAP`). An evicted pair re-prepares
+    /// (or re-decodes its disk snapshot) on the next request.
+    pub mem_evictions: u64,
     /// Wall-clock seconds spent encoding, writing, reading and decoding
     /// disk snapshots.
     pub snapshot_seconds: f64,
@@ -90,7 +108,13 @@ pub struct CacheStats {
 
 impl CacheStats {
     const fn zero() -> Self {
-        CacheStats { mem_hits: 0, disk_hits: 0, misses: 0, snapshot_seconds: 0.0 }
+        CacheStats {
+            mem_hits: 0,
+            disk_hits: 0,
+            misses: 0,
+            mem_evictions: 0,
+            snapshot_seconds: 0.0,
+        }
     }
 
     /// Cache hits of either layer.
@@ -112,6 +136,71 @@ fn bump(f: impl FnOnce(&mut CacheStats)) {
 /// Drains the counters accumulated since the last drain.
 pub fn take_stats() -> CacheStats {
     std::mem::take(&mut *relock(&STATS))
+}
+
+/// Resolves the memory layer's LRU capacity once per process:
+/// `COLT_SNAPSHOT_MEM_CAP` when set (garbage earns a loud warning and
+/// the default; 0 would make every preparation a miss and is clamped to
+/// 1, loudly), otherwise [`DEFAULT_MEM_CAP`].
+fn resolve_mem_cap() {
+    MEM_CAP_RESOLVED.call_once(|| {
+        let cap = match std::env::var("COLT_SNAPSHOT_MEM_CAP") {
+            Err(std::env::VarError::NotPresent) => DEFAULT_MEM_CAP,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                eprintln!(
+                    "warning: COLT_SNAPSHOT_MEM_CAP is not valid UTF-8; using \
+                     the default of {DEFAULT_MEM_CAP} entries"
+                );
+                DEFAULT_MEM_CAP
+            }
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(0) => {
+                    eprintln!(
+                        "warning: COLT_SNAPSHOT_MEM_CAP=0 would evict every \
+                         preparation immediately; clamping to 1"
+                    );
+                    1
+                }
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!(
+                        "warning: COLT_SNAPSHOT_MEM_CAP={raw:?} is not a \
+                         number; using the default of {DEFAULT_MEM_CAP} entries"
+                    );
+                    DEFAULT_MEM_CAP
+                }
+            },
+        };
+        let evicted = relock(&MEM).set_cap(Some(cap));
+        if evicted > 0 {
+            bump(|s| s.mem_evictions += evicted);
+        }
+    });
+}
+
+/// Overrides the memory layer's LRU capacity (normally decided once by
+/// `COLT_SNAPSHOT_MEM_CAP` / [`DEFAULT_MEM_CAP`]). Entries past the new
+/// bound are evicted immediately and counted. Capacity 0 is clamped to 1.
+pub fn set_mem_capacity(cap: usize) {
+    // Claim the one-shot resolution so a later `resolve_mem_cap` cannot
+    // overwrite an explicit choice with the env default.
+    MEM_CAP_RESOLVED.call_once(|| {});
+    let evicted = relock(&MEM).set_cap(Some(cap.max(1)));
+    if evicted > 0 {
+        bump(|s| s.mem_evictions += evicted);
+    }
+}
+
+/// Drops every in-memory prepared workload; disk snapshots are
+/// untouched. Lets tests observe cold-start and disk-warm behavior in
+/// one process.
+pub fn clear_memory() {
+    relock(&MEM).clear();
+}
+
+/// Prepared workloads currently resident in the memory layer.
+pub fn mem_len() -> usize {
+    relock(&MEM).len()
 }
 
 fn relock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -167,6 +256,7 @@ pub fn get_or_prepare(
 ) -> Result<Prepared, String> {
     let key = prep_key(scenario, spec);
     if enabled() {
+        resolve_mem_cap();
         if let Some(w) = relock(&MEM).get(&key).map(Arc::clone) {
             bump(|s| s.mem_hits += 1);
             return Ok(Prepared { workload: w, prep_seconds: 0.0, source: PrepSource::Memory });
@@ -176,9 +266,10 @@ pub fn get_or_prepare(
             if let Some(w) = load_from(&dir, &key, spec) {
                 let secs = start.elapsed().as_secs_f64();
                 let w = Arc::new(w);
-                relock(&MEM).insert(key, Arc::clone(&w));
+                let evicted = relock(&MEM).insert(key, Arc::clone(&w));
                 bump(|s| {
                     s.disk_hits += 1;
+                    s.mem_evictions += evicted;
                     s.snapshot_seconds += secs;
                 });
                 return Ok(Prepared {
@@ -209,18 +300,32 @@ pub fn get_or_prepare(
     bump(|s| s.misses += 1);
 
     if enabled() {
-        relock(&MEM).insert(key.clone(), Arc::clone(&workload));
+        let evicted = relock(&MEM).insert(key.clone(), Arc::clone(&workload));
+        bump(|s| s.mem_evictions += evicted);
         if let Some(dir) = disk_layer() {
             let start = Instant::now();
-            if let Err(e) = store_to(&dir, &key, &workload) {
-                eprintln!(
-                    "warning: could not persist preparation snapshot for '{}'/{} \
-                     under {} ({e}); the sweep continues, the next invocation \
-                     re-prepares",
-                    scenario.name,
-                    spec.name,
-                    dir.display()
-                );
+            let failure = match catch_unwind(AssertUnwindSafe(|| {
+                store_to(&dir, &key, &workload)
+            })) {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(payload) => Some(format!("panicked: {}", panic_message(payload))),
+            };
+            if let Some(why) = failure {
+                // Never abort the sweep over a snapshot write: degrade
+                // to mem-cache-only for this directory, one loud
+                // warning, and stop retrying a disk that just failed.
+                if note_disk_failure(&dir) {
+                    eprintln!(
+                        "warning: could not persist preparation snapshot for \
+                         '{}'/{} under {} ({why}); the sweep continues with the \
+                         memory layer only and snapshot persistence under this \
+                         directory is disabled for the rest of the process",
+                        scenario.name,
+                        spec.name,
+                        dir.display()
+                    );
+                }
             }
             bump(|s| s.snapshot_seconds += start.elapsed().as_secs_f64());
         }
@@ -237,7 +342,22 @@ fn disk_layer() -> Option<PathBuf> {
     if !DISK.load(Ordering::SeqCst) {
         return None;
     }
-    snapshot_dir()
+    let dir = snapshot_dir()?;
+    if disk_dir_disabled(&dir) {
+        return None;
+    }
+    Some(dir)
+}
+
+/// Records a store failure under `dir`, disabling its disk layer for
+/// the rest of the process. Returns true the first time (the caller
+/// prints the one loud warning then; repeats stay quiet).
+fn note_disk_failure(dir: &Path) -> bool {
+    relock(&DISK_FAILED).insert(dir.to_path_buf())
+}
+
+fn disk_dir_disabled(dir: &Path) -> bool {
+    relock(&DISK_FAILED).contains(dir)
 }
 
 static DIR_WARNED: Once = Once::new();
@@ -300,21 +420,20 @@ pub(crate) fn store_to(
     workload.encode_snapshot(&mut enc);
     let body = enc.finish();
     let path = snapshot_path(dir, key);
-    let tmp = dir.join(format!(
-        "{}.snap.tmp-{}",
-        fingerprint_of(key),
-        std::process::id()
-    ));
-    {
+    let tmp = crate::artifact::unique_tmp(&path);
+    let written = (|| {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(MAGIC)?;
         f.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
         f.write_all(&crc32(&body).to_le_bytes())?;
         f.write_all(&body)?;
         f.sync_data()?;
+        std::fs::rename(&tmp, &path)
+    })();
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
-    std::fs::rename(&tmp, &path)?;
-    Ok(())
+    written
 }
 
 /// Loads one preparation snapshot. `None` on: no file, a stored key
@@ -499,6 +618,41 @@ mod tests {
             .collect();
         assert!(strays.is_empty(), "temp files must be renamed away");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_failure_leaves_no_tmp_and_disables_the_directory_once() {
+        // A regular file posing as the snapshot directory: every
+        // File::create under it fails with NotADirectory — even for
+        // root, unlike permission bits.
+        let parent = tmpdir("storefail");
+        let dir = parent.join("not-a-dir");
+        std::fs::write(&dir, b"plain file").unwrap();
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        assert!(store_to(&dir, &key, &w).is_err(), "store into a file must fail");
+        // The failed store is an io::Result, never a panic, and the
+        // degrade path marks the directory so disk_layer() skips it.
+        assert!(note_disk_failure(&dir), "first failure earns the warning");
+        assert!(!note_disk_failure(&dir), "repeat failures stay quiet");
+        assert!(disk_dir_disabled(&dir));
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn mem_cache_evicts_lru_and_counts_it() {
+        // Exercise the LRU bound through a private map, not the global
+        // one: shrinking the process-wide cache here would race the
+        // warm-path expectations of concurrently running tests.
+        let mut map: LruMap<u32> = LruMap::bounded(2);
+        assert_eq!(map.insert("a".into(), 1), 0);
+        assert_eq!(map.insert("b".into(), 2), 0);
+        assert_eq!(map.insert("c".into(), 3), 1, "third insert evicts the LRU entry");
+        assert!(map.peek("a").is_none());
+        // The stats struct carries evictions alongside hits and misses.
+        let stats = CacheStats { mem_evictions: 1, ..CacheStats::zero() };
+        assert_eq!(stats.hits(), 0);
+        assert_eq!(stats.mem_evictions, 1);
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Integration suite for `repro serve`: the determinism guarantee
+//! (served bytes == direct bytes), the LRU result cache, quota and
+//! backpressure rejection under flood, and warm restart from durable
+//! snapshots.
+//!
+//! The server and the snapshot cache share process-global state (the
+//! in-memory preparation cache, the stats counters, and — in the warm
+//! restart test — the `COLT_SNAPSHOT_DIR` environment variable), so
+//! every test serializes on [`GATE`].
+
+use colt_core::experiments::ExperimentOptions;
+use colt_core::serve::{self, json, ServeConfig};
+use colt_core::sim::{self, SimConfig};
+use colt_core::snapshot_cache;
+use colt_tlb::config::TlbConfig;
+use colt_workloads::scenario::Scenario;
+use colt_workloads::spec::benchmark;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A quiet server on an ephemeral port with fast-test bounds.
+fn test_config() -> ServeConfig {
+    ServeConfig { quiet: true, jobs: 2, ..ServeConfig::default() }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let writer = stream.try_clone().expect("clone");
+        Client { writer, reader: BufReader::new(stream) }
+    }
+
+    fn request(&mut self, line: &str) -> json::Json {
+        writeln!(self.writer, "{line}").expect("send");
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("recv");
+        assert!(n > 0, "server closed the connection mid-request");
+        json::parse(response.trim()).expect("response parses")
+    }
+
+    fn shutdown(mut self) {
+        let r = self.request("{\"op\": \"shutdown\"}");
+        assert_eq!(r.get("ok").and_then(json::Json::as_bool), Some(true));
+    }
+}
+
+fn ok(response: &json::Json) -> bool {
+    response.get("ok").and_then(json::Json::as_bool) == Some(true)
+}
+
+#[test]
+fn served_sweep_is_byte_identical_to_direct_and_cached_on_repeat() {
+    let _g = lock();
+    let handle = serve::start(test_config()).expect("server starts");
+    let port = handle.port;
+    let mut client = Client::connect(port);
+
+    let line = "{\"op\": \"sweep\", \"experiment\": \"fig18\", \"accesses\": 20000, \
+                \"bench\": \"Gobmk\"}";
+    let first = client.request(line);
+    assert!(ok(&first), "first sweep succeeds: {first:?}");
+    let first_bytes =
+        first.get("bytes").and_then(json::Json::as_str).expect("bytes").to_string();
+
+    // Determinism guarantee: the socket bytes equal the direct run's.
+    let opts = serve::sweep_options(
+        Some(20_000),
+        Some("Gobmk"),
+        None,
+        1,
+        ServeConfig::default().max_accesses,
+    );
+    let direct = serve::sweep_csv("fig18", &opts).expect("direct run");
+    assert_eq!(
+        first_bytes, direct,
+        "a sweep served over the socket must be byte-identical to the same \
+         sweep run directly"
+    );
+
+    // Second identical request: served from the LRU result cache, same
+    // bytes, no recompute.
+    let second = client.request(line);
+    assert!(ok(&second));
+    assert_eq!(
+        second.get("cached").and_then(json::Json::as_bool),
+        Some(true),
+        "the second identical sweep must be a cache hit: {second:?}"
+    );
+    assert_eq!(
+        second.get("bytes").and_then(json::Json::as_str),
+        Some(first_bytes.as_str()),
+        "cached bytes must be identical to the originally served bytes"
+    );
+
+    // A different access budget is a different fingerprint — not cached.
+    let third = client.request(
+        "{\"op\": \"sweep\", \"experiment\": \"fig18\", \"accesses\": 21000, \
+         \"bench\": \"Gobmk\"}",
+    );
+    assert!(ok(&third));
+    assert_eq!(third.get("cached").and_then(json::Json::as_bool), Some(false));
+
+    client.shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.failed_cells, 0);
+    assert_eq!(summary.sweeps, 3);
+    assert_eq!(summary.sweep_cache_hits, 1);
+}
+
+#[test]
+fn served_translate_matches_a_direct_simulation() {
+    let _g = lock();
+    let handle = serve::start(test_config()).expect("server starts");
+    let mut client = Client::connect(handle.port);
+
+    let response = client.request(
+        "{\"op\": \"translate\", \"benchmark\": \"Gobmk\", \"config\": \"colt_all\", \
+         \"accesses\": 5000}",
+    );
+    assert!(ok(&response), "{response:?}");
+
+    let spec = benchmark("Gobmk").unwrap();
+    let workload = Scenario::default_linux().prepare(&spec).expect("prepare");
+    let direct = sim::run(
+        &workload,
+        &SimConfig::new(TlbConfig::colt_all()).with_accesses(5000),
+    );
+    for (field, expected) in [
+        ("accesses", direct.tlb.accesses),
+        ("l1_misses", direct.tlb.l1_misses),
+        ("l2_misses", direct.tlb.l2_misses),
+        ("walks", direct.walker.walks),
+        ("walk_cycles", direct.walk_cycles),
+    ] {
+        assert_eq!(
+            response.get(field).and_then(json::Json::as_u64),
+            Some(expected),
+            "served '{field}' must match the direct simulation"
+        );
+    }
+
+    // Unknown names are errors, not crashes, and the connection lives on.
+    let bad = client.request("{\"op\": \"translate\", \"benchmark\": \"NotABench\"}");
+    assert!(!ok(&bad));
+    let ping = client.request("{\"op\": \"ping\"}");
+    assert!(ok(&ping));
+
+    client.shutdown();
+    assert_eq!(handle.wait().failed_cells, 0);
+}
+
+#[test]
+fn quota_exhaustion_rejects_politely_and_keeps_the_connection() {
+    let _g = lock();
+    let cfg = ServeConfig { quota: 2, ..test_config() };
+    let handle = serve::start(cfg).expect("server starts");
+    let mut client = Client::connect(handle.port);
+
+    assert!(ok(&client.request("{\"op\": \"ping\"}")));
+    assert!(ok(&client.request("{\"op\": \"ping\"}")));
+    // Request 3 is over the quota of 2: politely rejected, not dropped.
+    let rejected = client.request("{\"op\": \"ping\"}");
+    assert!(!ok(&rejected));
+    assert_eq!(
+        rejected.get("rejected").and_then(json::Json::as_str),
+        Some("quota"),
+        "rejection must be machine-readable: {rejected:?}"
+    );
+    // Still rejected (the quota does not reset), still connected…
+    let again = client.request("{\"op\": \"stats\"}");
+    assert_eq!(again.get("rejected").and_then(json::Json::as_str), Some("quota"));
+    // …and a fresh connection gets a fresh quota.
+    let mut second = Client::connect(handle.port);
+    assert!(ok(&second.request("{\"op\": \"ping\"}")));
+
+    // Shutdown is exempt so an operator is never locked out.
+    client.shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.rejected_quota, 2);
+    assert_eq!(summary.failed_cells, 0);
+}
+
+#[test]
+fn backpressure_rejects_translates_busy_while_pings_survive_a_flood() {
+    let _g = lock();
+    // queue_cap 0: every translate meets a full dispatch queue.
+    let cfg = ServeConfig { queue_cap: 0, ..test_config() };
+    let handle = serve::start(cfg).expect("server starts");
+    let port = handle.port;
+
+    std::thread::scope(|scope| {
+        let mut flood = Vec::new();
+        for _ in 0..6 {
+            flood.push(scope.spawn(move || {
+                let mut client = Client::connect(port);
+                let mut busy = 0u32;
+                for i in 0..20 {
+                    if i % 2 == 0 {
+                        let r = client.request(
+                            "{\"op\": \"translate\", \"benchmark\": \"Gobmk\", \
+                             \"accesses\": 2000}",
+                        );
+                        assert_eq!(
+                            r.get("rejected").and_then(json::Json::as_str),
+                            Some("busy"),
+                            "with a zero-capacity queue every translate is \
+                             politely rejected: {r:?}"
+                        );
+                        busy += 1;
+                    } else {
+                        // The flood must not starve trivial requests.
+                        assert!(ok(&client.request("{\"op\": \"ping\"}")));
+                    }
+                }
+                busy
+            }));
+        }
+        let total: u32 = flood.into_iter().map(|h| h.join().expect("no panic")).sum();
+        assert_eq!(total, 60);
+    });
+
+    Client::connect(port).shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.rejected_busy, 60);
+    assert_eq!(summary.translates, 0, "nothing was dispatched");
+    assert_eq!(summary.failed_cells, 0);
+}
+
+#[test]
+fn a_restarted_server_resumes_warm_from_disk_snapshots() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join(format!(
+        "colt-serve-restart-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("COLT_SNAPSHOT_DIR", &dir);
+    snapshot_cache::set_disk_persistence(true);
+    snapshot_cache::clear_memory();
+    let _ = snapshot_cache::take_stats();
+
+    // First server lifetime: a cold translate populates the durable
+    // snapshot layer.
+    let handle = serve::start(test_config()).expect("first server");
+    let mut client = Client::connect(handle.port);
+    let line = "{\"op\": \"translate\", \"benchmark\": \"Bzip2\", \"accesses\": 3000}";
+    let first = client.request(line);
+    assert!(ok(&first), "{first:?}");
+    client.shutdown();
+    assert_eq!(handle.wait().failed_cells, 0);
+    // The server drains the snapshot-cache stats into its own counters
+    // after every batch, so the cold build's evidence is the durable
+    // snapshot it left behind.
+    let snapshots = std::fs::read_dir(&dir).unwrap().count();
+    assert!(snapshots >= 1, "a .snap file must survive the first server");
+
+    // "Restart": a fresh server in a process whose memory cache is
+    // empty — exactly a new process's state. The preparation must come
+    // from the snapshot on disk, not a rebuild.
+    snapshot_cache::clear_memory();
+    let handle = serve::start(test_config()).expect("second server");
+    let mut client = Client::connect(handle.port);
+    let warm_response = client.request(line);
+    assert!(ok(&warm_response));
+    assert_eq!(
+        warm_response.get("l1_misses").and_then(json::Json::as_u64),
+        first.get("l1_misses").and_then(json::Json::as_u64),
+        "a snapshot-restored preparation must simulate identically"
+    );
+    // The dispatcher absorbs the cache stats just after replying, so
+    // poll briefly for the counter to land.
+    let mut stats_client = Client::connect(handle.port);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = stats_client.request("{\"op\": \"stats\"}");
+        let disk_hits =
+            stats.get("prep_disk_hits").and_then(json::Json::as_u64).unwrap_or(0);
+        if disk_hits >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the restarted server must warm up from disk, not rebuild: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    client.shutdown();
+    assert_eq!(handle.wait().failed_cells, 0);
+
+    // Leave the process the way library tests expect it.
+    snapshot_cache::set_disk_persistence(false);
+    std::env::remove_var("COLT_SNAPSHOT_DIR");
+    snapshot_cache::clear_memory();
+    let _ = snapshot_cache::take_stats();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_concurrent_sweeps_coalesce_behind_one_leader() {
+    let _g = lock();
+    let handle = serve::start(test_config()).expect("server starts");
+    let port = handle.port;
+
+    let line = "{\"op\": \"sweep\", \"experiment\": \"fig19\", \"accesses\": 8000, \
+                \"bench\": \"Bzip2\"}";
+    let bytes: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(port);
+                    let r = client.request(line);
+                    assert!(ok(&r), "{r:?}");
+                    r.get("bytes").and_then(json::Json::as_str).unwrap().to_string()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("no panic")).collect()
+    });
+    assert!(bytes.windows(2).all(|w| w[0] == w[1]), "all four got the same bytes");
+
+    Client::connect(port).shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.sweeps, 4);
+    assert!(
+        summary.sweep_cache_hits + summary.sweep_coalesced >= 3,
+        "at most one of four identical sweeps computes; the rest are cache \
+         hits or coalesced followers (got {} + {})",
+        summary.sweep_cache_hits,
+        summary.sweep_coalesced
+    );
+    assert_eq!(summary.failed_cells, 0);
+}
+
+#[test]
+fn malformed_lines_and_unknown_ops_get_errors_not_disconnects() {
+    let _g = lock();
+    let handle = serve::start(test_config()).expect("server starts");
+    let mut client = Client::connect(handle.port);
+
+    for bad in [
+        "this is not json",
+        "{\"op\": \"fly\"}",
+        "{\"op\": \"sweep\"}",
+        "{\"op\": \"sweep\", \"experiment\": \"not-an-experiment\"}",
+        "{\"op\": \"translate\"}",
+        "{}",
+    ] {
+        let r = client.request(bad);
+        assert!(!ok(&r), "{bad:?} must be rejected");
+        assert!(
+            r.get("error").and_then(json::Json::as_str).is_some(),
+            "rejections carry an error message"
+        );
+    }
+    // The connection survived all of it.
+    assert!(ok(&client.request("{\"op\": \"ping\"}")));
+
+    client.shutdown();
+    let summary = handle.wait();
+    assert_eq!(summary.failed_cells, 0);
+}
+
+#[test]
+fn wait_returns_promptly_after_a_socket_shutdown() {
+    let _g = lock();
+    let handle = serve::start(test_config()).expect("server starts");
+    let port = handle.port;
+    let start = std::time::Instant::now();
+    Client::connect(port).shutdown();
+    let summary = handle.wait();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "shutdown must converge quickly, not wait out long timeouts"
+    );
+    assert_eq!(summary.failed_cells, 0);
+}

@@ -3,8 +3,9 @@
 # quick 4-core SMP smoke run, a fault-injection pressure smoke (sweep
 # plus oracle fuzz under a seeded fault plan), a crash-recovery smoke
 # (kill a sweep mid-run, --resume, diff against an uninterrupted
-# reference), and a quick parallel smoke sweep with a throughput
-# regression gate.
+# reference), a snapshot-cache cold/warm smoke, a serve smoke (resident
+# server + load generator, with a served-vs-direct byte-identity check),
+# and a quick parallel smoke sweep with a throughput regression gate.
 #
 # The gate compares the smoke sweep's aggregate refs/sec against the
 # committed results/BENCH_sweep.json baseline and fails on a >20% drop.
@@ -99,7 +100,8 @@ echo "== fault-injection oracle fuzz: repro pressure --check =="
 # the k fsynced journal records surviving the crash.
 CRASH_DIR=$(mktemp -d)
 CACHE_DIR=$(mktemp -d)
-trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR"' EXIT
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR" "$SERVE_DIR"' EXIT
 CRASH_ARGS=(--quick --bench Sjeng --faults rate=0.3,window=50,seed=11
             --jobs "$(nproc)" pressure --csv)
 REPRO="$PWD/target/release/repro"
@@ -140,7 +142,7 @@ cp "$CACHE_DIR/results/BENCH_sweep.json" "$CACHE_DIR/cold.json"
 (cd "$CACHE_DIR" && "$REPRO" "${SWEEP_ARGS[@]}" > /dev/null)
 cp "$CACHE_DIR/results/BENCH_sweep.json" "$CACHE_DIR/warm.json"
 strip_timing() {
-    sed -E 's/"(wall_seconds|prep_seconds|sim_seconds|refs_per_sec|aggregate_refs_per_sec|prep_amortized_refs_per_sec|prep_seconds_total|snapshot_seconds|serial_seconds_estimate|speedup_vs_1_thread_estimate|prep_cache_hits|prep_cache_misses)": -?[0-9.]+,?//g' "$1"
+    sed -E 's/"(wall_seconds|prep_seconds|sim_seconds|refs_per_sec|aggregate_refs_per_sec|prep_amortized_refs_per_sec|prep_seconds_total|snapshot_seconds|serial_seconds_estimate|speedup_vs_1_thread_estimate|prep_cache_hits|prep_cache_misses|prep_cache_evictions)": -?[0-9.]+,?//g' "$1"
 }
 if ! cmp -s <(strip_timing "$CACHE_DIR/cold.json") <(strip_timing "$CACHE_DIR/warm.json"); then
     echo "FAIL: warm-cache sweep results differ from the cold run (beyond timing)" >&2
@@ -162,6 +164,58 @@ if ! awk -v w="$warm_prep" -v c="$cold_prep" 'BEGIN { exit !(w < 0.25 * c) }'; t
     exit 1
 fi
 echo "snapshot-cache smoke passed (0 warm misses, prep ${cold_prep}s cold -> ${warm_prep}s warm)"
+
+# Serve smoke: a resident `repro serve` plus the serve-bench load
+# generator in a scratch directory. The bench drives mixed
+# translate/sweep traffic, requests the sweep twice (the second must be
+# an LRU result-cache hit), and byte-compares the served sweep against
+# a direct in-process run (--verify-sweep). The server must then shut
+# down cleanly with zero quarantined cells, and the published
+# BENCH_serve.json must show real throughput and a warm cache.
+echo "== serve smoke: repro serve + serve-bench =="
+REPO_RESULTS="$PWD/results"
+(cd "$SERVE_DIR" && "$REPRO" serve --port 0 --port-file serve.port \
+    > serve.log 2>&1) &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s "$SERVE_DIR/serve.port" ]] && break
+    sleep 0.1
+done
+if [[ ! -s "$SERVE_DIR/serve.port" ]]; then
+    echo "FAIL: repro serve never wrote its port file" >&2
+    exit 1
+fi
+(cd "$SERVE_DIR" && "$REPRO" serve-bench --port-file serve.port \
+    --conns 4 --requests 100 --accesses 5000 \
+    --sweep fig18 --sweep-every 25 --sweep-accesses 20000 --bench Gobmk \
+    --verify-sweep --shutdown --quiet --out "$REPO_RESULTS/BENCH_serve.json")
+if ! wait "$SERVE_PID"; then
+    echo "FAIL: repro serve exited nonzero after shutdown" >&2
+    cat "$SERVE_DIR/serve.log" >&2
+    exit 1
+fi
+for needle in "clean shutdown" "quarantined cells: 0"; do
+    if ! grep -q "$needle" "$SERVE_DIR/serve.log"; then
+        echo "FAIL: serve log is missing '$needle'" >&2
+        cat "$SERVE_DIR/serve.log" >&2
+        exit 1
+    fi
+done
+serve_rps=$(json_field requests_per_sec "$REPO_RESULTS/BENCH_serve.json")
+if ! awk -v r="$serve_rps" 'BEGIN { exit !(r > 0) }'; then
+    echo "FAIL: BENCH_serve.json reports no throughput (requests_per_sec=$serve_rps)" >&2
+    exit 1
+fi
+serve_hit_rate=$(json_field cache_hit_rate "$REPO_RESULTS/BENCH_serve.json")
+if ! awk -v h="$serve_hit_rate" 'BEGIN { exit !(h > 0) }'; then
+    echo "FAIL: repeated identical sweeps never hit the result cache (cache_hit_rate=$serve_hit_rate)" >&2
+    exit 1
+fi
+if ! grep -q '"verified": true' "$REPO_RESULTS/BENCH_serve.json"; then
+    echo "FAIL: serve-bench did not verify served-vs-direct byte identity" >&2
+    exit 1
+fi
+echo "serve smoke passed ($serve_rps req/s, sweep cache hit rate $serve_hit_rate, clean shutdown)"
 
 echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 # The sweep rewrites $BASELINE with this run's numbers; the baseline
