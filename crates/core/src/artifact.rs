@@ -16,10 +16,12 @@
 //!    is moved aside to `<file>.corrupt-<n>` and reported, never
 //!    silently clobbered.
 //!
-//! The JSON builders (`sweep_json`, `smp_json`, `pressure_json`) live
+//! The JSON builders (`sweep_json`, `smp_json`, `pressure_json`,
+//! `policy_json`) live
 //! here rather than in the binary so the resume-equivalence tests can
 //! assert byte-identical artifacts without shelling out.
 
+use crate::experiments::policy::PolicyReport;
 use crate::experiments::pressure::PressureReport;
 use crate::experiments::smp::SmpRow;
 use crate::runner::CellMetric;
@@ -477,23 +479,82 @@ pub fn pressure_json(
         ));
     }
     out.push_str("  ],\n");
-    if report.failures.is_empty() {
-        // Inline so a clean run greps as `"failures": []` (verify.sh
-        // gates on exactly that).
+    push_failures(&mut out, &report.failures);
+    out
+}
+
+/// Appends the shared `"failures"` tail (inline `[]` on a clean run —
+/// verify.sh greps for exactly that) and closes the object.
+fn push_failures(out: &mut String, failures: &[crate::experiments::pressure::FailedCell]) {
+    if failures.is_empty() {
         out.push_str("  \"failures\": []\n}\n");
-        return out;
+        return;
     }
     out.push_str("  \"failures\": [\n");
-    for (i, f) in report.failures.iter().enumerate() {
+    for (i, f) in failures.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"cause\": \"{}\", \"attempts\": {}}}{}\n",
             json_escape(&f.label),
             json_escape(&f.payload),
             f.attempts,
-            if i + 1 == report.failures.len() { "" } else { "," }
+            if i + 1 == failures.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
+}
+
+/// Machine-readable policy report (`BENCH_policy.json`): per-policy
+/// summaries first (the verify.sh gate greps these), then every cell
+/// row, then the failure list. Fully deterministic.
+pub fn policy_json(report: &PolicyReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"summaries\": [\n");
+    for (i, s) in report.summaries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"avg_contiguity\": {}, \"colt_all_elim\": {}, \
+             \"decisions\": {}, \"huge_grants\": {}, \"huge_denies\": {}, \
+             \"collapses\": {}, \"compactions\": {}}}{}\n",
+            json_escape(&s.policy),
+            s.avg_contiguity,
+            s.colt_all_elim,
+            s.decisions,
+            s.huge_grants,
+            s.huge_denies,
+            s.collapses,
+            s.compactions,
+            if i + 1 == report.summaries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"benchmark\": \"{}\", \"config\": \"{}\", \
+             \"accesses\": {}, \"l1_misses\": {}, \"walks\": {}, \"walk_cycles\": {}, \
+             \"avg_contiguity\": {}, \"policy_decisions\": {}, \
+             \"policy_huge_grants\": {}, \"policy_huge_denies\": {}, \
+             \"policy_collapses_triggered\": {}, \"policy_compactions_requested\": {}, \
+             \"thp_allocs\": {}, \"thp_fallbacks\": {}}}{}\n",
+            json_escape(&r.policy),
+            json_escape(&r.benchmark),
+            json_escape(&r.config),
+            r.accesses,
+            r.l1_misses,
+            r.walks,
+            r.walk_cycles,
+            r.avg_contiguity,
+            r.kernel.policy_decisions,
+            r.kernel.policy_huge_grants,
+            r.kernel.policy_huge_denies,
+            r.kernel.policy_collapses_triggered,
+            r.kernel.policy_compactions_requested,
+            r.kernel.thp_allocs,
+            r.kernel.thp_fallbacks,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    push_failures(&mut out, &report.failures);
     out
 }
 

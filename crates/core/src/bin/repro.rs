@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--jobs N] [--csv] <experiment>...
+//! repro [--quick] [--accesses N] [--bench NAME[,NAME...]] [--jobs N] [--policy NAME] [--csv] <experiment>...
 //! repro pressure [--faults rate=R,window=W,seed=S] [--cores N]
 //! repro <experiment> --resume [--retries N]
 //! repro --check [--seeds N] [--events N] [--jobs N] [--faults SPEC]
@@ -30,6 +30,8 @@
 //!   smp_scaling   extension: one mix swept over core counts
 //!   pressure      robustness: fault-injection intensity sweep across
 //!                 all 8 TLB configs (+ SMP leg with --cores N)
+//!   policy        repro policy experiment: every shipped MM policy x
+//!                 benchmarks x all 8 TLB configs (BENCH_policy.json)
 //!   all           every single-core experiment above (the smp_* and
 //!                 pressure extensions run when named; use --cores N
 //!                 for width)
@@ -52,7 +54,7 @@
 //! dropped/duplicated shootdown deliveries.
 
 use colt_core::experiments::{
-    pressure, run_named, smp, ExperimentOptions,
+    policy, pressure, run_named, smp, ExperimentOptions,
 };
 use colt_core::artifact;
 use colt_core::journal::Journal;
@@ -60,16 +62,18 @@ use colt_core::report::Table;
 use colt_core::runner::{self, CellMetric};
 use colt_core::snapshot_cache;
 use colt_os_mem::faults::FaultConfig;
+use colt_os_mem::policy::PolicyKind;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Every experiment name `repro` accepts (besides the `all` alias).
-const EXPERIMENTS: [&str; 20] = [
+const EXPERIMENTS: [&str; 21] = [
     "table1", "fig7-9", "fig10-12", "fig13-15", "fig16-17", "fig18", "fig19",
     "fig20", "fig21", "ablation", "virt", "related", "ctxswitch", "summary",
     "grid", "noise", "multiprog", "smp_mix", "smp_scaling", "pressure",
+    "policy",
 ];
 
 /// The `all` alias: the single-core paper set (the `smp_*` extensions
@@ -83,8 +87,8 @@ const ALL: [&str; 17] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--faults SPEC] [--resume] [--retries N] [--no-snapshot-cache] [--csv] [--bars] <experiment>...\n\
-         \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N] [--faults SPEC]\n\
+        "usage: repro [--quick] [--accesses N] [--bench NAMES] [--jobs N] [--cores N] [--policy NAME] [--faults SPEC] [--resume] [--retries N] [--no-snapshot-cache] [--csv] [--bars] <experiment>...\n\
+         \u{20}      repro --check [--seeds N] [--events N] [--jobs N] [--cores N] [--policy NAME] [--faults SPEC]\n\
          --jobs N   worker threads for the sweep runner (default: $COLT_JOBS,\n\
          \u{20}           then the machine's available parallelism); results are\n\
          \u{20}           identical at any value\n\
@@ -95,6 +99,11 @@ fn usage() -> ! {
          \u{20}           $COLT_SNAPSHOT_DIR to relocate the on-disk snapshots\n\
          --cores N  simulated cores for the smp_* experiments, the pressure\n\
          \u{20}           SMP leg, and the cross-core --check oracle (default 1)\n\
+         --policy NAME  memory-management policy every scenario boots under\n\
+         \u{20}           (default | greedy_contig | adversarial | no_thp |\n\
+         \u{20}           defer_thp); 'default' reproduces the headline tables\n\
+         \u{20}           byte-identically, the 'policy' experiment sweeps all\n\
+         \u{20}           of them regardless; also honored by --check\n\
          --resume   replay results/journal/<experiment>.jsonl: completed\n\
          \u{20}           cells (same flags, verified checksum) are skipped,\n\
          \u{20}           only missing or failed cells re-run; the result\n\
@@ -212,6 +221,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--policy" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                match name.parse::<PolicyKind>() {
+                    Ok(kind) => opts.policy = kind,
+                    Err(e) => {
+                        eprintln!("--policy {name}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--no-snapshot-cache" => snapshot_cache::set_enabled(false),
             "--csv" => csv = true,
             "--bars" => bars = true,
@@ -239,7 +258,14 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
-        return run_check_mode(seeds, events_per_case, opts.jobs, opts.cores, faults);
+        return run_check_mode(
+            seeds,
+            events_per_case,
+            opts.jobs,
+            opts.cores,
+            faults,
+            opts.policy,
+        );
     }
     if experiments.is_empty() {
         usage();
@@ -266,7 +292,12 @@ fn main() -> ExitCode {
     // Before writing anything, inspect the result files a previous run
     // left behind: a corrupt file is quarantined (never clobbered) and
     // reported, so partial writes from a crash are evidence, not traps.
-    for name in ["BENCH_sweep.json", "BENCH_smp.json", "BENCH_pressure.json"] {
+    for name in [
+        "BENCH_sweep.json",
+        "BENCH_smp.json",
+        "BENCH_pressure.json",
+        "BENCH_policy.json",
+    ] {
         let path = Path::new("results").join(name);
         match artifact::quarantine_if_corrupt(&path) {
             Ok(Some(q)) => eprintln!(
@@ -285,6 +316,7 @@ fn main() -> ExitCode {
     let wall_start = Instant::now();
     let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
     let mut pressure_report: Option<pressure::PressureReport> = None;
+    let mut policy_report: Option<policy::PolicyReport> = None;
     let journal_dir = Path::new("results").join("journal");
     for exp in &experiments {
         // Each experiment gets its own durable journal; completed cells
@@ -292,8 +324,20 @@ fn main() -> ExitCode {
         let mut opts = opts.clone();
         match Journal::open(&journal_dir, exp, opts.fingerprint(exp), resume) {
             Ok(journal) => {
+                let r = journal.open_report();
+                if resume && r.replayed == 0 && r.fingerprint_mismatches > 0 {
+                    eprintln!(
+                        "error: --resume found {} journal record(s) for '{exp}' in {} \
+                         but every one was written under different flags (fingerprint \
+                         mismatch). Conflicting flags — --policy, --accesses, --seed, \
+                         --bench, --cores, --faults — must match the original run; \
+                         re-run with the original flags, or drop --resume to start over.",
+                        r.fingerprint_mismatches,
+                        journal.path().display()
+                    );
+                    return ExitCode::from(2);
+                }
                 if resume && !csv {
-                    let r = journal.open_report();
                     println!(
                         "resume({exp}): {} cell(s) replayed from {}, {} to re-run \
                          ({} failed, {} flag-mismatched, {} corrupt, {} wrong-version)",
@@ -322,6 +366,9 @@ fn main() -> ExitCode {
         smp_rows.extend(run.smp_rows);
         if let Some(report) = run.pressure {
             pressure_report = Some(report);
+        }
+        if let Some(report) = run.policy {
+            policy_report = Some(report);
         }
         let output = run.output;
         if csv {
@@ -385,6 +432,10 @@ fn main() -> ExitCode {
             artifact::pressure_json(report, opts.faults.unwrap_or_default(), opts.cores);
         write_result("results/BENCH_pressure.json", &json, "pressure details");
     }
+    if let Some(report) = &policy_report {
+        let json = artifact::policy_json(report);
+        write_result("results/BENCH_policy.json", &json, "policy details");
+    }
     drop(write_result);
     if write_failed {
         eprintln!("one or more result files could not be written; failing the run");
@@ -395,6 +446,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "pressure sweep completed with {} failed cell(s) (see the failure \
                  report above and results/BENCH_pressure.json)",
+                report.failures.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(report) = &policy_report {
+        if !report.failures.is_empty() {
+            eprintln!(
+                "policy sweep completed with {} failed cell(s) (see the failure \
+                 report above and results/BENCH_policy.json)",
                 report.failures.len()
             );
             return ExitCode::FAILURE;
@@ -414,14 +475,21 @@ fn run_check_mode(
     jobs: usize,
     cores: usize,
     faults: Option<FaultConfig>,
+    policy: PolicyKind,
 ) -> ExitCode {
     let _ = runner::take_metrics();
     let wall_start = Instant::now();
-    let mut report =
-        colt_core::check::run_check_with_faults(seeds, events_per_case, jobs, faults);
+    let mut report = colt_core::check::run_check_with_policy(
+        seeds,
+        events_per_case,
+        jobs,
+        faults,
+        policy,
+    );
     if cores > 1 {
-        let smp_report =
-            colt_core::check::run_smp_check_with_faults(cores, seeds, jobs, faults);
+        let smp_report = colt_core::check::run_smp_check_with_policy(
+            cores, seeds, jobs, faults, policy,
+        );
         report.translations += smp_report.translations;
         report.cases.extend(smp_report.cases);
     }
@@ -431,6 +499,11 @@ fn run_check_mode(
     let armed = faults.map_or_else(String::new, |f| {
         format!(", faults armed (rate {}, window {}, seed {})", f.rate, f.window, f.seed)
     });
+    let armed = if policy == PolicyKind::Default {
+        armed
+    } else {
+        format!("{armed}, policy {}", policy.name())
+    };
     let mut table = Table::new(
         format!(
             "Oracle + invariant check: {} case(s), {} translations, {wall:.2}s wall{armed}",

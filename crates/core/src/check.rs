@@ -37,6 +37,7 @@ use colt_os_mem::addr::{Asid, Pfn, PhysAddr, Vpn, SUPERPAGE_PAGES};
 use colt_os_mem::faults::{DeliveryFault, FaultConfig, FaultPlan};
 use colt_os_mem::kernel::{Kernel, KernelConfig};
 use colt_os_mem::page_table::{PageTable, PteFlags};
+use colt_os_mem::policy::PolicyKind;
 use colt_prng::rngs::SmallRng;
 use colt_prng::{Rng, SeedableRng};
 use colt_quickprop::{fnv1a, shrink_list};
@@ -417,6 +418,21 @@ pub fn run_smp_check(cores: usize, seeds: u64, jobs: usize) -> CheckReport {
     run_smp_check_with_faults(cores, seeds, jobs, None)
 }
 
+/// [`run_smp_check_with_faults`] with the shared kernel booted under a
+/// memory-management policy. Default-policy case labels (and hence
+/// case seeds and event lists) are byte-identical to the historical
+/// ones; non-default policies get their own label segment so their
+/// cases fuzz independent event lists.
+pub fn run_smp_check_with_policy(
+    cores: usize,
+    seeds: u64,
+    jobs: usize,
+    faults: Option<FaultConfig>,
+    policy: PolicyKind,
+) -> CheckReport {
+    run_smp_check_inner(cores, seeds, jobs, faults, policy)
+}
+
 /// [`run_smp_check`] with the shared kernel running under an injected
 /// fault plan (installed after workload preparation, so the aged system
 /// state matches the fault-free run and only the checked phase
@@ -430,7 +446,18 @@ pub fn run_smp_check_with_faults(
     jobs: usize,
     faults: Option<FaultConfig>,
 ) -> CheckReport {
+    run_smp_check_inner(cores, seeds, jobs, faults, PolicyKind::Default)
+}
+
+fn run_smp_check_inner(
+    cores: usize,
+    seeds: u64,
+    jobs: usize,
+    faults: Option<FaultConfig>,
+    policy: PolicyKind,
+) -> CheckReport {
     let cores = cores.max(2);
+    let pseg = policy_label_segment(policy);
     let mut tasks: Vec<SweepTask<CaseReport>> = Vec::new();
     for seed in 0..seeds {
         for (cname, tlb_cfg) in [
@@ -438,7 +465,7 @@ pub fn run_smp_check_with_faults(
             ("tagged-all", TlbConfig::colt_all().with_asid_tagging()),
             ("tagged-base", TlbConfig::baseline().with_asid_tagging()),
         ] {
-            let label = format!("smpcheck/{cname}/{cores}c/seed{seed}");
+            let label = format!("smpcheck/{cname}/{cores}c{pseg}/seed{seed}");
             let case_seed = fnv1a(&label) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let task_label = label.clone();
             tasks.push(SweepTask::new(task_label, 0, move || {
@@ -447,6 +474,7 @@ pub fn run_smp_check_with_faults(
                     .map(|n| benchmark(n).expect("Table-1 benchmark"))
                     .collect();
                 let multi = Scenario::default_linux()
+                    .with_policy(policy)
                     .with_seed(case_seed)
                     .prepare_many(&specs)
                     .unwrap_or_else(|e| panic!("prepare_many(smpcheck): {e}"));
@@ -853,6 +881,31 @@ pub fn run_check(seeds: u64, events_per_case: usize, jobs: usize) -> CheckReport
     run_check_with_faults(seeds, events_per_case, jobs, None)
 }
 
+/// The label segment a policy contributes to fuzz-case labels: empty
+/// for the default policy (so default case labels, seeds, and event
+/// lists stay byte-identical to the pre-policy checker) and
+/// "/<name>" otherwise (so each policy fuzzes its own event lists).
+fn policy_label_segment(policy: PolicyKind) -> String {
+    if policy == PolicyKind::Default {
+        String::new()
+    } else {
+        format!("/{}", policy.name())
+    }
+}
+
+/// [`run_check_with_faults`] with every fuzz kernel booted under a
+/// memory-management policy: the oracle must stay clean however the
+/// policy skews THP grants, compaction, reclaim order, or placement.
+pub fn run_check_with_policy(
+    seeds: u64,
+    events_per_case: usize,
+    jobs: usize,
+    faults: Option<FaultConfig>,
+    policy: PolicyKind,
+) -> CheckReport {
+    run_check_inner(seeds, events_per_case, jobs, faults, policy)
+}
+
 /// [`run_check`] with every case running under the given fault plan:
 /// the same event lists replay against a kernel that suffers injected
 /// allocation failures, compaction aborts, and reclaim spikes, while
@@ -865,11 +918,23 @@ pub fn run_check_with_faults(
     jobs: usize,
     faults: Option<FaultConfig>,
 ) -> CheckReport {
+    run_check_inner(seeds, events_per_case, jobs, faults, PolicyKind::Default)
+}
+
+fn run_check_inner(
+    seeds: u64,
+    events_per_case: usize,
+    jobs: usize,
+    faults: Option<FaultConfig>,
+    policy: PolicyKind,
+) -> CheckReport {
+    let pseg = policy_label_segment(policy);
     let mut tasks: Vec<SweepTask<CaseReport>> = Vec::new();
     for seed in 0..seeds {
         for (label, tlb_cfg) in check_configs() {
-            for (kname, kernel_cfg) in [("ths-on", fuzz_kernel(true)), ("ths-off", fuzz_kernel(false))] {
-                let case_label = format!("check/{label}/{kname}/seed{seed}");
+            for (kname, base_cfg) in [("ths-on", fuzz_kernel(true)), ("ths-off", fuzz_kernel(false))] {
+                let kernel_cfg = KernelConfig { policy, ..base_cfg };
+                let case_label = format!("check/{label}/{kname}{pseg}/seed{seed}");
                 let case_seed = fnv1a(&case_label) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 let events = gen_events(case_seed, events_per_case);
                 let task_label = case_label.clone();
@@ -1105,5 +1170,30 @@ mod tests {
             );
         }
         assert!(report.translations > 0);
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean_under_hostile_policies() {
+        // The invariants must hold no matter how the MM policy places
+        // or denies pages: Adversarial maximizes fragmentation,
+        // GreedyContig maximizes coalescing-candidate runs.
+        for policy in [PolicyKind::Adversarial, PolicyKind::GreedyContig] {
+            let report = run_check_with_policy(1, 24, 2, None, policy);
+            for case in &report.cases {
+                assert!(
+                    case.violations.is_empty(),
+                    "case {} under {policy} found: {:?}\nminimised to: {:?}",
+                    case.label,
+                    case.violations,
+                    case.minimized
+                );
+                assert!(
+                    case.label.contains(&format!("/{}/", policy.name())),
+                    "non-default policy must be visible in the label: {}",
+                    case.label
+                );
+            }
+            assert!(report.translations > 0);
+        }
     }
 }

@@ -81,7 +81,7 @@ fn average_elimination(
 ) -> Vec<AblationRow> {
     average_elimination_with(
         opts,
-        &Scenario::default_linux(),
+        &opts.scenario(Scenario::default_linux()),
         |tlb| SimConfig {
             pattern_seed: opts.seed,
             ..SimConfig::new(tlb).with_accesses(opts.accesses)
@@ -165,7 +165,7 @@ pub fn future_work(opts: &ExperimentOptions) -> Vec<AblationRow> {
     // (b) Graceful invalidation, under shootdown churn.
     rows.extend(average_elimination_with(
         opts,
-        &Scenario::default_linux(),
+        &opts.scenario(Scenario::default_linux()),
         |tlb| SimConfig {
             pattern_seed: opts.seed,
             ..SimConfig::new(tlb).with_accesses(opts.accesses).with_invalidations(64)
@@ -185,7 +185,7 @@ pub fn future_work(opts: &ExperimentOptions) -> Vec<AblationRow> {
     // (c) Attribute tolerance, with dirty pages breaking runs.
     rows.extend(average_elimination_with(
         opts,
-        &Scenario::default_linux().with_dirty_fraction(0.3),
+        &opts.scenario(Scenario::default_linux().with_dirty_fraction(0.3)),
         |tlb| SimConfig {
             pattern_seed: opts.seed,
             ..SimConfig::new(tlb).with_accesses(opts.accesses)

@@ -36,7 +36,7 @@ pub const VARIANTS: [&str; 3] = ["4-way CoLT-SA", "8-way no CoLT", "8-way CoLT-S
 
 /// Runs the associativity study.
 pub fn run(opts: &ExperimentOptions) -> (Vec<AssocRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let configs = [
         TlbConfig::colt_sa(),
         TlbConfig::baseline().with_l2_ways(8),

@@ -30,7 +30,7 @@ pub struct ContextSwitchRow {
 
 /// Runs the context-switch sweep.
 pub fn run(opts: &ExperimentOptions) -> (Vec<ContextSwitchRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();
     for spec in &specs {

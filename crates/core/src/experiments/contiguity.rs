@@ -100,7 +100,7 @@ impl crate::journal::JournalPayload for ContiguityRow {
 
 /// Runs the contiguity characterization for one kernel configuration.
 pub fn run(config: ContiguityConfig, opts: &ExperimentOptions) -> (Vec<ContiguityRow>, ExperimentOutput) {
-    let scenario = config.scenario();
+    let scenario = opts.scenario(config.scenario());
     let cells: Vec<SweepCell<ContiguityRow>> = opts
         .selected_benchmarks()
         .into_iter()

@@ -25,7 +25,8 @@ pub struct GridRow {
 
 /// Runs the twelve-configuration grid.
 pub fn run(opts: &ExperimentOptions) -> (Vec<GridRow>, ExperimentOutput) {
-    let scenarios = Scenario::all_twelve();
+    let scenarios: Vec<_> =
+        Scenario::all_twelve().into_iter().map(|s| opts.scenario(s)).collect();
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();
     for scenario in &scenarios {

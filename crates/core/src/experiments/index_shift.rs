@@ -41,7 +41,7 @@ impl ShiftRow {
 
 /// Runs the shift sweep.
 pub fn run(opts: &ExperimentOptions) -> (Vec<ShiftRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();
     for spec in &specs {

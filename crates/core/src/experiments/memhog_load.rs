@@ -40,13 +40,13 @@ pub fn run_figure(ths: bool, opts: &ExperimentOptions) -> MemhogFigure {
     let mut cells = Vec::new();
     for spec in &specs {
         for &fraction in &MEMHOG_FRACTIONS {
-            let scenario = if fraction == 0.0 {
+            let scenario = opts.scenario(if fraction == 0.0 {
                 if ths { Scenario::default_linux() } else { Scenario::no_ths() }
             } else if ths {
                 Scenario::default_with_memhog(fraction)
             } else {
                 Scenario::no_ths_with_memhog(fraction)
-            };
+            });
             cells.push(SweepCell::new(
                 format!("fig16-17/{}/memhog({fraction})", spec.name),
                 &scenario,

@@ -49,7 +49,7 @@ pub fn figure18_configs() -> [TlbConfig; 4] {
 
 /// Runs all four designs over one benchmark set.
 pub fn run(opts: &ExperimentOptions) -> (Vec<EliminationRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let configs = figure18_configs();
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();

@@ -20,6 +20,7 @@
 //! | [`multiprog`] | extension: two benchmarks sharing one machine |
 //! | [`smp`] | extension: N-core mixes, ASID tagging, shootdown IPIs |
 //! | [`pressure`] | robustness: fault-injection intensity sweep |
+//! | [`policy`] | extension: MM-policy sweep across the 8 TLB configs |
 //!
 //! Every driver returns structured rows plus [`Table`]s whose columns
 //! include the paper's published values next to the measured ones, so
@@ -36,6 +37,7 @@ pub mod miss_elimination;
 pub mod multiprog;
 pub mod noise;
 pub mod performance;
+pub mod policy;
 pub mod pressure;
 pub mod related_work;
 pub mod smp;
@@ -47,6 +49,7 @@ use crate::journal::Journal;
 use crate::report::Table;
 use crate::runner::SweepOptions;
 use colt_os_mem::faults::FaultConfig;
+use colt_os_mem::policy::PolicyKind;
 use colt_workloads::spec::{all_benchmarks, BenchmarkSpec};
 use std::sync::Arc;
 
@@ -78,6 +81,11 @@ pub struct ExperimentOptions {
     /// `repro` binary wants crash-safe progress (always, for journaled
     /// experiments); replayed on `--resume`.
     pub journal: Option<Arc<Journal>>,
+    /// Memory-management policy every scenario boots under
+    /// (`repro --policy NAME`). [`PolicyKind::Default`] reproduces the
+    /// historical headline tables byte-identically; the `policy`
+    /// experiment sweeps all shipped policies regardless of this value.
+    pub policy: PolicyKind,
 }
 
 impl Default for ExperimentOptions {
@@ -91,6 +99,7 @@ impl Default for ExperimentOptions {
             faults: None,
             retries: 1,
             journal: None,
+            policy: PolicyKind::Default,
         }
     }
 }
@@ -127,6 +136,23 @@ impl ExperimentOptions {
         self
     }
 
+    /// Sets the memory-management policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Applies this run's memory-management policy to a driver's
+    /// scenario. Every experiment driver routes its scenarios through
+    /// here so `repro --policy NAME` governs the whole run; the default
+    /// policy leaves the scenario (name and bytes) untouched.
+    #[must_use]
+    pub fn scenario(&self, scenario: colt_workloads::scenario::Scenario)
+    -> colt_workloads::scenario::Scenario {
+        scenario.with_policy(self.policy)
+    }
+
     /// The sweep supervision policy these options describe, for the
     /// runner's `run_cells_sweep`/`run_tasks_sweep` entry points.
     pub fn sweep(&self) -> SweepOptions<'_> {
@@ -157,8 +183,11 @@ impl ExperimentOptions {
         };
         let canonical = format!(
             "{experiment};accesses={};seed={};benchmarks={benchmarks};cores={};\
-             faults={faults}",
-            self.accesses, self.seed, self.cores
+             faults={faults};policy={}",
+            self.accesses,
+            self.seed,
+            self.cores,
+            self.policy.name()
         );
         crate::journal::fingerprint_of(&canonical)
     }
@@ -203,6 +232,8 @@ pub struct NamedRun {
     pub smp_rows: Vec<smp::SmpRow>,
     /// The pressure report (`Some` only for `pressure`).
     pub pressure: Option<pressure::PressureReport>,
+    /// The policy-sweep report (`Some` only for `policy`).
+    pub policy: Option<policy::PolicyReport>,
 }
 
 /// Dispatches one experiment by its CLI name (`fig18`, `table1`, …).
@@ -213,6 +244,7 @@ pub struct NamedRun {
 pub fn run_named(name: &str, opts: &ExperimentOptions) -> Option<NamedRun> {
     let mut smp_rows: Vec<smp::SmpRow> = Vec::new();
     let mut pressure_report: Option<pressure::PressureReport> = None;
+    let mut policy_report: Option<policy::PolicyReport> = None;
     let output: ExperimentOutput = match name {
         "table1" => table1::run(opts).1,
         "fig7-9" => contiguity::run(contiguity::ContiguityConfig::ThsOn, opts).1,
@@ -248,9 +280,19 @@ pub fn run_named(name: &str, opts: &ExperimentOptions) -> Option<NamedRun> {
             pressure_report = Some(report);
             out
         }
+        "policy" => {
+            let (report, out) = policy::run(opts);
+            policy_report = Some(report);
+            out
+        }
         _ => return None,
     };
-    Some(NamedRun { output, smp_rows, pressure: pressure_report })
+    Some(NamedRun {
+        output,
+        smp_rows,
+        pressure: pressure_report,
+        policy: policy_report,
+    })
 }
 
 #[cfg(test)]
@@ -277,5 +319,35 @@ mod tests {
     #[test]
     fn quick_options_are_cheaper() {
         assert!(ExperimentOptions::quick().accesses < ExperimentOptions::default().accesses);
+    }
+
+    #[test]
+    fn fingerprints_separate_policies_and_scenario_helper_tags_names() {
+        let base = ExperimentOptions::quick();
+        let mut prints: Vec<String> = PolicyKind::all()
+            .iter()
+            .map(|&p| base.clone().with_policy(p).fingerprint("fig18"))
+            .collect();
+        prints.sort();
+        prints.dedup();
+        assert_eq!(
+            prints.len(),
+            PolicyKind::all().len(),
+            "every policy must fingerprint distinctly — journals and sweep \
+             caches key on it"
+        );
+
+        // The scenario() helper is how every driver picks the policy up.
+        let tagged = base
+            .clone()
+            .with_policy(PolicyKind::Adversarial)
+            .scenario(colt_workloads::scenario::Scenario::default_linux());
+        assert!(tagged.name.contains("[policy=adversarial]"), "{}", tagged.name);
+        let untouched = base.scenario(colt_workloads::scenario::Scenario::default_linux());
+        assert_eq!(
+            untouched.name,
+            colt_workloads::scenario::Scenario::default_linux().name,
+            "the default policy must leave scenario names byte-identical"
+        );
     }
 }

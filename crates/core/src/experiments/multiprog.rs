@@ -58,6 +58,7 @@ impl crate::journal::JournalPayload for MultiprogRow {
 /// Runs the multiprogramming study.
 pub fn run(opts: &ExperimentOptions) -> (Vec<MultiprogRow>, ExperimentOutput) {
     let quantum = 10_000;
+    let policy = opts.policy;
     // Each pair's preparation (prepare_many) is itself per-cell state,
     // so these run as self-contained tasks rather than shared-prep cells.
     let tasks: Vec<SweepTask<MultiprogRow>> = PAIRS
@@ -69,7 +70,7 @@ pub fn run(opts: &ExperimentOptions) -> (Vec<MultiprogRow>, ExperimentOutput) {
             };
             let refs = 2 * (cfg.warmup + cfg.accesses);
             SweepTask::new(format!("multiprog/{a}+{b}"), refs, move || {
-                let scenario = Scenario::default_linux();
+                let scenario = Scenario::default_linux().with_policy(policy);
                 let specs = [
                     benchmark(a).expect("Table-1 benchmark"),
                     benchmark(b).expect("Table-1 benchmark"),

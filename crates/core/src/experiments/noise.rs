@@ -37,7 +37,7 @@ fn elim_for(
     scenario_seed: u64,
     pattern_seed: u64,
 ) -> [f64; 3] {
-    let scenario = Scenario::default_linux().with_seed(scenario_seed);
+    let scenario = opts.scenario(Scenario::default_linux().with_seed(scenario_seed));
     let configs = [TlbConfig::colt_sa(), TlbConfig::colt_fa(), TlbConfig::colt_all()];
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();

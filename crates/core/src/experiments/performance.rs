@@ -29,7 +29,7 @@ pub struct PerfRow {
 
 /// Runs the performance study.
 pub fn run(opts: &ExperimentOptions) -> (Vec<PerfRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let model = PerfModel::default();
     let configs = [
         TlbConfig::baseline(),

@@ -36,6 +36,7 @@ use crate::runner::{self, CellOutcome, SweepCell, SweepTask};
 use crate::sim::SimConfig;
 use colt_os_mem::faults::FaultConfig;
 use colt_os_mem::kernel::KernelStats;
+use colt_os_mem::policy::PolicyKind;
 use colt_smp::{SmpConfig, SmpMachine};
 use colt_workloads::scenario::Scenario;
 use colt_workloads::spec::{benchmark, BenchmarkSpec};
@@ -85,7 +86,7 @@ pub struct SmpPressureRow {
 
 impl crate::journal::JournalPayload for SmpPressureRow {
     fn encode(&self) -> String {
-        let e = crate::journal::Enc::new("smpress1")
+        let e = crate::journal::Enc::new("smpress2")
             .f(self.rate)
             .u(self.cores as u64)
             .u(self.accesses)
@@ -94,7 +95,7 @@ impl crate::journal::JournalPayload for SmpPressureRow {
         crate::journal::enc_kernel(e, &self.kernel).done()
     }
     fn decode(s: &str) -> Option<Self> {
-        let mut d = crate::journal::Dec::new(s, "smpress1")?;
+        let mut d = crate::journal::Dec::new(s, "smpress2")?;
         let row = SmpPressureRow {
             rate: d.f()?,
             cores: usize::try_from(d.u()?).ok()?,
@@ -140,11 +141,12 @@ fn intensities(max: f64) -> Vec<f64> {
     out
 }
 
-fn scenario_for(rate: f64, base: FaultConfig) -> Scenario {
+fn scenario_for(rate: f64, base: FaultConfig, policy: PolicyKind) -> Scenario {
+    let scenario = Scenario::default_linux().with_policy(policy);
     if rate > 0.0 {
-        Scenario::default_linux().with_faults(FaultConfig { rate, ..base })
+        scenario.with_faults(FaultConfig { rate, ..base })
     } else {
-        Scenario::default_linux()
+        scenario
     }
 }
 
@@ -165,7 +167,7 @@ pub fn run(opts: &ExperimentOptions) -> (PressureReport, ExperimentOutput) {
     let mut cells: Vec<SweepCell<(crate::sim::SimResult, KernelStats)>> = Vec::new();
     for spec in &specs {
         for &rate in &rates {
-            let scenario = scenario_for(rate, base_cfg);
+            let scenario = scenario_for(rate, base_cfg, opts.policy);
             for (cname, tlb_cfg) in &configs {
                 let label = format!("pressure/{}/{cname}/r{rate:.3}", spec.name);
                 let cfg = SimConfig {
@@ -230,6 +232,7 @@ fn run_smp_leg(
     let cores = opts.cores;
     let accesses = opts.accesses;
     let seed = opts.seed;
+    let policy = opts.policy;
     let tasks: Vec<SweepTask<SmpPressureRow>> = rates
         .iter()
         .map(|&rate| {
@@ -240,6 +243,7 @@ fn run_smp_leg(
                     .map(|n| benchmark(n).expect("Table-1 benchmark"))
                     .collect();
                 let multi = Scenario::default_linux()
+                    .with_policy(policy)
                     .prepare_many(&specs)
                     .unwrap_or_else(|e| panic!("prepare_many(pressure/smp): {e}"));
                 let cfg = SmpConfig::new(cores, colt_tlb::config::TlbConfig::colt_all())

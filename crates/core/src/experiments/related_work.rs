@@ -36,7 +36,7 @@ pub struct RelatedWorkRow {
 
 /// Runs the prefetcher-vs-CoLT comparison.
 pub fn run(opts: &ExperimentOptions) -> (Vec<RelatedWorkRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();
     for spec in &specs {

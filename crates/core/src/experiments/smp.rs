@@ -19,6 +19,7 @@
 use super::{ExperimentOptions, ExperimentOutput};
 use crate::report::Table;
 use crate::runner::{self, SweepTask};
+use colt_os_mem::policy::PolicyKind;
 use colt_smp::{SmpConfig, SmpMachine};
 use colt_tlb::config::TlbConfig;
 use colt_workloads::scenario::Scenario;
@@ -125,12 +126,14 @@ fn measure(
     tagged: bool,
     accesses: u64,
     seed: u64,
+    policy: PolicyKind,
 ) -> SmpRow {
     let specs: Vec<_> = names
         .iter()
         .map(|n| benchmark(n).expect("Table-1 benchmark"))
         .collect();
     let multi = Scenario::default_linux()
+        .with_policy(policy)
         .prepare_many(&specs)
         .unwrap_or_else(|e| panic!("prepare_many({mix_name}): {e}"));
     let mut cfg = SmpConfig::new(cores, TlbConfig::colt_all());
@@ -188,6 +191,7 @@ pub fn run_mix(opts: &ExperimentOptions) -> (Vec<SmpRow>, ExperimentOutput) {
     let cores = opts.cores.max(1);
     let accesses = opts.accesses;
     let seed = opts.seed;
+    let policy = opts.policy;
     let mixes: [(&str, &[&str]); 2] = [("light8", &MIX_LIGHT), ("heavy8", &MIX_HEAVY)];
     let tasks: Vec<SweepTask<Vec<SmpRow>>> = mixes
         .iter()
@@ -197,7 +201,10 @@ pub fn run_mix(opts: &ExperimentOptions) -> (Vec<SmpRow>, ExperimentOutput) {
                 [false, true]
                     .iter()
                     .map(|&tagged| {
-                        measure("smp_mix", mix_name, names, cores, tagged, accesses, seed)
+                        measure(
+                            "smp_mix", mix_name, names, cores, tagged, accesses, seed,
+                            policy,
+                        )
                     })
                     .collect()
             })
@@ -228,12 +235,15 @@ fn scaling_core_counts(requested: usize) -> Vec<usize> {
 pub fn run_scaling(opts: &ExperimentOptions) -> (Vec<SmpRow>, ExperimentOutput) {
     let accesses = opts.accesses;
     let seed = opts.seed;
+    let policy = opts.policy;
     let tasks: Vec<SweepTask<SmpRow>> = scaling_core_counts(opts.cores)
         .into_iter()
         .map(|cores| {
             let refs = cores as u64 * (accesses + accesses / 10);
             SweepTask::new(format!("smp_scaling/{cores}c"), refs, move || {
-                measure("smp_scaling", "light8", &MIX_LIGHT, cores, true, accesses, seed)
+                measure(
+                    "smp_scaling", "light8", &MIX_LIGHT, cores, true, accesses, seed, policy,
+                )
             })
         })
         .collect();

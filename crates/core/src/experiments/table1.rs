@@ -41,7 +41,8 @@ pub fn real_system_tlbs() -> TlbConfig {
 
 /// Runs the Table-1 experiment.
 pub fn run(opts: &ExperimentOptions) -> (Vec<Table1Row>, ExperimentOutput) {
-    let scenarios = [Scenario::default_linux(), Scenario::no_ths()];
+    let scenarios =
+        [opts.scenario(Scenario::default_linux()), opts.scenario(Scenario::no_ths())];
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();
     for spec in &specs {

@@ -33,7 +33,7 @@ pub struct VirtRow {
 
 /// Runs the virtualization study.
 pub fn run(opts: &ExperimentOptions) -> (Vec<VirtRow>, ExperimentOutput) {
-    let scenario = Scenario::default_linux();
+    let scenario = opts.scenario(Scenario::default_linux());
     let model = PerfModel::default();
     let specs = opts.selected_benchmarks();
     let mut cells = Vec::new();

@@ -347,6 +347,11 @@ pub(crate) fn enc_kernel(e: Enc, k: &colt_os_mem::kernel::KernelStats) -> Enc {
         .u(k.compact_deferred)
         .u(k.thp_deferred_retries)
         .u(k.faults_injected)
+        .u(k.policy_decisions)
+        .u(k.policy_huge_grants)
+        .u(k.policy_huge_denies)
+        .u(k.policy_collapses_triggered)
+        .u(k.policy_compactions_requested)
 }
 
 pub(crate) fn dec_kernel(d: &mut Dec<'_>) -> Option<colt_os_mem::kernel::KernelStats> {
@@ -366,6 +371,11 @@ pub(crate) fn dec_kernel(d: &mut Dec<'_>) -> Option<colt_os_mem::kernel::KernelS
         compact_deferred: d.u()?,
         thp_deferred_retries: d.u()?,
         faults_injected: d.u()?,
+        policy_decisions: d.u()?,
+        policy_huge_grants: d.u()?,
+        policy_huge_denies: d.u()?,
+        policy_collapses_triggered: d.u()?,
+        policy_compactions_requested: d.u()?,
     })
 }
 
@@ -382,10 +392,11 @@ impl JournalPayload for crate::sim::SimResult {
 
 impl JournalPayload for (crate::sim::SimResult, colt_os_mem::kernel::KernelStats) {
     fn encode(&self) -> String {
-        enc_kernel(enc_sim(Enc::new("simker1"), &self.0), &self.1).done()
+        enc_kernel(enc_sim(Enc::new("simker2"), &self.0), &self.1).done()
     }
     fn decode(s: &str) -> Option<Self> {
-        let mut d = Dec::new(s, "simker1")?;
+        // "simker2": KernelStats grew the five policy counters.
+        let mut d = Dec::new(s, "simker2")?;
         let sim = dec_sim(&mut d)?;
         let kernel = dec_kernel(&mut d)?;
         d.exhausted().then_some((sim, kernel))

@@ -59,6 +59,7 @@ use crate::lru::LruMap;
 use crate::runner::{self, CellOutcome, SweepTask};
 use crate::sim::{self, SimConfig, SimResult};
 use crate::snapshot_cache;
+use colt_os_mem::policy::PolicyKind;
 use colt_tlb::config::TlbConfig;
 use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::{benchmark, BenchmarkSpec};
@@ -269,10 +270,11 @@ pub fn sweep_options(
     accesses: Option<u64>,
     bench: Option<&str>,
     cores: Option<u64>,
+    policy: PolicyKind,
     jobs: usize,
     max_accesses: u64,
 ) -> ExperimentOptions {
-    let mut opts = ExperimentOptions { jobs: jobs.max(1), ..ExperimentOptions::default() };
+    let mut opts = ExperimentOptions { jobs: jobs.max(1), policy, ..ExperimentOptions::default() };
     if let Some(a) = accesses {
         opts.accesses = a.clamp(1, max_accesses);
     }
@@ -652,6 +654,17 @@ fn parse_scenario(name: &str) -> Result<Scenario, String> {
     }
 }
 
+/// The optional `"policy"` field of a translate/sweep request. Absent
+/// or empty means [`PolicyKind::Default`] — the historical behavior —
+/// so old clients keep their exact cache keys; an unknown name is
+/// rejected before anything runs or any pool is touched.
+fn parse_policy(request: &json::Json) -> Result<PolicyKind, String> {
+    match request.get("policy").and_then(json::Json::as_str) {
+        None | Some("") => Ok(PolicyKind::Default),
+        Some(name) => name.parse::<PolicyKind>(),
+    }
+}
+
 fn parse_tlb(name: &str) -> Result<TlbConfig, String> {
     match name {
         "baseline" => Ok(TlbConfig::baseline()),
@@ -682,6 +695,13 @@ fn handle_translate(state: &Arc<ServerState>, request: &json::Json) -> String {
         request.get("scenario").and_then(json::Json::as_str).unwrap_or(""),
     ) {
         Ok(s) => s,
+        Err(e) => return err_line(&e),
+    };
+    // The policy lands in the scenario (name included), so prepared-
+    // instance pools — keyed by `snapshot_cache::prep_key` — never mix
+    // instances booted under different policies.
+    let scenario = match parse_policy(request) {
+        Ok(kind) => scenario.with_policy(kind),
         Err(e) => return err_line(&e),
     };
     let accesses = request
@@ -855,10 +875,15 @@ fn handle_sweep(state: &Arc<ServerState>, request: &json::Json) -> String {
         Some(e) => e.to_string(),
         None => return err_line("sweep needs an \"experiment\""),
     };
+    let policy = match parse_policy(request) {
+        Ok(kind) => kind,
+        Err(e) => return err_line(&e),
+    };
     let opts = sweep_options(
         request.get("accesses").and_then(json::Json::as_u64),
         request.get("bench").and_then(json::Json::as_str),
         request.get("cores").and_then(json::Json::as_u64),
+        policy,
         state.cfg.jobs,
         state.cfg.max_accesses,
     );
@@ -1083,15 +1108,16 @@ mod tests {
 
     #[test]
     fn sweep_options_build_deterministic_fingerprints() {
-        let a = sweep_options(Some(30_000), Some("Gobmk,Bzip2"), Some(1), 4, 10_000_000);
-        let b = sweep_options(Some(30_000), Some("Gobmk,Bzip2"), Some(1), 8, 10_000_000);
+        let d = PolicyKind::Default;
+        let a = sweep_options(Some(30_000), Some("Gobmk,Bzip2"), Some(1), d, 4, 10_000_000);
+        let b = sweep_options(Some(30_000), Some("Gobmk,Bzip2"), Some(1), d, 8, 10_000_000);
         // Jobs never enter the fingerprint: results are identical at
         // any width, so a 4-job server and an 8-job direct run must
         // share a cache key.
         assert_eq!(a.fingerprint("fig18"), b.fingerprint("fig18"));
         assert_ne!(
             a.fingerprint("fig18"),
-            sweep_options(Some(40_000), Some("Gobmk,Bzip2"), Some(1), 4, 10_000_000)
+            sweep_options(Some(40_000), Some("Gobmk,Bzip2"), Some(1), d, 4, 10_000_000)
                 .fingerprint("fig18"),
             "the access budget changes results, so it changes the key"
         );
@@ -1099,8 +1125,39 @@ mod tests {
     }
 
     #[test]
+    fn sweep_options_separate_policies_in_the_result_cache() {
+        let mk = |policy| sweep_options(Some(30_000), Some("Gobmk"), None, policy, 4, 10_000_000);
+        let default = mk(PolicyKind::Default);
+        // Every policy gets its own sweep fingerprint — the result
+        // cache and single-flight table key on it, so a GreedyContig
+        // sweep can never be answered with Default bytes.
+        let mut keys: Vec<String> =
+            PolicyKind::all().iter().map(|&p| sweep_key("fig18", &mk(p))).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), PolicyKind::all().len(), "one cache key per policy");
+        assert_eq!(
+            default.fingerprint("fig18"),
+            mk(PolicyKind::Default).fingerprint("fig18"),
+            "the default policy keeps a stable key for old clients"
+        );
+    }
+
+    #[test]
+    fn requests_parse_the_policy_field_and_reject_unknown_names() {
+        let parse = |line: &str| parse_policy(&json::parse(line).expect("json"));
+        assert_eq!(parse("{\"op\": \"sweep\"}"), Ok(PolicyKind::Default));
+        assert_eq!(parse("{\"policy\": \"\"}"), Ok(PolicyKind::Default));
+        assert_eq!(parse("{\"policy\": \"greedy_contig\"}"), Ok(PolicyKind::GreedyContig));
+        assert_eq!(parse("{\"policy\": \"no_thp\"}"), Ok(PolicyKind::NoThp));
+        let err = parse("{\"policy\": \"bogus\"}").expect_err("unknown policy rejected");
+        assert!(err.contains("bogus") && err.contains("greedy_contig"), "{err}");
+    }
+
+    #[test]
     fn sweep_options_clamp_and_parse_bench_lists() {
-        let o = sweep_options(Some(u64::MAX), Some(" Gobmk , ,Bzip2 "), Some(0), 0, 1000);
+        let d = PolicyKind::Default;
+        let o = sweep_options(Some(u64::MAX), Some(" Gobmk , ,Bzip2 "), Some(0), d, 0, 1000);
         assert_eq!(o.accesses, 1000, "clamped to max_accesses");
         assert_eq!(o.cores, 1, "cores 0 clamps to 1");
         assert_eq!(o.jobs, 1, "jobs 0 clamps to 1");
@@ -1109,7 +1166,7 @@ mod tests {
             Some(vec!["Gobmk".to_string(), "Bzip2".to_string()]),
             "blank entries dropped"
         );
-        let none = sweep_options(None, Some(" , "), None, 2, 1000);
+        let none = sweep_options(None, Some(" , "), None, d, 2, 1000);
         assert_eq!(none.benchmarks, None, "an all-blank list means all benchmarks");
     }
 

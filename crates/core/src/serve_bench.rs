@@ -274,6 +274,7 @@ fn verify_sweep(cfg: &BenchConfig, tally: &Tally) -> Result<(), String> {
         Some(cfg.sweep_accesses),
         Some(&cfg.bench),
         None,
+        colt_os_mem::policy::PolicyKind::Default,
         1,
         crate::serve::ServeConfig::default().max_accesses,
     );

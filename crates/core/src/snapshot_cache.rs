@@ -47,7 +47,7 @@ use std::time::Instant;
 /// Snapshot file format version. Bump whenever any `Snapshot` impl in
 /// the substrate changes shape; old files are then quarantined instead
 /// of misread.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// File magic: identifies a CoLT preparation snapshot.
 const MAGIC: &[u8; 8] = b"COLTSNAP";
@@ -568,6 +568,47 @@ mod tests {
         assert!(load_from(&dir, other_key, &spec).is_none());
         // The mismatched file is left in place (a miss, not quarantined).
         assert!(snapshot_path(&dir, other_key).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_snapshots_round_trip_and_never_answer_another_policys_key() {
+        use colt_os_mem::policy::PolicyKind;
+        let dir = tmpdir("policy");
+        let spec = benchmark("Povray").unwrap();
+        let base = Scenario::default_linux().with_seed(0x5AFE_CAFE);
+        let greedy = base.clone().with_policy(PolicyKind::GreedyContig);
+
+        // Every policy keys its own preparation snapshot.
+        let mut keys: Vec<String> = PolicyKind::all()
+            .iter()
+            .map(|&p| prep_key(&base.clone().with_policy(p), &spec))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), PolicyKind::all().len(), "one prep key per policy");
+
+        // A policy-built instance survives the codec with its policy
+        // counters (and everything else) intact.
+        let w = greedy.prepare(&spec).unwrap();
+        let key = prep_key(&greedy, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        let back = load_from(&dir, &key, &spec).expect("policy snapshot loads");
+        assert_eq!(back.scenario_name, w.scenario_name);
+        assert_eq!(back.kernel.stats(), w.kernel.stats());
+        assert!(back.kernel.stats().policy_decisions > 0, "counters survive");
+        assert_eq!(
+            back.contiguity().average_contiguity(),
+            w.contiguity().average_contiguity()
+        );
+
+        // The greedy snapshot filed under the default-policy key is a
+        // key mismatch: a silent miss, never served, never quarantined.
+        let default_key = prep_key(&base, &spec);
+        std::fs::rename(snapshot_path(&dir, &key), snapshot_path(&dir, &default_key))
+            .unwrap();
+        assert!(load_from(&dir, &default_key, &spec).is_none());
+        assert!(snapshot_path(&dir, &default_key).exists(), "miss, not quarantine");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

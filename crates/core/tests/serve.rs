@@ -81,6 +81,7 @@ fn served_sweep_is_byte_identical_to_direct_and_cached_on_repeat() {
         Some(20_000),
         Some("Gobmk"),
         None,
+        colt_os_mem::policy::PolicyKind::Default,
         1,
         ServeConfig::default().max_accesses,
     );
@@ -158,6 +159,54 @@ fn served_translate_matches_a_direct_simulation() {
     assert!(!ok(&bad));
     let ping = client.request("{\"op\": \"ping\"}");
     assert!(ok(&ping));
+
+    client.shutdown();
+    assert_eq!(handle.wait().failed_cells, 0);
+}
+
+#[test]
+fn served_translate_honors_the_policy_field_and_rejects_unknown_policies() {
+    let _g = lock();
+    let handle = serve::start(test_config()).expect("server starts");
+    let mut client = Client::connect(handle.port);
+
+    // A no_thp translate must differ from the default-policy run (no
+    // huge pages → more walks) and match the direct no_thp simulation:
+    // the pool the server prepared under no_thp was keyed separately.
+    let response = client.request(
+        "{\"op\": \"translate\", \"benchmark\": \"Gobmk\", \"config\": \"colt_all\", \
+         \"accesses\": 5000, \"policy\": \"no_thp\"}",
+    );
+    assert!(ok(&response), "{response:?}");
+
+    let spec = benchmark("Gobmk").unwrap();
+    let policy = colt_os_mem::policy::PolicyKind::NoThp;
+    let workload =
+        Scenario::default_linux().with_policy(policy).prepare(&spec).expect("prepare");
+    let direct = sim::run(
+        &workload,
+        &SimConfig::new(TlbConfig::colt_all()).with_accesses(5000),
+    );
+    for (field, expected) in [
+        ("accesses", direct.tlb.accesses),
+        ("l1_misses", direct.tlb.l1_misses),
+        ("walks", direct.walker.walks),
+        ("walk_cycles", direct.walk_cycles),
+    ] {
+        assert_eq!(
+            response.get(field).and_then(json::Json::as_u64),
+            Some(expected),
+            "served '{field}' under no_thp must match the direct no_thp simulation"
+        );
+    }
+
+    // Unknown policies are rejected before anything is prepared, and
+    // the connection lives on.
+    let bad = client.request(
+        "{\"op\": \"translate\", \"benchmark\": \"Gobmk\", \"policy\": \"bogus\"}",
+    );
+    assert!(!ok(&bad), "{bad:?}");
+    assert!(ok(&client.request("{\"op\": \"ping\"}")));
 
     client.shutdown();
     assert_eq!(handle.wait().failed_cells, 0);

@@ -53,6 +53,18 @@ impl CompactionControl {
     pub fn slice(max_migrations: u64) -> Self {
         Self { target_order: None, max_migrations: Some(max_migrations) }
     }
+
+    /// Scales the migration budget by `factor` — how an [`MmPolicy`]
+    /// widens (or keeps) the work a direct-compaction pass may do.
+    /// `factor == 1` is the identity, preserving the control bit-for-bit.
+    ///
+    /// [`MmPolicy`]: crate::policy::MmPolicy
+    pub fn scaled(self, factor: u64) -> Self {
+        Self {
+            target_order: self.target_order,
+            max_migrations: self.max_migrations.map(|m| m.saturating_mul(factor)),
+        }
+    }
 }
 
 /// Runs one full compaction pass over physical memory.

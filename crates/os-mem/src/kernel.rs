@@ -14,6 +14,7 @@ use crate::error::{MemError, MemResult};
 use crate::faults::{FaultConfig, FaultPlan};
 use crate::frames::{FrameDb, FrameState};
 use crate::page_table::{PageKind, Pte, PteFlags, Translation};
+use crate::policy::{interleave, MmPolicy, Placement, PolicyKind, ReclaimOrder, ThpDecision};
 use crate::process::Process;
 use crate::shootdown::{ShootdownEvent, ShootdownKind, ShootdownLog};
 use crate::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
@@ -74,6 +75,11 @@ pub struct KernelConfig {
     pub thp_split_puncture: bool,
     /// Per-process virtual address-space span in pages.
     pub va_limit_pages: u64,
+    /// The memory-management policy steering THP decisions, compaction,
+    /// reclaim, and allocation contiguity (see [`crate::policy`]).
+    /// [`PolicyKind::Default`] reproduces the historical behavior
+    /// byte-identically.
+    pub policy: PolicyKind,
     /// Deterministic fault injection: when set, the kernel consults a
     /// seeded [`FaultPlan`] at its failure-prone choice points and the
     /// degradation machinery (deferred THP collapse, compaction backoff,
@@ -94,6 +100,7 @@ impl Default for KernelConfig {
             max_alloc_order: 6,
             thp_split_puncture: true,
             va_limit_pages: 1 << 26,
+            policy: PolicyKind::Default,
             faults: None,
         }
     }
@@ -156,6 +163,17 @@ pub struct KernelStats {
     pub thp_deferred_retries: u64,
     /// Faults injected by the active [`FaultPlan`].
     pub faults_injected: u64,
+    /// Policy hook consultations that could alter behavior (THP verdicts,
+    /// collapse eligibility, compaction permission checks).
+    pub policy_decisions: u64,
+    /// THP requests the policy granted.
+    pub policy_huge_grants: u64,
+    /// THP requests the policy denied or deferred.
+    pub policy_huge_denies: u64,
+    /// khugepaged collapses that proceeded past the policy gate.
+    pub policy_collapses_triggered: u64,
+    /// Compaction passes (direct or background) the policy approved.
+    pub policy_compactions_requested: u64,
 }
 
 /// The simulated kernel.
@@ -286,6 +304,36 @@ impl Kernel {
         &self.config
     }
 
+    /// The active memory-management policy.
+    pub fn policy(&self) -> &'static dyn MmPolicy {
+        self.config.policy.policy()
+    }
+
+    /// One per-VMA THP verdict from the policy, with counter accounting.
+    /// Consulted only for regions that are already THP-eligible.
+    fn policy_thp_decision(&mut self, kind: VmaKind) -> ThpDecision {
+        self.stats.policy_decisions += 1;
+        let decision = self.policy().thp_decision(kind);
+        match decision {
+            ThpDecision::Grant => self.stats.policy_huge_grants += 1,
+            ThpDecision::Defer | ThpDecision::Deny => self.stats.policy_huge_denies += 1,
+        }
+        decision
+    }
+
+    /// Queues a region for deferred collapse on the policy's behalf —
+    /// unlike [`Kernel::note_thp_deferral`], not gated on fault injection
+    /// (a [`ThpDecision::Defer`] policy wants the collapse machinery even
+    /// on a fault-free kernel).
+    fn policy_note_deferral(&mut self, asid: Asid, base_vpn: Vpn) {
+        if self.thp_deferred.len() >= THP_DEFER_QUEUE_MAX
+            || self.thp_deferred.iter().any(|&(a, v, _)| a == asid && v == base_vpn)
+        {
+            return;
+        }
+        self.thp_deferred.push_back((asid, base_vpn, 0));
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> KernelStats {
         self.stats
@@ -395,11 +443,12 @@ impl Kernel {
             VmaKind::Anonymous => PteFlags::user_data(),
             VmaKind::FileBacked => PteFlags::user_data().with(PteFlags::FILE_BACKED),
         };
+        let huge_align = self.policy().huge_align(kind);
         let process = self
             .processes
             .get_mut(&asid)
             .ok_or(MemError::NoSuchProcess { asid })?;
-        let vma = process.address_space.reserve(pages, kind, flags)?;
+        let vma = process.address_space.reserve_hinted(pages, kind, flags, huge_align)?;
         self.stats.allocations += 1;
         self.stats.pages_requested += pages;
         Ok(vma.start)
@@ -437,11 +486,12 @@ impl Kernel {
         kind: VmaKind,
         flags: PteFlags,
     ) -> MemResult<Vpn> {
+        let huge_align = self.policy().huge_align(kind);
         let process = self
             .processes
             .get_mut(&asid)
             .ok_or(MemError::NoSuchProcess { asid })?;
-        let vma = process.address_space.reserve(pages, kind, flags)?;
+        let vma = process.address_space.reserve_hinted(pages, kind, flags, huge_align)?;
         self.stats.allocations += 1;
         self.stats.pages_requested += pages;
         if self.config.populate == PopulateMode::Eager {
@@ -534,6 +584,12 @@ impl Kernel {
         true
     }
 
+    /// Whether the policy permits direct compaction at all (counted).
+    fn policy_direct_compaction(&mut self) -> bool {
+        self.stats.policy_decisions += 1;
+        self.policy().direct_compaction()
+    }
+
     /// Records a failed (or aborted) direct compaction: the next
     /// `1 << shift` attempts are skipped, with the shift growing
     /// exponentially up to a cap — Linux's `defer_compaction`. Engaged
@@ -557,29 +613,44 @@ impl Kernel {
     /// the buddy allocator permits, using THS for aligned 512-page chunks
     /// of anonymous areas.
     fn populate_range(&mut self, asid: Asid, vma: Vma) -> MemResult<()> {
-        let thp_ok = self.config.ths_enabled && vma.kind == VmaKind::Anonymous;
+        let thp_eligible = self.config.ths_enabled && vma.kind == VmaKind::Anonymous;
+        // One per-VMA policy verdict covers the whole range.
+        let decision = if thp_eligible {
+            self.policy_thp_decision(vma.kind)
+        } else {
+            ThpDecision::Deny
+        };
+        let thp_now = thp_eligible && decision == ThpDecision::Grant;
+        // A deferred region keeps the superpage-boundary clamp below so
+        // its aligned blocks are cleanly base-filled for the collapse.
+        let thp_path = thp_eligible && decision != ThpDecision::Deny;
+        let chunk_cap = 1u64 << self.policy().alloc_chunk_order(self.config.max_alloc_order);
         let mut vpn = vma.start;
         let end = vma.end();
         while vpn < end {
             let remaining = end.distance_from(vpn).expect("vpn < end");
-            if thp_ok && vpn.is_aligned(9) && remaining >= SUPERPAGE_PAGES {
-                if let Some(base_pfn) = self.alloc_superpage_with_defrag() {
-                    self.install_super(asid, vpn, base_pfn, vma.flags);
-                    vpn = vpn.offset(SUPERPAGE_PAGES);
-                    continue;
+            if vpn.is_aligned(9) && remaining >= SUPERPAGE_PAGES {
+                if thp_now {
+                    if let Some(base_pfn) = self.alloc_superpage_with_defrag() {
+                        self.install_super(asid, vpn, base_pfn, vma.flags);
+                        vpn = vpn.offset(SUPERPAGE_PAGES);
+                        continue;
+                    }
+                    self.stats.thp_fallbacks += 1;
+                    self.note_thp_deferral(asid, vpn);
+                } else if thp_path {
+                    self.policy_note_deferral(asid, vpn);
                 }
-                self.stats.thp_fallbacks += 1;
-                self.note_thp_deferral(asid, vpn);
             }
             // Base-page chunk: stop at the next superpage boundary when a
-            // later THS attempt is still possible, and at the per-request
-            // block-order cap.
+            // later THS attempt (or collapse) is still possible, and at
+            // the policy's block-order cap.
             let mut chunk = remaining;
-            if thp_ok && remaining >= SUPERPAGE_PAGES && !vpn.is_aligned(9) {
+            if thp_path && remaining >= SUPERPAGE_PAGES && !vpn.is_aligned(9) {
                 let to_boundary = SUPERPAGE_PAGES - (vpn.raw() & (SUPERPAGE_PAGES - 1));
                 chunk = chunk.min(to_boundary);
             }
-            chunk = chunk.min(1 << self.config.max_alloc_order);
+            chunk = chunk.min(chunk_cap);
             let run = self.alloc_run_with_reclaim(chunk)?;
             self.install_base_run(asid, vpn, run, vma.flags);
             vpn = vpn.offset(run.pages);
@@ -600,6 +671,7 @@ impl Kernel {
             return Some(p);
         }
         if self.config.compaction == CompactionMode::Normal
+            && self.policy_direct_compaction()
             && self.buddy.free_frames() >= SUPERPAGE_PAGES
         {
             if !self.direct_compaction_allowed() {
@@ -643,6 +715,7 @@ impl Kernel {
             // skipped and the request degrades to smaller runs instead.
             if !compacted
                 && self.config.compaction == CompactionMode::Normal
+                && self.policy_direct_compaction()
                 && self.buddy.free_frames() >= chunk
             {
                 compacted = true;
@@ -679,13 +752,21 @@ impl Kernel {
         if let Some(p) = self.pcp.pop_front() {
             return Ok(p);
         }
-        let mut want = PCP_BATCH;
+        let batch = self.policy().pcp_batch(PCP_BATCH);
+        let placement = self.policy().placement();
+        let mut want = batch;
         let mut reclaimed = false;
         loop {
             if let Some(run) = self.buddy_alloc_pages(want) {
-                for p in run.iter() {
+                for i in 0..run.pages {
                     // Parked in the PCP: owned by the allocator, not yet
-                    // mapped anywhere.
+                    // mapped anywhere. An interleaving policy perturbs
+                    // the serve order so consecutive faults never see
+                    // adjacent frames.
+                    let p = match placement {
+                        Placement::Linear => run.start.offset(i),
+                        Placement::Interleaved => run.start.offset(interleave(i, run.pages)),
+                    };
                     self.frames.set(p, FrameState::Pinned);
                     self.pcp.push_back(p);
                 }
@@ -698,7 +779,7 @@ impl Kernel {
             // Last resort: evict clean page cache (kswapd's job).
             if !reclaimed && self.reclaim_file_pages(PCP_BATCH * 4) > 0 {
                 reclaimed = true;
-                want = PCP_BATCH;
+                want = batch;
                 continue;
             }
             // Terminal attempt, injection bypassed (GFP_MEMALLOC-style):
@@ -721,9 +802,13 @@ impl Kernel {
     ///
     /// Returns the number of pages evicted.
     pub fn reclaim_file_pages(&mut self, target: u64) -> u64 {
+        // The policy picks the scan direction: the default clears the low
+        // frames first (where compaction migrates into); the adversarial
+        // direction evicts from the top, leaving low holes.
+        let order = self.policy().reclaim_order();
         let mut victims: Vec<(Asid, Vpn)> = Vec::new();
         for (pfn, state) in self.frames.iter() {
-            if victims.len() as u64 >= target {
+            if order == ReclaimOrder::LowestPfnFirst && victims.len() as u64 >= target {
                 break;
             }
             let FrameState::Movable { owner, vpn } = state else {
@@ -743,6 +828,10 @@ impl Kernel {
                 );
                 victims.push((owner, vpn));
             }
+        }
+        if order == ReclaimOrder::HighestPfnFirst {
+            victims.reverse();
+            victims.truncate(target as usize);
         }
         let mut evicted = 0u64;
         for (owner, vpn) in victims {
@@ -773,10 +862,17 @@ impl Kernel {
     }
 
     fn install_base_run(&mut self, asid: Asid, start_vpn: Vpn, run: PfnRange, flags: PteFlags) {
+        let placement = self.policy().placement();
         let process = self.processes.get_mut(&asid).expect("caller validated asid");
         for i in 0..run.pages {
             let vpn = start_vpn.offset(i);
-            let pfn = run.start.offset(i);
+            // An interleaving policy maps consecutive VPNs to a
+            // non-adjacent permutation of the run's frames, severing
+            // VPN→PFN contiguity without wasting physical memory.
+            let pfn = match placement {
+                Placement::Linear => run.start.offset(i),
+                Placement::Interleaved => run.start.offset(interleave(i, run.pages)),
+            };
             process.page_table.map_base(vpn, Pte::new(pfn, flags));
             self.frames.set(pfn, FrameState::Movable { owner: asid, vpn });
         }
@@ -821,8 +917,9 @@ impl Kernel {
     /// Serves one demand fault: THS first-touch gets a whole aligned
     /// superpage when possible; otherwise a single frame.
     fn demand_fault(&mut self, asid: Asid, vpn: Vpn, vma: Vma) -> MemResult<()> {
-        let thp_ok = self.config.ths_enabled && vma.kind == VmaKind::Anonymous;
-        if thp_ok {
+        let thp_eligible = self.config.ths_enabled && vma.kind == VmaKind::Anonymous;
+        if thp_eligible {
+            let decision = self.policy_thp_decision(vma.kind);
             let huge_base = vpn.align_down(9);
             let huge_fits = huge_base >= vma.start
                 && huge_base.offset(SUPERPAGE_PAGES) <= vma.end();
@@ -831,7 +928,7 @@ impl Kernel {
                 (0..SUPERPAGE_PAGES)
                     .all(|i| process.page_table.translate(huge_base.offset(i)).is_none())
             };
-            if huge_fits && range_untouched() {
+            if decision == ThpDecision::Grant && huge_fits && range_untouched() {
                 if let Some(base_pfn) = self.alloc_superpage_with_defrag() {
                     self.install_super(asid, huge_base, base_pfn, vma.flags);
                     self.maybe_split_under_pressure();
@@ -839,6 +936,10 @@ impl Kernel {
                 }
                 self.stats.thp_fallbacks += 1;
                 self.note_thp_deferral(asid, huge_base);
+            } else if decision == ThpDecision::Defer && huge_fits {
+                // Base-fill now; khugepaged collapses the region once all
+                // its pages have faulted in.
+                self.policy_note_deferral(asid, huge_base);
             }
         }
         let pfn = self.alloc_single_via_pcp()?;
@@ -956,11 +1057,15 @@ impl Kernel {
     /// bounded at `max_migrations` of work (real direct compaction gives
     /// up rather than stalling the faulting process indefinitely).
     fn compact_bounded(&mut self, order: u32, max_migrations: u64) -> CompactionStats {
+        self.stats.policy_compactions_requested += 1;
+        let control =
+            CompactionControl { target_order: Some(order), max_migrations: Some(max_migrations) }
+                .scaled(self.policy().compaction_budget_factor());
         let stats = compaction::compact_logged(
             &mut self.buddy,
             &mut self.frames,
             &mut self.processes,
-            CompactionControl { target_order: Some(order), max_migrations: Some(max_migrations) },
+            control,
             &mut self.shootdowns,
         );
         self.stats.compaction_runs += 1;
@@ -979,19 +1084,26 @@ impl Kernel {
             self.reclaim_file_pages(spike);
         }
         // Background compaction exists to serve high-order (THP) demand:
-        // with THS off it almost never wakes up (paper §6.2, "disabling
-        // THS drastically reduces memory compaction daemon invocations").
+        // with THS off the default policy almost never wakes it up (paper
+        // §6.2, "disabling THS drastically reduces memory compaction
+        // daemon invocations"). The policy decides the trigger; the
+        // scenario's compaction mode still gates the daemon entirely.
         let scattered = self.buddy.small_free_fraction(6) > 0.30;
-        if self.config.ths_enabled
-            && self.config.compaction == CompactionMode::Normal
-            && (scattered
-                || self.buddy.fragmentation_index() > self.config.compaction_frag_threshold)
+        self.stats.policy_decisions += 1;
+        if self.config.compaction == CompactionMode::Normal
+            && self.policy().background_compaction(
+                self.config.ths_enabled,
+                scattered,
+                self.buddy.fragmentation_index(),
+                self.config.compaction_frag_threshold,
+            )
         {
+            self.stats.policy_compactions_requested += 1;
             if self.inject_compaction_abort() {
                 // The daemon's slice is skipped this round.
                 self.stats.compact_deferred += 1;
             } else {
-                let slice = (self.buddy.nr_frames() / 32).max(64);
+                let slice = self.policy().background_slice(self.buddy.nr_frames());
                 let stats = compaction::compact_logged(
                     &mut self.buddy,
                     &mut self.frames,
@@ -1057,11 +1169,13 @@ impl Kernel {
         if !eligible {
             return CollapseOutcome::Gone;
         }
-        match thp::collapse_scan(process, base_vpn) {
+        self.stats.policy_decisions += 1;
+        match thp::collapse_scan_policy(self.policy(), process, base_vpn) {
             thp::CollapseScan::Ineligible => return CollapseOutcome::Gone,
             thp::CollapseScan::Holes => return CollapseOutcome::Retry,
             thp::CollapseScan::Ready => {}
         }
+        self.stats.policy_collapses_triggered += 1;
         // The target block is an allocation like any other: subject to
         // injection, and to there simply being no order-9 block yet.
         if self.inject_alloc_failure() {
@@ -1107,7 +1221,8 @@ impl Kernel {
     fn maybe_split_under_pressure(&mut self) {
         const SPLITS_PER_ROUND: usize = 8;
         for _ in 0..SPLITS_PER_ROUND {
-            if !thp::pressure_should_split(
+            if !thp::pressure_should_split_policy(
+                self.policy(),
                 self.buddy.free_frames(),
                 self.buddy.nr_frames(),
                 self.config.thp_split_watermark,
@@ -1171,7 +1286,7 @@ impl Kernel {
         // touched again; the rest keep their full 512-page run.
         let hash = base_vpn.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let punctured = (hash >> 29) % 10 < 6;
-        if self.config.thp_split_puncture && punctured {
+        if self.policy().split_puncture(self.config.thp_split_puncture) && punctured {
             // Deterministic per-superpage stride in 32..=127.
             let stride = 32 + (hash >> 33) % 96;
             let mut i = stride;
@@ -1222,10 +1337,11 @@ impl Kernel {
     /// # Errors
     /// [`MemError::OutOfMemory`] when physical memory is exhausted.
     pub fn allocate_pinned(&mut self, pages: u64) -> MemResult<Vec<PfnRange>> {
+        let chunk_cap = 1u64 << self.policy().alloc_chunk_order(self.config.max_alloc_order);
         let mut out = Vec::new();
         let mut remaining = pages;
         while remaining > 0 {
-            let chunk = remaining.min(1 << self.config.max_alloc_order);
+            let chunk = remaining.min(chunk_cap);
             let run = match self.buddy.alloc_pages(chunk) {
                 Some(r) => r,
                 None => {
@@ -1333,6 +1449,7 @@ impl Snapshot for KernelConfig {
         enc.u32(self.max_alloc_order);
         enc.bool(self.thp_split_puncture);
         enc.u64(self.va_limit_pages);
+        self.policy.encode(enc);
         self.faults.encode(enc);
     }
 
@@ -1347,6 +1464,7 @@ impl Snapshot for KernelConfig {
             max_alloc_order: dec.u32()?,
             thp_split_puncture: dec.bool()?,
             va_limit_pages: dec.u64()?,
+            policy: PolicyKind::decode(dec)?,
             faults: Option::decode(dec)?,
         })
     }
@@ -1370,6 +1488,11 @@ impl Snapshot for KernelStats {
             self.compact_deferred,
             self.thp_deferred_retries,
             self.faults_injected,
+            self.policy_decisions,
+            self.policy_huge_grants,
+            self.policy_huge_denies,
+            self.policy_collapses_triggered,
+            self.policy_compactions_requested,
         ] {
             enc.u64(v);
         }
@@ -1392,6 +1515,11 @@ impl Snapshot for KernelStats {
             compact_deferred: dec.u64()?,
             thp_deferred_retries: dec.u64()?,
             faults_injected: dec.u64()?,
+            policy_decisions: dec.u64()?,
+            policy_huge_grants: dec.u64()?,
+            policy_huge_denies: dec.u64()?,
+            policy_collapses_triggered: dec.u64()?,
+            policy_compactions_requested: dec.u64()?,
         })
     }
 }

@@ -40,6 +40,7 @@ pub mod frames;
 pub mod kernel;
 pub mod memhog;
 pub mod page_table;
+pub mod policy;
 pub mod process;
 pub mod shootdown;
 pub mod snapshot;
@@ -51,4 +52,5 @@ pub use contiguity::ContiguityReport;
 pub use error::{MemError, MemResult};
 pub use faults::{DeliveryFault, FaultConfig, FaultPlan};
 pub use kernel::{Kernel, KernelConfig};
+pub use policy::{MmPolicy, PolicyKind};
 pub use snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};

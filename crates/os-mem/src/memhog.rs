@@ -56,12 +56,16 @@ impl Memhog {
     pub fn engage(kernel: &mut Kernel, config: MemhogConfig) -> MemResult<Self> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let target = (kernel.buddy().nr_frames() as f64 * config.fraction) as u64;
+        // The memory-management policy shapes the interference: a
+        // contiguity-greedy policy pins few large chunks (fragmenting
+        // little), an adversarial one pins single pages everywhere.
+        let max_chunk = kernel.policy().memhog_chunk_pages(config.max_chunk_pages).max(1);
         let mut held = Vec::new();
         let mut release_later = Vec::new();
         let mut claimed = 0u64;
         while claimed < target {
             let want = rng
-                .gen_range(1..=config.max_chunk_pages)
+                .gen_range(1..=max_chunk)
                 .min(target - claimed)
                 .max(1);
             let ranges = kernel.allocate_pinned(want)?;

@@ -10,7 +10,9 @@ use crate::addr::{Asid, Pfn, Vpn, SUPERPAGE_PAGES};
 use crate::buddy::BuddyAllocator;
 use crate::frames::{FrameDb, FrameState};
 use crate::page_table::PageKind;
+use crate::policy::MmPolicy;
 use crate::process::Process;
+use crate::vma::VmaKind;
 
 /// Attempts to allocate one naturally aligned 512-frame block for a
 /// superpage. Buddy order-9 blocks are aligned by construction, which is
@@ -87,6 +89,35 @@ pub fn collapse_scan(process: &Process, base_vpn: Vpn) -> CollapseScan {
 /// pages").
 pub fn pressure_should_split(free_frames: u64, total_frames: u64, watermark: f64) -> bool {
     (free_frames as f64) < watermark * total_frames as f64
+}
+
+/// [`collapse_scan`] behind the policy's collapse-eligibility gate: a
+/// policy that forbids collapse (only anonymous regions reach khugepaged)
+/// makes every region [`CollapseScan::Ineligible`] before the page walk.
+pub fn collapse_scan_policy(
+    policy: &dyn MmPolicy,
+    process: &Process,
+    base_vpn: Vpn,
+) -> CollapseScan {
+    if !policy.collapse_eligible(VmaKind::Anonymous) {
+        return CollapseScan::Ineligible;
+    }
+    collapse_scan(process, base_vpn)
+}
+
+/// [`pressure_should_split`] at the policy's effective watermark — the
+/// policy may tighten or relax the configured split threshold.
+pub fn pressure_should_split_policy(
+    policy: &dyn MmPolicy,
+    free_frames: u64,
+    total_frames: u64,
+    configured_watermark: f64,
+) -> bool {
+    pressure_should_split(
+        free_frames,
+        total_frames,
+        policy.split_watermark(configured_watermark),
+    )
 }
 
 #[cfg(test)]

@@ -87,11 +87,28 @@ impl AddressSpace {
     /// [`MemError::ZeroSizedRequest`] for empty requests and
     /// [`MemError::OutOfVirtualSpace`] when the layout region is full.
     pub fn reserve(&mut self, pages: u64, kind: VmaKind, flags: PteFlags) -> MemResult<Vma> {
+        self.reserve_hinted(pages, kind, flags, kind == VmaKind::Anonymous)
+    }
+
+    /// [`AddressSpace::reserve`] with an explicit alignment hint: the
+    /// memory-management policy decides whether a large area gets a
+    /// superpage-aligned start (a THP-hostile policy withholds it, so the
+    /// region can never be backed — or collapsed — hugely).
+    ///
+    /// # Errors
+    /// As [`AddressSpace::reserve`].
+    pub fn reserve_hinted(
+        &mut self,
+        pages: u64,
+        kind: VmaKind,
+        flags: PteFlags,
+        huge_align: bool,
+    ) -> MemResult<Vma> {
         if pages == 0 {
             return Err(MemError::ZeroSizedRequest);
         }
         let mut start = self.next_vpn;
-        if kind == VmaKind::Anonymous && pages >= SUPERPAGE_PAGES {
+        if huge_align && pages >= SUPERPAGE_PAGES {
             start = (start + SUPERPAGE_PAGES - 1) & !(SUPERPAGE_PAGES - 1);
         }
         let end = start

@@ -17,6 +17,7 @@ use colt_os_mem::error::MemResult;
 use colt_os_mem::faults::FaultConfig;
 use colt_os_mem::kernel::{CompactionMode, Kernel, KernelConfig};
 use colt_os_mem::memhog::{Memhog, MemhogConfig};
+use colt_os_mem::policy::PolicyKind;
 use colt_os_mem::snapshot::{Dec, Enc, SnapResult, Snapshot, SnapshotError};
 use colt_os_mem::vma::VmaKind;
 use colt_prng::rngs::StdRng;
@@ -58,6 +59,10 @@ pub struct Scenario {
     /// scenario boots (`None` keeps preparation bit-identical to the
     /// fault-free baseline).
     pub faults: Option<FaultConfig>,
+    /// Memory-management policy governing the kernel this scenario boots
+    /// (THP grants, compaction triggering, reclaim order, placement).
+    /// [`PolicyKind::Default`] reproduces historical behavior exactly.
+    pub policy: PolicyKind,
 }
 
 impl Scenario {
@@ -73,6 +78,7 @@ impl Scenario {
             dirty_fraction: 0.0,
             seed: 0xC011_7E57,
             faults: None,
+            policy: PolicyKind::Default,
         }
     }
 
@@ -87,6 +93,25 @@ impl Scenario {
     #[must_use]
     pub fn with_dirty_fraction(mut self, fraction: f64) -> Self {
         self.dirty_fraction = fraction;
+        self
+    }
+
+    /// Boots the scenario's kernel under `policy`. Non-default policies
+    /// are reflected in the scenario name (and hence in snapshot-cache
+    /// keys and result labels); the default policy leaves the name — and
+    /// every prepared byte — untouched.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        if self.policy != PolicyKind::Default {
+            // Strip a previously appended suffix before re-tagging.
+            if let Some(pos) = self.name.rfind(" [policy=") {
+                self.name.truncate(pos);
+            }
+        }
+        self.policy = policy;
+        if policy != PolicyKind::Default {
+            self.name.push_str(&format!(" [policy={}]", policy.name()));
+        }
         self
     }
 
@@ -186,6 +211,7 @@ impl Scenario {
             ths_enabled: self.ths,
             compaction: self.compaction,
             faults: self.faults,
+            policy: self.policy,
             ..KernelConfig::default()
         });
         age_system(&mut kernel, self.aging, self.seed)?;
@@ -242,6 +268,7 @@ impl Scenario {
             ths_enabled: self.ths,
             compaction: self.compaction,
             faults: self.faults,
+            policy: self.policy,
             ..KernelConfig::default()
         });
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA6E5);
@@ -727,5 +754,85 @@ mod tests {
             a.contiguity().average_contiguity(),
             b.contiguity().average_contiguity()
         );
+    }
+
+    #[test]
+    fn with_policy_tags_names_only_for_non_default_policies() {
+        let base = Scenario::default_linux();
+        let name = base.name.clone();
+        assert_eq!(base.clone().with_policy(PolicyKind::Default).name, name);
+        let greedy = base.clone().with_policy(PolicyKind::GreedyContig);
+        assert_eq!(greedy.name, format!("{name} [policy=greedy_contig]"));
+        // Re-tagging replaces, never stacks, the suffix.
+        let retagged = greedy.with_policy(PolicyKind::Adversarial);
+        assert_eq!(retagged.name, format!("{name} [policy=adversarial]"));
+        assert_eq!(retagged.clone().with_policy(PolicyKind::Default).name, name);
+    }
+
+    #[test]
+    fn default_policy_prepares_byte_identically() {
+        let spec = benchmark("Gobmk").unwrap();
+        let plain = Scenario::default_linux().prepare(&spec).unwrap();
+        let tagged = Scenario::default_linux()
+            .with_policy(PolicyKind::Default)
+            .prepare(&spec)
+            .unwrap();
+        let enc_of = |w: &PreparedWorkload| {
+            let mut enc = Enc::new();
+            w.encode_snapshot(&mut enc);
+            enc.finish()
+        };
+        assert_eq!(enc_of(&plain), enc_of(&tagged), "DefaultPolicy must be a no-op");
+    }
+
+    #[test]
+    fn no_thp_policy_backs_nothing_hugely() {
+        let spec = benchmark("Sjeng").unwrap(); // big chunks: THP bait
+        let w = Scenario::default_linux()
+            .with_policy(PolicyKind::NoThp)
+            .prepare(&spec)
+            .unwrap();
+        let stats = w.kernel.stats();
+        assert_eq!(stats.thp_allocs, 0, "NoThp must deny every huge grant");
+        assert_eq!(stats.policy_collapses_triggered, 0, "NoThp must veto khugepaged");
+        assert!(stats.policy_huge_denies > 0, "denials must be counted");
+        assert_eq!(w.kernel.process(w.asid).unwrap().page_table().stats().superpages, 0);
+    }
+
+    #[test]
+    fn policy_contiguity_orders_greedy_above_default_above_adversarial() {
+        let spec = benchmark("Mcf").unwrap();
+        let contig = |kind| {
+            Scenario::default_linux()
+                .with_policy(kind)
+                .prepare(&spec)
+                .unwrap()
+                .contiguity()
+                .average_contiguity()
+        };
+        let greedy = contig(PolicyKind::GreedyContig);
+        let default = contig(PolicyKind::Default);
+        let adversarial = contig(PolicyKind::Adversarial);
+        assert!(
+            greedy >= default,
+            "greedy_contig ({greedy:.2}) must not trail default ({default:.2})"
+        );
+        assert!(
+            default > adversarial,
+            "default ({default:.2}) must beat adversarial ({adversarial:.2})"
+        );
+    }
+
+    #[test]
+    fn non_default_policy_counters_are_live() {
+        let spec = benchmark("Gobmk").unwrap();
+        let w = Scenario::default_linux()
+            .with_policy(PolicyKind::GreedyContig)
+            .prepare(&spec)
+            .unwrap();
+        let stats = w.kernel.stats();
+        assert!(stats.policy_decisions > 0);
+        assert!(stats.policy_huge_grants > 0);
+        assert!(stats.policy_compactions_requested > 0);
     }
 }

@@ -57,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dirty_fraction: 0.0,
         seed: 7,
         faults: None,
+        // The stock MM policy; try PolicyKind::GreedyContig or
+        // PolicyKind::Adversarial to move the contiguity the OS hands
+        // the TLB (see DESIGN.md §14).
+        policy: colt_os_mem::policy::PolicyKind::Default,
     };
 
     let workload = scenario.prepare(&spec)?;

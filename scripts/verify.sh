@@ -5,6 +5,8 @@
 # (kill a sweep mid-run, --resume, diff against an uninterrupted
 # reference), a snapshot-cache cold/warm smoke, a serve smoke (resident
 # server + load generator, with a served-vs-direct byte-identity check),
+# an MM-policy smoke (the policy sweep on a small grid, a
+# `--policy default` byte-identity diff, and policy-counter gates),
 # and a quick parallel smoke sweep with a throughput regression gate.
 #
 # The gate compares the smoke sweep's aggregate refs/sec against the
@@ -101,10 +103,56 @@ echo "== fault-injection oracle fuzz: repro pressure --check =="
 CRASH_DIR=$(mktemp -d)
 CACHE_DIR=$(mktemp -d)
 SERVE_DIR=$(mktemp -d)
-trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR" "$SERVE_DIR"' EXIT
+POLICY_DIR=$(mktemp -d)
+trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR" "$SERVE_DIR" "$POLICY_DIR"' EXIT
+REPRO="$PWD/target/release/repro"
+
+# MM-policy smoke: a small policy-sweep grid (every shipped policy x
+# one benchmark x the checker's 8 TLB configs), plus the byte-identity
+# contract: `--policy default` must be a byte-level no-op on a headline
+# table, and every non-default policy must actually exercise its hooks
+# (nonzero policy-decision counters in the summaries). Runs before the
+# smoke sweep so $BASELINE still ends up holding the perf-gate numbers.
+POLICY_ARGS=(--quick --bench Gobmk --jobs "$(nproc)" policy)
+echo "== policy smoke: repro ${POLICY_ARGS[*]} =="
+./target/release/repro "${POLICY_ARGS[@]}" > /dev/null
+if [[ ! -f results/BENCH_policy.json ]]; then
+    echo "FAIL: policy smoke did not write results/BENCH_policy.json" >&2
+    exit 1
+fi
+if ! grep -q '"failures": \[\]' results/BENCH_policy.json; then
+    echo "FAIL: results/BENCH_policy.json reports failed sweep cells" >&2
+    exit 1
+fi
+for pol in greedy_contig adversarial no_thp defer_thp; do
+    if ! grep "\"policy\": \"$pol\"" results/BENCH_policy.json \
+            | grep -o '"decisions": [0-9]*' \
+            | awk '{ sum += $2 } END { exit !(sum > 0) }'; then
+        echo "FAIL: policy smoke shows zero policy decisions under $pol" >&2
+        exit 1
+    fi
+done
+# The policy-dependence spread the experiment exists to measure:
+# greedy_contig must hand the TLB at least as much contiguity as the
+# stock kernel, and adversarial strictly less.
+summary_contig() {
+    grep "\"policy\": \"$1\"" results/BENCH_policy.json \
+        | grep -o '"avg_contiguity": [0-9.]*' | head -n1 | awk '{print $2}'
+}
+if ! awk -v g="$(summary_contig greedy_contig)" -v d="$(summary_contig default)" \
+        -v a="$(summary_contig adversarial)" 'BEGIN { exit !(g >= d && d > a) }'; then
+    echo "FAIL: policy contiguity spread broken (greedy=$(summary_contig greedy_contig) default=$(summary_contig default) adversarial=$(summary_contig adversarial))" >&2
+    exit 1
+fi
+(cd "$POLICY_DIR" && "$REPRO" --quick --bench Gobmk,Bzip2 fig18 --csv > default_implicit.csv)
+(cd "$POLICY_DIR" && "$REPRO" --quick --bench Gobmk,Bzip2 --policy default fig18 --csv > default_explicit.csv)
+if ! cmp -s "$POLICY_DIR/default_implicit.csv" "$POLICY_DIR/default_explicit.csv"; then
+    echo "FAIL: --policy default changed headline-table bytes" >&2
+    exit 1
+fi
+echo "policy smoke passed (5 policies swept, default byte-identical, contiguity spread holds)"
 CRASH_ARGS=(--quick --bench Sjeng --faults rate=0.3,window=50,seed=11
             --jobs "$(nproc)" pressure --csv)
-REPRO="$PWD/target/release/repro"
 echo "== crash-recovery smoke: kill mid-sweep, then --resume =="
 (cd "$CRASH_DIR" && "$REPRO" "${CRASH_ARGS[@]}" > ref.csv)
 cp "$CRASH_DIR/results/BENCH_pressure.json" "$CRASH_DIR/ref_pressure.json"

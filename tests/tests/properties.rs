@@ -3,6 +3,7 @@
 
 use colt_core::sim::{self, SimConfig};
 use colt_os_mem::kernel::CompactionMode;
+use colt_os_mem::policy::PolicyKind;
 use colt_tlb::config::TlbConfig;
 use colt_workloads::background::AgingConfig;
 use colt_workloads::calibration::paper_benchmark;
@@ -44,7 +45,7 @@ fn arbitrary_spec() -> impl Strategy<Value = BenchmarkSpec> {
         })
 }
 
-fn small_scenario(ths: bool, low_compaction: bool, seed: u64) -> Scenario {
+fn small_scenario(ths: bool, low_compaction: bool, seed: u64, policy: PolicyKind) -> Scenario {
     Scenario {
         name: "fuzz".into(),
         ths,
@@ -56,7 +57,18 @@ fn small_scenario(ths: bool, low_compaction: bool, seed: u64) -> Scenario {
         dirty_fraction: 0.0,
         seed,
         faults: None,
+        policy,
     }
+}
+
+fn arbitrary_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Default),
+        Just(PolicyKind::GreedyContig),
+        Just(PolicyKind::Adversarial),
+        Just(PolicyKind::NoThp),
+        Just(PolicyKind::DeferThp),
+    ]
 }
 
 proptest! {
@@ -71,8 +83,9 @@ proptest! {
         ths in prop::bool::ANY,
         low in prop::bool::ANY,
         seed in 0u64..500,
+        policy in arbitrary_policy(),
     ) {
-        let scenario = small_scenario(ths, low, seed);
+        let scenario = small_scenario(ths, low, seed, policy);
         let workload = scenario.prepare(&spec).expect("scenario sized generously");
         prop_assert_eq!(workload.footprint.len() as u64, spec.footprint_pages);
 
@@ -99,8 +112,12 @@ proptest! {
     /// Baseline misses upper-bound what coalescing can eliminate: a CoLT
     /// design never eliminates more misses than the baseline had.
     #[test]
-    fn elimination_is_bounded_by_baseline(spec in arbitrary_spec(), seed in 0u64..100) {
-        let scenario = small_scenario(true, false, seed);
+    fn elimination_is_bounded_by_baseline(
+        spec in arbitrary_spec(),
+        seed in 0u64..100,
+        policy in arbitrary_policy(),
+    ) {
+        let scenario = small_scenario(true, false, seed, policy);
         let workload = scenario.prepare(&spec).expect("fits");
         let base = sim::run(&workload, &SimConfig::new(TlbConfig::baseline()).with_accesses(5_000));
         for config in [TlbConfig::colt_sa(), TlbConfig::colt_fa(), TlbConfig::colt_all()] {
