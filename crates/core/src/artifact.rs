@@ -251,6 +251,32 @@ pub fn quarantine_if_corrupt(path: &Path) -> io::Result<Option<PathBuf>> {
     Ok(Some(dest))
 }
 
+/// Every `*.corrupt-<n>` quarantine file under `dir`, recursively, in
+/// sorted order. These are the artifacts [`quarantine_if_corrupt`] set
+/// aside after a crash; `repro` reports them loudly at startup so the
+/// evidence is noticed instead of silently accumulating.
+pub fn find_quarantined(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".corrupt-"))
+            {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
 /// Atomically writes `json` to `path` (temp file + fsync + rename +
 /// directory fsync), then reads it back and re-validates. Returns the
 /// display path. Any failure — including an unparseable read-back — is
@@ -613,6 +639,25 @@ mod tests {
         assert!(validate_json("{\"a\": 1}garbage").is_err(), "trailing bytes");
         assert!(validate_json("{\"a\": 01x}").is_err(), "bad number");
         assert!(validate_json("{\"a\": \"unterminated}").is_err());
+    }
+
+    #[test]
+    fn find_quarantined_scans_recursively_and_sorts() {
+        let dir = std::env::temp_dir().join(format!(
+            "colt-artifact-quarantine-scan-{}",
+            std::process::id()
+        ));
+        let nested = dir.join("journal").join("deep");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(dir.join("b.json.corrupt-2"), "x").unwrap();
+        std::fs::write(nested.join("a.jsonl.corrupt-1"), "x").unwrap();
+        std::fs::write(dir.join("healthy.json"), "{}").unwrap();
+        let found = find_quarantined(&dir);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].ends_with("b.json.corrupt-2"), "sorted: {found:?}");
+        assert!(found[1].ends_with("journal/deep/a.jsonl.corrupt-1"), "{found:?}");
+        assert!(find_quarantined(&dir.join("missing")).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

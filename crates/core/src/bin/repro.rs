@@ -7,6 +7,7 @@
 //! repro --check [--seeds N] [--events N] [--jobs N] [--faults SPEC]
 //! repro serve [--port N] [--port-file PATH] [--jobs N] [--quota N] ...
 //! repro serve-bench --port N [--conns N] [--requests N] [--verify-sweep] ...
+//! repro chaos-serve [--chaos rate=R,window=W,seed=S] [--conns N] ...
 //!
 //! experiments:
 //!   table1        Table 1   real-system MPMIs, THS on/off
@@ -125,10 +126,39 @@ fn usage() -> ! {
          \u{20}              (line-delimited JSON; 'repro serve --help')\n\
          \u{20} serve-bench  load generator + determinism checker for serve;\n\
          \u{20}              writes results/BENCH_serve.json\n\
+         \u{20} chaos-serve  seeded network-fault soak of serve (deadlines,\n\
+         \u{20}              retries, shedding, drain); writes\n\
+         \u{20}              results/BENCH_chaos.json, nonzero exit on any\n\
+         \u{20}              failed verdict\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Reports `.corrupt-<n>` quarantine files left under the journal and
+/// snapshot directories by earlier crashed runs — count and paths, on
+/// stderr, so the evidence is seen instead of silently piling up. The
+/// files themselves are left alone (they are the post-mortem).
+fn report_quarantined() {
+    let mut found = Vec::new();
+    for dir in ["results/journal", "results/snapshots"] {
+        found.extend(artifact::find_quarantined(Path::new(dir)));
+    }
+    if found.is_empty() {
+        return;
+    }
+    eprintln!(
+        "warning: {} quarantined artifact(s) from earlier crashed runs:",
+        found.len()
+    );
+    for path in &found {
+        eprintln!("warning:   {}", path.display());
+    }
+    eprintln!(
+        "warning: inspect or delete them; new runs never read or overwrite \
+         quarantine files"
+    );
 }
 
 /// Clamps a zero flag value to 1, telling the user instead of silently
@@ -151,8 +181,12 @@ fn main() -> ExitCode {
     match raw.first().map(String::as_str) {
         Some("serve") => return colt_core::serve::cli(&raw[1..]),
         Some("serve-bench") => return colt_core::serve_bench::cli(&raw[1..]),
+        Some("chaos-serve") => return colt_core::chaos_serve::cli(&raw[1..]),
         _ => {}
     }
+    // Quarantine files are crash evidence a human should look at; say
+    // so loudly before any new run buries them deeper.
+    report_quarantined();
     let mut opts = ExperimentOptions::default();
     if let Ok(jobs) = std::env::var("COLT_JOBS") {
         match jobs.parse::<u64>() {

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod artifact;
+pub mod chaos_serve;
 pub mod check;
 pub mod experiments;
 pub mod journal;

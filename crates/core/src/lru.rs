@@ -88,6 +88,12 @@ impl<V> LruMap<V> {
         self.entries.clear();
     }
 
+    /// Iterates entries from least- to most-recently-used without
+    /// touching the recency order (for persistence at graceful drain).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
     fn trim(&mut self) -> u64 {
         let Some(cap) = self.cap else { return 0 };
         let mut evicted = 0;

@@ -110,6 +110,7 @@ impl SweepCell<SimResult> {
 pub struct SweepTask<R> {
     label: String,
     refs: u64,
+    expires_at: Option<Instant>,
     job: Arc<dyn Fn() -> R + Send + Sync>,
 }
 
@@ -120,9 +121,23 @@ impl<R> SweepTask<R> {
         refs: u64,
         job: impl Fn() -> R + Send + Sync + 'static,
     ) -> Self {
-        Self { label: label.into(), refs, job: Arc::new(job) }
+        Self { label: label.into(), refs, expires_at: None, job: Arc::new(job) }
+    }
+
+    /// Attaches a dispatch deadline: if the engine picks the task up
+    /// after `at`, it fails with [`EXPIRED_IN_QUEUE`] *without running*
+    /// — under overload, work whose requester already deadlined out
+    /// must not burn a worker slot. Final (never retried).
+    pub fn with_expiry(mut self, at: Instant) -> Self {
+        self.expires_at = Some(at);
+        self
     }
 }
+
+/// Failure payload of a task whose [`SweepTask::with_expiry`] deadline
+/// passed while it waited for a worker. Callers (the serve dispatcher)
+/// match on this to answer `deadline_exceeded` instead of `error`.
+pub const EXPIRED_IN_QUEUE: &str = "deadline exceeded before dispatch";
 
 /// What became of one sweep cell: its result, or a description of why
 /// it died while the rest of the sweep carried on.
@@ -466,6 +481,7 @@ struct Item<R> {
     benchmark: String,
     scenario_name: String,
     refs: u64,
+    expires_at: Option<Instant>,
     work: Work<R>,
 }
 
@@ -789,6 +805,21 @@ fn engine<R: Send + 'static>(
                         prep_seconds: 0.0,
                         sim_seconds: 0.0,
                     };
+                    // A task whose requester's deadline already passed
+                    // is dead on arrival: fail it finally (no retries —
+                    // an expired task stays expired) without spending a
+                    // worker slot on work nobody is waiting for.
+                    if item.expires_at.is_some_and(|at| Instant::now() >= at) {
+                        let outcome = CellOutcome::Failed {
+                            label: item.label.clone(),
+                            payload: EXPIRED_IN_QUEUE.to_string(),
+                        };
+                        journal_outcome(&opts.hook, &item, &outcome, &metric);
+                        *relock(completed) += 1;
+                        idle_cv.notify_all();
+                        let _ = tx.send((item.idx, outcome, metric));
+                        continue;
+                    }
                     // One attempt: obtain the shared preparation (cells
                     // only) without blocking this worker, then run the
                     // job under the watchdog.
@@ -863,6 +894,7 @@ fn cell_items<R>(cells: Vec<SweepCell<R>>) -> Vec<Item<R>> {
             benchmark: cell.spec.name.to_string(),
             scenario_name: cell.scenario.name.clone(),
             refs: cell.refs,
+            expires_at: None,
             work: Work::Cell {
                 scenario: cell.scenario,
                 spec: cell.spec,
@@ -883,6 +915,7 @@ fn task_items<R>(tasks: Vec<SweepTask<R>>) -> Vec<Item<R>> {
             benchmark: String::new(),
             scenario_name: String::new(),
             refs: task.refs,
+            expires_at: task.expires_at,
             work: Work::Task { job: task.job },
         })
         .collect()
@@ -999,6 +1032,44 @@ mod tests {
             vec![SweepTask::new("plain".to_string(), 0, || 7)];
         let _ = run_tasks(plain, 1);
         assert_eq!(take_metrics().len(), 1);
+    }
+
+    #[test]
+    fn expired_tasks_fail_without_running_and_fresh_ones_still_run() {
+        let _g = drain_lock();
+        let _ = take_metrics();
+        let ran = Arc::new(AtomicU32::new(0));
+        let past = Instant::now() - Duration::from_millis(1);
+        let future = Instant::now() + Duration::from_secs(60);
+        let mk = |label: &str, at: Instant, ran: &Arc<AtomicU32>| {
+            let ran = Arc::clone(ran);
+            SweepTask::new(label.to_string(), 0, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                1u32
+            })
+            .with_expiry(at)
+        };
+        let tasks = vec![
+            mk("expired", past, &ran),
+            mk("fresh", future, &ran),
+            SweepTask::new("no-deadline".to_string(), 0, {
+                let ran = Arc::clone(&ran);
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    2u32
+                }
+            }),
+        ];
+        let out = run_tasks_service(tasks, 2);
+        match &out[0] {
+            CellOutcome::Failed { payload, .. } => {
+                assert_eq!(payload, EXPIRED_IN_QUEUE, "expired task fails with the marker")
+            }
+            other => panic!("expired task must fail, got {other:?}"),
+        }
+        assert!(matches!(out[1], CellOutcome::Ok(1)));
+        assert!(matches!(out[2], CellOutcome::Ok(2)));
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "the expired job never ran");
     }
 
     #[test]

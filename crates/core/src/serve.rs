@@ -49,9 +49,14 @@
 //! ```
 //!
 //! Every response carries `"ok": true|false`; rejections carry
-//! `"rejected": "quota"|"busy"` so clients can distinguish overload
-//! from errors. See DESIGN.md §13 for the architecture discussion and
-//! `repro serve-bench` ([`crate::serve_bench`]) for the load generator.
+//! `"rejected": "quota"|"busy"|"shed"|"too_large"|"deadline"|"malformed"`
+//! so clients can distinguish overload from errors. Requests may carry
+//! `"deadline_ms"` (per-request deadline, clamped to the server bound)
+//! and sweeps an `"idem"` idempotency key so retried requests provably
+//! coalesce onto the original single-flight leader. See DESIGN.md §13
+//! for the serving architecture, §15 for the chaos-hardening layer
+//! ([`chaos`], deadlines, shedding, graceful drain), and `repro
+//! serve-bench` ([`crate::serve_bench`]) for the load generator.
 
 use crate::experiments::{run_named, ExperimentOptions};
 use crate::journal::{fingerprint_bucket, fingerprint_of};
@@ -74,6 +79,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+pub mod chaos;
 pub mod json;
 
 fn relock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -116,6 +122,30 @@ pub struct ServeConfig {
     /// Upper bound on per-request access budgets (a client asking for
     /// billions of references is clamped, loudly, in the response).
     pub max_accesses: u64,
+    /// Longest request line accepted, in bytes; past it the line is
+    /// drained and rejected with `"rejected": "too_large"` (the
+    /// connection stays usable).
+    pub max_line_bytes: usize,
+    /// Server-wide ceiling on per-request deadlines. Requests may ask
+    /// for less via `"deadline_ms"`; past the deadline the request is
+    /// rejected with `"rejected": "deadline"` and its queue slot freed.
+    pub deadline_ms: u64,
+    /// Dispatch-queue high-water mark past which sweeps are shed
+    /// (`"rejected": "shed"`) while translates still queue — load is
+    /// shed by op priority. `None` derives ~3/4 of `queue_cap`.
+    pub queue_high_water: Option<usize>,
+    /// How long a partially written request line may stall before the
+    /// client is evicted (and how long a response write may block).
+    pub slow_client_ms: u64,
+    /// Graceful-drain budget at shutdown: how long to wait for
+    /// in-flight sweep leaders before declaring the drain dirty.
+    pub drain_ms: u64,
+    /// Where to persist the sweep result cache at graceful drain (and
+    /// reload it from at startup). `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Deterministic network-fault injection (soak harness); `None` in
+    /// production.
+    pub chaos: Option<chaos::ChaosConfig>,
     /// Suppress the listening/summary lines (tests).
     pub quiet: bool,
 }
@@ -134,6 +164,13 @@ impl Default for ServeConfig {
             result_cache_cap: 64,
             batch_max: 64,
             max_accesses: 10_000_000,
+            max_line_bytes: 64 * 1024,
+            deadline_ms: 600_000,
+            queue_high_water: None,
+            slow_client_ms: 10_000,
+            drain_ms: 30_000,
+            cache_dir: None,
+            chaos: None,
             quiet: false,
         }
     }
@@ -148,7 +185,21 @@ impl ServeConfig {
         self.batch_max = self.batch_max.max(1);
         self.max_conns = self.max_conns.max(1);
         self.max_accesses = self.max_accesses.max(1);
+        self.max_line_bytes = self.max_line_bytes.max(64);
+        self.deadline_ms = self.deadline_ms.max(1);
+        self.slow_client_ms = self.slow_client_ms.max(1);
         self
+    }
+
+    /// The resolved shedding threshold. An explicit `Some(0)` sheds
+    /// every sweep (tests); with no explicit mark a zero-capacity queue
+    /// (backpressure tests) never sheds — translates already bounce.
+    fn high_water(&self) -> usize {
+        match self.queue_high_water {
+            Some(n) => n,
+            None if self.queue_cap == 0 => usize::MAX,
+            None => (self.queue_cap * 3 / 4).max(1),
+        }
     }
 }
 
@@ -177,6 +228,13 @@ struct Counters {
     shard_hits: AtomicU64,
     shard_evictions: AtomicU64,
     bad_requests: AtomicU64,
+    rejected_malformed: AtomicU64,
+    rejected_too_large: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_shed: AtomicU64,
+    evicted_slow: AtomicU64,
+    panics: AtomicU64,
+    idem_hits: AtomicU64,
 }
 
 impl Counters {
@@ -204,6 +262,9 @@ struct TranslateJob {
     scenario: Scenario,
     spec: BenchmarkSpec,
     sim_cfg: SimConfig,
+    /// Past this instant the work is dropped unrun (the runner checks
+    /// at dispatch) and the handler answers `"rejected": "deadline"`.
+    deadline: Instant,
     reply: mpsc::Sender<Result<SimResult, String>>,
 }
 
@@ -223,6 +284,14 @@ pub struct ServerState {
     queue_cv: Condvar,
     shutdown: AtomicBool,
     active_conns: AtomicU64,
+    /// Sweep leaders whose compute thread has not yet landed its bytes;
+    /// graceful drain waits for this to hit zero.
+    inflight_sweeps: AtomicU64,
+    /// Idempotency keys seen recently, mapped to the sweep cache key
+    /// they resolved to (proves retried requests coalesce).
+    idem: Mutex<LruMap<String>>,
+    /// Armed only by the `repro chaos-serve` soak harness.
+    chaos: Option<Mutex<chaos::ChaosPlan>>,
     c: Counters,
 }
 
@@ -331,18 +400,41 @@ pub struct ServeSummary {
     pub rejected_quota: u64,
     /// Requests politely rejected under backpressure (full queue).
     pub rejected_busy: u64,
+    /// Sweeps shed past the dispatch-queue high-water mark.
+    pub rejected_shed: u64,
+    /// Request lines rejected for exceeding the line-length bound.
+    pub rejected_too_large: u64,
+    /// Requests that ran out of deadline before an answer landed.
+    pub rejected_deadline: u64,
+    /// Request lines rejected as unparseable JSON.
+    pub rejected_malformed: u64,
+    /// Connections evicted for stalling mid-request-line.
+    pub evicted_slow: u64,
+    /// Sweep computations that panicked (caught; the server survived).
+    pub panics: u64,
+    /// Retried sweeps whose idempotency key was recognized.
+    pub idem_hits: u64,
     /// Dispatched cells that failed or were quarantined.
     pub failed_cells: u64,
+    /// Network faults injected by the chaos plan (zero when unarmed).
+    pub chaos: chaos::ChaosCounts,
+    /// Sweep-cache entries persisted to `cache_dir` at drain.
+    pub persisted: u64,
+    /// True when every in-flight sweep landed and the queue emptied
+    /// within the drain budget.
+    pub drained_clean: bool,
 }
 
 impl ServeSummary {
     /// The shutdown report `scripts/verify.sh` greps ("clean shutdown",
     /// "quarantined cells: N").
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "repro serve: clean shutdown — {} request(s): {} translate(s), \
              {} sweep(s) ({} cached, {} coalesced), {} quota-rejected, \
-             {} busy-rejected, quarantined cells: {}",
+             {} busy-rejected, {} shed, {} too-large, {} deadline, \
+             {} malformed, {} slow-evicted, {} panic(s), quarantined cells: {}, \
+             drain: {}",
             self.requests,
             self.translates,
             self.sweeps,
@@ -350,12 +442,44 @@ impl ServeSummary {
             self.sweep_coalesced,
             self.rejected_quota,
             self.rejected_busy,
-            self.failed_cells
-        )
+            self.rejected_shed,
+            self.rejected_too_large,
+            self.rejected_deadline,
+            self.rejected_malformed,
+            self.evicted_slow,
+            self.panics,
+            self.failed_cells,
+            if self.drained_clean { "clean" } else { "timed out" },
+        );
+        if self.persisted > 0 {
+            line.push_str(&format!(", persisted {} cached sweep(s)", self.persisted));
+        }
+        if self.chaos.total() > 0 {
+            line.push_str(&format!(
+                ", chaos: {} fault(s) injected ({} torn, {} reset, {} stalled, {} accept)",
+                self.chaos.total(),
+                self.chaos.torn_frames,
+                self.chaos.resets,
+                self.chaos.stalls,
+                self.chaos.accept_hiccups,
+            ));
+        }
+        line
     }
 }
 
 impl ServerHandle {
+    /// Initiates shutdown from the owning process, exactly as a
+    /// `{"op":"shutdown"}` request would. The escape hatch for the
+    /// chaos soak: at extreme fault rates every polite shutdown
+    /// attempt can be eaten by the plan itself, and [`wait`] would
+    /// otherwise block forever.
+    ///
+    /// [`wait`]: ServerHandle::wait
+    pub fn trigger_shutdown(&self) {
+        nudge_shutdown(&self.state);
+    }
+
     /// Blocks until the server shuts down (a client sent
     /// `{"op":"shutdown"}`), then returns the lifetime summary.
     pub fn wait(self) -> ServeSummary {
@@ -369,6 +493,25 @@ impl ServerHandle {
         {
             std::thread::sleep(Duration::from_millis(10));
         }
+        // Graceful drain: in-flight sweep leaders keep computing past
+        // their clients' deadlines (the bytes land in the cache); give
+        // them the drain budget to finish instead of losing the work.
+        let drain_deadline =
+            Instant::now() + Duration::from_millis(self.state.cfg.drain_ms);
+        let mut drained_clean = true;
+        while self.state.inflight_sweeps.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= drain_deadline {
+                drained_clean = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The dispatcher drains its queue before exiting; anything left
+        // is a job that slipped in after it looked — a leaked slot.
+        if !relock(&self.state.queue).is_empty() {
+            drained_clean = false;
+        }
+        let persisted = persist_results(&self.state);
         let c = &self.state.c;
         ServeSummary {
             requests: c.requests.load(Ordering::Relaxed),
@@ -378,9 +521,94 @@ impl ServerHandle {
             sweep_coalesced: c.sweep_coalesced.load(Ordering::Relaxed),
             rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
             rejected_busy: c.rejected_busy.load(Ordering::Relaxed),
+            rejected_shed: c.rejected_shed.load(Ordering::Relaxed),
+            rejected_too_large: c.rejected_too_large.load(Ordering::Relaxed),
+            rejected_deadline: c.rejected_deadline.load(Ordering::Relaxed),
+            rejected_malformed: c.rejected_malformed.load(Ordering::Relaxed),
+            evicted_slow: c.evicted_slow.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            idem_hits: c.idem_hits.load(Ordering::Relaxed),
             failed_cells: c.failed_cells.load(Ordering::Relaxed),
+            chaos: self
+                .state
+                .chaos
+                .as_ref()
+                .map_or_else(chaos::ChaosCounts::default, |p| relock(p).counts()),
+            persisted,
+            drained_clean,
         }
     }
+}
+
+/// Persists every cached sweep result to `cache_dir` at graceful drain
+/// — one fsynced JSON artifact per entry, written atomically via
+/// [`crate::artifact::atomic_write_json`]. Returns how many landed.
+fn persist_results(state: &ServerState) -> u64 {
+    let Some(dir) = &state.cfg.cache_dir else { return 0 };
+    let results = relock(&state.results);
+    let mut persisted = 0;
+    for (key, bytes) in results.iter() {
+        let body = format!(
+            "{{\"schema\": \"colt-serve-cache/v1\", \"key\": \"{}\", \"bytes\": \"{}\"}}",
+            crate::artifact::json_escape(key),
+            crate::artifact::json_escape(bytes),
+        );
+        let path = dir.join(format!("sweep-{}.json", fingerprint_of(key)));
+        if crate::artifact::atomic_write_json(&path, &body).is_ok() {
+            persisted += 1;
+        }
+    }
+    persisted
+}
+
+/// Reloads sweep results persisted by an earlier drain, quarantining
+/// (and reporting) any artifact that no longer parses. Returns
+/// `(loaded, quarantined)`.
+fn load_persisted_results(
+    dir: &std::path::Path,
+    results: &Mutex<LruMap<Arc<String>>>,
+    quiet: bool,
+) -> (u64, u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return (0, 0) };
+    let (mut loaded, mut quarantined) = (0, 0);
+    let mut paths: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("sweep-") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        if let Ok(Some(dest)) = crate::artifact::quarantine_if_corrupt(&path) {
+            quarantined += 1;
+            if !quiet {
+                eprintln!(
+                    "repro serve: quarantined corrupt cache artifact {} -> {}",
+                    path.display(),
+                    dest.display()
+                );
+            }
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(doc) = json::parse(&text) else { continue };
+        let (key, bytes) = match (
+            doc.get("schema").and_then(json::Json::as_str),
+            doc.get("key").and_then(json::Json::as_str),
+            doc.get("bytes").and_then(json::Json::as_str),
+        ) {
+            (Some("colt-serve-cache/v1"), Some(k), Some(b)) => {
+                (k.to_string(), b.to_string())
+            }
+            _ => continue,
+        };
+        relock(results).insert(key, Arc::new(bytes));
+        loaded += 1;
+    }
+    (loaded, quarantined)
 }
 
 /// Binds, spawns the accept and dispatcher threads, and returns. The
@@ -403,8 +631,19 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let shards = (0..cfg.shards)
         .map(|_| Mutex::new(LruMap::bounded(cfg.shard_cap)))
         .collect();
+    let results = Mutex::new(LruMap::bounded(cfg.result_cache_cap));
+    if let Some(dir) = &cfg.cache_dir {
+        let (loaded, quarantined) = load_persisted_results(dir, &results, cfg.quiet);
+        if !cfg.quiet && (loaded > 0 || quarantined > 0) {
+            println!(
+                "repro serve: warmed {loaded} cached sweep(s) from {} \
+                 ({quarantined} quarantined)",
+                dir.display()
+            );
+        }
+    }
     let state = Arc::new(ServerState {
-        results: Mutex::new(LruMap::bounded(cfg.result_cache_cap)),
+        results,
         shards,
         inflight: Mutex::new(HashMap::new()),
         sweep_gate: Mutex::new(()),
@@ -412,6 +651,9 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         active_conns: AtomicU64::new(0),
+        inflight_sweeps: AtomicU64::new(0),
+        idem: Mutex::new(LruMap::bounded(1024)),
+        chaos: cfg.chaos.map(|c| Mutex::new(chaos::ChaosPlan::new(c))),
         c: Counters::default(),
         port,
         cfg,
@@ -447,6 +689,14 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             // The self-connect nudge (or a late client) after shutdown.
             return;
         }
+        // Chaos: a listen-queue hiccup — accept, then drop on the floor.
+        // The client sees an instant close and must retry.
+        if let Some(plan) = &state.chaos {
+            if relock(plan).accept_hiccup() {
+                drop(stream);
+                continue;
+            }
+        }
         if state.active_conns.load(Ordering::SeqCst) >= state.cfg.max_conns as u64 {
             state.c.add(&state.c.rejected_conns, 1);
             let mut s = stream;
@@ -476,36 +726,82 @@ fn nudge_shutdown(state: &ServerState) {
 // Connection handling
 // ---------------------------------------------------------------------
 
+/// What one request-line read produced.
+enum ReadLine {
+    /// A complete (bounded) line.
+    Line(String),
+    /// The line exceeded `max_line_bytes`; it was drained to its
+    /// newline and discarded. The connection stays usable.
+    TooLarge,
+    /// The client stalled mid-line past `slow_client_ms`; evict it.
+    Evicted,
+    /// EOF, a hard error, or server shutdown.
+    Closed,
+}
+
 /// Reads one `\n`-terminated line, tolerating read timeouts (used to
 /// poll the shutdown flag). `read_until` keeps partial bytes in `buf`
-/// across timeouts, so slow writers are reassembled, not dropped.
+/// across timeouts, so slow writers are reassembled, not dropped —
+/// but a line is only reassembled up to `max_line_bytes` (past it the
+/// rest is drained and the line rejected, never buffered), and a
+/// client that stalls mid-line past `slow_client_ms` is evicted. An
+/// idle connection *between* requests is never evicted: the timer only
+/// runs while a partial line is outstanding.
 fn read_line(
     reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
     state: &ServerState,
-) -> Option<String> {
+) -> ReadLine {
+    let mut discarding = false;
+    let mut partial_since: Option<Instant> = None;
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
-            return None;
+            return ReadLine::Closed;
+        }
+        if let Some(t0) = partial_since {
+            if t0.elapsed() >= Duration::from_millis(state.cfg.slow_client_ms) {
+                buf.clear();
+                return ReadLine::Evicted;
+            }
         }
         match reader.read_until(b'\n', buf) {
             Ok(0) => {
                 // EOF; any partial bytes are the (unterminated) last line.
-                if buf.is_empty() {
-                    return None;
+                if discarding || buf.is_empty() {
+                    buf.clear();
+                    return ReadLine::Closed;
                 }
                 let line = String::from_utf8_lossy(buf).into_owned();
                 buf.clear();
-                return Some(line);
+                return ReadLine::Line(line);
             }
             Ok(_) => {
-                if buf.last() == Some(&b'\n') {
+                let complete = buf.last() == Some(&b'\n');
+                if discarding {
+                    buf.clear();
+                    if complete {
+                        return ReadLine::TooLarge;
+                    }
+                    continue;
+                }
+                if complete {
+                    if buf.len() > state.cfg.max_line_bytes {
+                        buf.clear();
+                        return ReadLine::TooLarge;
+                    }
                     let line = String::from_utf8_lossy(buf).trim_end().to_string();
                     buf.clear();
-                    return Some(line);
+                    return ReadLine::Line(line);
                 }
-                // Delimiter not reached (EOF mid-line); next read
-                // returns Ok(0) and flushes it.
+                // Delimiter not reached. Cap what a slow writer may
+                // make the server buffer; past the cap, drain-and-drop.
+                if buf.len() > state.cfg.max_line_bytes {
+                    buf.clear();
+                    discarding = true;
+                }
+                if partial_since.is_none() {
+                    partial_since = Some(Instant::now());
+                }
             }
             Err(e)
                 if matches!(
@@ -515,9 +811,16 @@ fn read_line(
                         | std::io::ErrorKind::Interrupted
                 ) =>
             {
+                // A timeout with bytes already buffered (or a drain in
+                // progress) is a mid-line stall — start the eviction
+                // clock. `read_until` reports partial progress as this
+                // error, not `Ok`, so this is where stalls surface.
+                if (discarding || !buf.is_empty()) && partial_since.is_none() {
+                    partial_since = Some(Instant::now());
+                }
                 continue;
             }
-            Err(_) => return None,
+            Err(_) => return ReadLine::Closed,
         }
     }
 }
@@ -533,8 +836,52 @@ fn reject_line(kind: &str, msg: &str) -> String {
     )
 }
 
+/// Writes one response line, routing it through the chaos plan when
+/// one is armed. Returns `false` when the connection is unusable
+/// afterwards — including when chaos just made it so (a torn frame or
+/// reset closes the socket; the *server* stays healthy and the client
+/// is expected to retry).
+fn send_line(state: &ServerState, writer: &mut TcpStream, line: &str) -> bool {
+    let fault = match &state.chaos {
+        Some(plan) => relock(plan).response_fault(),
+        None => chaos::ResponseFault::Deliver,
+    };
+    match fault {
+        chaos::ResponseFault::Deliver => {}
+        chaos::ResponseFault::TornFrame => {
+            let bytes = line.as_bytes();
+            let cut = state
+                .chaos
+                .as_ref()
+                .map_or(1, |plan| relock(plan).tear_at(bytes.len()));
+            let _ = writer.write_all(&bytes[..cut.min(bytes.len())]);
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+        chaos::ResponseFault::Reset => {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+        chaos::ResponseFault::Stall(pause) => std::thread::sleep(pause),
+    }
+    writeln!(writer, "{line}").is_ok()
+}
+
+/// The per-request deadline: the request's `"deadline_ms"` clamped to
+/// the server-wide ceiling (absent means the ceiling itself).
+fn request_deadline(state: &ServerState, request: &json::Json) -> (Instant, u64) {
+    let ms = request
+        .get("deadline_ms")
+        .and_then(json::Json::as_u64)
+        .unwrap_or(state.cfg.deadline_ms)
+        .clamp(1, state.cfg.deadline_ms);
+    (Instant::now() + Duration::from_millis(ms), ms)
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream
+        .set_write_timeout(Some(Duration::from_millis(state.cfg.slow_client_ms)));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -543,7 +890,38 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
     let mut served: u64 = 0;
-    while let Some(line) = read_line(&mut reader, &mut buf, state) {
+    loop {
+        let line = match read_line(&mut reader, &mut buf, state) {
+            ReadLine::Line(l) => l,
+            ReadLine::TooLarge => {
+                state.c.add(&state.c.rejected_too_large, 1);
+                let reject = reject_line(
+                    "too_large",
+                    &format!(
+                        "request line exceeds {} bytes",
+                        state.cfg.max_line_bytes
+                    ),
+                );
+                if !send_line(state, &mut writer, &reject) {
+                    return;
+                }
+                continue;
+            }
+            ReadLine::Evicted => {
+                state.c.add(&state.c.evicted_slow, 1);
+                let _ = send_line(
+                    state,
+                    &mut writer,
+                    &err_line(&format!(
+                        "evicted: request line stalled past {}ms",
+                        state.cfg.slow_client_ms
+                    )),
+                );
+                let _ = writer.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            ReadLine::Closed => return,
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -553,8 +931,11 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             Ok(v) => v,
             Err(e) => {
                 state.c.add(&state.c.bad_requests, 1);
-                let _ =
-                    writeln!(writer, "{}", err_line(&format!("bad request JSON: {e}")));
+                state.c.add(&state.c.rejected_malformed, 1);
+                let reject = reject_line("malformed", &format!("bad request JSON: {e}"));
+                if !send_line(state, &mut writer, &reject) {
+                    return;
+                }
                 continue;
             }
         };
@@ -565,22 +946,24 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
         // for the operator's shutdown).
         if served > state.cfg.quota && op != "shutdown" {
             state.c.add(&state.c.rejected_quota, 1);
-            let _ = writeln!(
-                writer,
-                "{}",
-                reject_line(
-                    "quota",
-                    &format!("request quota of {} exhausted", state.cfg.quota)
-                )
+            let reject = reject_line(
+                "quota",
+                &format!("request quota of {} exhausted", state.cfg.quota),
             );
+            if !send_line(state, &mut writer, &reject) {
+                return;
+            }
             continue;
         }
+        let (deadline, deadline_ms) = request_deadline(state, &request);
         let response = match op {
             "ping" => "{\"ok\": true, \"op\": \"ping\"}".to_string(),
             "stats" => stats_line(state),
-            "translate" => handle_translate(state, &request),
-            "sweep" => handle_sweep(state, &request),
+            "translate" => handle_translate(state, &request, deadline, deadline_ms),
+            "sweep" => handle_sweep(state, &request, deadline, deadline_ms),
             "shutdown" => {
+                // The shutdown ack is exempt from chaos: the harness
+                // must always be able to stop the server it started.
                 let _ = writeln!(writer, "{{\"ok\": true, \"op\": \"shutdown\"}}");
                 let _ = writer.flush();
                 nudge_shutdown(state);
@@ -593,7 +976,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                 ))
             }
         };
-        if writeln!(writer, "{response}").is_err() {
+        if !send_line(state, &mut writer, &response) {
             return;
         }
     }
@@ -602,16 +985,24 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
 fn stats_line(state: &ServerState) -> String {
     let c = &state.c;
     let load = |f: &AtomicU64| f.load(Ordering::Relaxed);
+    let chaos = state
+        .chaos
+        .as_ref()
+        .map_or_else(chaos::ChaosCounts::default, |p| relock(p).counts());
     format!(
         "{{\"ok\": true, \"op\": \"stats\", \"requests\": {}, \"translates\": {}, \
          \"sweeps\": {}, \"sweep_cache_hits\": {}, \"sweep_coalesced\": {}, \
          \"sweep_cache_evictions\": {}, \"rejected_quota\": {}, \"rejected_busy\": {}, \
-         \"rejected_conns\": {}, \"failed_cells\": {}, \"batches\": {}, \
+         \"rejected_conns\": {}, \"rejected_shed\": {}, \"rejected_too_large\": {}, \
+         \"rejected_deadline\": {}, \"rejected_malformed\": {}, \"evicted_slow\": {}, \
+         \"panics\": {}, \"idem_hits\": {}, \"failed_cells\": {}, \"batches\": {}, \
          \"batched_requests\": {}, \"prep_mem_hits\": {}, \"prep_disk_hits\": {}, \
          \"prep_misses\": {}, \"prep_evictions\": {}, \"shard_hits\": {}, \
          \"shard_evictions\": {}, \"bad_requests\": {}, \"active_conns\": {}, \
+         \"queue_len\": {}, \"inflight_sweeps\": {}, \
          \"result_cache_len\": {}, \"snapshot_mem_len\": {}, \"shards\": {}, \
-         \"jobs\": {}}}",
+         \"jobs\": {}, \"chaos_injected\": {}, \"chaos_torn_frames\": {}, \
+         \"chaos_resets\": {}, \"chaos_stalls\": {}, \"chaos_accept_hiccups\": {}}}",
         load(&c.requests),
         load(&c.translates),
         load(&c.sweeps),
@@ -621,6 +1012,13 @@ fn stats_line(state: &ServerState) -> String {
         load(&c.rejected_quota),
         load(&c.rejected_busy),
         load(&c.rejected_conns),
+        load(&c.rejected_shed),
+        load(&c.rejected_too_large),
+        load(&c.rejected_deadline),
+        load(&c.rejected_malformed),
+        load(&c.evicted_slow),
+        load(&c.panics),
+        load(&c.idem_hits),
         load(&c.failed_cells),
         load(&c.batches),
         load(&c.batched_requests),
@@ -632,10 +1030,17 @@ fn stats_line(state: &ServerState) -> String {
         load(&c.shard_evictions),
         load(&c.bad_requests),
         state.active_conns.load(Ordering::SeqCst),
+        relock(&state.queue).len(),
+        state.inflight_sweeps.load(Ordering::SeqCst),
         relock(&state.results).len(),
         snapshot_cache::mem_len(),
         state.cfg.shards,
         state.cfg.jobs,
+        chaos.total(),
+        chaos.torn_frames,
+        chaos.resets,
+        chaos.stalls,
+        chaos.accept_hiccups,
     )
 }
 
@@ -677,7 +1082,12 @@ fn parse_tlb(name: &str) -> Result<TlbConfig, String> {
     }
 }
 
-fn handle_translate(state: &Arc<ServerState>, request: &json::Json) -> String {
+fn handle_translate(
+    state: &Arc<ServerState>,
+    request: &json::Json,
+    deadline: Instant,
+    deadline_ms: u64,
+) -> String {
     let bench_name = match request.get("benchmark").and_then(json::Json::as_str) {
         Some(b) => b,
         None => return err_line("translate needs a \"benchmark\""),
@@ -724,11 +1134,12 @@ fn handle_translate(state: &Arc<ServerState>, request: &json::Json) -> String {
                 &format!("dispatch queue full ({} queued)", state.cfg.queue_cap),
             );
         }
-        q.push_back(TranslateJob { scenario, spec, sim_cfg, reply });
+        q.push_back(TranslateJob { scenario, spec, sim_cfg, deadline, reply });
     }
     state.queue_cv.notify_one();
 
-    match result_rx.recv_timeout(Duration::from_secs(600)) {
+    let wait = deadline.saturating_duration_since(Instant::now());
+    match result_rx.recv_timeout(wait) {
         Ok(Ok(r)) => {
             state.c.add(&state.c.translates, 1);
             format!(
@@ -744,11 +1155,27 @@ fn handle_translate(state: &Arc<ServerState>, request: &json::Json) -> String {
                 r.tlb.superpage_fills,
             )
         }
+        // The runner dropped the cell unrun at dispatch because its
+        // deadline had already passed — a deadline rejection, not a
+        // failed cell (no compute was lost and no slot leaked).
+        Ok(Err(e)) if e.contains(runner::EXPIRED_IN_QUEUE) => {
+            state.c.add(&state.c.rejected_deadline, 1);
+            reject_line(
+                "deadline",
+                &format!("deadline of {deadline_ms}ms exceeded before dispatch"),
+            )
+        }
         Ok(Err(e)) => {
             state.c.add(&state.c.failed_cells, 1);
             err_line(&e)
         }
-        Err(_) => err_line("translate timed out (dispatcher overloaded or gone)"),
+        Err(_) => {
+            state.c.add(&state.c.rejected_deadline, 1);
+            reject_line(
+                "deadline",
+                &format!("deadline of {deadline_ms}ms exceeded awaiting the result"),
+            )
+        }
     }
 }
 
@@ -820,11 +1247,14 @@ fn run_batch(state: &Arc<ServerState>, batch: Vec<TranslateJob>) {
             Ok(workload) => {
                 let workload = Arc::clone(workload);
                 let sim_cfg = job.sim_cfg;
-                tasks.push(SweepTask::new(
-                    format!("serve/{}/{i}", job.spec.name),
-                    sim_cfg.accesses,
-                    move || sim::run(&workload, &sim_cfg),
-                ));
+                tasks.push(
+                    SweepTask::new(
+                        format!("serve/{}/{i}", job.spec.name),
+                        sim_cfg.accesses,
+                        move || sim::run(&workload, &sim_cfg),
+                    )
+                    .with_expiry(job.deadline),
+                );
                 replies.push(job.reply);
             }
             Err(e) => {
@@ -859,18 +1289,79 @@ fn sweep_response(
     fingerprint: &str,
     cached: bool,
     coalesced: bool,
+    idem_replayed: Option<bool>,
     bytes: &str,
 ) -> String {
+    // The idem field only appears when the request carried an "idem"
+    // key, so responses to idem-less clients are byte-stable across
+    // versions.
+    let idem = idem_replayed
+        .map(|replayed| format!("\"idem_replayed\": {replayed}, "))
+        .unwrap_or_default();
     format!(
         "{{\"ok\": true, \"op\": \"sweep\", \"experiment\": \"{}\", \
          \"fingerprint\": \"{fingerprint}\", \"cached\": {cached}, \
-         \"coalesced\": {coalesced}, \"bytes\": \"{}\"}}",
+         \"coalesced\": {coalesced}, {idem}\"bytes\": \"{}\"}}",
         crate::artifact::json_escape(experiment),
         crate::artifact::json_escape(bytes)
     )
 }
 
-fn handle_sweep(state: &Arc<ServerState>, request: &json::Json) -> String {
+/// The sweep compute path, run on a dedicated leader thread so the
+/// requesting handler can deadline-out while the work (and its cache
+/// fill) continues. Serialized by the sweep gate.
+fn compute_sweep(
+    state: &Arc<ServerState>,
+    experiment: &str,
+    opts: &ExperimentOptions,
+    key: &str,
+) -> Result<Arc<String>, String> {
+    let _gate = relock(&state.sweep_gate);
+    // A just-finished leader for the same key may have filled the
+    // cache while this one waited on the gate. The lookup is bound
+    // *before* the branch: an `if let` on the locked map would keep
+    // the results guard alive through the else arm (scrutinee
+    // temporaries live for the whole expression), and the insert
+    // below would then self-deadlock.
+    let already = relock(&state.results).get(key).map(Arc::clone);
+    if let Some(bytes) = already {
+        state.c.add(&state.c.sweep_cache_hits, 1);
+        return Ok(bytes);
+    }
+    let computed = catch_unwind(AssertUnwindSafe(|| sweep_csv(experiment, opts)));
+    // Sweeps run with metrics collection on (the drivers use the
+    // sweep entry points); drain the registry so a resident
+    // server stays memory-flat.
+    let _ = runner::take_metrics();
+    state.absorb_cache_stats();
+    match computed {
+        Ok(Ok(bytes)) => {
+            let bytes = Arc::new(bytes);
+            let evicted =
+                relock(&state.results).insert(key.to_string(), Arc::clone(&bytes));
+            state.c.add(&state.c.sweep_cache_evictions, evicted);
+            Ok(bytes)
+        }
+        Ok(Err(e)) => Err(e),
+        Err(payload) => {
+            state.c.add(&state.c.failed_cells, 1);
+            state.c.add(&state.c.panics, 1);
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("sweep '{experiment}' panicked: {msg}"))
+        }
+    }
+}
+
+fn handle_sweep(
+    state: &Arc<ServerState>,
+    request: &json::Json,
+    deadline: Instant,
+    deadline_ms: u64,
+) -> String {
     let experiment = match request.get("experiment").and_then(json::Json::as_str) {
         Some(e) => e.to_string(),
         None => return err_line("sweep needs an \"experiment\""),
@@ -889,14 +1380,43 @@ fn handle_sweep(state: &Arc<ServerState>, request: &json::Json) -> String {
     );
     let fingerprint = opts.fingerprint(&experiment);
     let key = sweep_key(&experiment, &opts);
+
+    // Admission control, by op priority: past the dispatch queue's
+    // high-water mark the heavyweight op (sweep) is shed first, while
+    // translates keep queueing until the hard cap and ping/stats are
+    // always served.
+    if relock(&state.queue).len() >= state.cfg.high_water() {
+        state.c.add(&state.c.rejected_shed, 1);
+        return reject_line(
+            "shed",
+            &format!(
+                "overloaded: dispatch queue past its high-water mark of {}",
+                state.cfg.high_water()
+            ),
+        );
+    }
     state.c.add(&state.c.sweeps, 1);
+
+    // Idempotency: a retried request carrying the same "idem" key for
+    // the same sweep is recognized and flagged, proving to the client
+    // that its retry coalesced (via cache or single-flight) instead of
+    // recomputing.
+    let idem_replayed = request.get("idem").and_then(json::Json::as_str).map(|idem| {
+        let mut seen = relock(&state.idem);
+        let replayed = seen.get(idem) == Some(&key);
+        seen.insert(idem.to_string(), key.clone());
+        if replayed {
+            state.c.add(&state.c.idem_hits, 1);
+        }
+        replayed
+    });
 
     // Bind the lookup so the results guard drops before the (possibly
     // large) response is escaped and formatted.
     let cached = relock(&state.results).get(&key).map(Arc::clone);
     if let Some(bytes) = cached {
         state.c.add(&state.c.sweep_cache_hits, 1);
-        return sweep_response(&experiment, &fingerprint, true, false, &bytes);
+        return sweep_response(&experiment, &fingerprint, true, false, idem_replayed, &bytes);
     }
 
     // Single-flight: one leader computes, identical concurrent requests
@@ -913,84 +1433,73 @@ fn handle_sweep(state: &Arc<ServerState>, request: &json::Json) -> String {
         }
     };
 
-    if !leader {
+    if leader {
+        // Compute on a dedicated thread: the handler below can then
+        // deadline-out politely while the work finishes and lands in
+        // the cache — nothing in flight is ever lost to a slow or
+        // disconnected client. The thread owns the flight cleanup.
+        state.inflight_sweeps.fetch_add(1, Ordering::SeqCst);
+        let thread_state = Arc::clone(state);
+        let thread_flight = Arc::clone(&flight);
+        let thread_exp = experiment.clone();
+        let thread_opts = opts.clone();
+        let thread_key = key.clone();
+        let spawned = std::thread::Builder::new()
+            .name("sweep-leader".into())
+            .spawn(move || {
+                let outcome =
+                    compute_sweep(&thread_state, &thread_exp, &thread_opts, &thread_key);
+                {
+                    let mut done = relock(&thread_flight.done);
+                    *done = Some(outcome);
+                    thread_flight.cv.notify_all();
+                }
+                relock(&thread_state.inflight).remove(&thread_key);
+                thread_state.inflight_sweeps.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            {
+                let mut done = relock(&flight.done);
+                *done = Some(Err("could not spawn the sweep leader thread".into()));
+                flight.cv.notify_all();
+            }
+            relock(&state.inflight).remove(&key);
+            state.inflight_sweeps.fetch_sub(1, Ordering::SeqCst);
+        }
+    } else {
         state.c.add(&state.c.sweep_coalesced, 1);
-        let deadline = Instant::now() + Duration::from_secs(600);
-        let mut done = relock(&flight.done);
-        loop {
-            if let Some(outcome) = done.clone() {
-                return match outcome {
-                    Ok(bytes) => {
-                        sweep_response(&experiment, &fingerprint, true, true, &bytes)
-                    }
-                    Err(e) => err_line(&e),
-                };
-            }
-            if Instant::now() >= deadline {
-                return err_line("coalesced sweep timed out waiting for its leader");
-            }
-            let (guard, _) = flight
-                .cv
-                .wait_timeout(done, Duration::from_millis(200))
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            done = guard;
-        }
     }
 
-    let outcome: Result<Arc<String>, String> = {
-        let _gate = relock(&state.sweep_gate);
-        // A just-finished leader for the same key may have filled the
-        // cache while this one waited on the gate. The lookup is bound
-        // *before* the branch: an `if let` on the locked map would keep
-        // the results guard alive through the else arm (scrutinee
-        // temporaries live for the whole expression), and the insert
-        // below would then self-deadlock.
-        let already = relock(&state.results).get(&key).map(Arc::clone);
-        if let Some(bytes) = already {
-            state.c.add(&state.c.sweep_cache_hits, 1);
-            Ok(bytes)
-        } else {
-            let computed =
-                catch_unwind(AssertUnwindSafe(|| sweep_csv(&experiment, &opts)));
-            // Sweeps run with metrics collection on (the drivers use the
-            // sweep entry points); drain the registry so a resident
-            // server stays memory-flat.
-            let _ = runner::take_metrics();
-            state.absorb_cache_stats();
-            match computed {
-                Ok(Ok(bytes)) => {
-                    let bytes = Arc::new(bytes);
-                    let evicted =
-                        relock(&state.results).insert(key.clone(), Arc::clone(&bytes));
-                    state.c.add(&state.c.sweep_cache_evictions, evicted);
-                    Ok(bytes)
+    // Leader and followers alike wait for the flight's bytes, bounded
+    // by the request deadline.
+    let mut done = relock(&flight.done);
+    loop {
+        if let Some(outcome) = done.clone() {
+            return match outcome {
+                Ok(bytes) if leader => {
+                    sweep_response(&experiment, &fingerprint, false, false, idem_replayed, &bytes)
                 }
-                Ok(Err(e)) => Err(e),
-                Err(payload) => {
-                    state.c.add(&state.c.failed_cells, 1);
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| {
-                            payload.downcast_ref::<&str>().map(|s| (*s).to_string())
-                        })
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    Err(format!("sweep '{experiment}' panicked: {msg}"))
+                Ok(bytes) => {
+                    sweep_response(&experiment, &fingerprint, true, true, idem_replayed, &bytes)
                 }
-            }
+                Err(e) => err_line(&e),
+            };
         }
-    };
-
-    {
-        let mut done = relock(&flight.done);
-        *done = Some(outcome.clone());
-        flight.cv.notify_all();
-    }
-    relock(&state.inflight).remove(&key);
-
-    match outcome {
-        Ok(bytes) => sweep_response(&experiment, &fingerprint, false, false, &bytes),
-        Err(e) => err_line(&e),
+        if Instant::now() >= deadline {
+            state.c.add(&state.c.rejected_deadline, 1);
+            return reject_line(
+                "deadline",
+                &format!(
+                    "sweep deadline of {deadline_ms}ms exceeded; the work \
+                     continues and its result will be cached"
+                ),
+            );
+        }
+        let (guard, _) = flight
+            .cv
+            .wait_timeout(done, Duration::from_millis(50))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        done = guard;
     }
 }
 
@@ -1002,7 +1511,9 @@ fn serve_usage() -> String {
     "usage: repro serve [--port N] [--port-file PATH] [--jobs N] [--quota N]\n\
      \u{20}                  [--queue-cap N] [--max-conns N] [--shards N]\n\
      \u{20}                  [--shard-cap N] [--result-cache N] [--batch-max N]\n\
-     \u{20}                  [--max-accesses N] [--mem-cap N] [--quiet]\n\
+     \u{20}                  [--max-accesses N] [--mem-cap N] [--max-line N]\n\
+     \u{20}                  [--deadline-ms N] [--high-water N] [--slow-client-ms N]\n\
+     \u{20}                  [--drain-ms N] [--cache-dir PATH] [--chaos SPEC] [--quiet]\n\
      --port N         TCP port (default 0 = ephemeral; bound port is printed\n\
      \u{20}                and written to --port-file)\n\
      --quota N        requests per connection before polite rejection\n\
@@ -1011,6 +1522,13 @@ fn serve_usage() -> String {
      --result-cache N LRU-cached sweep results\n\
      --batch-max N    translate requests dispatched per batch\n\
      --mem-cap N      snapshot-cache memory entries (COLT_SNAPSHOT_MEM_CAP)\n\
+     --max-line N     request-line byte bound (past it: rejected \"too_large\")\n\
+     --deadline-ms N  ceiling on per-request deadlines (\"deadline_ms\" field)\n\
+     --high-water N   queue depth past which sweeps are shed (\"shed\")\n\
+     --slow-client-ms N  mid-line stall budget before eviction\n\
+     --drain-ms N     graceful-drain budget for in-flight sweeps at shutdown\n\
+     --cache-dir PATH persist/reload the sweep result cache across restarts\n\
+     --chaos SPEC     deterministic fault injection: rate=R,window=W,seed=S\n\
      protocol: one JSON object per line; ops: ping stats translate sweep shutdown"
         .to_string()
 }
@@ -1044,9 +1562,30 @@ pub fn cli(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--cache-dir" => match value {
+                Some(p) => cfg.cache_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache-dir needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--chaos" => match value {
+                Some(spec) => match chaos::ChaosConfig::parse(spec) {
+                    Ok(c) => cfg.chaos = Some(c),
+                    Err(e) => {
+                        eprintln!("--chaos {spec}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--chaos needs a spec (rate=R,window=W,seed=S)");
+                    return ExitCode::from(2);
+                }
+            },
             "--jobs" | "--quota" | "--queue-cap" | "--max-conns" | "--shards"
             | "--shard-cap" | "--result-cache" | "--batch-max" | "--max-accesses"
-            | "--mem-cap" => match numeric(arg) {
+            | "--mem-cap" | "--max-line" | "--deadline-ms" | "--high-water"
+            | "--slow-client-ms" | "--drain-ms" => match numeric(arg) {
                 Ok(n) => match arg {
                     "--jobs" => cfg.jobs = n.max(1) as usize,
                     "--quota" => cfg.quota = n.max(1),
@@ -1058,6 +1597,11 @@ pub fn cli(args: &[String]) -> ExitCode {
                     "--batch-max" => cfg.batch_max = n.max(1) as usize,
                     "--max-accesses" => cfg.max_accesses = n.max(1),
                     "--mem-cap" => snapshot_cache::set_mem_capacity(n as usize),
+                    "--max-line" => cfg.max_line_bytes = n as usize,
+                    "--deadline-ms" => cfg.deadline_ms = n.max(1),
+                    "--high-water" => cfg.queue_high_water = Some(n as usize),
+                    "--slow-client-ms" => cfg.slow_client_ms = n.max(1),
+                    "--drain-ms" => cfg.drain_ms = n,
                     _ => unreachable!(),
                 },
                 Err(e) => {
@@ -1096,7 +1640,7 @@ pub fn cli(args: &[String]) -> ExitCode {
     if !quiet {
         println!("{}", summary.render());
     }
-    if summary.failed_cells > 0 {
+    if summary.failed_cells > 0 || !summary.drained_clean {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

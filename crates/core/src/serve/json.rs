@@ -57,6 +57,17 @@ impl Json {
         }
     }
 
+    /// The numeric value, if this is a number (fractions included —
+    /// latencies and rates, where [`as_u64`] covers the counts).
+    ///
+    /// [`as_u64`]: Json::as_u64
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The boolean value, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

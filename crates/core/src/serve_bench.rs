@@ -13,6 +13,8 @@
 
 use crate::artifact;
 use crate::serve::{self, json};
+use colt_prng::rngs::SmallRng;
+use colt_prng::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -51,6 +53,13 @@ pub struct BenchConfig {
     pub shutdown: bool,
     /// Artifact path.
     pub out: PathBuf,
+    /// Transport-level retry/backoff/breaker tuning.
+    pub retry: RetryPolicy,
+    /// Seed for the per-worker backoff jitter streams.
+    pub seed: u64,
+    /// Per-request deadline sent as `"deadline_ms"` (0 = none sent;
+    /// the server then applies its own ceiling).
+    pub deadline_ms: u64,
     /// Suppress progress lines.
     pub quiet: bool,
 }
@@ -71,6 +80,9 @@ impl Default for BenchConfig {
             verify_sweep: false,
             shutdown: false,
             out: PathBuf::from("results/BENCH_serve.json"),
+            retry: RetryPolicy::default(),
+            seed: 1,
+            deadline_ms: 0,
             quiet: false,
         }
     }
@@ -125,6 +137,182 @@ impl Client {
 }
 
 // ---------------------------------------------------------------------
+// Chaos-tolerant client: retries, backoff, circuit breaker
+// ---------------------------------------------------------------------
+
+/// Transport-retry tuning for the chaos-tolerant client.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` tries).
+    pub max_retries: u32,
+    /// First backoff; doubles each retry (plus jitter in `[0, base)`).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Consecutive transport failures before the breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker holds requests before a half-open probe.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            breaker_threshold: 4,
+            breaker_cooldown_ms: 250,
+        }
+    }
+}
+
+/// The jittered exponential backoff before retry `attempt` (0-based):
+/// `base * 2^attempt + (jitter % base)`, capped at the policy ceiling.
+/// The jitter draw comes from the caller's seeded stream, so a bench
+/// run's backoff schedule replays with its seed.
+pub fn backoff_ms(policy: &RetryPolicy, attempt: u32, jitter: u64) -> u64 {
+    let base = policy.base_backoff_ms.max(1);
+    let exp = base.saturating_mul(1u64 << attempt.min(16));
+    exp.saturating_add(jitter % base).min(policy.max_backoff_ms.max(base))
+}
+
+/// Per-worker circuit breaker: `threshold` consecutive transport
+/// failures open it, and an open breaker holds the worker out of the
+/// server's face for the cooldown instead of hammering a failing
+/// endpoint; the next request is the half-open probe.
+struct Breaker {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker { consecutive_failures: 0, open_until: None }
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    /// Records a transport failure; returns true when this one opened
+    /// the breaker.
+    fn on_failure(&mut self, policy: &RetryPolicy) -> bool {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= policy.breaker_threshold.max(1) {
+            self.open_until = Some(
+                Instant::now() + Duration::from_millis(policy.breaker_cooldown_ms),
+            );
+            self.consecutive_failures = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Blocks out the cooldown if open; the call after this is the
+    /// half-open probe.
+    fn wait_if_open(&mut self) {
+        if let Some(until) = self.open_until.take() {
+            let now = Instant::now();
+            if until > now {
+                std::thread::sleep(until - now);
+            }
+        }
+    }
+}
+
+/// A chaos-tolerant protocol client. Transport failures — torn frames
+/// (unparseable response), mid-response resets, dropped connections,
+/// refused connects — are retried with jittered exponential backoff on
+/// a *fresh* connection (the old one's framing is suspect), gated by a
+/// per-worker circuit breaker. Polite rejections (`"rejected":
+/// "quota"|"busy"|"shed"|…`) are responses, not failures: they are
+/// returned to the caller untouched, because re-asking an overloaded
+/// server is exactly what load shedding asks clients not to do.
+pub(crate) struct RobustClient<'a> {
+    host: &'a str,
+    port: u16,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    rng: SmallRng,
+    breaker: Breaker,
+    tally: &'a Tally,
+}
+
+impl<'a> RobustClient<'a> {
+    pub(crate) fn new(
+        host: &'a str,
+        port: u16,
+        policy: RetryPolicy,
+        seed: u64,
+        tally: &'a Tally,
+    ) -> Self {
+        RobustClient {
+            host,
+            port,
+            policy,
+            conn: None,
+            rng: SmallRng::seed_from_u64(seed ^ 0xBE11_C0DE_5EED_0001),
+            breaker: Breaker::new(),
+            tally,
+        }
+    }
+
+    pub(crate) fn request(&mut self, line: &str) -> Result<json::Json, String> {
+        let mut last_err = String::new();
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                self.tally.retries.fetch_add(1, Ordering::Relaxed);
+                let jitter = self.rng.next_u64();
+                std::thread::sleep(Duration::from_millis(backoff_ms(
+                    &self.policy,
+                    attempt - 1,
+                    jitter,
+                )));
+            }
+            self.breaker.wait_if_open();
+            let mut client = match self.conn.take() {
+                Some(c) => c,
+                None => match Client::connect(self.host, self.port) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        self.note_failure();
+                        last_err = e;
+                        continue;
+                    }
+                },
+            };
+            match client.request(line) {
+                Ok(response) => {
+                    self.conn = Some(client);
+                    self.breaker.on_success();
+                    if attempt > 0 {
+                        self.tally.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(response);
+                }
+                Err(e) => {
+                    self.note_failure();
+                    last_err = e;
+                }
+            }
+        }
+        Err(format!(
+            "request failed after {} attempt(s): {last_err}",
+            self.policy.max_retries + 1
+        ))
+    }
+
+    fn note_failure(&mut self) {
+        self.tally.transport_errors.fetch_add(1, Ordering::Relaxed);
+        if self.breaker.on_failure(&self.policy) {
+            self.tally.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Statistics
 // ---------------------------------------------------------------------
 
@@ -141,16 +329,25 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 }
 
 #[derive(Default)]
-struct Tally {
-    ok: AtomicU64,
-    rejected_quota: AtomicU64,
-    rejected_busy: AtomicU64,
-    errors: AtomicU64,
-    sweeps: AtomicU64,
-    sweep_cache_hits: AtomicU64,
+pub(crate) struct Tally {
+    pub(crate) ok: AtomicU64,
+    pub(crate) rejected_quota: AtomicU64,
+    pub(crate) rejected_busy: AtomicU64,
+    pub(crate) rejected_shed: AtomicU64,
+    pub(crate) rejected_too_large: AtomicU64,
+    pub(crate) rejected_deadline: AtomicU64,
+    pub(crate) rejected_malformed: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) sweeps: AtomicU64,
+    pub(crate) sweep_cache_hits: AtomicU64,
+    pub(crate) idem_replays: AtomicU64,
+    pub(crate) transport_errors: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) recovered: AtomicU64,
+    pub(crate) breaker_opens: AtomicU64,
 }
 
-fn classify(tally: &Tally, response: &json::Json) -> bool {
+pub(crate) fn classify(tally: &Tally, response: &json::Json) -> bool {
     if response.get("ok").and_then(json::Json::as_bool) == Some(true) {
         tally.ok.fetch_add(1, Ordering::Relaxed);
         return true;
@@ -158,6 +355,10 @@ fn classify(tally: &Tally, response: &json::Json) -> bool {
     match response.get("rejected").and_then(json::Json::as_str) {
         Some("quota") => tally.rejected_quota.fetch_add(1, Ordering::Relaxed),
         Some("busy") => tally.rejected_busy.fetch_add(1, Ordering::Relaxed),
+        Some("shed") => tally.rejected_shed.fetch_add(1, Ordering::Relaxed),
+        Some("too_large") => tally.rejected_too_large.fetch_add(1, Ordering::Relaxed),
+        Some("deadline") => tally.rejected_deadline.fetch_add(1, Ordering::Relaxed),
+        Some("malformed") => tally.rejected_malformed.fetch_add(1, Ordering::Relaxed),
         _ => tally.errors.fetch_add(1, Ordering::Relaxed),
     };
     false
@@ -169,23 +370,53 @@ fn classify(tally: &Tally, response: &json::Json) -> bool {
 
 const CONFIG_ROTATION: [&str; 4] = ["baseline", "colt_sa", "colt_fa", "colt_all"];
 
+/// The optional `"deadline_ms"` request field (empty when unset).
+fn deadline_field(cfg: &BenchConfig) -> String {
+    if cfg.deadline_ms > 0 {
+        format!("\"deadline_ms\": {}, ", cfg.deadline_ms)
+    } else {
+        String::new()
+    }
+}
+
 fn translate_line(cfg: &BenchConfig, bench: &str, config: &str) -> String {
     format!(
-        "{{\"op\": \"translate\", \"benchmark\": \"{}\", \"config\": \"{config}\", \
+        "{{\"op\": \"translate\", {}\"benchmark\": \"{}\", \"config\": \"{config}\", \
          \"accesses\": {}}}",
+        deadline_field(cfg),
         artifact::json_escape(bench),
         cfg.accesses
     )
 }
 
-fn sweep_line(cfg: &BenchConfig) -> String {
+/// A sweep request. The idempotency key, when given, is constant across
+/// the retries of one logical request (the retry loop resends the same
+/// line), which is what lets the server prove a retried sweep coalesced
+/// onto the original flight instead of recomputing.
+fn sweep_line(cfg: &BenchConfig, idem: Option<&str>) -> String {
+    let idem = idem
+        .map(|k| format!("\"idem\": \"{}\", ", artifact::json_escape(k)))
+        .unwrap_or_default();
     format!(
-        "{{\"op\": \"sweep\", \"experiment\": \"{}\", \"accesses\": {}, \
+        "{{\"op\": \"sweep\", {}{idem}\"experiment\": \"{}\", \"accesses\": {}, \
          \"bench\": \"{}\"}}",
+        deadline_field(cfg),
         artifact::json_escape(&cfg.sweep),
         cfg.sweep_accesses,
         artifact::json_escape(&cfg.bench)
     )
+}
+
+fn note_sweep(tally: &Tally, response: &json::Json) {
+    tally.sweeps.fetch_add(1, Ordering::Relaxed);
+    let cached = response.get("cached").and_then(json::Json::as_bool) == Some(true)
+        || response.get("coalesced").and_then(json::Json::as_bool) == Some(true);
+    if cached {
+        tally.sweep_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    if response.get("idem_replayed").and_then(json::Json::as_bool) == Some(true) {
+        tally.idem_replays.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn worker(
@@ -194,7 +425,13 @@ fn worker(
     tally: &Tally,
     worker_index: usize,
 ) -> Result<Vec<f64>, String> {
-    let mut client = Client::connect(&cfg.host, cfg.port)?;
+    let mut client = RobustClient::new(
+        &cfg.host,
+        cfg.port,
+        cfg.retry,
+        cfg.seed.wrapping_add(worker_index as u64),
+        tally,
+    );
     let mut latencies_ms = Vec::with_capacity(cfg.requests as usize);
     for i in 0..cfg.requests {
         // Spread the rotation across workers so concurrent connections
@@ -210,18 +447,12 @@ fn worker(
         classify(tally, &response);
 
         if cfg.sweep_every > 0 && (i + 1) % cfg.sweep_every == 0 {
+            let idem = format!("w{worker_index}-r{i}");
             let start = Instant::now();
-            let response = client.request(&sweep_line(cfg))?;
+            let response = client.request(&sweep_line(cfg, Some(&idem)))?;
             latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
             if classify(tally, &response) {
-                tally.sweeps.fetch_add(1, Ordering::Relaxed);
-                let cached = response.get("cached").and_then(json::Json::as_bool)
-                    == Some(true)
-                    || response.get("coalesced").and_then(json::Json::as_bool)
-                        == Some(true);
-                if cached {
-                    tally.sweep_cache_hits.fetch_add(1, Ordering::Relaxed);
-                }
+                note_sweep(tally, &response);
             }
         }
     }
@@ -232,8 +463,14 @@ fn worker(
 /// must be byte-identical, and both must match the direct in-process
 /// run with identical options.
 fn verify_sweep(cfg: &BenchConfig, tally: &Tally) -> Result<(), String> {
-    let mut client = Client::connect(&cfg.host, cfg.port)?;
-    let line = sweep_line(cfg);
+    let mut client = RobustClient::new(
+        &cfg.host,
+        cfg.port,
+        cfg.retry,
+        cfg.seed ^ 0x5EED_F00D,
+        tally,
+    );
+    let line = sweep_line(cfg, Some("verify-sweep"));
     let first = client.request(&line)?;
     let second = client.request(&line)?;
     for (which, response) in [("first", &first), ("second", &second)] {
@@ -307,9 +544,14 @@ fn bench_json(
     let rps = if wall_seconds > 0.0 { total as f64 / wall_seconds } else { 0.0 };
     format!
     (
-        "{{\n  \"schema\": \"colt-bench-serve/v1\",\n  \"conns\": {},\n  \
+        "{{\n  \"schema\": \"colt-bench-serve/v2\",\n  \"conns\": {},\n  \
          \"requests\": {total},\n  \"ok\": {},\n  \"rejected_quota\": {},\n  \
-         \"rejected_busy\": {},\n  \"errors\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"rejected_busy\": {},\n  \"rejected_shed\": {},\n  \
+         \"rejected_too_large\": {},\n  \"rejected_deadline\": {},\n  \
+         \"rejected_malformed\": {},\n  \"errors\": {},\n  \
+         \"transport_errors\": {},\n  \"retries\": {},\n  \"recovered\": {},\n  \
+         \"breaker_opens\": {},\n  \"idem_replays\": {},\n  \
+         \"wall_seconds\": {:.6},\n  \
          \"requests_per_sec\": {:.3},\n  \"p50_latency_ms\": {:.3},\n  \
          \"p99_latency_ms\": {:.3},\n  \"translate_accesses\": {},\n  \
          \"sweep_experiment\": \"{}\",\n  \"sweep_requests\": {sweeps},\n  \
@@ -319,7 +561,16 @@ fn bench_json(
         load(&tally.ok),
         load(&tally.rejected_quota),
         load(&tally.rejected_busy),
+        load(&tally.rejected_shed),
+        load(&tally.rejected_too_large),
+        load(&tally.rejected_deadline),
+        load(&tally.rejected_malformed),
         load(&tally.errors),
+        load(&tally.transport_errors),
+        load(&tally.retries),
+        load(&tally.recovered),
+        load(&tally.breaker_opens),
+        load(&tally.idem_replays),
         wall_seconds,
         rps,
         percentile(latencies_ms, 50.0),
@@ -385,7 +636,8 @@ pub fn run(cfg: &BenchConfig) -> Result<String, String> {
     };
 
     if cfg.shutdown {
-        let mut client = Client::connect(&cfg.host, cfg.port)?;
+        let mut client =
+            RobustClient::new(&cfg.host, cfg.port, cfg.retry, cfg.seed ^ 0xD1E, &tally);
         let response = client.request("{\"op\": \"shutdown\"}")?;
         if response.get("ok").and_then(json::Json::as_bool) != Some(true) {
             return Err("shutdown request was not acknowledged".to_string());
@@ -416,12 +668,17 @@ fn bench_usage() -> String {
      \u{20}                        [--requests N] [--accesses N] [--sweep EXP]\n\
      \u{20}                        [--sweep-every N] [--sweep-accesses N]\n\
      \u{20}                        [--bench A,B] [--verify-sweep] [--shutdown]\n\
-     \u{20}                        [--out PATH] [--quiet]\n\
+     \u{20}                        [--retries N] [--backoff-ms N] [--seed N]\n\
+     \u{20}                        [--deadline-ms N] [--out PATH] [--quiet]\n\
      --requests N      translate requests per connection\n\
      --sweep-every N   interleave a sweep request every N translates\n\
      --verify-sweep    request the sweep twice (second must be a cache hit)\n\
      \u{20}                 and compare byte-for-byte with a direct in-process run\n\
      --shutdown        send {\"op\":\"shutdown\"} when done\n\
+     --retries N       transport retries per request (jittered exp. backoff)\n\
+     --backoff-ms N    first backoff; doubles per retry\n\
+     --seed N          seed for the backoff jitter streams\n\
+     --deadline-ms N   send a per-request deadline (0 = server default)\n\
      --out PATH        artifact path (default results/BENCH_serve.json)"
         .to_string()
 }
@@ -486,6 +743,10 @@ pub fn cli(args: &[String]) -> ExitCode {
             "--sweep-accesses" => numeric().map(|n| cfg.sweep_accesses = n.max(1)),
             "--bench" => text().map(|v| cfg.bench = v),
             "--out" => text().map(|v| cfg.out = PathBuf::from(v)),
+            "--retries" => numeric().map(|n| cfg.retry.max_retries = n.min(32) as u32),
+            "--backoff-ms" => numeric().map(|n| cfg.retry.base_backoff_ms = n.max(1)),
+            "--seed" => numeric().map(|n| cfg.seed = n),
+            "--deadline-ms" => numeric().map(|n| cfg.deadline_ms = n),
             "--verify-sweep" => {
                 took_value = false;
                 cfg.verify_sweep = true;
@@ -579,12 +840,95 @@ mod tests {
         let t = translate_line(&cfg, "Gobmk", "colt_all");
         let parsed = json::parse(&t).unwrap();
         assert_eq!(parsed.get("op").and_then(json::Json::as_str), Some("translate"));
-        let s = sweep_line(&cfg);
+        assert!(parsed.get("deadline_ms").is_none(), "no deadline unless asked");
+        let s = sweep_line(&cfg, None);
         let parsed = json::parse(&s).unwrap();
         assert_eq!(parsed.get("op").and_then(json::Json::as_str), Some("sweep"));
         assert_eq!(
             parsed.get("accesses").and_then(json::Json::as_u64),
             Some(cfg.sweep_accesses)
         );
+        let with_extras =
+            BenchConfig { deadline_ms: 2500, ..BenchConfig::default() };
+        let s = sweep_line(&with_extras, Some("w1-r7"));
+        let parsed = json::parse(&s).unwrap();
+        assert_eq!(parsed.get("idem").and_then(json::Json::as_str), Some("w1-r7"));
+        assert_eq!(parsed.get("deadline_ms").and_then(json::Json::as_u64), Some(2500));
+        let t = translate_line(&with_extras, "Gobmk", "baseline");
+        let parsed = json::parse(&t).unwrap();
+        assert_eq!(parsed.get("deadline_ms").and_then(json::Json::as_u64), Some(2500));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter_and_a_cap() {
+        let policy = RetryPolicy {
+            base_backoff_ms: 10,
+            max_backoff_ms: 100,
+            ..RetryPolicy::default()
+        };
+        assert!(backoff_ms(&policy, 0, 0) == 10);
+        assert!(backoff_ms(&policy, 1, 0) == 20);
+        assert!(backoff_ms(&policy, 2, 0) == 40);
+        // Jitter adds at most base-1.
+        assert!(backoff_ms(&policy, 0, u64::MAX) < 20);
+        // The ceiling holds at any attempt.
+        assert_eq!(backoff_ms(&policy, 20, 12345), 100);
+    }
+
+    #[test]
+    fn backoff_replays_with_the_same_jitter_stream() {
+        let policy = RetryPolicy::default();
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for attempt in 0..8 {
+            assert_eq!(
+                backoff_ms(&policy, attempt, a.next_u64()),
+                backoff_ms(&policy, attempt, b.next_u64())
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_on_success() {
+        let policy = RetryPolicy {
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 1,
+            ..RetryPolicy::default()
+        };
+        let mut breaker = Breaker::new();
+        assert!(!breaker.on_failure(&policy));
+        assert!(!breaker.on_failure(&policy));
+        assert!(breaker.on_failure(&policy), "third consecutive failure opens it");
+        assert!(breaker.open_until.is_some());
+        breaker.wait_if_open();
+        assert!(breaker.open_until.is_none(), "waiting consumes the open state");
+        // After the half-open probe succeeds, the slate is clean.
+        assert!(!breaker.on_failure(&policy));
+        breaker.on_success();
+        assert!(!breaker.on_failure(&policy));
+        assert!(!breaker.on_failure(&policy));
+    }
+
+    #[test]
+    fn classify_buckets_every_rejection_category() {
+        let tally = Tally::default();
+        for kind in ["quota", "busy", "shed", "too_large", "deadline", "malformed"] {
+            let line = format!(
+                "{{\"ok\": false, \"error\": \"x\", \"rejected\": \"{kind}\"}}"
+            );
+            assert!(!classify(&tally, &json::parse(&line).unwrap()));
+        }
+        assert!(!classify(
+            &tally,
+            &json::parse("{\"ok\": false, \"error\": \"boom\"}").unwrap()
+        ));
+        let load = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        assert_eq!(load(&tally.rejected_quota), 1);
+        assert_eq!(load(&tally.rejected_busy), 1);
+        assert_eq!(load(&tally.rejected_shed), 1);
+        assert_eq!(load(&tally.rejected_too_large), 1);
+        assert_eq!(load(&tally.rejected_deadline), 1);
+        assert_eq!(load(&tally.rejected_malformed), 1);
+        assert_eq!(load(&tally.errors), 1);
     }
 }

@@ -5,6 +5,8 @@
 # (kill a sweep mid-run, --resume, diff against an uninterrupted
 # reference), a snapshot-cache cold/warm smoke, a serve smoke (resident
 # server + load generator, with a served-vs-direct byte-identity check),
+# a chaos smoke (the seeded network-fault soak; every verdict in
+# BENCH_chaos.json must hold),
 # an MM-policy smoke (the policy sweep on a small grid, a
 # `--policy default` byte-identity diff, and policy-counter gates),
 # and a quick parallel smoke sweep with a throughput regression gate.
@@ -104,7 +106,8 @@ CRASH_DIR=$(mktemp -d)
 CACHE_DIR=$(mktemp -d)
 SERVE_DIR=$(mktemp -d)
 POLICY_DIR=$(mktemp -d)
-trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR" "$SERVE_DIR" "$POLICY_DIR"' EXIT
+CHAOS_DIR=$(mktemp -d)
+trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR" "$SERVE_DIR" "$POLICY_DIR" "$CHAOS_DIR"' EXIT
 REPRO="$PWD/target/release/repro"
 
 # MM-policy smoke: a small policy-sweep grid (every shipped policy x
@@ -264,6 +267,34 @@ if ! grep -q '"verified": true' "$REPO_RESULTS/BENCH_serve.json"; then
     exit 1
 fi
 echo "serve smoke passed ($serve_rps req/s, sweep cache hit rate $serve_hit_rate, clean shutdown)"
+
+# Chaos smoke: the seeded network-fault soak. An in-process server with
+# the chaos plan armed (torn frames, resets, stalls, accept hiccups)
+# serves retrying clients; the run must exit zero with every verdict
+# true in BENCH_chaos.json — zero server panics, every injected fault
+# accounted for as exactly one retried transport error, no leaked queue
+# slots or in-flight sweep leaders after the graceful drain, sweep
+# bytes under retries identical to a direct in-process run, and a
+# warm restart serving the drained cache byte-identically.
+echo "== chaos smoke: repro chaos-serve =="
+(cd "$CHAOS_DIR" && "$REPRO" chaos-serve --chaos rate=0.15,window=0,seed=7 \
+    --conns 2 --requests 10 --accesses 500 \
+    --sweep fig18 --sweep-every 4 --sweep-accesses 1000 --bench Gobmk \
+    --quiet --out "$REPO_RESULTS/BENCH_chaos.json")
+for verdict in zero_panics faults_accounted no_leaked_slots byte_identity \
+               warm_restart_identity all_ok; do
+    if ! grep -q "\"$verdict\": true" "$REPO_RESULTS/BENCH_chaos.json"; then
+        echo "FAIL: BENCH_chaos.json verdict '$verdict' did not hold" >&2
+        cat "$REPO_RESULTS/BENCH_chaos.json" >&2
+        exit 1
+    fi
+done
+chaos_faults=$(json_field faults_injected "$REPO_RESULTS/BENCH_chaos.json")
+if ! awk -v f="$chaos_faults" 'BEGIN { exit !(f > 0) }'; then
+    echo "FAIL: chaos smoke injected no faults (faults_injected=$chaos_faults)" >&2
+    exit 1
+fi
+echo "chaos smoke passed ($chaos_faults faults injected, all verdicts hold)"
 
 echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 # The sweep rewrites $BASELINE with this run's numbers; the baseline
