@@ -26,8 +26,7 @@ use crate::experiments::pressure::PressureReport;
 use crate::experiments::smp::SmpRow;
 use crate::runner::CellMetric;
 use colt_os_mem::faults::FaultConfig;
-use std::fs::File;
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -220,7 +219,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
 }
 
 /// First free `<path>.corrupt-<n>` sibling.
-fn quarantine_path(path: &Path) -> PathBuf {
+pub(crate) fn quarantine_path(path: &Path) -> PathBuf {
     let mut n = 1;
     loop {
         let candidate = PathBuf::from(format!("{}.corrupt-{n}", path.display()));
@@ -238,16 +237,20 @@ pub fn quarantine_if_corrupt(path: &Path) -> io::Result<Option<PathBuf>> {
     if !path.exists() {
         return Ok(None);
     }
-    let mut text = String::new();
-    match File::open(path).and_then(|mut f| f.read_to_string(&mut text)) {
-        Ok(_) => {}
-        Err(_) => text.clear(), // unreadable == corrupt
-    }
+    let fs = crate::vfs::active();
+    let text = match fs.read(path) {
+        Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+        Err(e) => {
+            let _ = crate::io_faults::account("artifact", &e);
+            String::new() // unreadable == corrupt
+        }
+    };
     if validate_json(&text).is_ok() {
         return Ok(None);
     }
+    let _ = crate::io_faults::confirm_flip(path);
     let dest = quarantine_path(path);
-    std::fs::rename(path, &dest)?;
+    crate::vfs::acct("artifact", fs.rename(path, &dest))?;
     Ok(Some(dest))
 }
 
@@ -277,46 +280,125 @@ pub fn find_quarantined(dir: &Path) -> Vec<PathBuf> {
     found
 }
 
+/// Every leaked `*.tmp-*` scratch file under `dir`, recursively, in
+/// sorted order — orphans of a crash between create and rename. The
+/// atomic-write protocol removes its tmp on every failure it survives,
+/// so anything matching [`unique_tmp`]'s pattern at startup is litter.
+pub fn find_tmp_litter(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp-") && !n.contains(".corrupt-"))
+            {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Removes every leaked tmp file under `dir`, returning the paths
+/// removed so startup can report what it cleaned.
+pub fn sweep_tmp_litter(dir: &Path) -> Vec<PathBuf> {
+    find_tmp_litter(dir)
+        .into_iter()
+        .filter(|p| std::fs::remove_file(p).is_ok())
+        .collect()
+}
+
+/// How many times [`atomic_write_json`] attempts the write before
+/// giving up: disk-full and torn-write faults are retried with a short
+/// backoff, and only a persistently failing disk surfaces as the error
+/// the caller turns into a nonzero exit.
+const WRITE_ATTEMPTS: u32 = 3;
+
 /// Atomically writes `json` to `path` (temp file + fsync + rename +
-/// directory fsync), then reads it back and re-validates. Returns the
-/// display path. Any failure — including an unparseable read-back — is
-/// an error the caller must surface as a nonzero exit.
+/// directory fsync), then reads it back and re-validates. Transient
+/// failures (ENOSPC, torn writes) are retried with backoff; the temp
+/// file is removed after every failed attempt, so a torn `BENCH_*` is
+/// never left behind under any interleaving — the target either keeps
+/// its previous durable content or carries the complete new value.
+/// Returns the display path. A persistent failure — including an
+/// unparseable read-back — is an error the caller must surface as a
+/// nonzero exit.
 pub fn atomic_write_json(path: &Path, json: &str) -> io::Result<String> {
     validate_json(json).map_err(|e| {
         io::Error::new(io::ErrorKind::InvalidData, format!("refusing to write invalid JSON: {e}"))
     })?;
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
-    std::fs::create_dir_all(dir)?;
+    let mut last = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+        }
+        match atomic_write_attempt(path, dir, json) {
+            Ok(()) => return Ok(path.display().to_string()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+/// One attempt of the atomic-write protocol. Every `Vfs` error is
+/// accounted here, at the site that first observes it (see
+/// `io_faults::account`).
+fn atomic_write_attempt(path: &Path, dir: &Path, json: &str) -> io::Result<()> {
+    use crate::vfs::acct;
+    let fs = crate::vfs::active();
+    acct("artifact", fs.create_dir_all(dir))?;
     let tmp = unique_tmp(path);
     let written = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.flush()?;
-        f.sync_data()?;
-        std::fs::rename(&tmp, path)
+        let mut f = acct("artifact", fs.create(&tmp))?;
+        acct("artifact", f.write_all(json.as_bytes()))?;
+        acct("artifact", f.flush())?;
+        acct("artifact", f.sync_data())?;
+        acct("artifact", fs.rename(&tmp, path))
     })();
     if let Err(e) = written {
-        let _ = std::fs::remove_file(&tmp);
+        // Clean up the torn tmp. A dead (post-cut) disk can refuse even
+        // this, which is exactly how startup tmp litter is born; the
+        // refusal is still accounted.
+        if let Err(re) = fs.remove_file(&tmp) {
+            let _ = crate::io_faults::account("artifact", &re);
+        }
         return Err(e);
     }
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_data();
+    if let Err(e) = fs.sync_dir(dir) {
+        // Deliberately ignored (rename durability is best-effort beyond
+        // the file fsync) but still accounted.
+        let _ = crate::io_faults::account("artifact", &e);
     }
     // Read-back verification: the bytes on disk must parse. With a
     // single writer they are this call's own bytes; with concurrent
     // writers racing one target the read-back may legitimately be
     // another writer's *complete* rename — still atomic, still valid —
-    // so differing bytes are only an error when they fail to parse
-    // (a torn write or a lying disk).
-    let mut back = String::new();
-    File::open(path)?.read_to_string(&mut back)?;
+    // so differing bytes are only an error when they fail to parse or
+    // when the mismatch turns out to be read-time corruption (a torn
+    // write, a lying disk, a flipped bit).
+    let back_bytes = acct("artifact", fs.read(path))?;
+    let back = String::from_utf8_lossy(&back_bytes);
+    if back != json && crate::io_faults::confirm_flip(path) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("read-back of {} differs from the bytes written", path.display()),
+        ));
+    }
     validate_json(&back).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("read-back of {} is not valid JSON: {e}", path.display()),
         )
     })?;
-    Ok(path.display().to_string())
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -749,6 +831,41 @@ mod tests {
         assert!(atomic_write_json(&path, "{\"bad\": ").is_err());
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "{\"good\": 1}", "failed write must not damage the old file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: a simulated power cut mid-write strands a `*.tmp-*`
+    /// staging file (the post-cut disk refuses the cleanup `remove`),
+    /// and the startup sweep removes it — no permanent litter.
+    #[test]
+    fn a_cut_mid_write_leaves_no_permanent_litter() {
+        use colt_os_mem::faults::FaultConfig;
+        let _guard = crate::io_faults::ledger_test_guard();
+        crate::io_faults::reset_ledger();
+        let dir = std::env::temp_dir()
+            .join(format!("colt-artifact-cutlitter-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // No random faults — the only event is the disk dying right
+        // after the first fsync, i.e. between fsync and rename.
+        let plan = FaultConfig { rate: 0.0, window: 0, seed: 1 };
+        let faulty = crate::vfs::FaultyVfs::new(plan).cut_after_syncs(1);
+        crate::vfs::install(std::sync::Arc::new(faulty.clone()));
+        let result = atomic_write_json(&dir.join("BENCH_cut.json"), "{\"cell\": 1}");
+        let _ = faulty.power_cut();
+        crate::vfs::reset();
+
+        assert!(result.is_err(), "the write died at the cut");
+        assert!(
+            !dir.join("BENCH_cut.json").exists(),
+            "no torn destination file may exist"
+        );
+        let litter = find_tmp_litter(&dir);
+        assert!(!litter.is_empty(), "the cut strands the staging tmp file");
+        let swept = sweep_tmp_litter(&dir);
+        assert_eq!(swept, litter, "the sweep removes exactly the litter");
+        assert!(find_tmp_litter(&dir).is_empty(), "no permanent litter remains");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

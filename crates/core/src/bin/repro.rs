@@ -8,6 +8,7 @@
 //! repro serve [--port N] [--port-file PATH] [--jobs N] [--quota N] ...
 //! repro serve-bench --port N [--conns N] [--requests N] [--verify-sweep] ...
 //! repro chaos-serve [--chaos rate=R,window=W,seed=S] [--conns N] ...
+//! repro torture [--seeds N] [--io-faults rate=R,window=W,seed=S] ...
 //!
 //! experiments:
 //!   table1        Table 1   real-system MPMIs, THS on/off
@@ -44,6 +45,17 @@
 //! the missing cells, reproducing the deterministic result files
 //! byte-for-byte. `--retries N` (default 1) retries failing cells with
 //! backoff before quarantining them.
+//!
+//! `--io-faults SPEC` arms seeded *storage* fault injection for any
+//! run: every durable write/read/fsync/rename goes through the
+//! [`colt_core::vfs`] seam and may fail with ENOSPC, EIO, short writes,
+//! failed or lying fsyncs, or read-back bit flips — all deterministic
+//! under the seed, all accounted in a ledger printed at exit. Results
+//! are unchanged (the layers degrade, they do not diverge), so the
+//! spec is deliberately excluded from the resume fingerprint. The
+//! `torture` subcommand sweeps fault schedules x simulated power-cut
+//! points and gates five crash-consistency verdicts
+//! (`results/BENCH_torture.json`).
 //!
 //! `--check` runs the differential translation oracle + coalescing
 //! invariant fuzzer ([`colt_core::check`]) instead of experiments:
@@ -115,6 +127,13 @@ fn usage() -> ! {
          \u{20}           rate=R,window=W,seed=S (each key optional; defaults\n\
          \u{20}           rate=0.05, window=0 = always armed, seed=7); consumed\n\
          \u{20}           by the pressure experiment and by --check\n\
+         --io-faults SPEC  seeded storage fault injection (same SPEC syntax):\n\
+         \u{20}           durable writes/reads/fsyncs/renames may fail with\n\
+         \u{20}           ENOSPC, EIO, short writes, lying fsyncs, or bit\n\
+         \u{20}           flips; every layer degrades gracefully and results\n\
+         \u{20}           are byte-identical to an unfaulted run; the\n\
+         \u{20}           injected-vs-accounted ledger prints at exit (not\n\
+         \u{20}           part of the --resume fingerprint)\n\
          --check    fuzz every TLB configuration against the translation\n\
          \u{20}           oracle + coalescing invariant checker; exits nonzero\n\
          \u{20}           on any violation (--seeds, default 4; --events per\n\
@@ -130,6 +149,11 @@ fn usage() -> ! {
          \u{20}              retries, shedding, drain); writes\n\
          \u{20}              results/BENCH_chaos.json, nonzero exit on any\n\
          \u{20}              failed verdict\n\
+         \u{20} torture      crash-consistency torture: fault schedules x\n\
+         \u{20}              simulated power cuts, five gated verdicts\n\
+         \u{20}              ('repro torture --help'); writes\n\
+         \u{20}              results/BENCH_torture.json, nonzero exit on any\n\
+         \u{20}              failed verdict\n\
          experiments: {} all",
         EXPERIMENTS.join(" ")
     );
@@ -139,26 +163,78 @@ fn usage() -> ! {
 /// Reports `.corrupt-<n>` quarantine files left under the journal and
 /// snapshot directories by earlier crashed runs — count and paths, on
 /// stderr, so the evidence is seen instead of silently piling up. The
-/// files themselves are left alone (they are the post-mortem).
+/// files themselves are left alone (they are the post-mortem). Leaked
+/// `*.tmp-*` staging files, by contrast, are pure litter (a crash
+/// between create and rename): those are swept — reported and removed
+/// — across all of `results/`, recursively, which covers the journal
+/// and snapshot directories too.
 fn report_quarantined() {
     let mut found = Vec::new();
     for dir in ["results/journal", "results/snapshots"] {
         found.extend(artifact::find_quarantined(Path::new(dir)));
     }
-    if found.is_empty() {
-        return;
+    if !found.is_empty() {
+        eprintln!(
+            "warning: {} quarantined artifact(s) from earlier crashed runs:",
+            found.len()
+        );
+        for path in &found {
+            eprintln!("warning:   {}", path.display());
+        }
+        eprintln!(
+            "warning: inspect or delete them; new runs never read or overwrite \
+             quarantine files"
+        );
+    }
+    let swept = artifact::sweep_tmp_litter(Path::new("results"));
+    if !swept.is_empty() {
+        eprintln!(
+            "warning: removed {} leaked tmp file(s) from interrupted writes:",
+            swept.len()
+        );
+        for path in &swept {
+            eprintln!("warning:   {}", path.display());
+        }
+    }
+}
+
+/// Prints the `--io-faults` injected-vs-accounted ledger at exit: each
+/// error kind the seam injected next to what the degradation sites
+/// accounted, plus the flip-detection tallies. The two columns matching
+/// is the storage analogue of the chaos soak's conservation checks.
+fn print_io_fault_ledger(faulty: &colt_core::vfs::FaultyVfs) {
+    let counts = faulty.counts();
+    let ledger = colt_core::io_faults::ledger();
+    eprintln!(
+        "io-faults ledger: {} injected ({} errors, {} bit flips, {} lying fsyncs), \
+         {} accounted",
+        counts.total(),
+        counts.errors(),
+        counts.bit_flips,
+        counts.sync_lies,
+        ledger.accounted.errors(),
+    );
+    for (name, injected, accounted) in counts.rows(&ledger.accounted) {
+        if injected > 0 || accounted > 0 {
+            eprintln!("io-faults:   {name}: injected {injected}, accounted {accounted}");
+        }
     }
     eprintln!(
-        "warning: {} quarantined artifact(s) from earlier crashed runs:",
-        found.len()
+        "io-faults:   bit flips: injected {}, detected {}, pending {}; renames \
+         left unsynced: {}",
+        counts.bit_flips,
+        ledger.flips_detected,
+        ledger.flips_pending,
+        faulty.renames_dropped(),
     );
-    for path in &found {
-        eprintln!("warning:   {}", path.display());
+    if !ledger.by_layer.is_empty() {
+        let layers: Vec<String> = ledger
+            .by_layer
+            .iter()
+            .map(|(layer, n)| format!("{layer} {n}"))
+            .collect();
+        eprintln!("io-faults:   accounted by layer: {}", layers.join(", "));
     }
-    eprintln!(
-        "warning: inspect or delete them; new runs never read or overwrite \
-         quarantine files"
-    );
 }
 
 /// Clamps a zero flag value to 1, telling the user instead of silently
@@ -182,6 +258,7 @@ fn main() -> ExitCode {
         Some("serve") => return colt_core::serve::cli(&raw[1..]),
         Some("serve-bench") => return colt_core::serve_bench::cli(&raw[1..]),
         Some("chaos-serve") => return colt_core::chaos_serve::cli(&raw[1..]),
+        Some("torture") => return colt_core::experiments::torture::cli(&raw[1..]),
         _ => {}
     }
     // Quarantine files are crash evidence a human should look at; say
@@ -202,6 +279,7 @@ fn main() -> ExitCode {
     let mut bars = false;
     let mut check = false;
     let mut resume = false;
+    let mut io_faults: Option<FaultConfig> = None;
     let mut seeds = 4u64;
     let mut events_per_case = 160usize;
     let mut experiments: Vec<String> = Vec::new();
@@ -255,6 +333,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--io-faults" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match FaultConfig::parse(&spec) {
+                    Ok(fc) => io_faults = Some(fc),
+                    Err(e) => {
+                        eprintln!("--io-faults {spec}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--policy" => {
                 let name = args.next().unwrap_or_else(|| usage());
                 match name.parse::<PolicyKind>() {
@@ -273,6 +361,22 @@ fn main() -> ExitCode {
             other => experiments.push(other.to_string()),
         }
     }
+    let faulty_vfs = io_faults.map(|fc| {
+        // Armed for the whole process: every durable write, read,
+        // fsync, and rename below flows through the seam. The spec is
+        // deliberately NOT part of the resume fingerprint — injected
+        // storage faults never change results, only durability. The
+        // clone shares state with the installed seam, so the exit
+        // ledger reads live counts.
+        colt_core::io_faults::reset_ledger();
+        let faulty = colt_core::vfs::FaultyVfs::new(fc);
+        colt_core::vfs::install(Arc::new(faulty.clone()));
+        eprintln!(
+            "io-faults armed: rate {}, window {}, seed {}",
+            fc.rate, fc.window, fc.seed
+        );
+        faulty
+    });
     if check {
         // `repro pressure --check` = the oracle under fault injection
         // (default plan when --faults was not given). Any other
@@ -471,6 +575,9 @@ fn main() -> ExitCode {
         write_result("results/BENCH_policy.json", &json, "policy details");
     }
     drop(write_result);
+    if let Some(faulty) = &faulty_vfs {
+        print_io_fault_ledger(faulty);
+    }
     if write_failed {
         eprintln!("one or more result files could not be written; failing the run");
         return ExitCode::FAILURE;

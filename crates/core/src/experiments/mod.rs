@@ -43,6 +43,7 @@ pub mod related_work;
 pub mod smp;
 pub mod summary;
 pub mod table1;
+pub mod torture;
 pub mod virtualization;
 
 use crate::journal::Journal;

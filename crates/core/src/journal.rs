@@ -46,8 +46,6 @@
 //! crash-recovery smoke stage of `scripts/verify.sh` is built on.
 
 use std::collections::{HashMap, HashSet};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -535,14 +533,18 @@ pub fn parse_record(line: &str) -> Result<Record, LineError> {
     };
     let body = &line[..split];
     let tail = &line[split + ",\"crc\":\"".len()..];
-    let Some(stored) = tail.strip_suffix("\"}").and_then(|h| u32::from_str_radix(h, 16).ok())
-    else {
+    let Some(stored) = tail.strip_suffix("\"}") else {
         return Err(LineError::Corrupt("malformed crc field".to_string()));
     };
-    let actual = crc32(body.as_bytes());
+    // Exact string comparison, not a hex parse: `from_str_radix` is
+    // case-insensitive, so a single bit flip turning `a` into `A`
+    // inside the crc field would otherwise verify. Every writer emits
+    // lowercase. (Flips anywhere in the body are caught by the crc
+    // itself; the crc field is the only unprotected region.)
+    let actual = format!("{:08x}", crc32(body.as_bytes()));
     if stored != actual {
         return Err(LineError::Corrupt(format!(
-            "checksum mismatch (stored {stored:08x}, computed {actual:08x})"
+            "checksum mismatch (stored {stored}, computed {actual})"
         )));
     }
     let v = u64_field(body, "v")
@@ -619,9 +621,11 @@ impl OpenReport {
 }
 
 struct Inner {
-    file: File,
+    file: Box<dyn crate::vfs::VfsFile>,
     seq: u64,
     appended: u64,
+    append_retries: u64,
+    append_failures: u64,
     seen: HashSet<String>,
 }
 
@@ -687,16 +691,24 @@ impl Journal {
         fingerprint: String,
         resume: bool,
     ) -> std::io::Result<Journal> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{experiment}.jsonl"));
         let mut report = OpenReport::default();
         let mut replayed = HashMap::new();
         let mut kept_lines: Vec<String> = Vec::new();
         let mut bad_lines: Vec<String> = Vec::new();
 
+        let fs = crate::vfs::active();
+        crate::vfs::acct("journal", fs.create_dir_all(dir))?;
         if path.exists() {
-            let mut raw = String::new();
-            File::open(&path)?.read_to_string(&mut raw)?;
+            // Lossy decoding on purpose: a bit flip that lands in a
+            // UTF-8 continuation byte must surface as a corrupt line
+            // (the CRC catches the replacement character), not abort
+            // the whole open.
+            let raw = String::from_utf8_lossy(&crate::vfs::acct(
+                "journal",
+                fs.read(&path),
+            )?)
+            .into_owned();
             for line in raw.lines().filter(|l| !l.trim().is_empty()) {
                 match parse_record(line) {
                     Ok(rec) => {
@@ -764,12 +776,20 @@ impl Journal {
                 );
             }
             if !bad_lines.is_empty() {
+                // If this open's read came back bit-flipped, the CRCs
+                // above just detected it.
+                let _ = crate::io_faults::confirm_flip(&path);
                 let qpath = quarantine_path(&path);
-                let mut qf = File::create(&qpath)?;
-                for line in &bad_lines {
-                    writeln!(qf, "{line}")?;
+                {
+                    let mut qf = crate::vfs::acct("journal", fs.create(&qpath))?;
+                    let mut buf = String::new();
+                    for line in &bad_lines {
+                        buf.push_str(line);
+                        buf.push('\n');
+                    }
+                    crate::vfs::acct("journal", qf.write_all(buf.as_bytes()))?;
+                    crate::vfs::acct("journal", qf.sync_data())?;
                 }
-                qf.sync_data()?;
                 eprintln!(
                     "warning: {} unusable journal line(s) quarantined to {}",
                     bad_lines.len(),
@@ -781,21 +801,34 @@ impl Journal {
 
         // Rewrite the journal to exactly the kept records (empty on a
         // fresh run), via temp file + rename so a crash here cannot
-        // produce a half-written journal.
-        let tmp = path.with_extension("jsonl.tmp");
-        {
-            let mut tf = File::create(&tmp)?;
+        // produce a half-written journal. The tmp name follows the
+        // `*.tmp-*` convention so a crash between create and rename is
+        // caught by the startup litter sweep.
+        let tmp = crate::artifact::unique_tmp(&path);
+        let rewritten = (|| {
+            let mut tf = crate::vfs::acct("journal", fs.create(&tmp))?;
+            let mut buf = String::new();
             for line in &kept_lines {
-                writeln!(tf, "{line}")?;
+                buf.push_str(line);
+                buf.push('\n');
             }
-            tf.sync_data()?;
+            crate::vfs::acct("journal", tf.write_all(buf.as_bytes()))?;
+            crate::vfs::acct("journal", tf.sync_data())?;
+            crate::vfs::acct("journal", fs.rename(&tmp, &path))
+        })();
+        if let Err(e) = rewritten {
+            if let Err(re) = fs.remove_file(&tmp) {
+                let _ = crate::io_faults::account("journal", &re);
+            }
+            return Err(e);
         }
-        std::fs::rename(&tmp, &path)?;
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_data();
+        if let Err(e) = fs.sync_dir(dir) {
+            // Ignored (the rewrite is already consistent at the file
+            // level) but accounted.
+            let _ = crate::io_faults::account("journal", &e);
         }
 
-        let file = OpenOptions::new().append(true).open(&path)?;
+        let file = crate::vfs::acct("journal", fs.open_append(&path))?;
         Ok(Journal {
             path,
             fingerprint,
@@ -806,6 +839,8 @@ impl Journal {
                 file,
                 seq: kept_lines.len() as u64,
                 appended: 0,
+                append_retries: 0,
+                append_failures: 0,
                 seen: HashSet::new(),
             }),
         })
@@ -824,6 +859,14 @@ impl Journal {
     /// Number of records appended by *this* process.
     pub fn appended(&self) -> u64 {
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).appended
+    }
+
+    /// `(retries, exhausted failures)` of the append path — the
+    /// journal's fault-accounting counters.
+    pub fn append_faults(&self) -> (u64, u64) {
+        let inner =
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        (inner.append_retries, inner.append_failures)
     }
 
     /// The journaled result for `label`, if a valid matching `ok`
@@ -869,10 +912,42 @@ impl Journal {
             payload: payload.to_string(),
         };
         let line = encode_record(&rec);
-        inner.file.write_all(line.as_bytes())?;
-        inner.file.write_all(b"\n")?;
-        inner.file.flush()?;
-        inner.file.sync_data()?;
+        // Appends retry with backoff: a transient disk fault costs this
+        // cell a few milliseconds, not its durability. A failed attempt
+        // may have landed a torn prefix of the line, so every retry is
+        // preceded by a newline — the fragment becomes its own line,
+        // which the per-line CRC quarantines at the next open, while the
+        // retried record stays intact. If every attempt fails only this
+        // cell's record is lost: it simply re-runs on `--resume`.
+        let mut dirty = false;
+        let mut outcome_io = Ok(());
+        for attempt in 0..3u32 {
+            if attempt > 0 {
+                inner.append_retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+            }
+            let payload =
+                if dirty { format!("\n{line}\n") } else { format!("{line}\n") };
+            let wrote = (|| {
+                crate::vfs::acct("journal", inner.file.write_all(payload.as_bytes()))?;
+                crate::vfs::acct("journal", inner.file.flush())?;
+                crate::vfs::acct("journal", inner.file.sync_data())
+            })();
+            match wrote {
+                Ok(()) => {
+                    outcome_io = Ok(());
+                    break;
+                }
+                Err(e) => {
+                    dirty = true;
+                    outcome_io = Err(e);
+                }
+            }
+        }
+        if let Err(e) = outcome_io {
+            inner.append_failures += 1;
+            return Err(e);
+        }
         inner.seq += 1;
         inner.appended += 1;
         if Some(inner.appended) == self.crash_after {
@@ -1082,5 +1157,59 @@ mod tests {
             "fresh open starts an empty journal"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn torture_record() -> Record {
+        Record {
+            fp: "deadbeef".to_string(),
+            seq: 42,
+            label: "pressure/Gobmk/CoLT-All/r0.050".to_string(),
+            outcome: "ok".to_string(),
+            attempts: 2,
+            reason: "escaped \"reason\"\twith\nbreaks".to_string(),
+            refs: 123_456,
+            prep_seconds: 1.25,
+            sim_seconds: 0.0625,
+            payload: "sim;l1h=9;l2h=3;path\\with\\slashes".to_string(),
+        }
+    }
+
+    /// Codec torture: a bit flip at EVERY position of an encoded line
+    /// must never panic and never decode to different content. (Most
+    /// flips land in the crc-covered body; flips inside the crc field
+    /// itself are caught by the strict lowercase-hex comparison.)
+    #[test]
+    fn record_decode_never_accepts_a_flipped_bit() {
+        let line = encode_record(&torture_record());
+        let bytes = line.as_bytes();
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.to_vec();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            // Journal reads are lossy-UTF-8 on purpose (flips in
+            // continuation bytes must surface as corrupt lines, not
+            // abort the open); mirror that here.
+            let text = String::from_utf8_lossy(&corrupt).into_owned();
+            match parse_record(&text) {
+                Err(_) => {}
+                Ok(decoded) => assert_eq!(
+                    encode_record(&decoded),
+                    line,
+                    "bit {bit} flipped silently into a different record"
+                ),
+            }
+        }
+    }
+
+    /// Truncation at every prefix length is rejected — a torn journal
+    /// tail can never replay as a completed cell.
+    #[test]
+    fn record_decode_rejects_every_truncation() {
+        let line = encode_record(&torture_record());
+        for len in 0..line.len() {
+            assert!(
+                parse_record(&line[..len]).is_err(),
+                "a {len}-byte prefix parsed as a whole record"
+            );
+        }
     }
 }

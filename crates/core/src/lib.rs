@@ -52,6 +52,7 @@ pub mod artifact;
 pub mod chaos_serve;
 pub mod check;
 pub mod experiments;
+pub mod io_faults;
 pub mod journal;
 pub mod lru;
 pub mod metrics;
@@ -62,6 +63,7 @@ pub mod serve;
 pub mod serve_bench;
 pub mod sim;
 pub mod snapshot_cache;
+pub mod vfs;
 
 pub use experiments::{ExperimentOptions, ExperimentOutput};
 pub use perf::PerfModel;

@@ -527,10 +527,13 @@ fn journal_outcome<R>(
             metric.sim_seconds,
         ),
     };
+    // The append already retried with backoff (and accounted any
+    // injected fault) inside `Journal::append`; only this cell's
+    // durability is lost, never the sweep.
     if let Err(e) = appended {
         eprintln!(
-            "warning: could not journal cell '{}' to {}: {e} (sweep continues; \
-             this cell will not be resumable)",
+            "warning: could not journal cell '{}' to {} after retries: {e} \
+             (sweep continues; this cell will not be resumable)",
             item.label,
             h.journal.path().display()
         );

@@ -540,38 +540,134 @@ impl ServerHandle {
     }
 }
 
+/// Current sweep-cache schema. v2 appends a `crc` field — a CRC32 over
+/// every byte before the `, "crc"` key (the journal-line convention) —
+/// so a bit flip anywhere in the entry is caught at load time instead
+/// of silently warming the cache with corrupt bytes.
+pub(crate) const CACHE_SCHEMA: &str = "colt-serve-cache/v2";
+
+/// Encodes one sweep-cache entry in the v2 on-disk format.
+pub(crate) fn encode_cache_entry(key: &str, bytes: &str) -> String {
+    let prefix = format!(
+        "{{\"schema\": \"{CACHE_SCHEMA}\", \"key\": \"{}\", \"bytes\": \"{}\"",
+        crate::artifact::json_escape(key),
+        crate::artifact::json_escape(bytes),
+    );
+    let crc = crate::journal::crc32(prefix.as_bytes());
+    format!("{prefix}, \"crc\": \"{crc:08x}\"}}")
+}
+
+/// Decodes and integrity-checks one cache entry. `Ok(Some((key,
+/// bytes)))` is a loadable v2 entry; `Ok(None)` is a healthy file this
+/// build does not load (a legacy `colt-serve-cache/v1` entry or a
+/// foreign artifact — skipped, never quarantined); `Err(reason)` is
+/// corruption the caller must quarantine. The CRC gate runs before the
+/// schema match so a flip anywhere in the prefix — including inside the
+/// schema or key strings — is reported as corrupt, not mis-skipped.
+pub(crate) fn decode_cache_entry(text: &str) -> Result<Option<(String, String)>, String> {
+    crate::artifact::validate_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let doc = json::parse(text).map_err(|e| format!("unparseable: {e}"))?;
+    let schema = doc.get("schema").and_then(json::Json::as_str);
+    match text.rfind(", \"crc\": \"") {
+        Some(at) => {
+            let stored = doc
+                .get("crc")
+                .and_then(json::Json::as_str)
+                .ok_or_else(|| "unreadable crc field".to_string())?;
+            let actual = crate::journal::crc32(text[..at].as_bytes());
+            // Exact string comparison, not a hex parse: `from_str_radix`
+            // is case-insensitive, so a single bit flip turning `a` into
+            // `A` would otherwise verify successfully.
+            let expect = format!("{actual:08x}");
+            if stored != expect {
+                return Err(format!(
+                    "checksum mismatch (stored {stored}, computed {expect})"
+                ));
+            }
+        }
+        // A v2 entry always carries the crc key; its absence on a file
+        // claiming v2 means the key itself was damaged.
+        None if schema == Some(CACHE_SCHEMA) => {
+            return Err("v2 entry without crc field".to_string());
+        }
+        None => return Ok(None),
+    }
+    match (
+        schema,
+        doc.get("key").and_then(json::Json::as_str),
+        doc.get("bytes").and_then(json::Json::as_str),
+    ) {
+        (Some(CACHE_SCHEMA), Some(k), Some(b)) => Ok(Some((k.to_string(), b.to_string()))),
+        _ => Ok(None),
+    }
+}
+
+/// Cache dirs that already warned about a persist failure. Matches the
+/// snapshot cache's degradation contract: an unwritable dir drops the
+/// server to mem-only persistence with exactly one warning per dir.
+static CACHE_DIR_WARNED: Mutex<Option<std::collections::BTreeSet<PathBuf>>> = Mutex::new(None);
+
+fn note_cache_dir_failure(dir: &std::path::Path) -> bool {
+    let mut warned = CACHE_DIR_WARNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    warned
+        .get_or_insert_with(Default::default)
+        .insert(dir.to_path_buf())
+}
+
+/// Persists one sweep-cache entry into `dir` (atomic, fsynced,
+/// CRC-stamped). Shared with the torture harness, which persists and
+/// reloads entries around simulated power cuts.
+pub(crate) fn persist_cache_entry(
+    dir: &std::path::Path,
+    key: &str,
+    bytes: &str,
+) -> std::io::Result<PathBuf> {
+    let body = encode_cache_entry(key, bytes);
+    let path = dir.join(format!("sweep-{}.json", fingerprint_of(key)));
+    crate::artifact::atomic_write_json(&path, &body)?;
+    Ok(path)
+}
+
 /// Persists every cached sweep result to `cache_dir` at graceful drain
 /// — one fsynced JSON artifact per entry, written atomically via
-/// [`crate::artifact::atomic_write_json`]. Returns how many landed.
+/// [`crate::artifact::atomic_write_json`]. Returns how many landed. A
+/// persist failure (full or unwritable disk) degrades to mem-only with
+/// one warning per dir; the remaining entries are skipped since they
+/// would fail the same way.
 fn persist_results(state: &ServerState) -> u64 {
     let Some(dir) = &state.cfg.cache_dir else { return 0 };
     let results = relock(&state.results);
     let mut persisted = 0;
     for (key, bytes) in results.iter() {
-        let body = format!(
-            "{{\"schema\": \"colt-serve-cache/v1\", \"key\": \"{}\", \"bytes\": \"{}\"}}",
-            crate::artifact::json_escape(key),
-            crate::artifact::json_escape(bytes),
-        );
-        let path = dir.join(format!("sweep-{}.json", fingerprint_of(key)));
-        if crate::artifact::atomic_write_json(&path, &body).is_ok() {
-            persisted += 1;
+        match persist_cache_entry(dir, key, bytes) {
+            Ok(_) => persisted += 1,
+            Err(e) => {
+                if note_cache_dir_failure(dir) && !state.cfg.quiet {
+                    eprintln!(
+                        "repro serve: cache dir {} is unwritable ({e}); \
+                         continuing mem-only",
+                        dir.display()
+                    );
+                }
+                break;
+            }
         }
     }
     persisted
 }
 
-/// Reloads sweep results persisted by an earlier drain, quarantining
-/// (and reporting) any artifact that no longer parses. Returns
-/// `(loaded, quarantined)`.
-fn load_persisted_results(
+/// Reads every `sweep-*.json` entry under `dir` exactly once (through
+/// the active [`crate::vfs`] seam, so injected read faults land here),
+/// quarantining anything corrupt. Returns the decoded entries plus the
+/// quarantine count. Shared with the torture harness.
+pub(crate) fn load_cache_entries(
     dir: &std::path::Path,
-    results: &Mutex<LruMap<Arc<String>>>,
     quiet: bool,
-) -> (u64, u64) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return (0, 0) };
-    let (mut loaded, mut quarantined) = (0, 0);
-    let mut paths: Vec<PathBuf> = entries
+) -> (Vec<(String, String)>, u64) {
+    let Ok(dirents) = std::fs::read_dir(dir) else { return (Vec::new(), 0) };
+    let mut paths: Vec<PathBuf> = dirents
         .flatten()
         .map(|e| e.path())
         .filter(|p| {
@@ -581,32 +677,55 @@ fn load_persisted_results(
         })
         .collect();
     paths.sort();
+    let fs = crate::vfs::active();
+    let mut entries = Vec::new();
+    let mut quarantined = 0;
     for path in paths {
-        if let Ok(Some(dest)) = crate::artifact::quarantine_if_corrupt(&path) {
-            quarantined += 1;
-            if !quiet {
-                eprintln!(
-                    "repro serve: quarantined corrupt cache artifact {} -> {}",
-                    path.display(),
-                    dest.display()
-                );
-            }
-            continue;
-        }
-        let Ok(text) = std::fs::read_to_string(&path) else { continue };
-        let Ok(doc) = json::parse(&text) else { continue };
-        let (key, bytes) = match (
-            doc.get("schema").and_then(json::Json::as_str),
-            doc.get("key").and_then(json::Json::as_str),
-            doc.get("bytes").and_then(json::Json::as_str),
-        ) {
-            (Some("colt-serve-cache/v1"), Some(k), Some(b)) => {
-                (k.to_string(), b.to_string())
-            }
-            _ => continue,
+        // One read per file: reading again for a corruption check would
+        // draw the fault plan twice and desynchronize the schedule.
+        let text = match crate::vfs::acct("serve-cache", fs.read(&path)) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            // A read fault is a cold cache miss, not corruption.
+            Err(_) => continue,
         };
+        match decode_cache_entry(&text) {
+            Ok(Some(entry)) => entries.push(entry),
+            Ok(None) => {}
+            Err(why) => {
+                crate::io_faults::confirm_flip(&path);
+                quarantined += 1;
+                let dest = crate::artifact::quarantine_path(&path);
+                match crate::vfs::acct("serve-cache", fs.rename(&path, &dest)) {
+                    Ok(()) if !quiet => eprintln!(
+                        "repro serve: quarantined corrupt cache artifact {} -> {} ({why})",
+                        path.display(),
+                        dest.display()
+                    ),
+                    Err(e) if !quiet => eprintln!(
+                        "repro serve: corrupt cache artifact {} ({why}); \
+                         quarantine failed: {e}",
+                        path.display()
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (entries, quarantined)
+}
+
+/// Reloads sweep results persisted by an earlier drain, quarantining
+/// (and reporting) any artifact that no longer parses or fails its
+/// checksum. Returns `(loaded, quarantined)`.
+fn load_persisted_results(
+    dir: &std::path::Path,
+    results: &Mutex<LruMap<Arc<String>>>,
+    quiet: bool,
+) -> (u64, u64) {
+    let (entries, quarantined) = load_cache_entries(dir, quiet);
+    let loaded = entries.len() as u64;
+    for (key, bytes) in entries {
         relock(results).insert(key, Arc::new(bytes));
-        loaded += 1;
     }
     (loaded, quarantined)
 }
@@ -633,6 +752,26 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         .collect();
     let results = Mutex::new(LruMap::bounded(cfg.result_cache_cap));
     if let Some(dir) = &cfg.cache_dir {
+        // Startup hygiene, mirroring `repro`'s results/ sweep: report
+        // quarantines left by earlier runs and clear tmp litter from
+        // writes that lost power mid-rename.
+        let leftover = crate::artifact::find_quarantined(dir);
+        if !cfg.quiet && !leftover.is_empty() {
+            eprintln!(
+                "repro serve: {} quarantined artifact(s) under {} (first: {})",
+                leftover.len(),
+                dir.display(),
+                leftover[0].display()
+            );
+        }
+        let swept = crate::artifact::sweep_tmp_litter(dir);
+        if !cfg.quiet && !swept.is_empty() {
+            eprintln!(
+                "repro serve: removed {} leaked tmp file(s) from {}",
+                swept.len(),
+                dir.display()
+            );
+        }
         let (loaded, quarantined) = load_persisted_results(dir, &results, cfg.quiet);
         if !cfg.quiet && (loaded > 0 || quarantined > 0) {
             println!(
@@ -1741,5 +1880,63 @@ mod tests {
         let busy = reject_line("busy", "queue full");
         assert!(busy.contains("\"rejected\": \"busy\""));
         crate::artifact::validate_json(&err_line("with \"quotes\" and \\slashes")).unwrap();
+    }
+
+    #[test]
+    fn cache_entry_round_trips_including_escapes() {
+        let key = "sweep {\"bench\": \"Gobmk\"}";
+        let bytes = "{\"rows\": [1, 2],\n \"note\": \"\\\"quoted\\\"\"}";
+        let body = encode_cache_entry(key, bytes);
+        crate::artifact::validate_json(&body).unwrap();
+        let decoded = decode_cache_entry(&body).unwrap().unwrap();
+        assert_eq!(decoded, (key.to_string(), bytes.to_string()));
+    }
+
+    /// Satellite 3 for the serve-cache codec: under a bit flip at EVERY
+    /// bit position, decode must never panic and never hand back bytes
+    /// that differ from what was encoded. A flip may be survivable only
+    /// if the decoded entry is byte-identical to the original (e.g. a
+    /// flip inside trailing whitespace — this format has none).
+    #[test]
+    fn cache_entry_decode_never_accepts_a_flipped_byte() {
+        let body = encode_cache_entry("k-1", "payload with \"structure\": [0, 1]");
+        let original = decode_cache_entry(&body).unwrap().unwrap();
+        let bytes = body.as_bytes();
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.to_vec();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            let text = String::from_utf8_lossy(&corrupt).into_owned();
+            match decode_cache_entry(&text) {
+                Err(_) => {}
+                Ok(None) => {}
+                Ok(Some(entry)) => assert_eq!(
+                    entry, original,
+                    "bit {bit} flipped silently into a different entry"
+                ),
+            }
+        }
+    }
+
+    /// Truncation at every prefix length is either rejected or decodes
+    /// to nothing — a torn tail can never warm the cache.
+    #[test]
+    fn cache_entry_decode_rejects_every_truncation() {
+        let body = encode_cache_entry("k-2", "0123456789");
+        for len in 0..body.len() {
+            let prefix = &body[..len];
+            assert!(
+                !matches!(decode_cache_entry(prefix), Ok(Some(_))),
+                "prefix of {len} bytes decoded as a valid entry"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_v1_entries_are_skipped_not_quarantined() {
+        let v1 = "{\"schema\": \"colt-serve-cache/v1\", \"key\": \"k\", \"bytes\": \"b\"}";
+        assert_eq!(decode_cache_entry(v1).unwrap(), None);
+        // A file claiming v2 without its checksum is damage, not legacy.
+        let bad = format!("{{\"schema\": \"{CACHE_SCHEMA}\", \"key\": \"k\", \"bytes\": \"b\"}}");
+        assert!(decode_cache_entry(&bad).is_err());
     }
 }

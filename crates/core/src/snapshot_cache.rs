@@ -37,7 +37,6 @@ use colt_os_mem::snapshot::{Dec, Enc};
 use colt_workloads::scenario::{PreparedWorkload, Scenario};
 use colt_workloads::spec::BenchmarkSpec;
 use std::collections::BTreeSet;
-use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,6 +79,13 @@ pub fn set_enabled(enabled: bool) {
 /// to run in. The `repro` binary opts in at startup.
 pub fn set_disk_persistence(enabled: bool) {
     DISK.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether the disk layer is currently opted in — lets a caller that
+/// must flip the flag (the torture harness) restore the prior state
+/// instead of leaking `true` into the rest of a test process.
+pub fn disk_persistence() -> bool {
+    DISK.load(Ordering::SeqCst)
 }
 
 /// Whether the cache is consulted at all.
@@ -362,11 +368,30 @@ fn disk_dir_disabled(dir: &Path) -> bool {
 
 static DIR_WARNED: Once = Once::new();
 
-/// The snapshot directory: `COLT_SNAPSHOT_DIR` when set (a garbage or
+/// Programmatic snapshot-directory override, taking precedence over
+/// `COLT_SNAPSHOT_DIR`. The torture harness points each cycle at its
+/// own scratch directory this way — mutating the environment of a
+/// multi-threaded process mid-run would race every other reader.
+static DIR_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Overrides (or, with `None`, restores) the snapshot directory for
+/// this process.
+pub fn set_dir_override(dir: Option<PathBuf>) {
+    *relock(&DIR_OVERRIDE) = dir;
+}
+
+/// The snapshot directory: the programmatic override when set, else
+/// `COLT_SNAPSHOT_DIR` when set (a garbage or
 /// unusable value earns one loud warning, then disk persistence is
 /// skipped — never a silent fallback to the default), otherwise
 /// `results/snapshots`. `None` when the directory cannot be created.
 fn snapshot_dir() -> Option<PathBuf> {
+    if let Some(dir) = relock(&DIR_OVERRIDE).clone() {
+        return match std::fs::create_dir_all(&dir) {
+            Ok(()) => Some(dir),
+            Err(_) => None,
+        };
+    }
     let dir = match std::env::var("COLT_SNAPSHOT_DIR") {
         Ok(raw) if raw.trim().is_empty() => {
             DIR_WARNED.call_once(|| {
@@ -421,17 +446,21 @@ pub(crate) fn store_to(
     let body = enc.finish();
     let path = snapshot_path(dir, key);
     let tmp = crate::artifact::unique_tmp(&path);
+    let fs = crate::vfs::active();
     let written = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(MAGIC)?;
-        f.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
-        f.write_all(&crc32(&body).to_le_bytes())?;
-        f.write_all(&body)?;
-        f.sync_data()?;
-        std::fs::rename(&tmp, &path)
+        use crate::vfs::acct;
+        let mut f = acct("snapshot", fs.create(&tmp))?;
+        acct("snapshot", f.write_all(MAGIC))?;
+        acct("snapshot", f.write_all(&SNAPSHOT_VERSION.to_le_bytes()))?;
+        acct("snapshot", f.write_all(&crc32(&body).to_le_bytes()))?;
+        acct("snapshot", f.write_all(&body))?;
+        acct("snapshot", f.sync_data())?;
+        acct("snapshot", fs.rename(&tmp, &path))
     })();
     if written.is_err() {
-        let _ = std::fs::remove_file(&tmp);
+        if let Err(re) = fs.remove_file(&tmp) {
+            let _ = crate::io_faults::account("snapshot", &re);
+        }
     }
     written
 }
@@ -445,10 +474,20 @@ pub(crate) fn load_from(
     spec: &BenchmarkSpec,
 ) -> Option<PreparedWorkload> {
     let path = snapshot_path(dir, key);
-    let bytes = std::fs::read(&path).ok()?;
+    let bytes = match crate::vfs::active().read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            // A read fault is a miss, not corruption: the pair simply
+            // re-prepares.
+            let _ = crate::io_faults::account("snapshot", &e);
+            return None;
+        }
+    };
     match parse_snapshot(&bytes, key, spec) {
         Ok(found) => found,
         Err(why) => {
+            let _ = crate::io_faults::confirm_flip(&path);
             quarantine(&path, &why);
             None
         }
@@ -503,18 +542,21 @@ fn quarantine(path: &Path, why: &str) {
         }
         n += 1;
     };
-    match std::fs::rename(path, &qpath) {
+    match crate::vfs::active().rename(path, &qpath) {
         Ok(()) => eprintln!(
             "warning: unusable preparation snapshot {} ({why}); quarantined to {}, \
              the pair re-prepares",
             path.display(),
             qpath.display()
         ),
-        Err(e) => eprintln!(
-            "warning: unusable preparation snapshot {} ({why}); quarantine rename \
-             failed too ({e}), the pair re-prepares",
-            path.display()
-        ),
+        Err(e) => {
+            let _ = crate::io_faults::account("snapshot", &e);
+            eprintln!(
+                "warning: unusable preparation snapshot {} ({why}); quarantine rename \
+                 failed too ({e}), the pair re-prepares",
+                path.display()
+            );
+        }
     }
 }
 
@@ -714,5 +756,59 @@ mod tests {
             prep_key(&a.clone().with_faults(Default::default()), &gob),
             "fault injection is part of the key"
         );
+    }
+
+    /// Codec torture for the `COLTSNAP` format: every byte of the file
+    /// is covered (magic and version by direct comparison, the body by
+    /// the CRC, the stored CRC by the mismatch it creates), so a bit
+    /// flip anywhere must make `parse_snapshot` return an error — never
+    /// panic, never hand back a workload. Every header bit is flipped
+    /// exhaustively; body bits at a prime stride (the body is large and
+    /// each parse costs a full CRC pass).
+    #[test]
+    fn snapshot_parse_never_accepts_a_flipped_bit() {
+        let dir = tmpdir("flip-torture");
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        let bytes = std::fs::read(snapshot_path(&dir, &key)).unwrap();
+        let header_bits = 16 * 8;
+        // Bound the body samples: each parse pays a full CRC pass over
+        // the (multi-megabyte) body, so a fine stride is quadratic.
+        let stride = ((bytes.len() * 8 - header_bits) / 150).max(1) | 1;
+        let flips = (0..header_bits)
+            .chain((header_bits..bytes.len() * 8).step_by(stride))
+            .chain(bytes.len() * 8 - 64..bytes.len() * 8);
+        for bit in flips {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                parse_snapshot(&corrupt, &key, &spec).is_err(),
+                "bit {bit} flipped without the parser noticing"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncation at every header prefix (exhaustive) and at strided
+    /// body prefixes is rejected — a torn snapshot never loads.
+    #[test]
+    fn snapshot_parse_rejects_every_truncation() {
+        let dir = tmpdir("trunc-torture");
+        let (scenario, spec, w) = prepared_pair();
+        let key = prep_key(&scenario, &spec);
+        store_to(&dir, &key, &w).unwrap();
+        let bytes = std::fs::read(snapshot_path(&dir, &key)).unwrap();
+        let stride = ((bytes.len() - 64) / 100).max(1) | 1;
+        let lens = (0..64.min(bytes.len()))
+            .chain((64..bytes.len()).step_by(stride))
+            .chain(bytes.len().saturating_sub(8)..bytes.len());
+        for len in lens {
+            assert!(
+                parse_snapshot(&bytes[..len], &key, &spec).is_err(),
+                "a {len}-byte prefix parsed as a whole snapshot"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

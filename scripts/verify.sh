@@ -7,6 +7,12 @@
 # server + load generator, with a served-vs-direct byte-identity check),
 # a chaos smoke (the seeded network-fault soak; every verdict in
 # BENCH_chaos.json must hold),
+# a storage-torture smoke (seeded I/O fault schedules x simulated
+# power cuts over the durability layers; every verdict in
+# BENCH_torture.json must hold and no tmp litter may survive),
+# a storage-fault crash smoke (kill a sweep mid-run with the I/O fault
+# plan armed — ENOSPC, torn renames, failed fsyncs — then a clean
+# --resume must still be byte-identical),
 # an MM-policy smoke (the policy sweep on a small grid, a
 # `--policy default` byte-identity diff, and policy-counter gates),
 # and a quick parallel smoke sweep with a throughput regression gate.
@@ -103,11 +109,12 @@ echo "== fault-injection oracle fuzz: repro pressure --check =="
 # output byte-identical to an uninterrupted reference run, with exactly
 # the k fsynced journal records surviving the crash.
 CRASH_DIR=$(mktemp -d)
+IOCRASH_DIR=$(mktemp -d)
 CACHE_DIR=$(mktemp -d)
 SERVE_DIR=$(mktemp -d)
 POLICY_DIR=$(mktemp -d)
 CHAOS_DIR=$(mktemp -d)
-trap 'rm -rf "$CRASH_DIR" "$CACHE_DIR" "$SERVE_DIR" "$POLICY_DIR" "$CHAOS_DIR"' EXIT
+trap 'rm -rf "$CRASH_DIR" "$IOCRASH_DIR" "$CACHE_DIR" "$SERVE_DIR" "$POLICY_DIR" "$CHAOS_DIR"' EXIT
 REPRO="$PWD/target/release/repro"
 
 # MM-policy smoke: a small policy-sweep grid (every shipped policy x
@@ -180,6 +187,43 @@ if ! cmp -s "$CRASH_DIR/ref.csv" "$CRASH_DIR/resume.csv"; then
     exit 1
 fi
 echo "crash-recovery smoke passed (5 journaled cells survived, resume byte-identical)"
+
+# Storage-fault crash smoke: the same kill-then-resume, but with the
+# seeded I/O fault plan armed during the doomed run — ENOSPC on
+# writes, torn renames, failed and lying fsyncs, short writes. Journal
+# appends that fail after retries only cost that cell its
+# resumability (the resumed run recomputes it); corrupt journal lines
+# left by torn writes are quarantined on re-open, never replayed. A
+# clean --resume must still reproduce BENCH_pressure.json and the CSV
+# byte-identically against the uninterrupted, unfaulted reference
+# captured above. The exact journal line count is NOT gated here:
+# under injected faults, retried appends legitimately leave extra
+# (quarantined) partial lines.
+echo "== storage-fault crash smoke: kill under --io-faults, then --resume =="
+if (cd "$IOCRASH_DIR" && COLT_CRASH_AFTER_CELLS=5 "$REPRO" "${CRASH_ARGS[@]}" \
+        --io-faults rate=0.1,window=0,seed=23 > crash.csv 2> crash.err); then
+    echo "FAIL: crash injection did not kill the faulted sweep" >&2
+    exit 1
+fi
+if ! grep -q 'io-faults armed' "$IOCRASH_DIR/crash.err"; then
+    echo "FAIL: faulted crash run never armed the I/O fault plan" >&2
+    cat "$IOCRASH_DIR/crash.err" >&2
+    exit 1
+fi
+(cd "$IOCRASH_DIR" && "$REPRO" "${CRASH_ARGS[@]}" --resume > resume.csv)
+if ! cmp -s "$CRASH_DIR/ref_pressure.json" "$IOCRASH_DIR/results/BENCH_pressure.json"; then
+    echo "FAIL: resume after a faulted crash diverged in BENCH_pressure.json" >&2
+    exit 1
+fi
+if ! cmp -s "$CRASH_DIR/ref.csv" "$IOCRASH_DIR/resume.csv"; then
+    echo "FAIL: resume after a faulted crash diverged in CSV output" >&2
+    exit 1
+fi
+if find "$IOCRASH_DIR/results" -name '*.tmp-*' | grep -q .; then
+    echo "FAIL: faulted crash run leaked tmp files past the startup sweep" >&2
+    exit 1
+fi
+echo "storage-fault crash smoke passed (resume byte-identical under injected ENOSPC + torn renames)"
 
 # Snapshot-cache smoke: the same sweep twice in a scratch directory —
 # cold (every pair prepares and persists a snapshot under
@@ -295,6 +339,36 @@ if ! awk -v f="$chaos_faults" 'BEGIN { exit !(f > 0) }'; then
     exit 1
 fi
 echo "chaos smoke passed ($chaos_faults faults injected, all verdicts hold)"
+
+# Storage-torture smoke: the crash-consistency harness on a reduced
+# but still 3-seed grid with its fixed default base seed. Each cycle
+# runs a sweep doomed by a seeded storage-fault schedule (ENOSPC, EIO,
+# torn writes, lying fsyncs, dropped renames, bit flips), simulates a
+# power cut, re-opens everything cold, and recovers with --resume.
+# Every verdict in BENCH_torture.json must hold, injection must have
+# fired, and no tmp litter may survive anywhere under results/.
+TORTURE_ARGS=(torture --seeds 3 --cuts 1 --accesses 1000 --quiet)
+echo "== storage-torture smoke: repro ${TORTURE_ARGS[*]} =="
+./target/release/repro "${TORTURE_ARGS[@]}"
+for verdict in zero_panics no_corrupt_accepted resume_identity warm_identity \
+               ledger_identity all_ok; do
+    if ! grep -q "\"$verdict\": true" results/BENCH_torture.json; then
+        echo "FAIL: BENCH_torture.json verdict '$verdict' did not hold" >&2
+        cat results/BENCH_torture.json >&2
+        exit 1
+    fi
+done
+torture_faults=$(json_field io_faults_injected results/BENCH_torture.json)
+if ! awk -v f="$torture_faults" 'BEGIN { exit !(f > 0) }'; then
+    echo "FAIL: torture smoke injected no I/O faults (io_faults_injected=$torture_faults)" >&2
+    exit 1
+fi
+if find results -name '*.tmp-*' | grep -q .; then
+    echo "FAIL: torture smoke leaked tmp files under results/" >&2
+    find results -name '*.tmp-*' >&2
+    exit 1
+fi
+echo "storage-torture smoke passed ($torture_faults I/O faults injected, all verdicts hold)"
 
 echo "== smoke sweep: repro ${SWEEP_ARGS[*]} =="
 # The sweep rewrites $BASELINE with this run's numbers; the baseline
